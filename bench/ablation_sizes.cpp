@@ -1,0 +1,82 @@
+// E10 (extension; paper Section 6): lifting the equal-item-size
+// assumption. "However, we assume uniform size for all items. We are
+// currently addressing this limitation."
+//
+// Compares, at matched byte budgets on the Fig. 7 workload:
+//   slot model      — the paper's equal-size protocol (capacity = k items)
+//   sized/uniform   — byte cache, all items the same size (sanity: must
+//                     track the slot model)
+//   sized/coupled   — item size proportional to retrieval time (the
+//                     natural bandwidth coupling), density arbitration
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/prefetch_cache.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skp;
+  const auto args = skp::bench::parse_args(argc, argv);
+  const std::size_t requests = args.full ? 50'000 : 5'000;
+  std::cout << "=== E10: heterogeneous item sizes (slot vs byte cache) "
+               "===\n"
+            << "    " << requests << " requests per cell; seed "
+            << args.seed << "\n"
+            << "    mean item size ~ 15.5 units; capacities matched as "
+               "slots x 15.5\n\n";
+
+  std::optional<std::ofstream> csv;
+  if (args.csv_dir) {
+    csv = open_csv(*args.csv_dir + "/ablation_sizes.csv");
+    CsvWriter(*csv).row({"slots", "slot_T", "uniform_T", "coupled_T",
+                         "coupled_waste_rate"});
+  }
+
+  std::cout << "  slots  slot model  sized uniform  sized coupled  "
+               "coupled waste\n";
+  for (const std::size_t slots : {5u, 10u, 20u, 40u, 80u}) {
+    PrefetchCacheConfig slot_cfg;
+    slot_cfg.cache_size = slots;
+    slot_cfg.policy = PrefetchPolicy::SKP;
+    slot_cfg.sub = SubArbitration::DS;
+    slot_cfg.requests = requests;
+    slot_cfg.seed = args.seed;
+    const auto slot_res = run_prefetch_cache(slot_cfg);
+
+    const double mean_size = 15.5;  // E[U{1..30}]
+    SizedExperimentConfig uni;
+    uni.capacity = static_cast<double>(slots) * mean_size;
+    uni.size_per_r = 0.0;
+    uni.size_lo = uni.size_hi = mean_size;
+    uni.policy = PrefetchPolicy::SKP;
+    uni.sub = SubArbitration::DS;
+    uni.requests = requests;
+    uni.seed = args.seed;
+    const auto uni_res = run_prefetch_cache_sized(uni);
+
+    SizedExperimentConfig coupled = uni;
+    coupled.size_per_r = 1.0;  // size == retrieval time
+    const auto coupled_res = run_prefetch_cache_sized(coupled);
+
+    std::cout << "  " << std::setw(5) << slots << "  " << std::setw(10)
+              << slot_res.metrics.mean_access_time() << "  "
+              << std::setw(13) << uni_res.metrics.mean_access_time()
+              << "  " << std::setw(13)
+              << coupled_res.metrics.mean_access_time() << "  "
+              << coupled_res.metrics.waste_rate() << "\n";
+    if (csv) {
+      CsvWriter(*csv).row_of(slots, slot_res.metrics.mean_access_time(),
+                             uni_res.metrics.mean_access_time(),
+                             coupled_res.metrics.mean_access_time(),
+                             coupled_res.metrics.waste_rate());
+    }
+  }
+  std::cout << "\n  sized-uniform must track the slot model (same "
+               "protocol, byte bookkeeping);\n  sized-coupled shows the "
+               "equal-size assumption's real-world cost/benefit: big\n  "
+               "items are exactly the ones worth caching (r large) but "
+               "crowd out many small\n  ones — density arbitration "
+               "resolves the tension.\n";
+  return 0;
+}

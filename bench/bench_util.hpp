@@ -1,0 +1,46 @@
+// Shared command-line handling for the figure-reproduction binaries.
+//
+// Every bench accepts:
+//   --full         paper-scale run (50 000 iterations etc.); default is a
+//                  reduced-scale run that finishes in seconds
+//   --seed <u64>   RNG seed (default 1)
+//   --csv <dir>    also write each series as CSV files into <dir>
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace skp::bench {
+
+struct BenchArgs {
+  bool full = false;
+  std::uint64_t seed = 1;
+  std::optional<std::string> csv_dir;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--full") {
+      args.full = true;
+    } else if (a == "--seed" && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--csv" && i + 1 < argc) {
+      args.csv_dir = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--full] [--seed <u64>] [--csv <dir>]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace skp::bench

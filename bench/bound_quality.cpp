@@ -1,0 +1,81 @@
+// E4: quality of the Eq.-(7) upper bound (Theorem 2) and its effect on the
+// branch-and-bound search. For random instances we report the bound gap
+// (U - g*) / U and the fraction of search nodes pruned, across catalog
+// sizes and time regimes.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/brute_force.hpp"
+#include "core/skp_solver.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "workload/prob_gen.hpp"
+
+namespace {
+
+using namespace skp;
+
+Instance draw(std::size_t n, double v_hi, ProbMethod method, Rng& rng) {
+  Instance inst;
+  inst.P = generate_probabilities(n, method, rng);
+  inst.r.resize(n);
+  for (auto& x : inst.r) x = rng.uniform(1.0, 30.0);
+  inst.v = rng.uniform(1.0, v_hi);
+  return inst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = skp::bench::parse_args(argc, argv);
+  const int trials = args.full ? 2000 : 400;
+  std::cout << "=== E4: Eq.-(7) upper bound quality & pruning power ===\n"
+            << "    " << trials << " random instances per row; seed "
+            << args.seed << "\n\n";
+  std::cout << "  n     v_hi  method  mean rel gap  p95 rel gap  "
+               "mean prune frac  bound>=g violations\n";
+
+  std::optional<std::ofstream> csv;
+  if (args.csv_dir) {
+    csv = open_csv(*args.csv_dir + "/bound_quality.csv");
+    CsvWriter(*csv).row({"n", "v_hi", "method", "mean_rel_gap",
+                         "p95_rel_gap", "mean_prune_frac", "violations"});
+  }
+
+  Rng rng(args.seed);
+  for (const std::size_t n : {6u, 10u, 14u, 18u}) {
+    for (const double v_hi : {20.0, 100.0}) {
+      for (const ProbMethod method :
+           {ProbMethod::Skewy, ProbMethod::Flat}) {
+        std::vector<double> gaps;
+        OnlineStats prune_frac;
+        int violations = 0;
+        for (int t = 0; t < trials; ++t) {
+          const Instance inst = draw(n, v_hi, method, rng);
+          const double ub = skp_upper_bound(inst);
+          const SkpSolution sol = solve_skp(inst);
+          if (sol.g > ub + 1e-9) ++violations;
+          if (ub > 1e-12) gaps.push_back((ub - sol.g) / ub);
+          const double total =
+              static_cast<double>(sol.forward_steps + sol.bound_prunes);
+          if (total > 0) {
+            prune_frac.add(static_cast<double>(sol.bound_prunes) / total);
+          }
+        }
+        const Summary s = summarize(gaps);
+        std::cout << "  " << std::setw(3) << n << "  " << std::setw(6)
+                  << v_hi << "  " << std::setw(6) << to_string(method)
+                  << "  " << std::setw(12) << s.mean << "  "
+                  << std::setw(11) << s.p95 << "  " << std::setw(15)
+                  << prune_frac.mean() << "  " << violations << "\n";
+        if (csv) {
+          CsvWriter(*csv).row_of(n, v_hi, to_string(method), s.mean, s.p95,
+                                 prune_frac.mean(), violations);
+        }
+      }
+    }
+  }
+  std::cout << "\n  (violations must be 0: Theorem 2 guarantees U >= g*)\n";
+  return 0;
+}

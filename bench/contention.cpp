@@ -1,0 +1,69 @@
+// E11 (extension): shared-link contention — the system-level cost of
+// speculation in a *distributed* information system. K clients share one
+// server link; each extra speculative transfer delays everyone's demand
+// fetches (the paper's no-abort assumption now couples the clients).
+// Sweeps client count x prefetch profit threshold.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/multi_client.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skp;
+  const auto args = skp::bench::parse_args(argc, argv);
+  const std::size_t requests = args.full ? 10'000 : 1'500;
+  std::cout << "=== E11: shared-link contention (multi-client DES) ===\n"
+            << "    " << requests
+            << " requests per client; 40-state chains; 10-slot caches; "
+               "seed "
+            << args.seed << "\n\n";
+
+  std::optional<std::ofstream> csv;
+  if (args.csv_dir) {
+    csv = open_csv(*args.csv_dir + "/contention.csv");
+    CsvWriter(*csv).row({"clients", "threshold", "mean_T",
+                         "link_utilization", "net_time_per_req"});
+  }
+
+  std::cout << "  clients  threshold  mean T     link util  "
+               "net time/req\n";
+  for (const std::size_t clients : {1u, 2u, 4u, 8u}) {
+    for (const double threshold : {0.0, 2.0, 6.0, 1e9}) {
+      MultiClientConfig cfg;
+      cfg.n_clients = clients;
+      cfg.source.n_states = 40;
+      cfg.source.out_degree_lo = 5;
+      cfg.source.out_degree_hi = 10;
+      cfg.cache_size = 10;
+      cfg.engine.policy = PrefetchPolicy::SKP;
+      cfg.engine.arbitration.sub = SubArbitration::DS;
+      cfg.engine.min_profit_threshold = threshold;
+      // Keep per-client offered load constant: the link serves all
+      // clients, so scale its speed with the population.
+      cfg.link_speedup = static_cast<double>(clients);
+      cfg.requests_per_client = requests;
+      cfg.seed = args.seed;
+      const MultiClientResult res = run_multi_client(cfg);
+      std::cout << "  " << std::setw(7) << clients << "  " << std::setw(9)
+                << threshold << "  " << std::setw(9)
+                << res.aggregate.mean_access_time() << "  "
+                << std::setw(9) << res.link_utilization() << "  "
+                << res.aggregate.network_time_per_request() << "\n";
+      if (csv) {
+        CsvWriter(*csv).row_of(clients, threshold,
+                               res.aggregate.mean_access_time(),
+                               res.link_utilization(),
+                               res.aggregate.network_time_per_request());
+      }
+    }
+  }
+  std::cout << "\n  threshold 1e9 disables speculation (demand only). "
+               "With few clients eager\n  speculation wins; as the "
+               "population grows, queueing behind other clients'\n  "
+               "speculative transfers erodes the win — the Section-6 "
+               "policy question at\n  system scale. Thresholding recovers "
+               "most of the single-client benefit.\n";
+  return 0;
+}

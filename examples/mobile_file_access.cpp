@@ -1,0 +1,115 @@
+// Mobile file access over a low-bandwidth link (the setting of the
+// authors' earlier wireless-multimedia work [15] and Tait's mobile file
+// system [14]): a field device synchronizes working-set files over a thin
+// pipe. File sizes vary widely, so retrieval times are latency + size/bw;
+// the SKP engine decides which files to stage during think time.
+//
+// Demonstrates the DES substrate with non-trivial latency and bandwidth,
+// Zipf-ian file popularity, and the cancel-pending extension.
+#include <iostream>
+#include <sstream>
+
+#include "sim/netsim.hpp"
+#include "workload/prob_gen.hpp"
+#include "workload/request_stream.hpp"
+
+namespace {
+
+using namespace skp;
+
+struct Config {
+  double bandwidth;     // KB per second
+  double latency;       // seconds per request
+  bool cancel_pending;
+  PrefetchPolicy policy;
+  double threshold = 0.0;  // min P*r profit to bother prefetching
+};
+
+struct Outcome {
+  double mean_T;
+  double net_per_req;
+};
+
+Outcome run(const Config& c, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n_files = 40;
+
+  // File sizes: mixture of small configs and large media, in KB.
+  std::vector<double> sizes(n_files);
+  for (auto& s : sizes) {
+    s = rng.bernoulli(0.3) ? rng.uniform(200.0, 800.0)  // media
+                           : rng.uniform(4.0, 60.0);    // documents
+  }
+  ServerCatalog catalog{sizes};
+  NetConfig net;
+  net.bandwidth = c.bandwidth;
+  net.latency = c.latency;
+  net.cancel_pending_on_demand = c.cancel_pending;
+
+  EngineConfig ecfg;
+  ecfg.policy = c.policy;
+  ecfg.arbitration.sub = SubArbitration::DS;
+  ecfg.min_profit_threshold = c.threshold;
+  ClientSession device(catalog, net, ecfg, /*cache=*/10);
+
+  // Zipf popularity with bursts: the working set drifts by re-shuffling
+  // the popularity ranks every 200 accesses.
+  std::vector<double> P = zipf_probabilities(n_files, 1.1, rng);
+  Rng walk = rng.split(3);
+  const int accesses = 1500;
+  for (int i = 0; i < accesses; ++i) {
+    if (i % 200 == 199) P = zipf_probabilities(n_files, 1.1, rng);
+    const ItemId file = sample_categorical(P, walk);
+    // Bursty usage: mostly quick glances, so prefetch queues regularly
+    // spill past the think time (where the cancel knob matters).
+    const double think = walk.bernoulli(0.7) ? walk.uniform(0.5, 3.0)
+                                             : walk.uniform(10.0, 40.0);
+    device.request(file, think, P);
+  }
+  return {device.metrics().mean_access_time(),
+          device.metrics().network_time_per_request()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Mobile file staging over a thin link ===\n"
+            << "  40 files (4 KB - 800 KB), 10-slot cache, 1500 accesses\n"
+            << "  cells show: mean access time (s) / network seconds per "
+               "access\n\n";
+  std::cout << "  link profile                               no prefetch"
+               "        SKP            SKP+threshold\n";
+  struct Link {
+    const char* name;
+    double bw, lat, threshold;
+  };
+  const Link links[] = {
+      {"9.6 kbit cellular (1.2 KB/s, 1.5 s RTT)", 1.2, 1.5, 8.0},
+      {"56k modem         (7 KB/s, 0.3 s RTT)  ", 7.0, 0.3, 2.0},
+      {"early WLAN        (80 KB/s, 0.05 s RTT)", 80.0, 0.05, 0.2},
+  };
+  for (const auto& link : links) {
+    const auto none =
+        run({link.bw, link.lat, false, PrefetchPolicy::None}, 11);
+    const auto skp =
+        run({link.bw, link.lat, false, PrefetchPolicy::SKP}, 11);
+    const auto frugal = run(
+        {link.bw, link.lat, true, PrefetchPolicy::SKP, link.threshold},
+        11);
+    auto cell = [](const Outcome& o) {
+      std::ostringstream os;
+      os << o.mean_T << " / " << o.net_per_req;
+      return os.str();
+    };
+    std::cout << "  " << link.name << "  " << cell(none) << "   "
+              << cell(skp) << "   " << cell(frugal) << "\n";
+  }
+  std::cout
+      << "\nSpeculative staging pays most on the slowest links, where a "
+         "demand fetch of\na media file stalls the user for minutes. The "
+         "thresholded variant (which\nalso cancels still-queued "
+         "prefetches on a miss) keeps most of the latency\nwin while "
+         "spending far less of the thin pipe - the Section-6 trade-off "
+         "the\npaper leaves open.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Electronic-newspaper browsing (the ETEL scenario from the paper's
+// related work): a reader walks through a site of articles whose link
+// structure induces a Markov access pattern. The client learns the access
+// model online (PPM predictor), plans SKP prefetches during reading time,
+// and serves requests through the DES network substrate.
+//
+// Compares three client configurations on the same reading session:
+//   1. demand fetch only (cold cache, no prefetch)
+//   2. SKP prefetching with the oracle link probabilities
+//   3. SKP prefetching with an online-learned PPM access model
+#include <iostream>
+#include <memory>
+
+#include "predict/ppm_predictor.hpp"
+#include "sim/netsim.hpp"
+#include "workload/markov_source.hpp"
+
+namespace {
+
+using namespace skp;
+
+struct RunResult {
+  double mean_T;
+  double hit_rate;
+  double net_per_req;
+};
+
+RunResult run_session(PrefetchPolicy policy, bool learned,
+                      std::uint64_t seed) {
+  // The "site": 60 articles, 3-8 links each, short dwell times.
+  Rng build(seed);
+  MarkovSourceConfig site;
+  site.n_states = 60;
+  site.out_degree_lo = 3;
+  site.out_degree_hi = 8;
+  site.v_lo = 5.0;
+  site.v_hi = 40.0;   // reading time per article
+  site.r_lo = 1.0;
+  site.r_hi = 25.0;   // article transfer times over a slow link
+  MarkovSource chain(site, build);
+  chain.teleport(0);
+
+  ServerCatalog catalog{std::vector<double>(
+      chain.retrieval_times().begin(), chain.retrieval_times().end())};
+  EngineConfig ecfg;
+  ecfg.policy = policy;
+  ecfg.arbitration.sub = SubArbitration::DS;
+  ClientSession client(catalog, NetConfig{}, ecfg, /*cache=*/12);
+
+  PpmPredictor predictor(site.n_states, /*order=*/2);
+  predictor.observe(0);
+
+  Rng walk = build.split(7);
+  const int reads = 3000;
+  for (int i = 0; i < reads; ++i) {
+    const std::size_t s = chain.current_state();
+    const Instance inst = chain.instance_at(s);
+    const auto next = static_cast<ItemId>(chain.step(walk));
+    const std::vector<double> P =
+        learned ? predictor.predict() : inst.P;
+    client.request(next, inst.v, P,
+                   policy == PrefetchPolicy::Perfect
+                       ? std::optional<ItemId>(next)
+                       : std::nullopt);
+    predictor.observe(next);
+  }
+  const auto& m = client.metrics();
+  return {m.mean_access_time(), m.hit_rate(),
+          m.network_time_per_request()};
+}
+
+void report(const char* label, const RunResult& r) {
+  std::cout << "  " << label << "\n"
+            << "      mean access time : " << r.mean_T << "\n"
+            << "      hit rate         : " << r.hit_rate << "\n"
+            << "      net time/request : " << r.net_per_req << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Electronic newspaper browsing (ETEL-style session) "
+               "===\n"
+            << "  60 articles, Markov link structure, 3000 page reads, "
+               "12-article cache\n\n";
+  const auto demand = run_session(PrefetchPolicy::None, false, 2024);
+  const auto oracle = run_session(PrefetchPolicy::SKP, false, 2024);
+  const auto learned = run_session(PrefetchPolicy::SKP, true, 2024);
+  report("demand fetch only          ", demand);
+  report("SKP prefetch, oracle model ", oracle);
+  report("SKP prefetch, learned PPM  ", learned);
+  std::cout << "\nReading latency drops with prefetching; the learned "
+               "model closes most of\nthe gap to the oracle as the "
+               "session progresses, at a higher network cost\nthan demand "
+               "fetching (the Section-6 trade-off).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "cache/cache.hpp"
+
+#include <algorithm>
+
+namespace skp {
+
+SlotCache::SlotCache(std::size_t catalog_size, std::size_t capacity)
+    : capacity_(capacity), present_(catalog_size, 0) {
+  SKP_REQUIRE(catalog_size > 0, "catalog_size must be positive");
+  SKP_REQUIRE(capacity >= 1, "capacity must be >= 1");
+  contents_.reserve(capacity);
+}
+
+void SlotCache::check_id(ItemId item) const {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < present_.size(),
+              "item " << item << " outside catalog of " << present_.size());
+}
+
+bool SlotCache::contains(ItemId item) const {
+  check_id(item);
+  return present_[static_cast<std::size_t>(item)] != 0;
+}
+
+void SlotCache::insert(ItemId item) {
+  check_id(item);
+  SKP_REQUIRE(!contains(item), "item " << item << " already cached");
+  SKP_REQUIRE(contents_.size() < capacity_,
+              "cache full (capacity " << capacity_ << "); evict first");
+  contents_.push_back(item);
+  present_[static_cast<std::size_t>(item)] = 1;
+}
+
+void SlotCache::erase(ItemId item) {
+  check_id(item);
+  SKP_REQUIRE(contains(item), "item " << item << " not cached");
+  auto it = std::find(contents_.begin(), contents_.end(), item);
+  contents_.erase(it);
+  present_[static_cast<std::size_t>(item)] = 0;
+}
+
+void SlotCache::replace(ItemId victim, ItemId incoming) {
+  erase(victim);
+  insert(incoming);
+}
+
+void SlotCache::clear() {
+  contents_.clear();
+  std::fill(present_.begin(), present_.end(), 0);
+}
+
+}  // namespace skp

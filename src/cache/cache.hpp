@@ -1,0 +1,53 @@
+// Slot cache with equal item sizes (the Section-5 assumption, DESIGN.md D6).
+//
+// The cache stores item ids; capacity counts items. Membership queries are
+// O(1) via a presence bitmap; the content list is maintained in insertion
+// order so iteration is deterministic. Eviction decisions are made by the
+// caller (arbitration / replacement policies) — the cache itself only
+// enforces capacity and uniqueness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace skp {
+
+class SlotCache {
+ public:
+  // `catalog_size` bounds valid item ids; `capacity` >= 1 slots.
+  SlotCache(std::size_t catalog_size, std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return contents_.size(); }
+  bool full() const noexcept { return contents_.size() == capacity_; }
+  bool empty() const noexcept { return contents_.empty(); }
+  bool contains(ItemId item) const;
+
+  // Inserts an item that must not already be cached; throws when full
+  // (evict first) or duplicated.
+  void insert(ItemId item);
+
+  // Removes a cached item; throws if absent.
+  void erase(ItemId item);
+
+  // Replaces `victim` with `incoming` in one step.
+  void replace(ItemId victim, ItemId incoming);
+
+  // Current contents in insertion order (stable across erase via swap-free
+  // compaction — order of survivors is preserved).
+  std::span<const ItemId> contents() const noexcept { return contents_; }
+
+  void clear();
+
+ private:
+  void check_id(ItemId item) const;
+
+  std::size_t capacity_;
+  std::vector<ItemId> contents_;
+  std::vector<char> present_;
+};
+
+}  // namespace skp

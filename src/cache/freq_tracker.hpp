@@ -1,0 +1,48 @@
+// Access-frequency bookkeeping for sub-arbitration (Section 5.2).
+//
+// The paper's DS-arbitration scores cached items by the "delay-saving
+// profit" freq_i * r_i (a simplified WATCHMAN metric); LFU sub-arbitration
+// uses freq_i alone. The tracker also supports exponential decay so
+// long-running deployments can age out stale popularity (an extension
+// beyond the paper; decay factor 1.0 reproduces the paper's plain counts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace skp {
+
+class FreqTracker {
+ public:
+  // Tracks items 0..n-1. decay in (0, 1]: counts are multiplied by `decay`
+  // every `decay_interval` recorded accesses (1.0 = paper behaviour).
+  explicit FreqTracker(std::size_t n, double decay = 1.0,
+                       std::uint64_t decay_interval = 1000);
+
+  std::size_t n() const noexcept { return counts_.size(); }
+
+  // Records one access to `item`.
+  void record(ItemId item);
+
+  // Access count (possibly decayed) of `item`.
+  double frequency(ItemId item) const;
+
+  // Delay-saving profit freq_i * r_i with retrieval time supplied by the
+  // caller (the tracker does not own resource parameters).
+  double delay_saving_profit(ItemId item, double retrieval_time) const;
+
+  std::uint64_t total_accesses() const noexcept { return total_; }
+
+  void reset();
+
+ private:
+  std::vector<double> counts_;
+  double decay_;
+  std::uint64_t decay_interval_;
+  std::uint64_t since_decay_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace skp

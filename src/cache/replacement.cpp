@@ -1,0 +1,119 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace skp {
+
+namespace {
+
+// LRU / FIFO share a timestamp table; LRU refreshes on access, FIFO only
+// on insert.
+class StampPolicy : public ReplacementPolicy {
+ public:
+  StampPolicy(bool refresh_on_access, std::string name)
+      : refresh_on_access_(refresh_on_access), name_(std::move(name)) {}
+
+  void on_access(ItemId item) override {
+    if (refresh_on_access_) stamp_[item] = ++clock_;
+  }
+  void on_insert(ItemId item) override { stamp_[item] = ++clock_; }
+  void on_evict(ItemId item) override { stamp_.erase(item); }
+
+  ItemId choose_victim(const SlotCache& cache) override {
+    SKP_REQUIRE(!cache.empty(), "choose_victim on empty cache");
+    ItemId victim = kNoItem;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (ItemId i : cache.contents()) {
+      const auto it = stamp_.find(i);
+      const std::uint64_t s = it == stamp_.end() ? 0 : it->second;
+      if (s < oldest || (s == oldest && i < victim)) {
+        oldest = s;
+        victim = i;
+      }
+    }
+    return victim;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  bool refresh_on_access_;
+  std::string name_;
+  std::unordered_map<ItemId, std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
+};
+
+class LfuPolicy : public ReplacementPolicy {
+ public:
+  void on_access(ItemId item) override { ++count_[item]; }
+  void on_insert(ItemId) override {}
+  void on_evict(ItemId) override {}  // counts persist (perfect LFU)
+
+  ItemId choose_victim(const SlotCache& cache) override {
+    SKP_REQUIRE(!cache.empty(), "choose_victim on empty cache");
+    ItemId victim = kNoItem;
+    std::uint64_t least = std::numeric_limits<std::uint64_t>::max();
+    for (ItemId i : cache.contents()) {
+      const auto it = count_.find(i);
+      const std::uint64_t c = it == count_.end() ? 0 : it->second;
+      if (c < least || (c == least && i < victim)) {
+        least = c;
+        victim = i;
+      }
+    }
+    return victim;
+  }
+  std::string name() const override { return "LFU"; }
+
+ private:
+  std::unordered_map<ItemId, std::uint64_t> count_;
+};
+
+class RandomPolicy : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  void on_access(ItemId) override {}
+  void on_insert(ItemId) override {}
+  void on_evict(ItemId) override {}
+  ItemId choose_victim(const SlotCache& cache) override {
+    SKP_REQUIRE(!cache.empty(), "choose_victim on empty cache");
+    const auto c = cache.contents();
+    return c[static_cast<std::size_t>(rng_.next_below(c.size()))];
+  }
+  std::string name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_lru() {
+  return std::make_unique<StampPolicy>(true, "LRU");
+}
+std::unique_ptr<ReplacementPolicy> make_fifo() {
+  return std::make_unique<StampPolicy>(false, "FIFO");
+}
+std::unique_ptr<ReplacementPolicy> make_lfu() {
+  return std::make_unique<LfuPolicy>();
+}
+std::unique_ptr<ReplacementPolicy> make_random(std::uint64_t seed) {
+  return std::make_unique<RandomPolicy>(seed);
+}
+
+bool access_with_policy(SlotCache& cache, ReplacementPolicy& policy,
+                        ItemId item) {
+  policy.on_access(item);
+  if (cache.contains(item)) return true;
+  if (cache.full()) {
+    const ItemId victim = policy.choose_victim(cache);
+    cache.erase(victim);
+    policy.on_evict(victim);
+  }
+  cache.insert(item);
+  policy.on_insert(item);
+  return false;
+}
+
+}  // namespace skp

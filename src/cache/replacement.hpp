@@ -1,0 +1,44 @@
+// Classical replacement policies (LRU, LFU, FIFO, Random).
+//
+// These are *not* part of the paper's algorithm (which uses Pr/DS
+// arbitration, src/core/arbitration.hpp); they serve as additional
+// baselines in the extension benches and examples, and as independent
+// cache-substrate exercisers in the tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "util/rng.hpp"
+
+namespace skp {
+
+// Stateful victim chooser layered over a SlotCache. Implementations observe
+// accesses/insertions and answer "whom do I evict?".
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  // Called on every access (hit or about-to-be-inserted item).
+  virtual void on_access(ItemId item) = 0;
+  // Called when `item` enters the cache.
+  virtual void on_insert(ItemId item) = 0;
+  // Called when `item` leaves the cache.
+  virtual void on_evict(ItemId item) = 0;
+  // Chooses a victim among the current cache contents; cache is non-empty.
+  virtual ItemId choose_victim(const SlotCache& cache) = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<ReplacementPolicy> make_lru();
+std::unique_ptr<ReplacementPolicy> make_fifo();
+std::unique_ptr<ReplacementPolicy> make_lfu();
+std::unique_ptr<ReplacementPolicy> make_random(std::uint64_t seed);
+
+// Convenience driver: ensures `item` is cached, evicting via `policy` when
+// needed. Returns true on a hit (item was already cached).
+bool access_with_policy(SlotCache& cache, ReplacementPolicy& policy,
+                        ItemId item);
+
+}  // namespace skp

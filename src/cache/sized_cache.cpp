@@ -1,0 +1,59 @@
+#include "cache/sized_cache.hpp"
+
+#include <algorithm>
+
+namespace skp {
+
+SizedCache::SizedCache(std::vector<double> sizes, double capacity)
+    : sizes_(std::move(sizes)),
+      capacity_(capacity),
+      present_(sizes_.size(), 0) {
+  SKP_REQUIRE(!sizes_.empty(), "SizedCache over empty catalog");
+  SKP_REQUIRE(capacity > 0.0, "capacity must be positive");
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    SKP_REQUIRE(sizes_[i] > 0.0, "size[" << i << "] = " << sizes_[i]);
+  }
+}
+
+void SizedCache::check_id(ItemId item) const {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < sizes_.size(),
+              "item " << item << " outside catalog");
+}
+
+double SizedCache::size_of(ItemId item) const {
+  check_id(item);
+  return sizes_[static_cast<std::size_t>(item)];
+}
+
+bool SizedCache::contains(ItemId item) const {
+  check_id(item);
+  return present_[static_cast<std::size_t>(item)] != 0;
+}
+
+void SizedCache::insert(ItemId item) {
+  check_id(item);
+  SKP_REQUIRE(!contains(item), "item " << item << " already cached");
+  SKP_REQUIRE(cacheable(item),
+              "item " << item << " larger than the whole cache");
+  SKP_REQUIRE(fits(item), "item " << item << " does not fit; evict first");
+  contents_.push_back(item);
+  present_[static_cast<std::size_t>(item)] = 1;
+  used_ += size_of(item);
+}
+
+void SizedCache::erase(ItemId item) {
+  check_id(item);
+  SKP_REQUIRE(contains(item), "item " << item << " not cached");
+  contents_.erase(std::find(contents_.begin(), contents_.end(), item));
+  present_[static_cast<std::size_t>(item)] = 0;
+  used_ -= size_of(item);
+  if (used_ < 0.0) used_ = 0.0;  // fp dust
+}
+
+void SizedCache::clear() {
+  contents_.clear();
+  std::fill(present_.begin(), present_.end(), 0);
+  used_ = 0.0;
+}
+
+}  // namespace skp

@@ -1,0 +1,58 @@
+// Byte-addressed cache for heterogeneous item sizes (extension).
+//
+// The paper's Section 5 assumes equal item sizes ("We are currently
+// addressing this limitation"); this substrate lifts the assumption. The
+// cache tracks per-item sizes and a byte capacity; the size-aware
+// arbitration in core/prefetch_engine (plan_with_sized_cache) generalizes
+// Pr-arbitration to evict by Pr *density* (P·r per byte) until the
+// incoming item fits, admitting it only if its Pr value beats the sum it
+// displaces.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace skp {
+
+class SizedCache {
+ public:
+  // `sizes[i]` is the size of item i (> 0); `capacity` is in the same
+  // unit.
+  SizedCache(std::vector<double> sizes, double capacity);
+
+  double capacity() const noexcept { return capacity_; }
+  double used() const noexcept { return used_; }
+  double free_space() const noexcept { return capacity_ - used_; }
+  std::size_t count() const noexcept { return contents_.size(); }
+  bool empty() const noexcept { return contents_.empty(); }
+
+  double size_of(ItemId item) const;
+  bool contains(ItemId item) const;
+  // True when `item` could ever be cached (size <= capacity).
+  bool cacheable(ItemId item) const { return size_of(item) <= capacity_; }
+  // True when `item` fits right now without eviction.
+  bool fits(ItemId item) const {
+    return size_of(item) <= free_space() + 1e-12;
+  }
+
+  // Inserts; throws if present, oversized for the free space, or
+  // uncacheable.
+  void insert(ItemId item);
+  void erase(ItemId item);
+  void clear();
+
+  std::span<const ItemId> contents() const noexcept { return contents_; }
+
+ private:
+  void check_id(ItemId item) const;
+
+  std::vector<double> sizes_;
+  double capacity_;
+  double used_ = 0.0;
+  std::vector<ItemId> contents_;
+  std::vector<char> present_;
+};
+
+}  // namespace skp

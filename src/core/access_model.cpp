@@ -1,0 +1,141 @@
+#include "core/access_model.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace skp {
+
+namespace {
+
+double sum_r(const Instance& inst, std::span<const ItemId> items) {
+  double s = 0.0;
+  for (ItemId i : items) s += inst.r[Instance::idx(i)];
+  return s;
+}
+
+double sum_P(const Instance& inst, std::span<const ItemId> items) {
+  double s = 0.0;
+  for (ItemId i : items) s += inst.P[Instance::idx(i)];
+  return s;
+}
+
+bool contains(std::span<const ItemId> items, ItemId x) {
+  return std::find(items.begin(), items.end(), x) != items.end();
+}
+
+}  // namespace
+
+double stretch_time(const Instance& inst, std::span<const ItemId> F) {
+  if (F.empty()) return 0.0;
+  return std::max(0.0, sum_r(inst, F) - inst.v);
+}
+
+bool is_valid_prefetch_list(const Instance& inst, std::span<const ItemId> F) {
+  if (F.empty()) return true;
+  std::unordered_set<ItemId> seen;
+  for (ItemId i : F) {
+    if (i < 0 || static_cast<std::size_t>(i) >= inst.n()) return false;
+    if (!seen.insert(i).second) return false;  // duplicate
+  }
+  // Eq. (1): all items except the last must fit strictly within v.
+  const double r_K = sum_r(inst, F.subspan(0, F.size() - 1));
+  return r_K < inst.v;
+}
+
+double expected_access_time_no_prefetch(const Instance& inst) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < inst.n(); ++i) s += inst.P[i] * inst.r[i];
+  return s;
+}
+
+double expected_access_time_prefetch(const Instance& inst,
+                                     std::span<const ItemId> F) {
+  if (F.empty()) return expected_access_time_no_prefetch(inst);
+  SKP_REQUIRE(is_valid_prefetch_list(inst, F), "invalid prefetch list");
+  const double st = stretch_time(inst, F);
+  const ItemId z = F.back();
+  double e = inst.P[Instance::idx(z)] * st;
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    const auto id = static_cast<ItemId>(i);
+    if (!contains(F, id)) e += inst.P[i] * (inst.r[i] + st);
+  }
+  return e;
+}
+
+double access_improvement(const Instance& inst, std::span<const ItemId> F,
+                          double total_prob_mass) {
+  if (F.empty()) return 0.0;
+  SKP_REQUIRE(is_valid_prefetch_list(inst, F), "invalid prefetch list");
+  const double st = stretch_time(inst, F);
+  double gain = 0.0;
+  for (ItemId i : F) gain += inst.profit(i);
+  // Penalty mass: everything outside K = F \ {z} pays st(F).
+  const double prob_K = sum_P(inst, F.subspan(0, F.size() - 1));
+  return gain - (total_prob_mass - prob_K) * st;
+}
+
+double theorem3_delta(const Instance& inst, ItemId z, double prob_in_K,
+                      double stretch, double total_prob_mass) {
+  return inst.profit(z) - (total_prob_mass - prob_in_K) * stretch;
+}
+
+double realized_access_time(const Instance& inst, std::span<const ItemId> F,
+                            ItemId requested) {
+  SKP_REQUIRE(requested >= 0 &&
+                  static_cast<std::size_t>(requested) < inst.n(),
+              "requested item out of range");
+  if (F.empty()) return inst.r[Instance::idx(requested)];
+  const double st = stretch_time(inst, F);
+  const ItemId z = F.back();
+  if (requested == z) return st;
+  if (contains(F.subspan(0, F.size() - 1), requested)) return 0.0;
+  return st + inst.r[Instance::idx(requested)];
+}
+
+double expected_access_time_no_prefetch_cached(const Instance& inst,
+                                               std::span<const ItemId> C) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    const auto id = static_cast<ItemId>(i);
+    if (!contains(C, id)) s += inst.P[i] * inst.r[i];
+  }
+  return s;
+}
+
+double access_improvement_cached(const Instance& inst,
+                                 std::span<const ItemId> F,
+                                 std::span<const ItemId> D,
+                                 std::span<const ItemId> C) {
+  for (ItemId f : F)
+    SKP_REQUIRE(!contains(C, f), "prefetch item " << f << " already cached");
+  for (ItemId d : D)
+    SKP_REQUIRE(contains(C, d), "eviction victim " << d << " not in cache");
+  const double g_star = access_improvement(inst, F, /*total_prob_mass=*/1.0);
+  const double st = stretch_time(inst, F);
+  double anti_g = 0.0;
+  for (ItemId d : D) anti_g += inst.profit(d);
+  for (ItemId c : C) {
+    if (!contains(D, c)) anti_g -= inst.P[Instance::idx(c)] * st;
+  }
+  return g_star - anti_g;
+}
+
+double realized_access_time_cached(const Instance& inst,
+                                   std::span<const ItemId> F,
+                                   std::span<const ItemId> D,
+                                   std::span<const ItemId> C,
+                                   ItemId requested) {
+  SKP_REQUIRE(requested >= 0 &&
+                  static_cast<std::size_t>(requested) < inst.n(),
+              "requested item out of range");
+  const double st = stretch_time(inst, F);
+  if (!F.empty()) {
+    const ItemId z = F.back();
+    if (requested == z) return st;
+    if (contains(F.subspan(0, F.size() - 1), requested)) return 0.0;
+  }
+  if (contains(C, requested) && !contains(D, requested)) return 0.0;
+  return st + inst.r[Instance::idx(requested)];
+}
+
+}  // namespace skp

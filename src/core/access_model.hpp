@@ -1,0 +1,81 @@
+// The access-time performance model (Sections 3 and 5 of the paper).
+//
+// Conventions:
+//  * F is an ordered prefetch list; K = F without its last element z.
+//    Eq. (1) requires sum(r over K) < v, i.e. only z may stretch.
+//  * st(F) = max(0, sum(r over F) - v)                        (Eq. 2)
+//  * Empty-cache access improvement                            (Eq. 3)
+//        g*(F) = sum_{i in F} P_i r_i  -  sum_{i in N\K} P_i * st(F)
+//    The penalty mass sum_{i in N\K} P_i equals
+//        total_prob_mass - sum_{i in K} P_i,
+//    where total_prob_mass is the probability of the *whole catalog*
+//    (1.0 when the instance covers all of N). Cache-aware planning solves
+//    the SKP over N \ C yet the stretch still delays every non-K outcome,
+//    so the same complement form applies with the full mass.
+//  * Cache-aware improvement                                   (Eq. 9)
+//        g(F, D) = g*(F) - ( sum_{i in D} P_i r_i
+//                            - sum_{i in C\D} P_i * st(F) )
+#pragma once
+
+#include <span>
+
+#include "core/item.hpp"
+
+namespace skp {
+
+// st(F): the amount by which F's total retrieval time exceeds v (Eq. 2).
+double stretch_time(const Instance& inst, std::span<const ItemId> F);
+
+// True when F satisfies the Eq.-(1) construction: no duplicate items, and
+// the retrieval times of all but the last element fit strictly within v.
+// The empty list is valid (prefetch nothing).
+bool is_valid_prefetch_list(const Instance& inst, std::span<const ItemId> F);
+
+// E(T* | no prefetch) = sum_i P_i r_i (empty cache).
+double expected_access_time_no_prefetch(const Instance& inst);
+
+// E(T* | prefetch F) = P_z st(F) + sum_{i in N\F} P_i (r_i + st(F)).
+double expected_access_time_prefetch(const Instance& inst,
+                                     std::span<const ItemId> F);
+
+// g*(F) per Eq. (3). `total_prob_mass` is the total catalog probability
+// entering the stretch penalty (see header comment); 1.0 for a full
+// catalog.
+double access_improvement(const Instance& inst, std::span<const ItemId> F,
+                          double total_prob_mass = 1.0);
+
+// Theorem 3: g*(K ++ <z>) = g*(K) + delta with
+//   delta = P_z r_z - (total_prob_mass - sum_{i in K} P_i) * st(K ++ <z>).
+// `prob_in_K` = sum of P over K; `stretch` = st(K ++ <z>).
+double theorem3_delta(const Instance& inst, ItemId z, double prob_in_K,
+                      double stretch, double total_prob_mass = 1.0);
+
+// Realized (not expected) access time of the empty-cache model, given the
+// item actually requested (Figure 2 of the paper):
+//   requested in K      -> 0
+//   requested == z      -> st(F)
+//   requested not in F  -> st(F) + r_requested
+double realized_access_time(const Instance& inst, std::span<const ItemId> F,
+                            ItemId requested);
+
+// ---- Section 5: cache in play -------------------------------------------
+
+// E(T | no prefetch, cache C) = sum_{i in N\C} P_i r_i.
+double expected_access_time_no_prefetch_cached(const Instance& inst,
+                                               std::span<const ItemId> C);
+
+// g(F, D) per Eq. (9). F must be disjoint from C; D must be a sublist of C.
+double access_improvement_cached(const Instance& inst,
+                                 std::span<const ItemId> F,
+                                 std::span<const ItemId> D,
+                                 std::span<const ItemId> C);
+
+// Realized access time with cache: requested in K or in C\D -> 0;
+// requested == z -> st(F); otherwise st(F) + r_requested.
+double realized_access_time_cached(const Instance& inst,
+                                   std::span<const ItemId> F,
+                                   std::span<const ItemId> D,
+                                   std::span<const ItemId> C,
+                                   ItemId requested);
+
+}  // namespace skp

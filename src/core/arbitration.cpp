@@ -1,0 +1,101 @@
+#include "core/arbitration.hpp"
+
+#include <algorithm>
+
+namespace skp {
+
+ItemId choose_victim(const Instance& inst, std::span<const ItemId> cached,
+                     const FreqTracker* freq, const ArbitrationConfig& cfg) {
+  SKP_REQUIRE(!cached.empty(), "choose_victim over empty cache");
+  SKP_REQUIRE(cfg.sub == SubArbitration::None || freq != nullptr,
+              "sub-arbitration requires a FreqTracker");
+  ItemId victim = cached.front();
+  double victim_pr = inst.profit(victim);
+  auto sub_score = [&](ItemId i) {
+    switch (cfg.sub) {
+      case SubArbitration::LFU:
+        return freq->frequency(i);
+      case SubArbitration::DS:
+        return freq->delay_saving_profit(i, inst.r[Instance::idx(i)]);
+      case SubArbitration::None:
+        return 0.0;
+    }
+    return 0.0;  // unreachable
+  };
+  double victim_sub = sub_score(victim);
+  for (std::size_t k = 1; k < cached.size(); ++k) {
+    const ItemId i = cached[k];
+    const double pr = inst.profit(i);
+    if (pr < victim_pr) {
+      victim = i;
+      victim_pr = pr;
+      victim_sub = sub_score(i);
+      continue;
+    }
+    if (pr > victim_pr) continue;
+    // Pr tie: sub-arbitration, then lowest id for determinism.
+    const double s = sub_score(i);
+    if (s < victim_sub || (s == victim_sub && i < victim)) {
+      victim = i;
+      victim_sub = s;
+    }
+  }
+  return victim;
+}
+
+bool admits_prefetch(const Instance& inst, ItemId f, ItemId d,
+                     const ArbitrationConfig& cfg) {
+  const double pf = inst.profit(f);
+  const double pd = inst.profit(d);
+  return cfg.strict_ties ? (pf > pd) : (pf >= pd);
+}
+
+VictimSet gather_victims_by_density(const Instance& inst,
+                                    const SizedCache& cache,
+                                    const FreqTracker* freq,
+                                    const ArbitrationConfig& cfg,
+                                    double needed_free) {
+  SKP_REQUIRE(needed_free >= 0.0, "negative space request");
+  SKP_REQUIRE(cfg.sub == SubArbitration::None || freq != nullptr,
+              "sub-arbitration requires a FreqTracker");
+  VictimSet out;
+  double available = cache.free_space();
+  if (available >= needed_free) {
+    out.ok = true;
+    return out;
+  }
+  std::vector<ItemId> pool(cache.contents().begin(),
+                           cache.contents().end());
+  auto sub_score = [&](ItemId i) {
+    switch (cfg.sub) {
+      case SubArbitration::LFU:
+        return freq->frequency(i);
+      case SubArbitration::DS:
+        return freq->delay_saving_profit(i, inst.r[Instance::idx(i)]);
+      case SubArbitration::None:
+        return 0.0;
+    }
+    return 0.0;
+  };
+  auto density = [&](ItemId i) {
+    return inst.profit(i) / cache.size_of(i);
+  };
+  std::sort(pool.begin(), pool.end(), [&](ItemId a, ItemId b) {
+    const double da = density(a), db = density(b);
+    if (da != db) return da < db;
+    const double sa = sub_score(a), sb = sub_score(b);
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  for (const ItemId d : pool) {
+    if (available >= needed_free) break;
+    out.victims.push_back(d);
+    out.freed += cache.size_of(d);
+    out.total_pr += inst.profit(d);
+    available += cache.size_of(d);
+  }
+  out.ok = available >= needed_free;
+  return out;
+}
+
+}  // namespace skp

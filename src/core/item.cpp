@@ -1,0 +1,74 @@
+#include "core/item.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace skp {
+
+namespace {
+constexpr double kProbEps = 1e-9;
+}
+
+void Instance::validate() const {
+  SKP_REQUIRE(!P.empty(), "empty catalog");
+  SKP_REQUIRE(P.size() == r.size(),
+              "P/r size mismatch: " << P.size() << " vs " << r.size());
+  SKP_REQUIRE(v >= 0.0, "viewing time v = " << v << " must be >= 0");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < P.size(); ++i) {
+    SKP_REQUIRE(P[i] >= 0.0 && std::isfinite(P[i]),
+                "P[" << i << "] = " << P[i]);
+    SKP_REQUIRE(r[i] > 0.0 && std::isfinite(r[i]),
+                "r[" << i << "] = " << r[i] << " must be > 0");
+    sum += P[i];
+  }
+  SKP_REQUIRE(sum <= 1.0 + kProbEps,
+              "probabilities sum to " << sum << " > 1");
+}
+
+bool canonical_before(const Instance& inst, ItemId a, ItemId b) {
+  const std::size_t ia = Instance::idx(a), ib = Instance::idx(b);
+  if (inst.P[ia] != inst.P[ib]) return inst.P[ia] > inst.P[ib];
+  if (inst.r[ia] != inst.r[ib]) return inst.r[ia] < inst.r[ib];
+  return a < b;
+}
+
+std::vector<ItemId> canonical_order(const Instance& inst,
+                                    std::span<const ItemId> candidates) {
+  std::vector<ItemId> order(candidates.begin(), candidates.end());
+  std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    return canonical_before(inst, a, b);
+  });
+  return order;
+}
+
+std::vector<ItemId> canonical_order(const Instance& inst) {
+  std::vector<ItemId> all(inst.n());
+  std::iota(all.begin(), all.end(), ItemId{0});
+  return canonical_order(inst, all);
+}
+
+bool is_canonically_sorted(const Instance& inst,
+                           std::span<const ItemId> list) {
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    if (canonical_before(inst, list[i], list[i - 1])) return false;
+  }
+  return true;
+}
+
+std::vector<double> normalize_probabilities(std::span<const double> weights) {
+  SKP_REQUIRE(!weights.empty(), "normalize_probabilities: empty input");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    SKP_REQUIRE(weights[i] >= 0.0 && std::isfinite(weights[i]),
+                "weight[" << i << "] = " << weights[i]);
+    sum += weights[i];
+  }
+  SKP_REQUIRE(sum > 0.0, "normalize_probabilities: all weights zero");
+  std::vector<double> p(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) p[i] = weights[i] / sum;
+  return p;
+}
+
+}  // namespace skp

@@ -1,0 +1,75 @@
+// Model parameters of the paper (Section 2).
+//
+// An Instance bundles the speculative parameters (P_i, the probability that
+// the next access is item i) and the resource parameters (r_i, the retrieval
+// time of item i; v, the viewing time available for prefetching). Items are
+// identified by their index in the catalog ("Items that might be accessed
+// are uniquely numbered", Section 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+using ItemId = std::int32_t;
+constexpr ItemId kNoItem = -1;
+
+// An ordered prefetch list F = K ++ <z> (Eq. 1): items are fetched in list
+// order; the last element z is the only one allowed to stretch past v.
+using PrefetchList = std::vector<ItemId>;
+
+// The (P, r, v) triple of Section 2 for a catalog of n items.
+//
+// Invariants established by validate():
+//   * P.size() == r.size() == n, n >= 1
+//   * P_i >= 0 and sum(P) <= 1 + eps  (strictly == 1 for a full catalog;
+//     < 1 is allowed because cache-aware planning restricts to N \ C while
+//     penalties still span the full probability mass — see Section 5)
+//   * r_i > 0, v >= 0
+struct Instance {
+  std::vector<double> P;
+  std::vector<double> r;
+  double v = 0.0;
+
+  std::size_t n() const noexcept { return P.size(); }
+
+  // Throws std::invalid_argument when any invariant is violated.
+  void validate() const;
+
+  // Profit of item i in the knapsack view: P_i * r_i.
+  double profit(ItemId i) const { return P[idx(i)] * r[idx(i)]; }
+
+  // Bounds-checked index helper.
+  static std::size_t idx(ItemId i) {
+    SKP_REQUIRE(i >= 0, "negative ItemId " << i);
+    return static_cast<std::size_t>(i);
+  }
+};
+
+// The canonical order of Eq. (5): probability descending; ties broken by
+// retrieval time ascending; remaining ties by item id ascending so the
+// order is a deterministic total order. Theorem 1 licenses restricting the
+// SKP search to lists sorted this way.
+std::vector<ItemId> canonical_order(const Instance& inst);
+
+// Same, but restricted to a candidate subset (used by cache-aware planning,
+// which solves the SKP over N \ C).
+std::vector<ItemId> canonical_order(const Instance& inst,
+                                    std::span<const ItemId> candidates);
+
+// True when `a` precedes (or ties) `b` in the canonical order.
+bool canonical_before(const Instance& inst, ItemId a, ItemId b);
+
+// True when `list` is sorted per Eq. (5).
+bool is_canonically_sorted(const Instance& inst,
+                           std::span<const ItemId> list);
+
+// Normalizes a non-negative weight vector into probabilities (sum == 1).
+// Throws if all weights are zero or any is negative.
+std::vector<double> normalize_probabilities(std::span<const double> weights);
+
+}  // namespace skp

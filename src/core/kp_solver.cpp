@@ -1,0 +1,182 @@
+#include "core/kp_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace skp {
+
+namespace {
+
+std::vector<ItemId> all_items(const Instance& inst) {
+  std::vector<ItemId> ids(inst.n());
+  std::iota(ids.begin(), ids.end(), ItemId{0});
+  return ids;
+}
+
+// Recursive Horowitz–Sahni style depth-first search. Items are visited in
+// canonical (profit-density descending) order; at each node the Dantzig
+// bound prunes subtrees that cannot beat the incumbent.
+class KpSearch {
+ public:
+  KpSearch(const Instance& inst, std::vector<ItemId> order)
+      : inst_(inst), order_(std::move(order)) {
+    chosen_.assign(order_.size(), false);
+    best_chosen_ = chosen_;
+  }
+
+  KpSolution run(double capacity) {
+    capacity_ = capacity;
+    dfs(0, 0.0, 0.0);
+    KpSolution sol;
+    sol.value = best_value_;
+    sol.nodes = nodes_;
+    sol.pruned = pruned_;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (best_chosen_[i]) {
+        sol.items.push_back(order_[i]);
+        sol.weight += inst_.r[Instance::idx(order_[i])];
+      }
+    }
+    return sol;
+  }
+
+ private:
+  void dfs(std::size_t depth, double value, double weight) {
+    ++nodes_;
+    if (value > best_value_) {
+      best_value_ = value;
+      best_chosen_ = chosen_;
+    }
+    if (depth == order_.size()) return;
+    const double residual = capacity_ - weight;
+    const double bound = dantzig_bound(inst_, order_, depth, residual);
+    if (value + bound <= best_value_) {
+      ++pruned_;
+      return;
+    }
+    const ItemId id = order_[depth];
+    const double w = inst_.r[Instance::idx(id)];
+    if (w <= residual) {  // take
+      chosen_[depth] = true;
+      dfs(depth + 1, value + inst_.profit(id), weight + w);
+      chosen_[depth] = false;
+    }
+    dfs(depth + 1, value, weight);  // skip
+  }
+
+  const Instance& inst_;
+  std::vector<ItemId> order_;
+  std::vector<char> chosen_;
+  std::vector<char> best_chosen_;
+  double capacity_ = 0.0;
+  double best_value_ = 0.0;
+  std::uint64_t nodes_ = 0;
+  std::uint64_t pruned_ = 0;
+};
+
+}  // namespace
+
+double dantzig_bound(const Instance& inst, std::span<const ItemId> order,
+                     std::size_t from, double capacity) {
+  if (capacity <= 0.0) return 0.0;
+  double bound = 0.0;
+  double residual = capacity;
+  for (std::size_t i = from; i < order.size(); ++i) {
+    const ItemId id = order[i];
+    const double w = inst.r[Instance::idx(id)];
+    if (w <= residual) {
+      bound += inst.profit(id);
+      residual -= w;
+    } else {
+      // Fractional fill of the first item that does not fit (Eq. 7 uses
+      // (v - sum r) * P_z, and profit/weight = P_z).
+      bound += residual * inst.P[Instance::idx(id)];
+      return bound;
+    }
+  }
+  return bound;
+}
+
+KpSolution solve_kp_bb(const Instance& inst,
+                       std::span<const ItemId> candidates) {
+  inst.validate();
+  KpSearch search(inst, canonical_order(inst, candidates));
+  return search.run(inst.v);
+}
+
+KpSolution solve_kp_bb(const Instance& inst) {
+  const auto ids = all_items(inst);
+  return solve_kp_bb(inst, ids);
+}
+
+KpSolution solve_kp_dp(const Instance& inst,
+                       std::span<const ItemId> candidates) {
+  inst.validate();
+  SKP_REQUIRE(inst.v == std::floor(inst.v), "DP requires integral v");
+  const auto cap = static_cast<std::size_t>(inst.v);
+  for (ItemId i : candidates) {
+    const double w = inst.r[Instance::idx(i)];
+    SKP_REQUIRE(w == std::floor(w), "DP requires integral weights, r["
+                                        << i << "] = " << w);
+  }
+  const std::size_t n = candidates.size();
+  // value[w] = best profit with capacity w considering a prefix of items;
+  // keep[i][w] records the take/skip decision for reconstruction.
+  std::vector<double> value(cap + 1, 0.0);
+  std::vector<std::vector<char>> keep(n, std::vector<char>(cap + 1, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const ItemId id = candidates[i];
+    const auto w = static_cast<std::size_t>(inst.r[Instance::idx(id)]);
+    const double p = inst.profit(id);
+    if (w > cap) continue;
+    for (std::size_t c = cap; c >= w; --c) {
+      const double with = value[c - w] + p;
+      if (with > value[c]) {
+        value[c] = with;
+        keep[i][c] = 1;
+      }
+      if (c == w) break;  // avoid size_t underflow
+    }
+  }
+  KpSolution sol;
+  sol.value = value[cap];
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (keep[i][c]) {
+      const ItemId id = candidates[i];
+      sol.items.push_back(id);
+      const auto w = static_cast<std::size_t>(inst.r[Instance::idx(id)]);
+      sol.weight += static_cast<double>(w);
+      c -= w;
+    }
+  }
+  std::sort(sol.items.begin(), sol.items.end(), [&](ItemId a, ItemId b) {
+    return canonical_before(inst, a, b);
+  });
+  return sol;
+}
+
+KpSolution solve_kp_dp(const Instance& inst) {
+  const auto ids = all_items(inst);
+  return solve_kp_dp(inst, ids);
+}
+
+KpSolution greedy_kp(const Instance& inst,
+                     std::span<const ItemId> candidates) {
+  inst.validate();
+  KpSolution sol;
+  double residual = inst.v;
+  for (ItemId id : canonical_order(inst, candidates)) {
+    const double w = inst.r[Instance::idx(id)];
+    if (w <= residual) {
+      sol.items.push_back(id);
+      sol.value += inst.profit(id);
+      sol.weight += w;
+      residual -= w;
+    }
+  }
+  return sol;
+}
+
+}  // namespace skp

@@ -1,0 +1,61 @@
+// Classic 0/1 knapsack machinery for the KP-prefetch baseline.
+//
+// In the knapsack view of Section 4 of the paper, item i has profit
+// P_i * r_i, weight r_i, and the knapsack capacity is the viewing time v.
+// Unlike the SKP, the KP never stretches: sum of selected weights <= v.
+//
+// Solvers provided:
+//   * solve_kp_bb   — Horowitz–Sahni branch-and-bound with Dantzig bound;
+//                     works with real-valued weights (the general case).
+//   * solve_kp_dp   — integer-weight dynamic program; used for cross checks
+//                     and as an independent oracle in property tests.
+//   * greedy_kp     — Dantzig greedy (profit-density order, skip misfits).
+//   * dantzig_bound — LP-relaxation upper bound (Dantzig's theorem), the
+//                     bound that both KP and SKP searches prune with.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace skp {
+
+struct KpSolution {
+  // Selected items in canonical order.
+  std::vector<ItemId> items;
+  // Total profit sum(P_i r_i) of the selection.
+  double value = 0.0;
+  // Total weight sum(r_i) of the selection.
+  double weight = 0.0;
+  // Search statistics (branch-and-bound only; zero for DP/greedy).
+  std::uint64_t nodes = 0;
+  std::uint64_t pruned = 0;
+};
+
+// Exact B&B over the given candidates (defaults to the whole catalog when
+// `candidates` is empty and `use_all` is true via the convenience overload).
+KpSolution solve_kp_bb(const Instance& inst,
+                       std::span<const ItemId> candidates);
+KpSolution solve_kp_bb(const Instance& inst);
+
+// Exact DP. Requires every r_i (over candidates) and v to be integral;
+// throws std::invalid_argument otherwise. O(n * floor(v)) time/space.
+KpSolution solve_kp_dp(const Instance& inst,
+                       std::span<const ItemId> candidates);
+KpSolution solve_kp_dp(const Instance& inst);
+
+// Dantzig greedy: scan in profit-density (== probability) order, take every
+// item that still fits. Not exact; used as a fast baseline.
+KpSolution greedy_kp(const Instance& inst,
+                     std::span<const ItemId> candidates);
+
+// Dantzig LP-relaxation bound for the subproblem consisting of
+// `order[from..]` with residual capacity `capacity`: fill whole items in
+// order until one does not fit, then add its fractional profit (Eq. 7 of
+// the paper with j = from). `order` must be canonically sorted.
+double dantzig_bound(const Instance& inst, std::span<const ItemId> order,
+                     std::size_t from, double capacity);
+
+}  // namespace skp

@@ -1,0 +1,75 @@
+#include "core/lookahead.hpp"
+
+#include "util/require.hpp"
+
+namespace skp {
+
+namespace {
+
+// One chain step: next[j] = sum_k cur[k] * R[k][j], with R supplied as a
+// row-accessor callback so both overloads share the kernel.
+template <typename RowFn>
+std::vector<double> step_distribution(const std::vector<double>& cur,
+                                      RowFn row, std::size_t n) {
+  std::vector<double> next(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (cur[k] <= 0.0) continue;
+    const auto r = row(k);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (r[j] > 0.0) next[j] += cur[k] * r[j];
+    }
+  }
+  return next;
+}
+
+template <typename RowFn>
+std::vector<double> blend(const std::vector<double>& first_row,
+                          std::size_t horizon, double decay, RowFn row) {
+  SKP_REQUIRE(horizon >= 1, "horizon must be >= 1");
+  SKP_REQUIRE(decay > 0.0 && decay <= 1.0, "decay in (0, 1]");
+  const std::size_t n = first_row.size();
+  std::vector<double> out(n, 0.0);
+  std::vector<double> cur = first_row;
+  double weight = 1.0;
+  double weight_sum = 0.0;
+  for (std::size_t d = 1; d <= horizon; ++d) {
+    for (std::size_t j = 0; j < n; ++j) out[j] += weight * cur[j];
+    weight_sum += weight;
+    if (d < horizon) {
+      cur = step_distribution(cur, row, n);
+      weight *= decay;
+    }
+  }
+  for (double& x : out) x /= weight_sum;
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> horizon_probabilities(const MarkovSource& source,
+                                          std::size_t state,
+                                          std::size_t horizon,
+                                          double decay) {
+  SKP_REQUIRE(state < source.n_states(), "state out of range");
+  const auto row0 = source.transition_row(state);
+  const std::vector<double> first(row0.begin(), row0.end());
+  return blend(first, horizon, decay, [&](std::size_t k) {
+    return source.transition_row(k);
+  });
+}
+
+std::vector<double> horizon_probabilities(
+    const std::vector<std::vector<double>>& matrix,
+    const std::vector<double>& first_row, std::size_t horizon,
+    double decay) {
+  const std::size_t n = first_row.size();
+  SKP_REQUIRE(matrix.size() == n, "matrix/row size mismatch");
+  for (const auto& r : matrix) {
+    SKP_REQUIRE(r.size() == n, "matrix must be square");
+  }
+  return blend(first_row, horizon, decay, [&](std::size_t k) {
+    return std::span<const double>(matrix[k]);
+  });
+}
+
+}  // namespace skp

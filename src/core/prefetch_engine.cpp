@@ -1,0 +1,243 @@
+#include "core/prefetch_engine.hpp"
+
+#include <algorithm>
+
+#include "core/access_model.hpp"
+#include "core/kp_solver.hpp"
+
+namespace skp {
+
+std::string to_string(PrefetchPolicy policy) {
+  switch (policy) {
+    case PrefetchPolicy::None: return "none";
+    case PrefetchPolicy::KP: return "KP";
+    case PrefetchPolicy::SKP: return "SKP";
+    case PrefetchPolicy::Perfect: return "perfect";
+  }
+  return "?";
+}
+
+std::string to_string(SubArbitration sub) {
+  switch (sub) {
+    case SubArbitration::None: return "none";
+    case SubArbitration::LFU: return "LFU";
+    case SubArbitration::DS: return "DS";
+  }
+  return "?";
+}
+
+namespace {
+
+// Candidate filter shared by the planners: an item is worth considering
+// only if it is not cached, has positive probability, and clears the
+// network-usage threshold (extension knob; 0 = paper behaviour). The
+// `cached` predicate abstracts over slot and sized caches.
+template <typename CachedFn>
+std::vector<ItemId> viable_candidates_if(const Instance& inst,
+                                         CachedFn cached,
+                                         double min_profit) {
+  std::vector<ItemId> out;
+  out.reserve(inst.n());
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    const auto id = static_cast<ItemId>(i);
+    if (inst.P[i] <= 0.0) continue;
+    if (cached(id)) continue;
+    if (inst.profit(id) < min_profit) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ItemId> viable_candidates(const Instance& inst,
+                                      const SlotCache* cache,
+                                      double min_profit) {
+  return viable_candidates_if(
+      inst,
+      [cache](ItemId id) {
+        return cache != nullptr && cache->contains(id);
+      },
+      min_profit);
+}
+
+}  // namespace
+
+PrefetchPlan PrefetchEngine::select(const Instance& inst,
+                                    std::span<const ItemId> candidates,
+                                    std::optional<ItemId> oracle_next) const {
+  PrefetchPlan plan;
+  switch (config_.policy) {
+    case PrefetchPolicy::None:
+      break;
+    case PrefetchPolicy::Perfect: {
+      if (oracle_next.has_value()) {
+        const ItemId next = *oracle_next;
+        if (std::find(candidates.begin(), candidates.end(), next) !=
+            candidates.end()) {
+          plan.fetch.push_back(next);
+          plan.stretch = stretch_time(inst, plan.fetch);
+          plan.predicted_g = access_improvement(inst, plan.fetch);
+        }
+      }
+      break;
+    }
+    case PrefetchPolicy::KP: {
+      const KpSolution sol = solve_kp_bb(inst, candidates);
+      plan.fetch = sol.items;
+      plan.predicted_g = sol.value;
+      plan.solver_nodes = sol.nodes;
+      plan.stretch = 0.0;  // KP never stretches by construction
+      break;
+    }
+    case PrefetchPolicy::SKP: {
+      SkpOptions opts;
+      opts.delta_rule = config_.delta_rule;
+      opts.max_nodes = config_.max_solver_nodes;
+      const SkpSolution sol = solve_skp(inst, candidates, opts);
+      plan.fetch = sol.F;
+      plan.predicted_g = sol.g;
+      plan.stretch = sol.stretch;
+      plan.solver_nodes = sol.forward_steps;
+      break;
+    }
+  }
+  return plan;
+}
+
+PrefetchPlan PrefetchEngine::plan(const Instance& inst,
+                                  std::optional<ItemId> oracle_next) const {
+  inst.validate();
+  const auto candidates =
+      viable_candidates(inst, nullptr, config_.min_profit_threshold);
+  return select(inst, candidates, oracle_next);
+}
+
+PrefetchPlan PrefetchEngine::plan_with_cache(
+    const Instance& inst, const SlotCache& cache, const FreqTracker* freq,
+    std::optional<ItemId> oracle_next) const {
+  inst.validate();
+  const auto candidates =
+      viable_candidates(inst, &cache, config_.min_profit_threshold);
+  PrefetchPlan proposal = select(inst, candidates, oracle_next);
+  if (proposal.fetch.empty()) return {};
+
+  // Figure 6: process candidates in descending P_f r_f; each must find a
+  // minimal-Pr victim that Pr-arbitration lets it displace. Free slots are
+  // uncontested. The Perfect oracle bypasses the admission test (it knows
+  // its item is the next access) but still evicts the minimal-Pr victim.
+  std::vector<ItemId> by_profit = proposal.fetch;
+  std::sort(by_profit.begin(), by_profit.end(), [&](ItemId a, ItemId b) {
+    const double pa = inst.profit(a), pb = inst.profit(b);
+    if (pa != pb) return pa > pb;
+    return canonical_before(inst, a, b);
+  });
+
+  std::vector<ItemId> remaining(cache.contents().begin(),
+                                cache.contents().end());
+  std::size_t free_slots = cache.capacity() - cache.size();
+  std::vector<ItemId> committed;
+  std::vector<std::pair<ItemId, ItemId>> victim_of;  // (fetch, victim)
+  for (ItemId f : by_profit) {
+    if (free_slots > 0) {
+      --free_slots;
+      committed.push_back(f);
+      continue;
+    }
+    if (remaining.empty()) break;  // nothing left to displace
+    const ItemId d = choose_victim(inst, remaining, freq,
+                                   config_.arbitration);
+    if (config_.policy != PrefetchPolicy::Perfect &&
+        !admits_prefetch(inst, f, d, config_.arbitration)) {
+      break;  // Figure 6 stops at the first rejected candidate
+    }
+    committed.push_back(f);
+    victim_of.emplace_back(f, d);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), d));
+  }
+
+  // Re-emit the committed items in the selector's fetch order (canonical,
+  // stretching item last) so the Eq.-(1) construction stays valid; align
+  // the evictions with their fetches.
+  PrefetchPlan plan;
+  plan.solver_nodes = proposal.solver_nodes;
+  for (ItemId f : proposal.fetch) {
+    if (std::find(committed.begin(), committed.end(), f) == committed.end())
+      continue;
+    plan.fetch.push_back(f);
+    const auto it = std::find_if(
+        victim_of.begin(), victim_of.end(),
+        [f](const auto& pr) { return pr.first == f; });
+    if (it != victim_of.end()) plan.evict.push_back(it->second);
+  }
+  if (plan.fetch.empty()) return plan;
+  plan.stretch = stretch_time(inst, plan.fetch);
+  plan.predicted_g = access_improvement_cached(inst, plan.fetch, plan.evict,
+                                               cache.contents());
+  return plan;
+}
+
+PrefetchPlan PrefetchEngine::plan_with_sized_cache(
+    const Instance& inst, const SizedCache& cache, const FreqTracker* freq,
+    std::optional<ItemId> oracle_next) const {
+  inst.validate();
+  const auto candidates = viable_candidates_if(
+      inst,
+      [&cache](ItemId id) {
+        return cache.contains(id) || !cache.cacheable(id);
+      },
+      config_.min_profit_threshold);
+  PrefetchPlan proposal = select(inst, candidates, oracle_next);
+  if (proposal.fetch.empty()) return {};
+
+  std::vector<ItemId> by_profit = proposal.fetch;
+  std::sort(by_profit.begin(), by_profit.end(), [&](ItemId a, ItemId b) {
+    const double pa = inst.profit(a), pb = inst.profit(b);
+    if (pa != pb) return pa > pb;
+    return canonical_before(inst, a, b);
+  });
+
+  // Victim searches run on a scratch copy from which victims are removed
+  // as they are claimed; committed prefetches are accounted as *reserved*
+  // space rather than inserted, so a later candidate can never evict an
+  // earlier one.
+  SizedCache scratch = cache;
+  double reserved = 0.0;
+  std::vector<ItemId> committed;
+  std::vector<ItemId> victims_all;
+  for (const ItemId f : by_profit) {
+    const VictimSet vs = gather_victims_by_density(
+        inst, scratch, freq, config_.arbitration,
+        reserved + scratch.size_of(f));
+    if (!vs.ok) break;  // cannot make room even evicting everything
+    // Generalized Pr admission: the candidate must beat the combined Pr
+    // of everything it displaces (Figure-6 tie semantics).
+    const bool admit =
+        config_.policy == PrefetchPolicy::Perfect ||
+        (config_.arbitration.strict_ties
+             ? inst.profit(f) > vs.total_pr
+             : inst.profit(f) >= vs.total_pr);
+    if (!admit) break;
+    for (const ItemId d : vs.victims) {
+      scratch.erase(d);
+      victims_all.push_back(d);
+    }
+    reserved += scratch.size_of(f);
+    committed.push_back(f);
+  }
+
+  PrefetchPlan plan;
+  plan.solver_nodes = proposal.solver_nodes;
+  for (const ItemId f : proposal.fetch) {
+    if (std::find(committed.begin(), committed.end(), f) !=
+        committed.end()) {
+      plan.fetch.push_back(f);
+    }
+  }
+  plan.evict = std::move(victims_all);
+  if (plan.fetch.empty()) return plan;
+  plan.stretch = stretch_time(inst, plan.fetch);
+  plan.predicted_g = access_improvement_cached(inst, plan.fetch, plan.evict,
+                                               cache.contents());
+  return plan;
+}
+
+}  // namespace skp

@@ -1,0 +1,104 @@
+// The prefetch engine: policy selection + cache-aware planning (Figure 6).
+//
+// A PrefetchEngine turns an Instance (the current P, r, v) plus the cache
+// state into a PrefetchPlan: an ordered list of items to fetch and the
+// victims they displace. Supported selection policies:
+//   * None    — never prefetch (the "no prefetch" baseline).
+//   * KP      — classic 0/1 knapsack selection (never stretches).
+//   * SKP     — the paper's stretch-knapsack selection.
+//   * Perfect — oracle: prefetch exactly the item that will be requested
+//               (supplied by the simulator; used for the Fig. 5 bound).
+//
+// With a non-empty cache the engine follows the Figure-6 algorithm:
+// solve the (S)KP over N \ C, then admit candidates in descending
+// P_f r_f order against minimal-Pr victims (Pr-arbitration), optionally
+// tie-breaking victims by LFU or delay-saving profit (sub-arbitration).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "cache/freq_tracker.hpp"
+#include "cache/sized_cache.hpp"
+#include "core/arbitration.hpp"
+#include "core/skp_solver.hpp"
+
+namespace skp {
+
+enum class PrefetchPolicy { None, KP, SKP, Perfect };
+
+std::string to_string(PrefetchPolicy policy);
+std::string to_string(SubArbitration sub);
+
+struct EngineConfig {
+  PrefetchPolicy policy = PrefetchPolicy::SKP;
+  DeltaRule delta_rule = DeltaRule::ExactComplement;
+  ArbitrationConfig arbitration;
+  // Extension (paper Section 6 "further work"): suppress prefetches whose
+  // marginal contribution P_f r_f falls below this threshold, trading
+  // access improvement for network usage. 0 reproduces the paper.
+  double min_profit_threshold = 0.0;
+  // Node budget forwarded to the SKP search (0 = unlimited).
+  std::uint64_t max_solver_nodes = 0;
+};
+
+struct PrefetchPlan {
+  // Items to fetch, in fetch order (the last element may stretch).
+  PrefetchList fetch;
+  // Victims to evict, aligned with `fetch` (evict[k] makes room for
+  // fetch[k]). Empty when the cache has free slots or is absent.
+  std::vector<ItemId> evict;
+  // Predicted access improvement of the plan (solver's objective; for SKP
+  // with ExactComplement this is Eq. 3 / Eq. 9 consistent).
+  double predicted_g = 0.0;
+  double stretch = 0.0;
+  // Solver statistics (SKP/KP searches).
+  std::uint64_t solver_nodes = 0;
+};
+
+class PrefetchEngine {
+ public:
+  explicit PrefetchEngine(EngineConfig config) : config_(config) {}
+
+  const EngineConfig& config() const noexcept { return config_; }
+
+  // Empty-cache planning (Section 3): selects F from the full catalog.
+  // `oracle_next` feeds the Perfect policy and is ignored otherwise.
+  PrefetchPlan plan(const Instance& inst,
+                    std::optional<ItemId> oracle_next = std::nullopt) const;
+
+  // Cache-aware planning (Section 5, Figure 6). When the cache has free
+  // slots, candidates fill them without arbitration (nothing contests);
+  // once full, Pr-arbitration decides. `freq` is required for LFU/DS
+  // sub-arbitration.
+  PrefetchPlan plan_with_cache(const Instance& inst, const SlotCache& cache,
+                               const FreqTracker* freq,
+                               std::optional<ItemId> oracle_next
+                               = std::nullopt) const;
+
+  // Size-aware planning (extension; DESIGN.md D6 / paper Section 6): the
+  // Figure-6 loop generalized to heterogeneous item sizes. Each candidate
+  // (descending P_f r_f) gathers victims by ascending Pr *density* until
+  // it fits and is admitted only if P_f r_f beats the total Pr it
+  // displaces (Figure-6 tie semantics apply). Unlike the slot planner,
+  // `evict` here is the flat victim set — |evict| generally differs from
+  // |fetch|.
+  PrefetchPlan plan_with_sized_cache(const Instance& inst,
+                                     const SizedCache& cache,
+                                     const FreqTracker* freq,
+                                     std::optional<ItemId> oracle_next
+                                     = std::nullopt) const;
+
+ private:
+  // Runs the configured selector over `candidates`; returns the ordered F.
+  PrefetchPlan select(const Instance& inst,
+                      std::span<const ItemId> candidates,
+                      std::optional<ItemId> oracle_next) const;
+
+  EngineConfig config_;
+};
+
+}  // namespace skp

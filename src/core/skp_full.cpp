@@ -1,0 +1,132 @@
+#include "core/skp_full.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/access_model.hpp"
+#include "core/kp_solver.hpp"
+
+namespace skp {
+
+namespace {
+
+// DFS for the fixed-z subproblem. Items are the canonical-order candidates
+// excluding z; K must keep sum r strictly below v.
+class FixedZSearch {
+ public:
+  FixedZSearch(const Instance& inst, std::span<const ItemId> order,
+               ItemId z, double total_mass)
+      : inst_(inst),
+        order_(order.begin(), order.end()),
+        z_(z),
+        mass_(total_mass),
+        rz_(inst.r[Instance::idx(z)]),
+        profit_z_(inst.profit(z)) {
+    chosen_.assign(order_.size(), false);
+    best_chosen_ = chosen_;
+  }
+
+  // Runs the search; returns the best objective (gain of prefetching
+  // K ++ <z>), with the best K recoverable via best_list().
+  double run(std::uint64_t* steps) {
+    best_ = -1e300;
+    dfs(0, 0.0, 0.0, 0.0);
+    *steps += steps_;
+    return best_;
+  }
+
+  PrefetchList best_list() const {
+    PrefetchList F;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (best_chosen_[i]) F.push_back(order_[i]);
+    }
+    F.push_back(z_);
+    return F;
+  }
+
+ private:
+  double objective(double profit, double prob, double weight) const {
+    const double st = std::max(0.0, weight + rz_ - inst_.v);
+    return profit + profit_z_ - (mass_ - prob) * st;
+  }
+
+  void dfs(std::size_t depth, double profit, double prob, double weight) {
+    ++steps_;
+    const double value = objective(profit, prob, weight);
+    if (value > best_) {
+      best_ = value;
+      best_chosen_ = chosen_;
+    }
+    if (depth == order_.size()) return;
+    // Bound: remaining profit is at most the Dantzig fill of the residual
+    // K capacity; the stretch penalty is at least P_z * current stretch
+    // (pen >= P_z always, and st only grows with additions).
+    const double residual = inst_.v - weight;
+    const double st_now = std::max(0.0, weight + rz_ - inst_.v);
+    const double ub = profit + profit_z_ +
+                      dantzig_bound(inst_, order_, depth, residual) -
+                      inst_.P[Instance::idx(z_)] * st_now;
+    if (ub <= best_) return;
+    const ItemId id = order_[depth];
+    const double w = inst_.r[Instance::idx(id)];
+    if (weight + w < inst_.v) {  // Eq. (1): K strictly within v
+      chosen_[depth] = true;
+      dfs(depth + 1, profit + inst_.profit(id),
+          prob + inst_.P[Instance::idx(id)], weight + w);
+      chosen_[depth] = false;
+    }
+    dfs(depth + 1, profit, prob, weight);
+  }
+
+  const Instance& inst_;
+  std::vector<ItemId> order_;
+  ItemId z_;
+  double mass_;
+  double rz_;
+  double profit_z_;
+  std::vector<char> chosen_;
+  std::vector<char> best_chosen_;
+  double best_ = -1e300;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+SkpSolution solve_skp_full(const Instance& inst,
+                           std::span<const ItemId> candidates,
+                           double total_prob_mass) {
+  inst.validate();
+  SKP_REQUIRE(total_prob_mass > 0.0,
+              "total_prob_mass = " << total_prob_mass);
+  SkpSolution best;  // empty list, g = 0
+  if (inst.v <= 0.0) return best;
+  const auto order = canonical_order(inst, candidates);
+  for (const ItemId z : order) {
+    if (inst.P[Instance::idx(z)] <= 0.0) {
+      // K must fit strictly within v, so K standalone has zero stretch
+      // and dominates K ++ <z> whenever P_z = 0: skip such z.
+      continue;
+    }
+    std::vector<ItemId> rest;
+    rest.reserve(order.size() - 1);
+    for (const ItemId i : order) {
+      if (i != z) rest.push_back(i);
+    }
+    FixedZSearch search(inst, rest, z, total_prob_mass);
+    const double g = search.run(&best.forward_steps);
+    if (g > best.g) {
+      best.g = g;
+      best.F = search.best_list();
+    }
+  }
+  best.stretch = stretch_time(inst, best.F);
+  return best;
+}
+
+SkpSolution solve_skp_full(const Instance& inst, double total_prob_mass) {
+  std::vector<ItemId> ids(inst.n());
+  std::iota(ids.begin(), ids.end(), ItemId{0});
+  return solve_skp_full(inst, ids, total_prob_mass);
+}
+
+}  // namespace skp

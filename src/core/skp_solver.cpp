@@ -1,0 +1,192 @@
+#include "core/skp_solver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/access_model.hpp"
+#include "core/kp_solver.hpp"
+
+namespace skp {
+
+namespace {
+
+// Iterative transcription of the paper's Figure 3. The three goto targets
+// (2: bound, 3: forward, 5: backtrack) become phases of one loop; the
+// selection stack records (index, delta) so backtracking reverses g-hat
+// exactly (the paper recomputes delta, which is identical in real
+// arithmetic; storing it avoids floating-point drift).
+class SkpSearch {
+ public:
+  SkpSearch(const Instance& inst, std::vector<ItemId> order,
+            const SkpOptions& opts)
+      : inst_(inst), order_(std::move(order)), opts_(opts) {
+    const std::size_t m = order_.size();
+    // suffix_prob_[j] = sum of P over order_[j..m-1]  (Figure 3's tail sum;
+    // the P_{n+1} = 0 sentinel is the final 0 entry).
+    suffix_prob_.assign(m + 1, 0.0);
+    for (std::size_t j = m; j-- > 0;) {
+      suffix_prob_[j] =
+          suffix_prob_[j + 1] + inst_.P[Instance::idx(order_[j])];
+    }
+    selected_.assign(m, false);
+    best_selected_ = selected_;
+  }
+
+  SkpSolution run() {
+    const std::size_t m = order_.size();
+    std::size_t j = 0;
+    double residual = inst_.v;     // v-hat
+    double g_cur = 0.0;            // g-hat
+    double prob_selected = 0.0;    // sum of P over currently selected items
+
+    enum class Phase { Bound, Forward, Backtrack };
+    Phase phase = Phase::Bound;
+
+    for (;;) {
+      if (opts_.max_nodes && sol_.forward_steps >= opts_.max_nodes) {
+        sol_.node_limit_hit = true;
+        break;
+      }
+      switch (phase) {
+        case Phase::Bound: {  // Figure 3, step 2
+          const double ub =
+              dantzig_bound(inst_, order_, j, std::max(0.0, residual));
+          if (best_g_ >= g_cur + ub) {
+            ++sol_.bound_prunes;
+            phase = Phase::Backtrack;
+          } else {
+            phase = Phase::Forward;
+          }
+          break;
+        }
+        case Phase::Forward: {  // Figure 3, step 3 (+ step 4 at the end)
+          bool rebound = false;
+          while (j < m && residual > 0.0) {
+            const ItemId id = order_[j];
+            const double rj = inst_.r[Instance::idx(id)];
+            const double st = std::max(0.0, rj - residual);
+            const double penalty = penalty_mass(j, prob_selected);
+            const double delta =
+                inst_.profit(id) - penalty * st;
+            ++sol_.forward_steps;
+            if (delta <= 0.0) {
+              selected_[j] = false;
+              ++j;
+              // Figure 3: "if j < n then goto 2" — refresh the bound
+              // unless the *last* item is next.
+              if (j + 1 < m) {
+                rebound = true;
+                break;
+              }
+            } else {
+              residual -= rj;
+              g_cur += delta;
+              selected_[j] = true;
+              prob_selected += inst_.P[Instance::idx(id)];
+              stack_.push_back({j, delta, rj, inst_.P[Instance::idx(id)]});
+              ++j;
+            }
+          }
+          if (rebound) {
+            phase = Phase::Bound;
+            break;
+          }
+          // Step 4: solution complete (stretched, exact fit, or exhausted).
+          if (g_cur > best_g_) {
+            best_g_ = g_cur;
+            best_selected_ = selected_;
+          }
+          phase = Phase::Backtrack;
+          break;
+        }
+        case Phase::Backtrack: {  // Figure 3, step 5
+          if (stack_.empty()) {
+            finish();
+            return sol_;
+          }
+          ++sol_.backtracks;
+          const Move mv = stack_.back();
+          stack_.pop_back();
+          selected_[mv.index] = false;
+          residual += mv.r;
+          prob_selected -= mv.P;
+          g_cur -= mv.delta;
+          j = mv.index + 1;
+          phase = Phase::Bound;
+          break;
+        }
+      }
+    }
+    finish();  // node-limit exit: report the incumbent
+    return sol_;
+  }
+
+ private:
+  struct Move {
+    std::size_t index;
+    double delta;
+    double r;
+    double P;
+  };
+
+  double penalty_mass(std::size_t j, double prob_selected) const {
+    switch (opts_.delta_rule) {
+      case DeltaRule::PaperTail:
+        return suffix_prob_[j];
+      case DeltaRule::ExactComplement:
+        return opts_.total_prob_mass - prob_selected;
+    }
+    return opts_.total_prob_mass - prob_selected;  // unreachable
+  }
+
+  void finish() {
+    sol_.g = best_g_;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (best_selected_[i]) sol_.F.push_back(order_[i]);
+    }
+    sol_.stretch = stretch_time(inst_, sol_.F);
+  }
+
+  const Instance& inst_;
+  std::vector<ItemId> order_;
+  SkpOptions opts_;
+  std::vector<double> suffix_prob_;
+  std::vector<char> selected_;
+  std::vector<char> best_selected_;
+  std::vector<Move> stack_;
+  double best_g_ = 0.0;
+  SkpSolution sol_;
+};
+
+}  // namespace
+
+SkpSolution solve_skp(const Instance& inst,
+                      std::span<const ItemId> candidates,
+                      const SkpOptions& opts) {
+  inst.validate();
+  SKP_REQUIRE(opts.total_prob_mass > 0.0,
+              "total_prob_mass = " << opts.total_prob_mass);
+  SkpSearch search(inst, canonical_order(inst, candidates), opts);
+  return search.run();
+}
+
+SkpSolution solve_skp(const Instance& inst, const SkpOptions& opts) {
+  std::vector<ItemId> ids(inst.n());
+  std::iota(ids.begin(), ids.end(), ItemId{0});
+  return solve_skp(inst, ids, opts);
+}
+
+double skp_upper_bound(const Instance& inst,
+                       std::span<const ItemId> candidates) {
+  inst.validate();
+  const auto order = canonical_order(inst, candidates);
+  return dantzig_bound(inst, order, 0, inst.v);
+}
+
+double skp_upper_bound(const Instance& inst) {
+  std::vector<ItemId> ids(inst.n());
+  std::iota(ids.begin(), ids.end(), ItemId{0});
+  return skp_upper_bound(inst, ids);
+}
+
+}  // namespace skp

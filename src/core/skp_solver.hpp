@@ -1,0 +1,77 @@
+// Exact solver for the Stretch Knapsack Problem (Section 4 of the paper).
+//
+// The SKP asks for the ordered prefetch list F maximizing the access
+// improvement g*(F) of Eq. (3). Unlike the 0/1 knapsack, the capacity
+// (viewing time v) may be exceeded by the *last* inserted item at a cost of
+// (penalty mass) * st(F). Theorem 1 restricts the search to lists sorted in
+// the canonical order of Eq. (5); Theorem 2 supplies the Dantzig-style
+// upper bound of Eq. (7); Theorem 3 gives the incremental delta used during
+// the Horowitz–Sahni style depth-first search of the paper's Figure 3.
+//
+// Delta accounting (DESIGN.md, D1): the paper's Figure 3 computes the
+// stretch penalty with the *tail* probability sum_{i=j..n} P_i, which
+// silently drops items excluded earlier in the search; Eq. (3)/Theorem 3
+// require the complement total_mass - sum_{i in K} P_i. Both rules are
+// implemented:
+//   * DeltaRule::ExactComplement — consistent with Eq. (3); property tests
+//     show it matches exhaustive search.
+//   * DeltaRule::PaperTail — faithful to the Figure-3 listing; can
+//     overestimate g and occasionally return a suboptimal list (the
+//     ablation bench quantifies how often).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace skp {
+
+enum class DeltaRule {
+  ExactComplement,  // penalty = total_prob_mass - sum_{i in K} P_i
+  PaperTail,        // penalty = sum_{i=j..n} P_i   (Figure 3, verbatim)
+};
+
+struct SkpOptions {
+  DeltaRule delta_rule = DeltaRule::ExactComplement;
+  // Probability mass paying the stretch penalty when nothing is selected.
+  // 1.0 for a full catalog; cache-aware planning keeps 1.0 as well because
+  // the stretch delays every outcome outside K (Section 5).
+  double total_prob_mass = 1.0;
+  // Safety valve for adversarial instances; 0 = unlimited.
+  std::uint64_t max_nodes = 0;
+};
+
+struct SkpSolution {
+  // Optimal prefetch list in canonical order; last element is z.
+  PrefetchList F;
+  // g*(F) under the solver's accounting rule. For ExactComplement this
+  // equals access_improvement(inst, F, total_prob_mass).
+  double g = 0.0;
+  // st(F) of the returned list.
+  double stretch = 0.0;
+  // Search statistics.
+  std::uint64_t forward_steps = 0;   // item insertions attempted
+  std::uint64_t backtracks = 0;      // step-5 moves
+  std::uint64_t bound_prunes = 0;    // subtrees cut by Eq. (7)
+  bool node_limit_hit = false;
+};
+
+// Solves the SKP over `candidates` (item ids into `inst`). Items with
+// P_i == 0 can never enter an optimal list and may be pre-filtered by the
+// caller; the solver handles them correctly either way.
+SkpSolution solve_skp(const Instance& inst,
+                      std::span<const ItemId> candidates,
+                      const SkpOptions& opts = {});
+
+// Convenience: solve over the full catalog.
+SkpSolution solve_skp(const Instance& inst, const SkpOptions& opts = {});
+
+// The root upper bound U_g* of Eq. (7): Dantzig bound of the LP relaxation
+// (Theorem 2). Every feasible g*(F) is <= this value.
+double skp_upper_bound(const Instance& inst);
+double skp_upper_bound(const Instance& inst,
+                       std::span<const ItemId> candidates);
+
+}  // namespace skp

@@ -1,0 +1,71 @@
+#include "predict/dependency_graph.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+DependencyGraph::DependencyGraph(std::size_t n, std::size_t window)
+    : n_(n), window_(window) {
+  SKP_REQUIRE(n > 0, "DependencyGraph over empty catalog");
+  SKP_REQUIRE(window >= 1, "window must be >= 1");
+  weight_.assign(n, std::vector<std::uint64_t>(n, 0));
+  accesses_.assign(n, 0);
+}
+
+void DependencyGraph::observe(ItemId item) {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < n_,
+              "item " << item << " out of range");
+  const auto i = static_cast<std::size_t>(item);
+  // Every item accessed within the preceding window gains an arc to `item`.
+  for (ItemId prev : recent_) {
+    if (prev != item) {
+      ++weight_[static_cast<std::size_t>(prev)][i];
+    }
+  }
+  ++accesses_[i];
+  recent_.push_back(item);
+  if (recent_.size() > window_) recent_.pop_front();
+  last_ = item;
+}
+
+std::vector<double> DependencyGraph::predict() const {
+  std::vector<double> p(n_, 0.0);
+  if (last_ == kNoItem || accesses_[static_cast<std::size_t>(last_)] == 0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
+    return p;
+  }
+  const auto row = static_cast<std::size_t>(last_);
+  std::uint64_t out = 0;
+  for (std::size_t j = 0; j < n_; ++j) out += weight_[row][j];
+  if (out == 0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
+    return p;
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    p[j] = static_cast<double>(weight_[row][j]) / static_cast<double>(out);
+  }
+  return p;
+}
+
+void DependencyGraph::reset() {
+  for (auto& row : weight_) std::fill(row.begin(), row.end(), 0);
+  std::fill(accesses_.begin(), accesses_.end(), 0);
+  recent_.clear();
+  last_ = kNoItem;
+}
+
+std::uint64_t DependencyGraph::arc(ItemId a, ItemId b) const {
+  SKP_REQUIRE(a >= 0 && static_cast<std::size_t>(a) < n_, "arc from");
+  SKP_REQUIRE(b >= 0 && static_cast<std::size_t>(b) < n_, "arc to");
+  return weight_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+double DependencyGraph::arc_probability(ItemId a, ItemId b) const {
+  const auto w = arc(a, b);
+  const auto acc = accesses_[static_cast<std::size_t>(a)];
+  return acc ? static_cast<double>(w) / static_cast<double>(acc) : 0.0;
+}
+
+}  // namespace skp

@@ -1,0 +1,84 @@
+#include "predict/lz78_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+Lz78Predictor::Lz78Predictor(std::size_t n) : n_(n) {
+  SKP_REQUIRE(n > 0, "Lz78Predictor over empty catalog");
+  nodes_.emplace_back();  // root
+  marginal_.assign(n, 0);
+}
+
+void Lz78Predictor::observe(ItemId item) {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < n_,
+              "item " << item << " out of range");
+  Node& cur = nodes_[current_];
+  ++cur.count[item];
+  ++cur.total;
+  ++marginal_[static_cast<std::size_t>(item)];
+  ++total_;
+
+  const auto it = cur.child.find(item);
+  if (it != cur.child.end()) {
+    current_ = it->second;
+    ++depth_;
+  } else {
+    // New phrase: grow the tree by one node, restart at the root (LZ78).
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[current_].child.emplace(item, id);
+    current_ = 0;
+    depth_ = 0;
+    ++phrases_;
+  }
+}
+
+std::vector<double> Lz78Predictor::predict() const {
+  std::vector<double> p(n_, 0.0);
+  if (total_ == 0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
+    return p;
+  }
+  // Order-0 backstop: smoothed marginal.
+  std::vector<double> base(n_);
+  const double denom =
+      static_cast<double>(total_) + static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    base[i] = (static_cast<double>(marginal_[i]) + 1.0) / denom;
+  }
+
+  const Node& cur = nodes_[current_];
+  if (cur.total == 0) return base;
+
+  // PPM-C escape: distinct successors / (total + distinct).
+  const double distinct = static_cast<double>(cur.count.size());
+  const double esc = distinct / (static_cast<double>(cur.total) + distinct);
+  for (const auto& [sym, cnt] : cur.count) {
+    p[static_cast<std::size_t>(sym)] =
+        (1.0 - esc) * static_cast<double>(cnt) /
+        static_cast<double>(cur.total);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    p[i] += esc * base[i];
+  }
+  // Normalize away fp residue.
+  double sum = 0.0;
+  for (const double x : p) sum += x;
+  for (double& x : p) x /= sum;
+  return p;
+}
+
+void Lz78Predictor::reset() {
+  nodes_.clear();
+  nodes_.emplace_back();
+  current_ = 0;
+  depth_ = 0;
+  phrases_ = 0;
+  std::fill(marginal_.begin(), marginal_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace skp

@@ -1,0 +1,52 @@
+// LZ78 parse-tree predictor (Vitter & Krishnan, FOCS 1991).
+//
+// The paper's related work [16] proves that predictors built on the LZ78
+// incremental parse are asymptotically optimal for Markov sources. The
+// tree starts as a single root; each observed symbol descends into the
+// matching child, creating it (and restarting the phrase at the root) when
+// absent — exactly the LZ78 phrase rule. Prediction blends the current
+// node's child counts with the root's (order-0) distribution using a
+// PPM-C style escape, so novel contexts degrade gracefully instead of
+// predicting uniformly.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace skp {
+
+class Lz78Predictor final : public Predictor {
+ public:
+  explicit Lz78Predictor(std::size_t n);
+
+  void observe(ItemId item) override;
+  std::vector<double> predict() const override;
+  std::size_t n_items() const override { return n_; }
+  void reset() override;
+
+  // Diagnostics.
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t phrase_count() const noexcept { return phrases_; }
+  std::size_t current_depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    // child id by symbol; counts of traversals into each child.
+    std::unordered_map<ItemId, std::uint32_t> child;
+    std::unordered_map<ItemId, std::uint64_t> count;
+    std::uint64_t total = 0;
+  };
+
+  std::size_t n_;
+  std::vector<Node> nodes_;   // nodes_[0] is the root
+  std::uint32_t current_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t phrases_ = 0;
+  std::vector<std::uint64_t> marginal_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace skp

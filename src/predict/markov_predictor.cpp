@@ -1,0 +1,65 @@
+#include "predict/markov_predictor.hpp"
+
+#include "util/require.hpp"
+
+namespace skp {
+
+MarkovPredictor::MarkovPredictor(std::size_t n, double laplace)
+    : n_(n), laplace_(laplace) {
+  SKP_REQUIRE(n > 0, "MarkovPredictor over empty catalog");
+  SKP_REQUIRE(laplace > 0.0, "laplace must be positive");
+  counts_.assign(n, std::vector<std::uint64_t>(n, 0));
+  row_total_.assign(n, 0);
+  marginal_.assign(n, 0);
+}
+
+void MarkovPredictor::observe(ItemId item) {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < n_,
+              "item " << item << " out of range");
+  const auto i = static_cast<std::size_t>(item);
+  if (last_ != kNoItem) {
+    const auto p = static_cast<std::size_t>(last_);
+    ++counts_[p][i];
+    ++row_total_[p];
+  }
+  ++marginal_[i];
+  ++total_;
+  last_ = item;
+}
+
+std::vector<double> MarkovPredictor::predict() const {
+  std::vector<double> p(n_, 0.0);
+  if (last_ == kNoItem || row_total_[static_cast<std::size_t>(last_)] == 0) {
+    // No context yet: fall back to the (smoothed) marginal distribution.
+    const double denom =
+        static_cast<double>(total_) + laplace_ * static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      p[i] = (static_cast<double>(marginal_[i]) + laplace_) / denom;
+    }
+    return p;
+  }
+  const auto row = static_cast<std::size_t>(last_);
+  const double denom = static_cast<double>(row_total_[row]) +
+                       laplace_ * static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    p[i] = (static_cast<double>(counts_[row][i]) + laplace_) / denom;
+  }
+  return p;
+}
+
+void MarkovPredictor::reset() {
+  for (auto& row : counts_) std::fill(row.begin(), row.end(), 0);
+  std::fill(row_total_.begin(), row_total_.end(), 0);
+  std::fill(marginal_.begin(), marginal_.end(), 0);
+  total_ = 0;
+  last_ = kNoItem;
+}
+
+std::uint64_t MarkovPredictor::count(ItemId prev, ItemId next) const {
+  SKP_REQUIRE(prev >= 0 && static_cast<std::size_t>(prev) < n_, "prev");
+  SKP_REQUIRE(next >= 0 && static_cast<std::size_t>(next) < n_, "next");
+  return counts_[static_cast<std::size_t>(prev)]
+                [static_cast<std::size_t>(next)];
+}
+
+}  // namespace skp

@@ -1,0 +1,35 @@
+// First-order Markov predictor with Laplace smoothing.
+#pragma once
+
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace skp {
+
+class MarkovPredictor final : public Predictor {
+ public:
+  // `laplace` > 0 smooths unseen transitions; smaller values trust the
+  // counts more aggressively.
+  explicit MarkovPredictor(std::size_t n, double laplace = 0.1);
+
+  void observe(ItemId item) override;
+  std::vector<double> predict() const override;
+  std::size_t n_items() const override { return n_; }
+  void reset() override;
+
+  // Raw transition count prev -> next (tests / diagnostics).
+  std::uint64_t count(ItemId prev, ItemId next) const;
+  ItemId last_item() const noexcept { return last_; }
+
+ private:
+  std::size_t n_;
+  double laplace_;
+  std::vector<std::vector<std::uint64_t>> counts_;  // [prev][next]
+  std::vector<std::uint64_t> row_total_;
+  std::vector<std::uint64_t> marginal_;  // unconditioned access counts
+  std::uint64_t total_ = 0;
+  ItemId last_ = kNoItem;
+};
+
+}  // namespace skp

@@ -1,0 +1,123 @@
+#include "predict/ppm_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+PpmPredictor::PpmPredictor(std::size_t n, std::size_t order)
+    : n_(n), order_(order) {
+  SKP_REQUIRE(n > 0, "PpmPredictor over empty catalog");
+  SKP_REQUIRE(order >= 1 && order <= 8, "order must be in [1, 8]");
+  tables_.resize(order);
+  marginal_.assign(n, 0);
+}
+
+std::uint64_t PpmPredictor::context_key(const std::deque<ItemId>& hist,
+                                        std::size_t len, std::size_t n) {
+  // Base-(n+1) positional encoding of the last `len` items; 64 bits hold
+  // order <= 8 over catalogs up to ~2^8 per symbol times n — for larger
+  // catalogs collisions only blur counts, never break correctness.
+  std::uint64_t key = 1;  // leading 1 distinguishes lengths
+  const std::uint64_t base = static_cast<std::uint64_t>(n) + 1;
+  const std::size_t start = hist.size() - len;
+  for (std::size_t i = start; i < hist.size(); ++i) {
+    key = key * base + static_cast<std::uint64_t>(hist[i]) + 1;
+  }
+  return key;
+}
+
+void PpmPredictor::observe(ItemId item) {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < n_,
+              "item " << item << " out of range");
+  // Update every context length that currently has enough history.
+  for (std::size_t len = 1; len <= std::min(order_, history_.size());
+       ++len) {
+    const std::uint64_t key = context_key(history_, len, n_);
+    auto& stats = tables_[len - 1][key];
+    ++stats.next_counts[item];
+    ++stats.total;
+  }
+  ++marginal_[static_cast<std::size_t>(item)];
+  ++total_;
+  history_.push_back(item);
+  if (history_.size() > order_) history_.pop_front();
+}
+
+std::vector<double> PpmPredictor::predict() const {
+  std::vector<double> p(n_, 0.0);
+  double remaining = 1.0;  // probability mass not yet claimed (escapes)
+  std::vector<char> excluded(n_, 0);
+
+  for (std::size_t len = std::min(order_, history_.size()); len >= 1;
+       --len) {
+    const std::uint64_t key = context_key(history_, len, n_);
+    const auto& table = tables_[len - 1];
+    const auto it = table.find(key);
+    if (it == table.end() || it->second.total == 0) continue;
+    const auto& stats = it->second;
+    // PPM-C: escape weight = distinct successors / (total + distinct),
+    // computed over not-yet-excluded symbols.
+    std::uint64_t total = 0;
+    std::uint64_t distinct = 0;
+    for (const auto& [sym, cnt] : stats.next_counts) {
+      if (excluded[static_cast<std::size_t>(sym)]) continue;
+      total += cnt;
+      ++distinct;
+    }
+    if (total == 0) continue;
+    const double denom = static_cast<double>(total + distinct);
+    for (const auto& [sym, cnt] : stats.next_counts) {
+      if (excluded[static_cast<std::size_t>(sym)]) continue;
+      p[static_cast<std::size_t>(sym)] +=
+          remaining * static_cast<double>(cnt) / denom;
+      excluded[static_cast<std::size_t>(sym)] = 1;
+    }
+    remaining *= static_cast<double>(distinct) / denom;
+  }
+
+  // Order-0 / uniform backstop over not-yet-excluded symbols.
+  std::uint64_t marg_total = 0;
+  std::size_t open = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!excluded[i]) {
+      marg_total += marginal_[i];
+      ++open;
+    }
+  }
+  if (open > 0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (excluded[i]) continue;
+      const double base =
+          marg_total > 0
+              ? static_cast<double>(marginal_[i]) /
+                    static_cast<double>(marg_total)
+              : 1.0 / static_cast<double>(open);
+      // Blend counts with a uniform floor so unseen items keep mass.
+      const double uniform = 1.0 / static_cast<double>(open);
+      p[i] += remaining * (0.9 * base + 0.1 * uniform);
+    }
+  } else {
+    // Everything claimed at higher orders; renormalize below handles it.
+  }
+
+  // Normalize (escape arithmetic can leave tiny residue).
+  double sum = 0.0;
+  for (double x : p) sum += x;
+  if (sum <= 0.0) {
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
+    return p;
+  }
+  for (double& x : p) x /= sum;
+  return p;
+}
+
+void PpmPredictor::reset() {
+  for (auto& t : tables_) t.clear();
+  std::fill(marginal_.begin(), marginal_.end(), 0);
+  total_ = 0;
+  history_.clear();
+}
+
+}  // namespace skp

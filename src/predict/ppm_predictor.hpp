@@ -1,0 +1,49 @@
+// Order-k PPM (prediction by partial matching) predictor.
+//
+// Contexts of length k, k-1, ..., 0 are blended with PPM-C style escape
+// weights: the order-m context predicts with its counts and escapes to
+// order m-1 with probability (#distinct successors) / (total + #distinct).
+// Vitter & Krishnan showed compression-style predictors of this family are
+// asymptotically optimal for Markov sources, which is exactly the source
+// the Fig. 7 experiment uses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace skp {
+
+class PpmPredictor final : public Predictor {
+ public:
+  PpmPredictor(std::size_t n, std::size_t order = 2);
+
+  void observe(ItemId item) override;
+  std::vector<double> predict() const override;
+  std::size_t n_items() const override { return n_; }
+  void reset() override;
+
+  std::size_t order() const noexcept { return order_; }
+
+ private:
+  struct ContextStats {
+    std::unordered_map<ItemId, std::uint64_t> next_counts;
+    std::uint64_t total = 0;
+  };
+
+  // Encodes a context (sequence of up to `order_` item ids) into a key.
+  static std::uint64_t context_key(const std::deque<ItemId>& hist,
+                                   std::size_t len, std::size_t n);
+
+  std::size_t n_;
+  std::size_t order_;
+  std::vector<std::unordered_map<std::uint64_t, ContextStats>> tables_;
+  std::vector<std::uint64_t> marginal_;
+  std::uint64_t total_ = 0;
+  std::deque<ItemId> history_;  // most recent at back, length <= order_
+};
+
+}  // namespace skp

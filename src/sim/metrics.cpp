@@ -1,0 +1,28 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+namespace skp {
+
+void SimMetrics::merge(const SimMetrics& other) {
+  access_time.merge(other.access_time);
+  requests += other.requests;
+  hits += other.hits;
+  demand_fetches += other.demand_fetches;
+  prefetch_fetches += other.prefetch_fetches;
+  wasted_prefetches += other.wasted_prefetches;
+  network_time += other.network_time;
+  solver_nodes += other.solver_nodes;
+}
+
+std::string SimMetrics::to_string() const {
+  std::ostringstream os;
+  os << "requests=" << requests << " meanT=" << mean_access_time()
+     << " hit_rate=" << hit_rate() << " demand=" << demand_fetches
+     << " prefetched=" << prefetch_fetches
+     << " wasted=" << wasted_prefetches
+     << " net_time/req=" << network_time_per_request();
+  return os.str();
+}
+
+}  // namespace skp

@@ -1,0 +1,48 @@
+// Shared experiment metrics.
+//
+// Both simulators (and the DES netsim) report through SimMetrics so benches
+// and tests compare policies uniformly. "Network time" counts the total
+// retrieval time spent fetching (prefetch + demand), the paper's Section-6
+// network-usage concern; "wasted prefetches" counts items fetched
+// speculatively and evicted before ever being accessed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace skp {
+
+struct SimMetrics {
+  OnlineStats access_time;        // per-request T
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;         // requests served with T == 0
+  std::uint64_t demand_fetches = 0;
+  std::uint64_t prefetch_fetches = 0;
+  std::uint64_t wasted_prefetches = 0;
+  double network_time = 0.0;      // total retrieval time on the wire
+  std::uint64_t solver_nodes = 0; // cumulative planner search effort
+
+  double hit_rate() const {
+    return requests ? static_cast<double>(hits) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  double mean_access_time() const { return access_time.mean(); }
+  // Network time per request — the paper's usage-vs-improvement axis.
+  double network_time_per_request() const {
+    return requests ? network_time / static_cast<double>(requests) : 0.0;
+  }
+  double waste_rate() const {
+    return prefetch_fetches
+               ? static_cast<double>(wasted_prefetches) /
+                     static_cast<double>(prefetch_fetches)
+               : 0.0;
+  }
+
+  void merge(const SimMetrics& other);
+  std::string to_string() const;
+};
+
+}  // namespace skp

@@ -1,0 +1,161 @@
+#include "sim/multi_client.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "cache/cache.hpp"
+#include "cache/freq_tracker.hpp"
+#include "core/access_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace skp {
+
+namespace {
+
+// Per-client simulation state. Caches and chains are private; only the
+// link is shared.
+struct Client {
+  std::unique_ptr<MarkovSource> chain;
+  std::unique_ptr<SlotCache> cache;
+  std::unique_ptr<FreqTracker> freq;
+  Rng walk{0};
+  std::size_t state = 0;
+  std::size_t served = 0;
+  SimMetrics metrics;
+  std::vector<double> completion;      // per-item transfer completion time
+  std::vector<char> unused_prefetch;
+};
+
+}  // namespace
+
+MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
+  SKP_REQUIRE(cfg.n_clients >= 1, "need at least one client");
+  SKP_REQUIRE(cfg.link_speedup > 0.0, "link_speedup must be positive");
+  SKP_REQUIRE(cfg.cache_size >= 1, "cache_size must be >= 1");
+
+  const PrefetchEngine engine(cfg.engine);
+  Rng build(cfg.seed);
+
+  std::vector<Client> clients(cfg.n_clients);
+  for (std::size_t c = 0; c < cfg.n_clients; ++c) {
+    Client& cl = clients[c];
+    cl.chain = std::make_unique<MarkovSource>(cfg.source, build);
+    cl.chain->teleport(0);
+    const std::size_t n = cl.chain->n_states();
+    cl.cache = std::make_unique<SlotCache>(n, cfg.cache_size);
+    cl.freq = std::make_unique<FreqTracker>(n);
+    cl.walk = build.split(1000 + c);
+    cl.completion.assign(n, 0.0);
+    cl.unused_prefetch.assign(n, 0);
+  }
+
+  EventQueue clock;
+  double link_free_at = 0.0;
+  double link_busy = 0.0;
+  double makespan = 0.0;
+
+  // Serializes a transfer on the shared link; returns completion time.
+  auto enqueue = [&](double r) {
+    const double start = std::max(clock.now(), link_free_at);
+    const double duration = r / cfg.link_speedup;
+    link_free_at = start + duration;
+    link_busy += duration;
+    return link_free_at;
+  };
+
+  // One viewing-and-request cycle for client c, starting at clock.now().
+  // Defined as a std::function so completions can reschedule it.
+  std::function<void(std::size_t)> start_cycle = [&](std::size_t c) {
+    Client& cl = clients[c];
+    if (cl.served >= cfg.requests_per_client) {
+      makespan = std::max(makespan, clock.now());
+      return;
+    }
+    const double t0 = clock.now();
+    const Instance inst = cl.chain->instance_at(cl.state);
+    const auto next = static_cast<ItemId>(cl.chain->step(cl.walk));
+    std::optional<ItemId> oracle;
+    if (cfg.engine.policy == PrefetchPolicy::Perfect) oracle = next;
+
+    const auto cache_before = std::vector<ItemId>(
+        cl.cache->contents().begin(), cl.cache->contents().end());
+    const PrefetchPlan plan =
+        engine.plan_with_cache(inst, *cl.cache, cl.freq.get(), oracle);
+    std::size_t victim_idx = 0;
+    for (const ItemId f : plan.fetch) {
+      if (cl.cache->full()) {
+        const ItemId d = plan.evict[victim_idx++];
+        if (cl.unused_prefetch[Instance::idx(d)]) {
+          ++cl.metrics.wasted_prefetches;
+          cl.unused_prefetch[Instance::idx(d)] = 0;
+        }
+        cl.cache->replace(d, f);
+      } else {
+        cl.cache->insert(f);
+      }
+      cl.unused_prefetch[Instance::idx(f)] = 1;
+      cl.completion[Instance::idx(f)] =
+          enqueue(inst.r[Instance::idx(f)]);
+      ++cl.metrics.prefetch_fetches;
+      cl.metrics.network_time += inst.r[Instance::idx(f)];
+    }
+    cl.metrics.solver_nodes += plan.solver_nodes;
+
+    const double t_req = t0 + cl.chain->viewing_time(cl.state);
+    clock.schedule_at(t_req, [&, c, next, t_req] {
+      Client& me = clients[c];
+      double T = 0.0;
+      if (me.cache->contains(next)) {
+        T = std::max(0.0, me.completion[Instance::idx(next)] - t_req);
+      } else {
+        // Demand fetch queues behind every committed transfer — the
+        // paper's no-abort assumption, now spanning all clients.
+        if (me.cache->full()) {
+          const Instance now_inst = me.chain->instance_at(
+              static_cast<std::size_t>(next));
+          const ItemId d =
+              choose_victim(now_inst, me.cache->contents(),
+                            me.freq.get(), cfg.engine.arbitration);
+          if (me.unused_prefetch[Instance::idx(d)]) {
+            ++me.metrics.wasted_prefetches;
+            me.unused_prefetch[Instance::idx(d)] = 0;
+          }
+          me.cache->replace(d, next);
+        } else {
+          me.cache->insert(next);
+        }
+        const double finish =
+            enqueue(me.chain->retrieval_time(next));
+        me.completion[Instance::idx(next)] = finish;
+        ++me.metrics.demand_fetches;
+        me.metrics.network_time += me.chain->retrieval_time(next);
+        T = finish - t_req;
+      }
+      me.freq->record(next);
+      me.unused_prefetch[Instance::idx(next)] = 0;
+      me.metrics.access_time.add(T);
+      ++me.metrics.requests;
+      if (T == 0.0) ++me.metrics.hits;
+      ++me.served;
+      me.state = static_cast<std::size_t>(next);
+      // Next cycle begins when this request is served.
+      clock.schedule_at(t_req + T, [&, c] { start_cycle(c); });
+    });
+  };
+
+  for (std::size_t c = 0; c < cfg.n_clients; ++c) start_cycle(c);
+  clock.run_all();
+  makespan = std::max(makespan, clock.now());
+
+  MultiClientResult result;
+  result.makespan = makespan;
+  result.link_busy_time = link_busy;
+  for (auto& cl : clients) {
+    result.per_client.push_back(cl.metrics);
+    result.aggregate.merge(cl.metrics);
+  }
+  return result;
+}
+
+}  // namespace skp

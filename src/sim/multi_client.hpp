@@ -1,0 +1,53 @@
+// Multi-client distributed information system (extension).
+//
+// The paper analyses a single client; its title domain — distributed
+// information systems — raises the obvious system-level question:
+// speculative traffic from one client occupies the shared server link and
+// delays everyone else's demand fetches. This simulator runs K clients,
+// each with its own cache, prefetch engine and Markov request chain,
+// over ONE shared FIFO link (the server bottleneck), using the event
+// queue substrate. Per the paper's Section-2 assumption, committed
+// transfers are never aborted or preempted — a demand fetch queues behind
+// everything already on the wire, including other clients' speculation.
+//
+// bench/contention sweeps client count x prefetch threshold and shows the
+// congestion collapse of unthrottled speculation — the system-level
+// version of the Section-6 network-usage concern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefetch_engine.hpp"
+#include "sim/metrics.hpp"
+#include "workload/markov_source.hpp"
+
+namespace skp {
+
+struct MultiClientConfig {
+  std::size_t n_clients = 4;
+  // Each client walks an independent chain drawn with these parameters
+  // (items are per-client; the shared resource is the link, not the data).
+  MarkovSourceConfig source;
+  // The shared link serves one transfer at a time; a transfer of item i
+  // occupies it for r_i / speedup time units.
+  double link_speedup = 1.0;
+  std::size_t cache_size = 10;
+  EngineConfig engine;
+  std::size_t requests_per_client = 2'000;
+  std::uint64_t seed = 1;
+};
+
+struct MultiClientResult {
+  SimMetrics aggregate;                  // across all clients
+  std::vector<SimMetrics> per_client;
+  double makespan = 0.0;                 // time when the last client ended
+  double link_busy_time = 0.0;
+  double link_utilization() const {
+    return makespan > 0.0 ? link_busy_time / makespan : 0.0;
+  }
+};
+
+MultiClientResult run_multi_client(const MultiClientConfig& config);
+
+}  // namespace skp

@@ -1,0 +1,155 @@
+#include "sim/netsim.hpp"
+
+#include <algorithm>
+
+#include "core/access_model.hpp"
+
+namespace skp {
+
+std::vector<double> ServerCatalog::retrieval_times(
+    const NetConfig& net) const {
+  std::vector<double> r(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    r[i] = retrieval_time(static_cast<ItemId>(i), net);
+  }
+  return r;
+}
+
+ClientSession::ClientSession(ServerCatalog catalog, NetConfig net,
+                             EngineConfig engine,
+                             std::size_t cache_capacity)
+    : catalog_(std::move(catalog)),
+      net_(net),
+      engine_(engine),
+      cache_(catalog_.n(), cache_capacity),
+      freq_(catalog_.n()),
+      unused_prefetch_(catalog_.n(), 0) {
+  SKP_REQUIRE(net_.bandwidth > 0.0, "bandwidth must be positive");
+  SKP_REQUIRE(net_.latency >= 0.0, "latency must be >= 0");
+  for (std::size_t i = 0; i < catalog_.n(); ++i) {
+    SKP_REQUIRE(catalog_.sizes[i] > 0.0, "size[" << i << "] must be > 0");
+  }
+  completion_.assign(catalog_.n(), 0.0);
+}
+
+double ClientSession::link_utilization() const {
+  return clock_.now() > 0.0 ? link_busy_total_ / clock_.now() : 0.0;
+}
+
+double ClientSession::enqueue_transfer(ItemId item, bool is_prefetch) {
+  const double start = std::max(clock_.now(), link_free_at_);
+  const double duration = catalog_.retrieval_time(item, net_);
+  const double finish = start + duration;
+  link_free_at_ = finish;
+  in_flight_.push_back({item, start, finish, is_prefetch});
+  clock_.schedule_at(finish, [this, item, start, finish] {
+    link_busy_total_ += finish - start;
+    in_flight_.erase(
+        std::find_if(in_flight_.begin(), in_flight_.end(),
+                     [&](const Transfer& t) {
+                       return t.item == item && t.finish == finish;
+                     }));
+  });
+  return finish;
+}
+
+double ClientSession::request(ItemId item, double viewing_time,
+                              std::span<const double> next_probs,
+                              std::optional<ItemId> oracle_next) {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < catalog_.n(),
+              "item out of range");
+  SKP_REQUIRE(viewing_time >= 0.0, "negative viewing time");
+  SKP_REQUIRE(next_probs.size() == catalog_.n(),
+              "probability vector size mismatch");
+
+  const double t0 = clock_.now();
+  Instance inst;
+  inst.P.assign(next_probs.begin(), next_probs.end());
+  inst.r = catalog_.retrieval_times(net_);
+  inst.v = viewing_time;
+
+  // Plan and commit prefetches (slots are reserved at enqueue time so the
+  // planner never double-fetches an in-flight item; a request for such an
+  // item waits for its completion).
+  const PrefetchPlan plan =
+      engine_.plan_with_cache(inst, cache_, &freq_, oracle_next);
+  metrics_.solver_nodes += plan.solver_nodes;
+  {
+    std::size_t victim_idx = 0;
+    for (ItemId f : plan.fetch) {
+      if (cache_.full()) {
+        SKP_ASSERT(victim_idx < plan.evict.size());
+        const ItemId d = plan.evict[victim_idx++];
+        if (unused_prefetch_[Instance::idx(d)]) {
+          ++metrics_.wasted_prefetches;
+          unused_prefetch_[Instance::idx(d)] = 0;
+        }
+        cache_.replace(d, f);
+      } else {
+        cache_.insert(f);
+      }
+      unused_prefetch_[Instance::idx(f)] = 1;
+      completion_[Instance::idx(f)] = enqueue_transfer(f, true);
+      ++metrics_.prefetch_fetches;
+      metrics_.network_time += catalog_.retrieval_time(f, net_);
+    }
+  }
+
+  // The user views for `viewing_time`, then requests `item`.
+  const double t_req = t0 + viewing_time;
+  clock_.run_until(t_req);
+
+  double T = 0.0;
+  if (cache_.contains(item)) {
+    T = std::max(0.0, completion_[Instance::idx(item)] - t_req);
+  } else {
+    if (net_.cancel_pending_on_demand) {
+      // Extension: drop queued prefetches that have not started yet and
+      // free their cache slots (their victims are already gone).
+      std::vector<Transfer> kept;
+      double free_at = clock_.now();
+      for (const Transfer& t : in_flight_) {
+        if (t.is_prefetch && t.start >= t_req) {
+          cache_.erase(t.item);
+          unused_prefetch_[Instance::idx(t.item)] = 0;
+          ++metrics_.wasted_prefetches;
+          metrics_.network_time -= catalog_.retrieval_time(t.item, net_);
+          --metrics_.prefetch_fetches;
+        } else {
+          kept.push_back(t);
+          free_at = std::max(free_at, t.finish);
+        }
+      }
+      in_flight_ = std::move(kept);
+      link_free_at_ = free_at;
+    }
+    // Demand fetch: waits behind every committed prefetch (the paper's
+    // no-abort assumption) and must claim a victim when the cache is full.
+    if (cache_.full()) {
+      const ItemId d = choose_victim(inst, cache_.contents(), &freq_,
+                                     engine_.config().arbitration);
+      if (unused_prefetch_[Instance::idx(d)]) {
+        ++metrics_.wasted_prefetches;
+        unused_prefetch_[Instance::idx(d)] = 0;
+      }
+      cache_.replace(d, item);
+    } else {
+      cache_.insert(item);
+    }
+    const double finish = enqueue_transfer(item, false);
+    completion_[Instance::idx(item)] = finish;
+    ++metrics_.demand_fetches;
+    metrics_.network_time += catalog_.retrieval_time(item, net_);
+    T = finish - t_req;
+  }
+  clock_.run_until(t_req + T);
+
+  freq_.record(item);
+  unused_prefetch_[Instance::idx(item)] = 0;
+  metrics_.access_time.add(T);
+  ++metrics_.requests;
+  if (T == 0.0) ++metrics_.hits;
+  return T;
+}
+
+}  // namespace skp

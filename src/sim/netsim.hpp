@@ -1,0 +1,101 @@
+// Discrete-event model of the distributed information system.
+//
+// The analytic model of the paper abstracts the network into one number
+// per item (the retrieval time r_i). This substrate grounds that number:
+// a client talks to a server over a serial link with per-transfer latency
+// and finite bandwidth, so r_i = latency + size_i / bandwidth. Transfers
+// are serialized in FIFO order, and — per the paper's Section-2 assumption
+// — an in-progress or queued prefetch is never aborted or preempted: a
+// demand fetch waits for every committed prefetch to finish ("we assume
+// that the prefetch completes before the demand fetch").
+//
+// With latency = 0 and sizes = r_i * bandwidth, a ClientSession reproduces
+// the closed-form access times of Sections 3/5 exactly; the integration
+// tests pin that equivalence, which is what justifies using the analytic
+// model everywhere else. The optional `cancel_pending_on_demand` knob
+// (extension) drops not-yet-started prefetches on a miss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/freq_tracker.hpp"
+#include "core/prefetch_engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace skp {
+
+struct NetConfig {
+  double bandwidth = 1.0;   // size units per time unit
+  double latency = 0.0;     // per-transfer setup cost
+  // Extension: cancel queued (not yet started) prefetches when a demand
+  // fetch arrives. false = paper semantics.
+  bool cancel_pending_on_demand = false;
+};
+
+// Item catalog on the server side: sizes determine retrieval times.
+struct ServerCatalog {
+  std::vector<double> sizes;
+
+  std::size_t n() const noexcept { return sizes.size(); }
+  double retrieval_time(ItemId item, const NetConfig& net) const {
+    SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < sizes.size(),
+                "item out of range");
+    return net.latency + sizes[static_cast<std::size_t>(item)] /
+                             net.bandwidth;
+  }
+  std::vector<double> retrieval_times(const NetConfig& net) const;
+};
+
+// One client session driving the DES. The caller supplies, per user cycle,
+// the viewing time, the next-access distribution in force during it, and
+// the item the user then requests; the session plans prefetches with its
+// engine, executes them on the link, and reports the realized access time.
+class ClientSession {
+ public:
+  ClientSession(ServerCatalog catalog, NetConfig net, EngineConfig engine,
+                std::size_t cache_capacity);
+
+  // Runs one cycle: think for `viewing_time` (prefetching meanwhile), then
+  // request `item`. Returns the access time the user experienced.
+  double request(ItemId item, double viewing_time,
+                 std::span<const double> next_probs,
+                 std::optional<ItemId> oracle_next = std::nullopt);
+
+  const SimMetrics& metrics() const noexcept { return metrics_; }
+  const SlotCache& cache() const noexcept { return cache_; }
+  double now() const noexcept { return clock_.now(); }
+  // Fraction of elapsed time the link spent transferring.
+  double link_utilization() const;
+
+ private:
+  struct Transfer {
+    ItemId item;
+    double start;
+    double finish;
+    bool is_prefetch;
+  };
+
+  // Schedules a transfer after everything currently committed; returns its
+  // completion time.
+  double enqueue_transfer(ItemId item, bool is_prefetch);
+
+  ServerCatalog catalog_;
+  NetConfig net_;
+  PrefetchEngine engine_;
+  SlotCache cache_;
+  FreqTracker freq_;
+  EventQueue clock_;
+  SimMetrics metrics_;
+  double link_free_at_ = 0.0;
+  double link_busy_total_ = 0.0;
+  std::vector<Transfer> in_flight_;  // committed, not yet completed
+  std::vector<char> unused_prefetch_;
+  std::vector<double> completion_;   // per-item transfer completion time
+};
+
+}  // namespace skp

@@ -1,0 +1,276 @@
+#include "sim/prefetch_cache.hpp"
+
+#include <algorithm>
+
+#include "cache/cache.hpp"
+#include "cache/freq_tracker.hpp"
+#include "core/access_model.hpp"
+#include "core/lookahead.hpp"
+#include "predict/dependency_graph.hpp"
+#include "predict/lz78_predictor.hpp"
+#include "predict/markov_predictor.hpp"
+#include "predict/ppm_predictor.hpp"
+
+namespace skp {
+
+const char* to_string(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::Oracle: return "oracle";
+    case PredictorKind::Markov1: return "markov1";
+    case PredictorKind::Ppm: return "ppm";
+    case PredictorKind::DependencyWindow: return "depgraph";
+    case PredictorKind::Lz78: return "lz78";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<Predictor> make_predictor(PredictorKind kind,
+                                          std::size_t n) {
+  switch (kind) {
+    case PredictorKind::Oracle: return nullptr;
+    case PredictorKind::Markov1:
+      return std::make_unique<MarkovPredictor>(n, /*laplace=*/0.05);
+    case PredictorKind::Ppm:
+      return std::make_unique<PpmPredictor>(n, /*order=*/2);
+    case PredictorKind::DependencyWindow:
+      return std::make_unique<DependencyGraph>(n, /*window=*/2);
+    case PredictorKind::Lz78:
+      return std::make_unique<Lz78Predictor>(n);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
+                                       MarkovSource& source, Rng& walk_rng) {
+  SKP_REQUIRE(cfg.cache_size >= 1, "cache_size must be >= 1");
+  const std::size_t n = source.n_states();
+
+  EngineConfig ecfg;
+  ecfg.policy = cfg.policy;
+  ecfg.delta_rule = cfg.delta_rule;
+  ecfg.arbitration.sub = cfg.sub;
+  ecfg.arbitration.strict_ties = cfg.strict_ties;
+  ecfg.min_profit_threshold = cfg.min_profit_threshold;
+  const PrefetchEngine engine(ecfg);
+
+  SlotCache cache(n, cfg.cache_size);
+  FreqTracker freq(n);
+  auto predictor = make_predictor(cfg.predictor, n);
+
+  // Track which cached items were prefetched and never yet accessed so
+  // wasted prefetches can be charged when they are evicted unused.
+  std::vector<char> unused_prefetch(n, 0);
+
+  PrefetchCacheResult result;
+  auto& m = result.metrics;
+
+  std::size_t state = source.current_state();
+  if (predictor) predictor->observe(static_cast<ItemId>(state));
+
+  for (std::size_t req = 0; req < cfg.requests; ++req) {
+    const bool counted = req >= cfg.warmup;
+
+    // What the prefetcher knows in the current state.
+    Instance inst = source.instance_at(state);
+    if (predictor) {
+      inst.P = predictor->predict();
+      for (double& p : inst.P) {
+        if (p < cfg.predictor_min_prob) p = 0.0;
+      }
+    } else if (cfg.lookahead_horizon > 1) {
+      inst.P = horizon_probabilities(source, state, cfg.lookahead_horizon,
+                                     cfg.lookahead_decay);
+    }
+
+    // The source decides the next request now; only the Perfect oracle may
+    // look at it.
+    const auto next = static_cast<ItemId>(source.step(walk_rng));
+    std::optional<ItemId> oracle;
+    if (cfg.policy == PrefetchPolicy::Perfect) oracle = next;
+
+    // Plan and execute the prefetch against the current cache.
+    const auto cache_before =
+        std::vector<ItemId>(cache.contents().begin(),
+                            cache.contents().end());
+    const PrefetchPlan plan =
+        engine.plan_with_cache(inst, cache, &freq, oracle);
+    {
+      std::size_t victim_idx = 0;
+      for (std::size_t k = 0; k < plan.fetch.size(); ++k) {
+        const ItemId f = plan.fetch[k];
+        if (cache.full()) {
+          SKP_ASSERT(victim_idx < plan.evict.size());
+          const ItemId d = plan.evict[victim_idx++];
+          if (unused_prefetch[Instance::idx(d)]) {
+            if (counted) ++m.wasted_prefetches;
+            unused_prefetch[Instance::idx(d)] = 0;
+          }
+          cache.replace(d, f);
+        } else {
+          cache.insert(f);
+        }
+        unused_prefetch[Instance::idx(f)] = 1;
+        if (counted) {
+          ++m.prefetch_fetches;
+          m.network_time += inst.r[Instance::idx(f)];
+        }
+      }
+    }
+    if (counted) m.solver_nodes += plan.solver_nodes;
+
+    // Realized access time (Section 5 cases) against the pre-plan cache.
+    const double T = realized_access_time_cached(
+        inst, plan.fetch, plan.evict, cache_before, next);
+    if (counted) {
+      m.access_time.add(T);
+      ++m.requests;
+      if (T == 0.0) ++m.hits;
+      if (T > source.viewing_time(state)) ++result.over_viewing_time;
+    }
+
+    // Serve the request: record frequency, learn, demand-fetch on miss.
+    freq.record(next);
+    if (predictor) predictor->observe(next);
+    unused_prefetch[Instance::idx(next)] = 0;
+
+    if (!cache.contains(next)) {
+      if (counted) {
+        ++m.demand_fetches;
+        m.network_time += source.retrieval_time(next);
+      }
+      if (cache.full()) {
+        // "Demand-fetched item, however, must have a victim": minimal-Pr
+        // with the probabilities now in force (the new state's row).
+        Instance next_inst = source.instance_at(
+            static_cast<std::size_t>(next));
+        if (predictor) next_inst.P = predictor->predict();
+        const ItemId d = choose_victim(next_inst, cache.contents(), &freq,
+                                       ecfg.arbitration);
+        if (unused_prefetch[Instance::idx(d)]) {
+          if (counted) ++m.wasted_prefetches;
+          unused_prefetch[Instance::idx(d)] = 0;
+        }
+        cache.replace(d, next);
+      } else {
+        cache.insert(next);
+      }
+    }
+
+    state = static_cast<std::size_t>(next);
+  }
+  return result;
+}
+
+PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg) {
+  Rng build_rng(cfg.seed);
+  MarkovSource source(cfg.source, build_rng);
+  Rng walk_rng = build_rng.split(0x57a1f);
+  // Deterministic initial state.
+  source.teleport(0);
+  return run_prefetch_cache(cfg, source, walk_rng);
+}
+
+PrefetchCacheResult run_prefetch_cache_sized(
+    const SizedExperimentConfig& cfg) {
+  SKP_REQUIRE(cfg.capacity > 0.0, "capacity must be positive");
+  Rng build_rng(cfg.seed);
+  MarkovSource source(cfg.source, build_rng);
+  Rng walk_rng = build_rng.split(0x57a1f);
+  source.teleport(0);
+  const std::size_t n = source.n_states();
+
+  std::vector<double> sizes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sizes[i] = cfg.size_per_r > 0.0
+                   ? cfg.size_per_r *
+                         source.retrieval_time(static_cast<ItemId>(i))
+                   : build_rng.uniform(cfg.size_lo, cfg.size_hi);
+  }
+
+  EngineConfig ecfg;
+  ecfg.policy = cfg.policy;
+  ecfg.delta_rule = cfg.delta_rule;
+  ecfg.arbitration.sub = cfg.sub;
+  ecfg.arbitration.strict_ties = cfg.strict_ties;
+  const PrefetchEngine engine(ecfg);
+
+  SizedCache cache(sizes, cfg.capacity);
+  FreqTracker freq(n);
+  std::vector<char> unused_prefetch(n, 0);
+
+  PrefetchCacheResult result;
+  auto& m = result.metrics;
+  std::size_t state = source.current_state();
+
+  for (std::size_t req = 0; req < cfg.requests; ++req) {
+    const bool counted = req >= cfg.warmup;
+    const Instance inst = source.instance_at(state);
+    const auto next = static_cast<ItemId>(source.step(walk_rng));
+    std::optional<ItemId> oracle;
+    if (cfg.policy == PrefetchPolicy::Perfect) oracle = next;
+
+    const auto cache_before = std::vector<ItemId>(
+        cache.contents().begin(), cache.contents().end());
+    const PrefetchPlan plan =
+        engine.plan_with_sized_cache(inst, cache, &freq, oracle);
+    for (const ItemId d : plan.evict) {
+      if (unused_prefetch[Instance::idx(d)]) {
+        if (counted) ++m.wasted_prefetches;
+        unused_prefetch[Instance::idx(d)] = 0;
+      }
+      cache.erase(d);
+    }
+    for (const ItemId f : plan.fetch) {
+      cache.insert(f);
+      unused_prefetch[Instance::idx(f)] = 1;
+      if (counted) {
+        ++m.prefetch_fetches;
+        m.network_time += inst.r[Instance::idx(f)];
+      }
+    }
+    if (counted) m.solver_nodes += plan.solver_nodes;
+
+    const double T = realized_access_time_cached(
+        inst, plan.fetch, plan.evict, cache_before, next);
+    if (counted) {
+      m.access_time.add(T);
+      ++m.requests;
+      if (T == 0.0) ++m.hits;
+      if (T > source.viewing_time(state)) ++result.over_viewing_time;
+    }
+
+    freq.record(next);
+    unused_prefetch[Instance::idx(next)] = 0;
+    if (!cache.contains(next)) {
+      if (counted) {
+        ++m.demand_fetches;
+        m.network_time += source.retrieval_time(next);
+      }
+      if (cache.cacheable(next)) {
+        const Instance next_inst =
+            source.instance_at(static_cast<std::size_t>(next));
+        const VictimSet vs = gather_victims_by_density(
+            next_inst, cache, &freq, ecfg.arbitration,
+            cache.size_of(next));
+        SKP_ASSERT(vs.ok);
+        for (const ItemId d : vs.victims) {
+          if (unused_prefetch[Instance::idx(d)]) {
+            if (counted) ++m.wasted_prefetches;
+            unused_prefetch[Instance::idx(d)] = 0;
+          }
+          cache.erase(d);
+        }
+        cache.insert(next);
+      }
+      // Items larger than the whole cache are served uncached.
+    }
+    state = static_cast<std::size_t>(next);
+  }
+  return result;
+}
+
+}  // namespace skp

@@ -1,0 +1,125 @@
+#include "sim/trace_replay.hpp"
+
+#include "cache/cache.hpp"
+#include "cache/freq_tracker.hpp"
+#include "core/access_model.hpp"
+#include "predict/dependency_graph.hpp"
+#include "predict/lz78_predictor.hpp"
+#include "predict/markov_predictor.hpp"
+#include "predict/ppm_predictor.hpp"
+
+namespace skp {
+
+namespace {
+
+std::unique_ptr<Predictor> make_trace_predictor(PredictorKind kind,
+                                                std::size_t n) {
+  switch (kind) {
+    case PredictorKind::Oracle:
+      SKP_REQUIRE(false, "trace replay has no oracle probabilities");
+      return nullptr;
+    case PredictorKind::Markov1:
+      return std::make_unique<MarkovPredictor>(n, 0.05);
+    case PredictorKind::Ppm:
+      return std::make_unique<PpmPredictor>(n, 2);
+    case PredictorKind::DependencyWindow:
+      return std::make_unique<DependencyGraph>(n, 2);
+    case PredictorKind::Lz78:
+      return std::make_unique<Lz78Predictor>(n);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
+  SKP_REQUIRE(!trace.empty(), "cannot replay an empty trace");
+  SKP_REQUIRE(cfg.cache_size >= 1, "cache_size must be >= 1");
+  const std::size_t n = trace.n_items();
+
+  EngineConfig ecfg;
+  ecfg.policy = cfg.policy;
+  ecfg.delta_rule = cfg.delta_rule;
+  ecfg.arbitration.sub = cfg.sub;
+  ecfg.min_profit_threshold = cfg.min_profit_threshold;
+  const PrefetchEngine engine(ecfg);
+
+  SlotCache cache(n, cfg.cache_size);
+  FreqTracker freq(n);
+  auto predictor = make_trace_predictor(cfg.predictor, n);
+
+  SimMetrics m;
+  std::vector<char> unused_prefetch(n, 0);
+
+  for (std::size_t idx = 0; idx < trace.size(); ++idx) {
+    const TraceRecord& rec = trace.records()[idx];
+    const bool counted = idx >= cfg.warmup;
+
+    Instance inst;
+    inst.P = predictor->predict();
+    for (double& p : inst.P) {
+      if (p < cfg.predictor_min_prob) p = 0.0;
+    }
+    inst.r = trace.retrieval_times();
+    inst.v = rec.viewing_time;
+
+    const auto cache_before = std::vector<ItemId>(
+        cache.contents().begin(), cache.contents().end());
+    const PrefetchPlan plan =
+        engine.plan_with_cache(inst, cache, &freq);
+    std::size_t victim_idx = 0;
+    for (const ItemId f : plan.fetch) {
+      if (cache.full()) {
+        const ItemId d = plan.evict[victim_idx++];
+        if (unused_prefetch[Instance::idx(d)]) {
+          if (counted) ++m.wasted_prefetches;
+          unused_prefetch[Instance::idx(d)] = 0;
+        }
+        cache.replace(d, f);
+      } else {
+        cache.insert(f);
+      }
+      unused_prefetch[Instance::idx(f)] = 1;
+      if (counted) {
+        ++m.prefetch_fetches;
+        m.network_time += inst.r[Instance::idx(f)];
+      }
+    }
+    if (counted) m.solver_nodes += plan.solver_nodes;
+
+    const double T = realized_access_time_cached(
+        inst, plan.fetch, plan.evict, cache_before, rec.item);
+    if (counted) {
+      m.access_time.add(T);
+      ++m.requests;
+      if (T == 0.0) ++m.hits;
+    }
+
+    freq.record(rec.item);
+    predictor->observe(rec.item);
+    unused_prefetch[Instance::idx(rec.item)] = 0;
+    if (!cache.contains(rec.item)) {
+      if (counted) {
+        ++m.demand_fetches;
+        m.network_time += inst.r[Instance::idx(rec.item)];
+      }
+      if (cache.full()) {
+        // Victim chosen with the *post-observation* belief.
+        Instance after = inst;
+        after.P = predictor->predict();
+        const ItemId d = choose_victim(after, cache.contents(), &freq,
+                                       ecfg.arbitration);
+        if (unused_prefetch[Instance::idx(d)]) {
+          if (counted) ++m.wasted_prefetches;
+          unused_prefetch[Instance::idx(d)] = 0;
+        }
+        cache.replace(d, rec.item);
+      } else {
+        cache.insert(rec.item);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace skp

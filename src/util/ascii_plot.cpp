@@ -1,0 +1,130 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace skp {
+namespace {
+
+struct Range {
+  double lo, hi;
+  double span() const { return hi - lo; }
+};
+
+Range derive_range(double opt_min, double opt_max,
+                   const std::vector<PlotSeries>& series, bool x_axis) {
+  if (opt_min <= opt_max) return {opt_min, opt_max};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double v = x_axis ? x : y;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return {0.0, 1.0};
+  if (lo == hi) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  return {lo, hi};
+}
+
+std::string fmt_tick(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 1000 || (std::abs(v) < 0.01 && v != 0)) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else {
+    os << std::fixed << std::setprecision(std::abs(v) < 10 ? 1 : 0) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& opts) {
+  SKP_REQUIRE(opts.width >= 16 && opts.height >= 6,
+              "plot raster too small: " << opts.width << "x" << opts.height);
+  const Range xr = derive_range(opts.x_min, opts.x_max, series, true);
+  const Range yr = derive_range(opts.y_min, opts.y_max, series, false);
+
+  const std::size_t w = opts.width;
+  const std::size_t h = opts.height;
+  std::vector<std::string> raster(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (x < xr.lo || x > xr.hi || y < yr.lo || y > yr.hi) continue;
+      const double fx = (x - xr.lo) / xr.span();
+      const double fy = (y - yr.lo) / yr.span();
+      auto col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(w - 1)));
+      auto row = static_cast<std::size_t>(
+          std::lround(fy * static_cast<double>(h - 1)));
+      col = std::min(col, w - 1);
+      row = std::min(row, h - 1);
+      raster[h - 1 - row][col] = s.glyph;  // row 0 = top
+    }
+  }
+
+  std::ostringstream out;
+  if (!opts.title.empty()) out << "  " << opts.title << '\n';
+
+  // y-axis tick labels on the left: top, middle, bottom.
+  const std::string ytop = fmt_tick(yr.hi);
+  const std::string ymid = fmt_tick(yr.lo + yr.span() / 2);
+  const std::string ybot = fmt_tick(yr.lo);
+  std::size_t label_w = std::max({ytop.size(), ymid.size(), ybot.size(),
+                                  opts.y_label.size()});
+  label_w = std::min<std::size_t>(label_w, 12);
+
+  auto pad = [&](const std::string& s) {
+    std::string t = s.substr(0, label_w);
+    return std::string(label_w - t.size(), ' ') + t;
+  };
+
+  out << pad(opts.y_label) << ' ' << std::string(w + 2, ' ') << '\n';
+  for (std::size_t r = 0; r < h; ++r) {
+    std::string lbl(label_w, ' ');
+    if (r == 0) lbl = pad(ytop);
+    else if (r == h / 2) lbl = pad(ymid);
+    else if (r == h - 1) lbl = pad(ybot);
+    out << lbl << " |" << raster[r] << "|\n";
+  }
+  out << std::string(label_w + 1, ' ') << '+' << std::string(w, '-') << "+\n";
+
+  const std::string xlo = fmt_tick(xr.lo);
+  const std::string xhi = fmt_tick(xr.hi);
+  std::string xline(label_w + 2 + w, ' ');
+  std::copy(xlo.begin(), xlo.end(), xline.begin() + label_w + 2);
+  if (xhi.size() < w)
+    std::copy(xhi.begin(), xhi.end(),
+              xline.begin() + static_cast<std::ptrdiff_t>(label_w + 2 + w -
+                                                          xhi.size()));
+  out << xline << "  (" << opts.x_label << ")\n";
+
+  if (opts.legend && !series.empty()) {
+    out << "  legend:";
+    for (const auto& s : series) out << "  [" << s.glyph << "] " << s.name;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_scatter(const std::vector<std::pair<double, double>>& pts,
+                           const PlotOptions& opts, char glyph) {
+  PlotSeries s;
+  s.name = opts.title.empty() ? "series" : opts.title;
+  s.glyph = glyph;
+  s.points = pts;
+  return render_plot({s}, opts);
+}
+
+}  // namespace skp

@@ -1,0 +1,43 @@
+// Terminal plotting: scatter and multi-series line charts rendered as text.
+//
+// The paper's evaluation is entirely graphical (Figs. 4, 5, 7). The repro
+// band for this paper notes plotting tooling is the inconvenient part in
+// C++, so each bench binary renders its figure directly in the terminal
+// (plus CSV for external re-plotting). Rendering is deliberately simple:
+// fixed-size character raster, linear axes, per-series glyphs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace skp {
+
+struct PlotSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct PlotOptions {
+  std::size_t width = 72;    // interior columns
+  std::size_t height = 22;   // interior rows
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  // Axis ranges; when min > max the range is derived from the data.
+  double x_min = 1, x_max = 0;
+  double y_min = 1, y_max = 0;
+  bool legend = true;
+};
+
+// Renders series onto a character raster with axes and tick labels.
+// Later series overwrite earlier ones where glyphs collide.
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& opts);
+
+// Convenience single-scatter wrapper.
+std::string render_scatter(const std::vector<std::pair<double, double>>& pts,
+                           const PlotOptions& opts, char glyph = '*');
+
+}  // namespace skp

@@ -1,0 +1,36 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+namespace skp {
+
+std::string CsvWriter::quote(const std::string& cell) {
+  const bool needs =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *os_ << ',';
+    *os_ << quote(cells[i]);
+  }
+  *os_ << '\n';
+}
+
+std::ofstream open_csv(const std::string& path) {
+  std::ofstream f(path);
+  SKP_REQUIRE(f.good(), "cannot open CSV output file: " << path);
+  return f;
+}
+
+}  // namespace skp

@@ -1,0 +1,51 @@
+// Minimal CSV emission. Every bench binary writes its figure's series as
+// CSV (stdout or file) so the data can be re-plotted with external tools.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+// Streaming CSV writer with RFC-4180 quoting for string cells.
+class CsvWriter {
+ public:
+  // Writes to an externally owned stream (not owned; must outlive writer).
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  // Writes a full row; quoting applied to any cell containing , " or \n.
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience: heterogeneous row via streaming conversion.
+  template <typename... Ts>
+  void row_of(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vals));
+    (cells.push_back(to_cell(vals)), ...);
+    row(cells);
+  }
+
+  static std::string quote(const std::string& cell);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+  std::ostream* os_;
+};
+
+// Opens `path` for writing, throws on failure. Convenience for benches.
+std::ofstream open_csv(const std::string& path);
+
+}  // namespace skp

@@ -1,0 +1,47 @@
+// Precondition checking for the skpfetch library.
+//
+// All public entry points validate their inputs with SKP_REQUIRE, which
+// throws std::invalid_argument (independent of NDEBUG, so release builds
+// keep their contracts). SKP_ASSERT is for internal invariants and follows
+// NDEBUG like the standard assert.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace skp::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "skpfetch precondition failed: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace skp::detail
+
+// Throws std::invalid_argument when `cond` is false. `msg` is a string (or
+// anything streamable via std::ostringstream) appended to the diagnostic.
+#define SKP_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream skp_require_os_;                                   \
+      skp_require_os_ << msg;                                               \
+      ::skp::detail::require_failed(#cond, __FILE__, __LINE__,              \
+                                    skp_require_os_.str());                 \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define SKP_ASSERT(cond) ((void)0)
+#else
+#define SKP_ASSERT(cond)                                                    \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::skp::detail::require_failed(#cond, __FILE__, __LINE__,              \
+                                    "internal invariant");                  \
+  } while (false)
+#endif

@@ -1,0 +1,148 @@
+// Deterministic random number generation for reproducible Monte Carlo.
+//
+// The library never uses std::mt19937 directly in experiment code: every
+// simulation takes an skp::Rng (xoshiro256** behind a SplitMix64 seeder) so
+// that a (seed, stream) pair fully determines an experiment, and parallel
+// sweep points can derive independent streams cheaply via split().
+//
+// References: Blackman & Vigna, "Scrambled linear pseudorandom number
+// generators" (xoshiro256**); Steele et al. (SplitMix64).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+// SplitMix64: used to expand a 64-bit seed into xoshiro state and to derive
+// child seeds. Passes BigCrush when used as a generator on its own.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the library-wide PRNG. Satisfies UniformRandomBitGenerator
+// so it can also feed <random> distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four 64-bit words of state from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x5ee01e55ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+    // All-zero state is the one forbidden state; SplitMix64 cannot produce
+    // four zero outputs in a row, but keep the guard explicit.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Unbiased uniform integer in [0, bound) via Lemire's method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    SKP_ASSERT(bound > 0);
+    // 128-bit multiply-shift with rejection to remove modulo bias.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in the closed range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    SKP_ASSERT(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  // Exponential variate with rate lambda (> 0).
+  double exponential(double lambda = 1.0) noexcept {
+    // 1 - U in (0,1] avoids log(0).
+    double u = 1.0 - next_double();
+    return -std::log(u) / lambda;
+  }
+
+  // Derive an independent child generator; used for per-task streams in
+  // parallel sweeps. Deterministic in (parent state, salt).
+  Rng split(std::uint64_t salt) noexcept {
+    SplitMix64 sm(s_[0] ^ rotl(s_[3], 13) ^ (salt * 0x9e3779b97f4a7c15ULL));
+    Rng child(sm.next());
+    return child;
+  }
+
+  // Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    const auto n = c.size();
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace skp

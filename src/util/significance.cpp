@@ -1,0 +1,57 @@
+#include "util/significance.hpp"
+
+#include <cmath>
+
+namespace skp {
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+namespace {
+
+double two_sided_p(double statistic) {
+  const double tail = 1.0 - normal_cdf(std::abs(statistic));
+  return std::min(1.0, 2.0 * tail);
+}
+
+}  // namespace
+
+TestResult welch_t_test(const OnlineStats& a, const OnlineStats& b) {
+  SKP_REQUIRE(a.count() >= 2 && b.count() >= 2,
+              "welch_t_test needs >= 2 samples per side");
+  TestResult res;
+  res.mean_diff = a.mean() - b.mean();
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double se = std::sqrt(va + vb);
+  if (se == 0.0) {
+    // Identical constants: difference is exact.
+    res.statistic = res.mean_diff == 0.0 ? 0.0
+                    : (res.mean_diff > 0.0 ? 1e9 : -1e9);
+    res.p_value = res.mean_diff == 0.0 ? 1.0 : 0.0;
+    return res;
+  }
+  res.statistic = res.mean_diff / se;
+  res.p_value = two_sided_p(res.statistic);
+  return res;
+}
+
+TestResult paired_t_test(const OnlineStats& differences) {
+  SKP_REQUIRE(differences.count() >= 2,
+              "paired_t_test needs >= 2 pairs");
+  TestResult res;
+  res.mean_diff = differences.mean();
+  const double se = differences.sem();
+  if (se == 0.0) {
+    res.statistic = res.mean_diff == 0.0 ? 0.0
+                    : (res.mean_diff > 0.0 ? 1e9 : -1e9);
+    res.p_value = res.mean_diff == 0.0 ? 1.0 : 0.0;
+    return res;
+  }
+  res.statistic = res.mean_diff / se;
+  res.p_value = two_sided_p(res.statistic);
+  return res;
+}
+
+}  // namespace skp

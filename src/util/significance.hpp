@@ -1,0 +1,33 @@
+// Statistical significance for policy comparisons.
+//
+// The paper's Figures 5/7 draw conclusions from visual curve separation;
+// we back the same comparisons with Welch's t-test (independent runs) and
+// the paired-sample t-test (same workload replayed under two policies).
+// The p-values use a normal approximation of the t distribution, which at
+// the sample sizes of these experiments (thousands of requests) is
+// indistinguishable from the exact distribution.
+#pragma once
+
+#include "util/stats.hpp"
+
+namespace skp {
+
+struct TestResult {
+  double statistic = 0.0;  // t (or z) statistic
+  double p_value = 1.0;    // two-sided
+  double mean_diff = 0.0;  // mean(a) - mean(b)
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+// Standard normal CDF (erfc-based, double precision).
+double normal_cdf(double x);
+
+// Welch's unequal-variance t-test on two independent samples summarized
+// by OnlineStats. Requires >= 2 observations on each side.
+TestResult welch_t_test(const OnlineStats& a, const OnlineStats& b);
+
+// Paired t-test on per-trial differences d_i = a_i - b_i, supplied as the
+// OnlineStats of the differences. Requires >= 2 pairs.
+TestResult paired_t_test(const OnlineStats& differences);
+
+}  // namespace skp

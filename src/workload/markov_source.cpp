@@ -1,0 +1,138 @@
+#include "workload/markov_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+namespace {
+
+double draw_time(double lo, double hi, bool integer, Rng& rng) {
+  if (integer) {
+    return static_cast<double>(
+        rng.uniform_int(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(hi)));
+  }
+  return rng.uniform(lo, hi);
+}
+
+}  // namespace
+
+MarkovSource::MarkovSource(const MarkovSourceConfig& config, Rng& rng) {
+  const std::size_t n = config.n_states;
+  SKP_REQUIRE(n >= 2, "MarkovSource needs at least 2 states");
+  SKP_REQUIRE(config.out_degree_lo >= 1, "out-degree lower bound");
+  SKP_REQUIRE(config.out_degree_lo <= config.out_degree_hi,
+              "out-degree bounds inverted");
+  SKP_REQUIRE(config.v_lo >= 1.0 && config.v_lo <= config.v_hi,
+              "viewing time range");
+  SKP_REQUIRE(config.r_lo > 0.0 && config.r_lo <= config.r_hi,
+              "retrieval time range");
+
+  v_.resize(n);
+  r_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v_[i] = draw_time(config.v_lo, config.v_hi, config.integer_times, rng);
+    r_[i] = draw_time(config.r_lo, config.r_hi, config.integer_times, rng);
+  }
+
+  // The pool of possible successors per state excludes the state itself
+  // unless self-loops are allowed.
+  const std::size_t pool = config.allow_self_loop ? n : n - 1;
+  succ_.resize(n);
+  succ_prob_.resize(n);
+  dense_row_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::size_t degree = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.out_degree_lo),
+        static_cast<std::int64_t>(config.out_degree_hi)));
+    degree = std::min(degree, pool);
+    // Partial Fisher–Yates over candidate targets.
+    std::vector<ItemId> targets;
+    targets.reserve(pool);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!config.allow_self_loop && t == s) continue;
+      targets.push_back(static_cast<ItemId>(t));
+    }
+    for (std::size_t k = 0; k < degree; ++k) {
+      const std::size_t j =
+          k + static_cast<std::size_t>(rng.next_below(targets.size() - k));
+      std::swap(targets[k], targets[j]);
+    }
+    targets.resize(degree);
+    std::sort(targets.begin(), targets.end());
+
+    // Dirichlet(1) probabilities over the successors.
+    std::vector<double> w(degree);
+    double sum = 0.0;
+    for (auto& x : w) {
+      x = rng.exponential(1.0) + 1e-12;
+      sum += x;
+    }
+    dense_row_[s].assign(n, 0.0);
+    succ_[s] = targets;
+    succ_prob_[s].resize(degree);
+    for (std::size_t k = 0; k < degree; ++k) {
+      succ_prob_[s][k] = w[k] / sum;
+      dense_row_[s][static_cast<std::size_t>(targets[k])] = w[k] / sum;
+    }
+  }
+}
+
+double MarkovSource::viewing_time(std::size_t state) const {
+  SKP_REQUIRE(state < v_.size(), "state " << state << " out of range");
+  return v_[state];
+}
+
+double MarkovSource::retrieval_time(ItemId item) const {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < r_.size(),
+              "item " << item << " out of range");
+  return r_[static_cast<std::size_t>(item)];
+}
+
+std::span<const double> MarkovSource::transition_row(
+    std::size_t state) const {
+  SKP_REQUIRE(state < dense_row_.size(), "state out of range");
+  return dense_row_[state];
+}
+
+std::span<const ItemId> MarkovSource::successors(std::size_t state) const {
+  SKP_REQUIRE(state < succ_.size(), "state out of range");
+  return succ_[state];
+}
+
+std::size_t MarkovSource::step(Rng& rng) {
+  const auto& probs = succ_prob_[state_];
+  const auto& targets = succ_[state_];
+  SKP_ASSERT(!targets.empty());
+  const double u = rng.next_double();
+  double cum = 0.0;
+  std::size_t pick = targets.size() - 1;  // guard against fp round-off
+  for (std::size_t k = 0; k < probs.size(); ++k) {
+    cum += probs[k];
+    if (u < cum) {
+      pick = k;
+      break;
+    }
+  }
+  state_ = static_cast<std::size_t>(targets[pick]);
+  return state_;
+}
+
+void MarkovSource::teleport(std::size_t state) {
+  SKP_REQUIRE(state < v_.size(), "state out of range");
+  state_ = state;
+}
+
+Instance MarkovSource::instance_at(std::size_t state) const {
+  SKP_REQUIRE(state < v_.size(), "state out of range");
+  Instance inst;
+  inst.P = dense_row_[state];
+  inst.r = r_;
+  inst.v = v_[state];
+  return inst;
+}
+
+}  // namespace skp

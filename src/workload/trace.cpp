@@ -1,0 +1,98 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+Trace::Trace(std::size_t n_items, std::vector<double> retrieval_times)
+    : n_items_(n_items), r_(std::move(retrieval_times)) {
+  SKP_REQUIRE(n_items_ > 0, "Trace over empty catalog");
+  SKP_REQUIRE(r_.size() == n_items_,
+              "retrieval_times size " << r_.size() << " != " << n_items_);
+  for (std::size_t i = 0; i < r_.size(); ++i) {
+    SKP_REQUIRE(r_[i] > 0.0, "r[" << i << "] = " << r_[i]);
+  }
+}
+
+void Trace::append(ItemId item, double viewing_time) {
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < n_items_,
+              "trace item " << item << " outside catalog " << n_items_);
+  SKP_REQUIRE(viewing_time >= 0.0, "negative viewing time");
+  records_.push_back({item, viewing_time});
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "skptrace v1 " << n_items_ << "\n";
+  os << "r";
+  os.precision(17);
+  for (double x : r_) os << ' ' << x;
+  os << "\n";
+  for (const auto& rec : records_) {
+    os << rec.item << ' ' << rec.viewing_time << "\n";
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  std::string line;
+  SKP_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "trace: missing header");
+  std::istringstream hs(line);
+  std::string magic, version;
+  std::size_t n = 0;
+  hs >> magic >> version >> n;
+  SKP_REQUIRE(magic == "skptrace" && version == "v1",
+              "trace: bad header '" << line << "'");
+  SKP_REQUIRE(n > 0, "trace: bad item count");
+
+  SKP_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "trace: missing r line");
+  std::istringstream rs(line);
+  std::string tag;
+  rs >> tag;
+  SKP_REQUIRE(tag == "r", "trace: expected r line, got '" << line << "'");
+  std::vector<double> r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SKP_REQUIRE(static_cast<bool>(rs >> r[i]), "trace: truncated r line");
+  }
+
+  Trace trace(n, std::move(r));
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    long item = -1;
+    double vt = 0.0;
+    SKP_REQUIRE(static_cast<bool>(ls >> item >> vt),
+                "trace: malformed record '" << line << "'");
+    trace.append(static_cast<ItemId>(item), vt);
+  }
+  return trace;
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  SKP_REQUIRE(f.good(), "cannot open trace file for write: " << path);
+  save(f);
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream f(path);
+  SKP_REQUIRE(f.good(), "cannot open trace file for read: " << path);
+  return load(f);
+}
+
+bool Trace::operator==(const Trace& other) const {
+  if (n_items_ != other.n_items_ || r_ != other.r_ ||
+      records_.size() != other.records_.size())
+    return false;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].item != other.records_[i].item ||
+        records_[i].viewing_time != other.records_[i].viewing_time)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace skp

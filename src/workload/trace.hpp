@@ -1,0 +1,58 @@
+// Access-trace recording and replay.
+//
+// A trace is a sequence of (item, viewing_time) records plus the catalog's
+// retrieval times. Traces let experiments decouple workload generation
+// from policy evaluation (record once, replay under every policy — the
+// paper's Fig. 7 compares five policies on the same request sequence) and
+// let examples feed logged real-world sessions to the engine.
+//
+// Text format (one record per line, '#' comments):
+//   header line:  "skptrace v1 <n_items>"
+//   r line:       "r <r_0> <r_1> ... <r_{n-1}>"
+//   record lines: "<item> <viewing_time>"
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace skp {
+
+struct TraceRecord {
+  ItemId item = kNoItem;
+  double viewing_time = 0.0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::size_t n_items, std::vector<double> retrieval_times);
+
+  std::size_t n_items() const noexcept { return n_items_; }
+  const std::vector<double>& retrieval_times() const noexcept { return r_; }
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  // Appends a record; item must be < n_items, viewing_time >= 0.
+  void append(ItemId item, double viewing_time);
+
+  // Serialization.
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static Trace load_file(const std::string& path);
+
+  bool operator==(const Trace& other) const;
+
+ private:
+  std::size_t n_items_ = 0;
+  std::vector<double> r_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace skp

@@ -1,0 +1,299 @@
+#include "core/access_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace skp {
+namespace {
+
+// small_instance: P = {.5, .3, .15, .05}, r = {10, 20, 5, 8}, v = 12.
+
+TEST(StretchTime, ZeroWhenWithinViewingTime) {
+  const Instance inst = testing::small_instance();
+  const PrefetchList F{0};  // r = 10 <= 12
+  EXPECT_DOUBLE_EQ(stretch_time(inst, F), 0.0);
+}
+
+TEST(StretchTime, PositiveWhenExceeding) {
+  const Instance inst = testing::small_instance();
+  const PrefetchList F{0, 2};  // r = 15, v = 12
+  EXPECT_DOUBLE_EQ(stretch_time(inst, F), 3.0);
+}
+
+TEST(StretchTime, EmptyListIsZero) {
+  const Instance inst = testing::small_instance();
+  EXPECT_DOUBLE_EQ(stretch_time(inst, PrefetchList{}), 0.0);
+}
+
+TEST(StretchTime, ExactFitIsZero) {
+  Instance inst = testing::small_instance();
+  inst.v = 15.0;
+  const PrefetchList F{0, 2};
+  EXPECT_DOUBLE_EQ(stretch_time(inst, F), 0.0);
+}
+
+TEST(IsValidPrefetchList, EmptyIsValid) {
+  const Instance inst = testing::small_instance();
+  EXPECT_TRUE(is_valid_prefetch_list(inst, PrefetchList{}));
+}
+
+TEST(IsValidPrefetchList, OnlyLastMayStretch) {
+  const Instance inst = testing::small_instance();
+  EXPECT_TRUE(is_valid_prefetch_list(inst, PrefetchList{0, 2}));   // 10 < 12
+  EXPECT_FALSE(is_valid_prefetch_list(inst, PrefetchList{2, 0, 3}));
+  // K = {2, 0} -> 15 >= 12: the last prefetch would start after the
+  // request window.
+}
+
+TEST(IsValidPrefetchList, SingleHugeItemValid) {
+  const Instance inst = testing::small_instance();
+  EXPECT_TRUE(is_valid_prefetch_list(inst, PrefetchList{1}));  // r=20 alone
+}
+
+TEST(IsValidPrefetchList, RejectsDuplicates) {
+  const Instance inst = testing::small_instance();
+  EXPECT_FALSE(is_valid_prefetch_list(inst, PrefetchList{0, 0}));
+}
+
+TEST(IsValidPrefetchList, RejectsOutOfRangeIds) {
+  const Instance inst = testing::small_instance();
+  EXPECT_FALSE(is_valid_prefetch_list(inst, PrefetchList{9}));
+  EXPECT_FALSE(is_valid_prefetch_list(inst, PrefetchList{-1}));
+}
+
+TEST(IsValidPrefetchList, ZeroViewingTimeForbidsAnyPrefetch) {
+  Instance inst = testing::small_instance();
+  inst.v = 0.0;
+  EXPECT_FALSE(is_valid_prefetch_list(inst, PrefetchList{2}));
+  EXPECT_TRUE(is_valid_prefetch_list(inst, PrefetchList{}));
+}
+
+TEST(ExpectedAccessTime, NoPrefetchHandChecked) {
+  const Instance inst = testing::small_instance();
+  EXPECT_DOUBLE_EQ(expected_access_time_no_prefetch(inst), 12.15);
+}
+
+TEST(ExpectedAccessTime, PrefetchHandChecked) {
+  const Instance inst = testing::small_instance();
+  const PrefetchList F{0, 2};  // st = 3, z = 2
+  // P_z st + sum_{i notin F} P_i (r_i + st) = .45 + .3*23 + .05*11 = 7.9
+  EXPECT_DOUBLE_EQ(expected_access_time_prefetch(inst, F), 7.9);
+}
+
+TEST(ExpectedAccessTime, EmptyPrefetchEqualsNoPrefetch) {
+  const Instance inst = testing::small_instance();
+  EXPECT_DOUBLE_EQ(expected_access_time_prefetch(inst, PrefetchList{}),
+                   expected_access_time_no_prefetch(inst));
+}
+
+TEST(AccessImprovement, Eq3HandChecked) {
+  const Instance inst = testing::small_instance();
+  const PrefetchList F{0, 2};
+  // (5 + .75) - (1 - .5) * 3 = 4.25
+  EXPECT_DOUBLE_EQ(access_improvement(inst, F), 4.25);
+}
+
+TEST(AccessImprovement, MatchesExpectationDifference) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instance inst = testing::random_instance(rng);
+    // Build a random valid prefetch list from the canonical order.
+    const auto order = canonical_order(inst);
+    PrefetchList F;
+    double r_sum = 0;
+    for (ItemId i : order) {
+      if (rng.bernoulli(0.5)) continue;
+      if (r_sum >= inst.v) break;  // next item would violate Eq. (1)
+      F.push_back(i);
+      r_sum += inst.r[Instance::idx(i)];
+    }
+    if (F.empty()) continue;
+    ASSERT_TRUE(is_valid_prefetch_list(inst, F));
+    const double lhs = access_improvement(inst, F);
+    const double rhs = expected_access_time_no_prefetch(inst) -
+                       expected_access_time_prefetch(inst, F);
+    EXPECT_NEAR(lhs, rhs, 1e-9);
+  }
+}
+
+TEST(AccessImprovement, EmptyListIsZero) {
+  const Instance inst = testing::small_instance();
+  EXPECT_DOUBLE_EQ(access_improvement(inst, PrefetchList{}), 0.0);
+}
+
+TEST(AccessImprovement, InvalidListThrows) {
+  const Instance inst = testing::small_instance();
+  EXPECT_THROW(access_improvement(inst, PrefetchList{2, 0, 3}),
+               std::invalid_argument);
+}
+
+TEST(Theorem3, DeltaDecomposition) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instance inst = testing::random_instance(rng);
+    const auto order = canonical_order(inst);
+    // K = longest canonical prefix fitting strictly inside v; z = next.
+    PrefetchList K;
+    double r_sum = 0, p_sum = 0;
+    std::size_t zi = 0;
+    for (; zi < order.size(); ++zi) {
+      const double r = inst.r[Instance::idx(order[zi])];
+      if (r_sum + r >= inst.v) break;
+      K.push_back(order[zi]);
+      r_sum += r;
+      p_sum += inst.P[Instance::idx(order[zi])];
+    }
+    if (zi >= order.size()) continue;
+    PrefetchList F = K;
+    F.push_back(order[zi]);
+    const double st = stretch_time(inst, F);
+    const double delta = theorem3_delta(inst, order[zi], p_sum, st);
+    EXPECT_NEAR(access_improvement(inst, F),
+                access_improvement(inst, K) + delta, 1e-9);
+  }
+}
+
+TEST(RealizedAccessTime, Figure2Cases) {
+  const Instance inst = testing::small_instance();
+  const PrefetchList F{0, 2};  // K = {0}, z = 2, st = 3
+  EXPECT_DOUBLE_EQ(realized_access_time(inst, F, 0), 0.0);    // in K
+  EXPECT_DOUBLE_EQ(realized_access_time(inst, F, 2), 3.0);    // z
+  EXPECT_DOUBLE_EQ(realized_access_time(inst, F, 1), 23.0);   // miss
+  EXPECT_DOUBLE_EQ(realized_access_time(inst, F, 3), 11.0);   // miss
+}
+
+TEST(RealizedAccessTime, NoPrefetchIsRetrievalTime) {
+  const Instance inst = testing::small_instance();
+  EXPECT_DOUBLE_EQ(realized_access_time(inst, PrefetchList{}, 1), 20.0);
+}
+
+TEST(RealizedAccessTime, ExpectationConsistency) {
+  // E over the catalog of realized T equals the closed-form expectation.
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Instance inst = testing::random_instance(rng);
+    const auto order = canonical_order(inst);
+    PrefetchList F;
+    double r_sum = 0;
+    for (ItemId i : order) {
+      if (r_sum >= inst.v) break;
+      F.push_back(i);
+      r_sum += inst.r[Instance::idx(i)];
+    }
+    if (F.empty()) continue;
+    double expectation = 0;
+    for (std::size_t i = 0; i < inst.n(); ++i) {
+      expectation +=
+          inst.P[i] *
+          realized_access_time(inst, F, static_cast<ItemId>(i));
+    }
+    EXPECT_NEAR(expectation, expected_access_time_prefetch(inst, F), 1e-9);
+  }
+}
+
+TEST(RealizedAccessTime, OutOfRangeRequestThrows) {
+  const Instance inst = testing::small_instance();
+  EXPECT_THROW(realized_access_time(inst, PrefetchList{}, 99),
+               std::invalid_argument);
+}
+
+// ---- Section 5 (cache) ----------------------------------------------------
+
+TEST(CachedModel, NoPrefetchExpectationExcludesCache) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> C{1};
+  // 12.15 - 6 = 6.15
+  EXPECT_DOUBLE_EQ(expected_access_time_no_prefetch_cached(inst, C), 6.15);
+}
+
+TEST(CachedModel, Eq9HandChecked) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> C{1};
+  const PrefetchList F{0};
+  const std::vector<ItemId> D{1};
+  // g*(F) = 5 (no stretch); anti-g = P_1 r_1 = 6 -> g = -1.
+  EXPECT_DOUBLE_EQ(access_improvement_cached(inst, F, D, C), -1.0);
+}
+
+TEST(CachedModel, Eq9WithStretchCredit) {
+  Instance inst = testing::small_instance();
+  inst.v = 12.0;
+  const std::vector<ItemId> C{1, 3};
+  const PrefetchList F{0, 2};          // st = 3
+  const std::vector<ItemId> D{3};      // keep 1 cached
+  // g*(F) = 4.25; anti-g = P_3 r_3 - P_1 * st = .4 - .9 = -.5
+  EXPECT_DOUBLE_EQ(access_improvement_cached(inst, F, D, C), 4.75);
+}
+
+TEST(CachedModel, PrefetchOverlapWithCacheThrows) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> C{0};
+  EXPECT_THROW(access_improvement_cached(inst, PrefetchList{0}, {}, C),
+               std::invalid_argument);
+}
+
+TEST(CachedModel, VictimOutsideCacheThrows) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> C{1};
+  const std::vector<ItemId> D{2};
+  EXPECT_THROW(access_improvement_cached(inst, PrefetchList{0}, D, C),
+               std::invalid_argument);
+}
+
+TEST(CachedModel, RealizedCases) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> C{1, 3};
+  const PrefetchList F{0, 2};  // K = {0}, z = 2, st = 3
+  const std::vector<ItemId> D{3};
+  EXPECT_DOUBLE_EQ(realized_access_time_cached(inst, F, D, C, 0), 0.0);
+  EXPECT_DOUBLE_EQ(realized_access_time_cached(inst, F, D, C, 1), 0.0);
+  EXPECT_DOUBLE_EQ(realized_access_time_cached(inst, F, D, C, 2), 3.0);
+  EXPECT_DOUBLE_EQ(realized_access_time_cached(inst, F, D, C, 3), 11.0);
+}
+
+TEST(CachedModel, RealizedNoPlanHitsCache) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> C{2};
+  EXPECT_DOUBLE_EQ(
+      realized_access_time_cached(inst, PrefetchList{}, {}, C, 2), 0.0);
+  EXPECT_DOUBLE_EQ(
+      realized_access_time_cached(inst, PrefetchList{}, {}, C, 0), 10.0);
+}
+
+TEST(CachedModel, Eq9ConsistentWithExpectation) {
+  // g(F, D) must equal E(T|no prefetch, C) - E(T|F ejects D) where the
+  // latter is computed by summing realized times over the catalog.
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Instance inst = testing::random_instance(rng);
+    // Random cache of 2 items; F from the remaining ones.
+    std::vector<ItemId> ids(inst.n());
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.shuffle(ids);
+    const std::vector<ItemId> C{ids[0], ids[1]};
+    PrefetchList F;
+    double r_sum = 0;
+    for (std::size_t k = 2; k < ids.size(); ++k) {
+      if (r_sum >= inst.v) break;
+      F.push_back(ids[k]);
+      r_sum += inst.r[Instance::idx(ids[k])];
+    }
+    if (F.empty()) continue;
+    const std::vector<ItemId> D{C[0]};
+    double e_prefetch = 0;
+    for (std::size_t i = 0; i < inst.n(); ++i) {
+      e_prefetch += inst.P[i] * realized_access_time_cached(
+                                    inst, F, D, C, static_cast<ItemId>(i));
+    }
+    const double g = access_improvement_cached(inst, F, D, C);
+    const double e_none = expected_access_time_no_prefetch_cached(inst, C);
+    EXPECT_NEAR(g, e_none - e_prefetch, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,111 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace skp {
+namespace {
+
+PlotOptions small_opts() {
+  PlotOptions o;
+  o.width = 20;
+  o.height = 8;
+  o.x_min = 0;
+  o.x_max = 10;
+  o.y_min = 0;
+  o.y_max = 10;
+  o.legend = false;
+  return o;
+}
+
+TEST(AsciiPlot, RejectsTinyRaster) {
+  PlotOptions o;
+  o.width = 4;
+  o.height = 2;
+  EXPECT_THROW(render_plot({}, o), std::invalid_argument);
+}
+
+TEST(AsciiPlot, ContainsGlyphForPoint) {
+  PlotSeries s{"s", '@', {{5.0, 5.0}}};
+  const std::string out = render_plot({s}, small_opts());
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(AsciiPlot, OmitsOutOfRangePoints) {
+  PlotSeries s{"s", '@', {{50.0, 50.0}, {-5.0, 2.0}}};
+  const std::string out = render_plot({s}, small_opts());
+  EXPECT_EQ(out.find('@'), std::string::npos);
+}
+
+TEST(AsciiPlot, CornersLandInCorners) {
+  PlotSeries s{"s", '#', {{0.0, 0.0}, {10.0, 10.0}}};
+  auto opts = small_opts();
+  const std::string out = render_plot({s}, opts);
+  // Split rows; first raster row holds the y-max point, last the y-min.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  // Find the raster lines (they contain '|').
+  std::vector<std::string> raster;
+  for (const auto& l : lines) {
+    if (l.find('|') != std::string::npos) raster.push_back(l);
+  }
+  ASSERT_EQ(raster.size(), opts.height);
+  EXPECT_NE(raster.front().find('#'), std::string::npos);  // top = y max
+  EXPECT_NE(raster.back().find('#'), std::string::npos);   // bottom = y min
+}
+
+TEST(AsciiPlot, LegendListsSeriesNames) {
+  PlotSeries a{"alpha", 'a', {{1, 1}}};
+  PlotSeries b{"beta", 'b', {{2, 2}}};
+  auto opts = small_opts();
+  opts.legend = true;
+  const std::string out = render_plot({a, b}, opts);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(AsciiPlot, TitleRendered) {
+  auto opts = small_opts();
+  opts.title = "My Title";
+  const std::string out = render_plot({}, opts);
+  EXPECT_NE(out.find("My Title"), std::string::npos);
+}
+
+TEST(AsciiPlot, AutoRangeFromData) {
+  PlotOptions o;
+  o.width = 20;
+  o.height = 8;
+  o.legend = false;  // ranges left inverted -> derive from data
+  PlotSeries s{"s", '*', {{100.0, 200.0}, {110.0, 220.0}}};
+  const std::string out = render_plot({s}, o);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesStillRendersAxes) {
+  const std::string out = render_plot({}, small_opts());
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(AsciiPlot, ScatterWrapper) {
+  const std::string out =
+      render_scatter({{1.0, 1.0}, {2.0, 2.0}}, small_opts(), 'x');
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(AsciiPlot, LaterSeriesOverwrite) {
+  PlotSeries a{"a", 'a', {{5.0, 5.0}}};
+  PlotSeries b{"b", 'b', {{5.0, 5.0}}};
+  const std::string out = render_plot({a, b}, small_opts());
+  EXPECT_EQ(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skp

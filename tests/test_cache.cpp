@@ -1,0 +1,112 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace skp {
+namespace {
+
+TEST(SlotCache, ConstructionValidation) {
+  EXPECT_THROW(SlotCache(0, 1), std::invalid_argument);
+  EXPECT_THROW(SlotCache(10, 0), std::invalid_argument);
+  EXPECT_NO_THROW(SlotCache(10, 1));
+}
+
+TEST(SlotCache, InsertAndContains) {
+  SlotCache c(10, 3);
+  EXPECT_TRUE(c.empty());
+  c.insert(4);
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_FALSE(c.contains(5));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(SlotCache, DuplicateInsertThrows) {
+  SlotCache c(10, 3);
+  c.insert(1);
+  EXPECT_THROW(c.insert(1), std::invalid_argument);
+}
+
+TEST(SlotCache, InsertWhenFullThrows) {
+  SlotCache c(10, 2);
+  c.insert(1);
+  c.insert(2);
+  EXPECT_TRUE(c.full());
+  EXPECT_THROW(c.insert(3), std::invalid_argument);
+}
+
+TEST(SlotCache, OutOfCatalogThrows) {
+  SlotCache c(5, 2);
+  EXPECT_THROW(c.insert(5), std::invalid_argument);
+  EXPECT_THROW(c.insert(-1), std::invalid_argument);
+  EXPECT_THROW(c.contains(7), std::invalid_argument);
+}
+
+TEST(SlotCache, EraseRemoves) {
+  SlotCache c(10, 3);
+  c.insert(1);
+  c.insert(2);
+  c.erase(1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(SlotCache, EraseAbsentThrows) {
+  SlotCache c(10, 3);
+  EXPECT_THROW(c.erase(1), std::invalid_argument);
+}
+
+TEST(SlotCache, ReplaceSwapsAtomically) {
+  SlotCache c(10, 1);
+  c.insert(1);
+  c.replace(1, 2);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(SlotCache, ContentsPreserveInsertionOrder) {
+  SlotCache c(10, 4);
+  c.insert(3);
+  c.insert(1);
+  c.insert(7);
+  const auto contents = c.contents();
+  ASSERT_EQ(contents.size(), 3u);
+  EXPECT_EQ(contents[0], 3);
+  EXPECT_EQ(contents[1], 1);
+  EXPECT_EQ(contents[2], 7);
+}
+
+TEST(SlotCache, EraseKeepsSurvivorOrder) {
+  SlotCache c(10, 4);
+  c.insert(3);
+  c.insert(1);
+  c.insert(7);
+  c.erase(1);
+  const auto contents = c.contents();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0], 3);
+  EXPECT_EQ(contents[1], 7);
+}
+
+TEST(SlotCache, ClearEmpties) {
+  SlotCache c(10, 3);
+  c.insert(1);
+  c.insert(2);
+  c.clear();
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.contains(1));
+  c.insert(1);  // reusable after clear
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(SlotCache, FillToCapacity) {
+  SlotCache c(100, 100);
+  for (ItemId i = 0; i < 100; ++i) c.insert(i);
+  EXPECT_TRUE(c.full());
+  for (ItemId i = 0; i < 100; ++i) EXPECT_TRUE(c.contains(i));
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,137 @@
+// Randomized differential tests: the cache substrates against trivially
+// correct reference models, thousands of random operations each.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cache.hpp"
+#include "cache/sized_cache.hpp"
+#include "util/rng.hpp"
+
+namespace skp {
+namespace {
+
+TEST(CacheFuzz, SlotCacheMatchesSetModel) {
+  Rng rng(111);
+  const std::size_t catalog = 30;
+  const std::size_t capacity = 7;
+  SlotCache cache(catalog, capacity);
+  std::set<ItemId> model;
+  for (int op = 0; op < 20000; ++op) {
+    const auto item = static_cast<ItemId>(rng.next_below(catalog));
+    switch (rng.next_below(3)) {
+      case 0:  // insert if possible
+        if (!model.count(item) && model.size() < capacity) {
+          cache.insert(item);
+          model.insert(item);
+        } else {
+          EXPECT_THROW(cache.insert(item), std::invalid_argument);
+        }
+        break;
+      case 1:  // erase if present
+        if (model.count(item)) {
+          cache.erase(item);
+          model.erase(item);
+        } else {
+          EXPECT_THROW(cache.erase(item), std::invalid_argument);
+        }
+        break;
+      case 2:  // query
+        EXPECT_EQ(cache.contains(item), model.count(item) > 0);
+        break;
+    }
+    ASSERT_EQ(cache.size(), model.size());
+    ASSERT_EQ(cache.full(), model.size() == capacity);
+  }
+  // Final contents agree as sets.
+  std::set<ItemId> final_contents(cache.contents().begin(),
+                                  cache.contents().end());
+  EXPECT_EQ(final_contents, model);
+}
+
+TEST(CacheFuzz, SlotCacheReplacePreservesInvariants) {
+  Rng rng(113);
+  const std::size_t catalog = 20;
+  SlotCache cache(catalog, 5);
+  std::set<ItemId> model;
+  // Fill.
+  while (model.size() < 5) {
+    const auto i = static_cast<ItemId>(rng.next_below(catalog));
+    if (!model.count(i)) {
+      cache.insert(i);
+      model.insert(i);
+    }
+  }
+  for (int op = 0; op < 5000; ++op) {
+    const auto incoming = static_cast<ItemId>(rng.next_below(catalog));
+    if (model.count(incoming)) continue;
+    // Random victim from the model.
+    auto it = model.begin();
+    std::advance(it, static_cast<long>(rng.next_below(model.size())));
+    const ItemId victim = *it;
+    cache.replace(victim, incoming);
+    model.erase(victim);
+    model.insert(incoming);
+    ASSERT_EQ(cache.size(), 5u);
+    ASSERT_TRUE(cache.contains(incoming));
+    ASSERT_FALSE(cache.contains(victim));
+  }
+}
+
+TEST(CacheFuzz, SizedCacheMatchesAccountingModel) {
+  Rng rng(117);
+  const std::size_t catalog = 25;
+  std::vector<double> sizes(catalog);
+  for (auto& s : sizes) s = rng.uniform(1.0, 10.0);
+  const double capacity = 40.0;
+  SizedCache cache(sizes, capacity);
+  std::set<ItemId> model;
+  double used = 0.0;
+  for (int op = 0; op < 20000; ++op) {
+    const auto item = static_cast<ItemId>(rng.next_below(catalog));
+    const double sz = sizes[static_cast<std::size_t>(item)];
+    if (rng.bernoulli(0.5)) {
+      const bool can =
+          !model.count(item) && used + sz <= capacity + 1e-12;
+      if (can) {
+        cache.insert(item);
+        model.insert(item);
+        used += sz;
+      } else {
+        EXPECT_THROW(cache.insert(item), std::invalid_argument);
+      }
+    } else {
+      if (model.count(item)) {
+        cache.erase(item);
+        model.erase(item);
+        used -= sz;
+      } else {
+        EXPECT_THROW(cache.erase(item), std::invalid_argument);
+      }
+    }
+    ASSERT_NEAR(cache.used(), used, 1e-6);
+    ASSERT_EQ(cache.count(), model.size());
+  }
+}
+
+TEST(CacheFuzz, SizedCacheFitsConsistentWithInsert) {
+  Rng rng(119);
+  std::vector<double> sizes(15);
+  for (auto& s : sizes) s = rng.uniform(0.5, 6.0);
+  SizedCache cache(sizes, 12.0);
+  for (int op = 0; op < 10000; ++op) {
+    const auto item = static_cast<ItemId>(rng.next_below(15));
+    if (cache.contains(item)) {
+      cache.erase(item);
+      continue;
+    }
+    if (cache.fits(item) && cache.cacheable(item)) {
+      EXPECT_NO_THROW(cache.insert(item));
+    } else {
+      EXPECT_THROW(cache.insert(item), std::invalid_argument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skp

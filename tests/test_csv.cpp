@@ -1,0 +1,76 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace skp {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesCommas) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a,b", "c"});
+  EXPECT_EQ(os.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"say \"hi\""});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(CsvWriter::quote("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, EmptyCellsPreserved) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"", "x", ""});
+  EXPECT_EQ(os.str(), ",x,\n");
+}
+
+TEST(CsvWriter, RowOfMixedTypes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row_of("label", 42, 2.5);
+  EXPECT_EQ(os.str(), "label,42,2.5\n");
+}
+
+TEST(CsvWriter, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"h1", "h2"});
+  w.row_of(1, 2);
+  w.row_of(3, 4);
+  EXPECT_EQ(os.str(), "h1,h2\n1,2\n3,4\n");
+}
+
+TEST(OpenCsv, ThrowsOnBadPath) {
+  EXPECT_THROW(open_csv("/nonexistent-dir/x.csv"), std::invalid_argument);
+}
+
+TEST(OpenCsv, WritesToTempFile) {
+  const std::string path = ::testing::TempDir() + "/skp_csv_test.csv";
+  {
+    auto f = open_csv(path);
+    CsvWriter w(f);
+    w.row_of("x", 1);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,1");
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,219 @@
+// Property grid over the prefetch engine: every (policy, sub-arbitration,
+// tie rule, cache fill) combination must uphold the planning invariants on
+// random instances.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/access_model.hpp"
+#include "core/prefetch_engine.hpp"
+#include "test_util.hpp"
+
+namespace skp {
+namespace {
+
+struct EngineParam {
+  PrefetchPolicy policy;
+  SubArbitration sub;
+  bool strict_ties;
+  std::size_t cache_fill;  // resident items out of capacity 4
+};
+
+std::string engine_param_name(
+    const ::testing::TestParamInfo<EngineParam>& info) {
+  const auto& p = info.param;
+  return to_string(p.policy) + "_" + to_string(p.sub) +
+         (p.strict_ties ? "_strict" : "_listing") + "_fill" +
+         std::to_string(p.cache_fill);
+}
+
+class EngineGridTest : public ::testing::TestWithParam<EngineParam> {
+ protected:
+  EngineConfig config() const {
+    EngineConfig cfg;
+    cfg.policy = GetParam().policy;
+    cfg.arbitration.sub = GetParam().sub;
+    cfg.arbitration.strict_ties = GetParam().strict_ties;
+    return cfg;
+  }
+
+  // Builds a random instance plus a partially filled cache + freq state.
+  struct World {
+    Instance inst;
+    SlotCache cache;
+    FreqTracker freq;
+  };
+
+  World make_world(Rng& rng) const {
+    testing::RandomInstanceOptions opt;
+    opt.n = 10;
+    Instance inst = testing::random_instance(rng, opt);
+    SlotCache cache(inst.n(), 4);
+    FreqTracker freq(inst.n());
+    std::vector<ItemId> ids(inst.n());
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.shuffle(ids);
+    for (std::size_t k = 0; k < GetParam().cache_fill; ++k) {
+      cache.insert(ids[k]);
+    }
+    // Random access history for the sub-arbitration scores.
+    for (int i = 0; i < 30; ++i) {
+      freq.record(static_cast<ItemId>(rng.next_below(inst.n())));
+    }
+    return {std::move(inst), std::move(cache), std::move(freq)};
+  }
+};
+
+TEST_P(EngineGridTest, PlansUpholdStructuralInvariants) {
+  Rng rng(7000 + static_cast<std::uint64_t>(GetParam().cache_fill));
+  const PrefetchEngine engine(config());
+  for (int trial = 0; trial < 80; ++trial) {
+    World w = make_world(rng);
+    const auto oracle =
+        static_cast<ItemId>(rng.next_below(w.inst.n()));
+    const auto plan = engine.plan_with_cache(
+        w.inst, w.cache, &w.freq,
+        GetParam().policy == PrefetchPolicy::Perfect
+            ? std::optional<ItemId>(oracle)
+            : std::nullopt);
+
+    // Fetches are unique, uncached, and form a valid Eq.-(1) list.
+    std::set<ItemId> fetch_set(plan.fetch.begin(), plan.fetch.end());
+    EXPECT_EQ(fetch_set.size(), plan.fetch.size());
+    for (const ItemId f : plan.fetch) {
+      EXPECT_FALSE(w.cache.contains(f));
+    }
+    EXPECT_TRUE(is_valid_prefetch_list(w.inst, plan.fetch));
+
+    // Victims are distinct residents, never more than the fetches.
+    std::set<ItemId> evict_set(plan.evict.begin(), plan.evict.end());
+    EXPECT_EQ(evict_set.size(), plan.evict.size());
+    EXPECT_LE(plan.evict.size(), plan.fetch.size());
+    for (const ItemId d : plan.evict) {
+      EXPECT_TRUE(w.cache.contains(d));
+    }
+
+    // Capacity is never exceeded after applying the plan.
+    const std::size_t after =
+        w.cache.size() - plan.evict.size() + plan.fetch.size();
+    EXPECT_LE(after, w.cache.capacity());
+  }
+}
+
+TEST_P(EngineGridTest, NonePolicyIsAlwaysEmpty) {
+  if (GetParam().policy != PrefetchPolicy::None) GTEST_SKIP();
+  Rng rng(7100);
+  const PrefetchEngine engine(config());
+  for (int trial = 0; trial < 40; ++trial) {
+    World w = make_world(rng);
+    const auto plan = engine.plan_with_cache(w.inst, w.cache, &w.freq);
+    EXPECT_TRUE(plan.fetch.empty());
+    EXPECT_TRUE(plan.evict.empty());
+  }
+}
+
+TEST_P(EngineGridTest, PredictedGMatchesEq9ForExactSkp) {
+  if (GetParam().policy != PrefetchPolicy::SKP) GTEST_SKIP();
+  Rng rng(7200 + static_cast<std::uint64_t>(GetParam().cache_fill));
+  const PrefetchEngine engine(config());
+  for (int trial = 0; trial < 60; ++trial) {
+    World w = make_world(rng);
+    const auto plan = engine.plan_with_cache(w.inst, w.cache, &w.freq);
+    if (plan.fetch.empty()) continue;
+    EXPECT_NEAR(plan.predicted_g,
+                access_improvement_cached(w.inst, plan.fetch, plan.evict,
+                                          w.cache.contents()),
+                1e-9);
+  }
+}
+
+TEST_P(EngineGridTest, ThresholdMonotonicallyPrunes) {
+  if (GetParam().policy == PrefetchPolicy::None) GTEST_SKIP();
+  Rng rng(7300 + static_cast<std::uint64_t>(GetParam().cache_fill));
+  for (int trial = 0; trial < 40; ++trial) {
+    World w = make_world(rng);
+    std::size_t prev_count = SIZE_MAX;
+    for (const double th : {0.0, 1.0, 4.0, 16.0}) {
+      EngineConfig cfg = config();
+      cfg.min_profit_threshold = th;
+      const PrefetchEngine engine(cfg);
+      const auto plan = engine.plan_with_cache(
+          w.inst, w.cache, &w.freq,
+          GetParam().policy == PrefetchPolicy::Perfect
+              ? std::optional<ItemId>(ItemId{0})
+              : std::nullopt);
+      // Every fetched item clears the threshold.
+      for (const ItemId f : plan.fetch) {
+        EXPECT_GE(w.inst.profit(f), th);
+      }
+      (void)prev_count;
+      prev_count = plan.fetch.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineGridTest,
+    ::testing::Values(
+        EngineParam{PrefetchPolicy::None, SubArbitration::None, false, 2},
+        EngineParam{PrefetchPolicy::KP, SubArbitration::None, false, 0},
+        EngineParam{PrefetchPolicy::KP, SubArbitration::LFU, false, 4},
+        EngineParam{PrefetchPolicy::SKP, SubArbitration::None, false, 0},
+        EngineParam{PrefetchPolicy::SKP, SubArbitration::None, true, 4},
+        EngineParam{PrefetchPolicy::SKP, SubArbitration::LFU, false, 2},
+        EngineParam{PrefetchPolicy::SKP, SubArbitration::LFU, true, 3},
+        EngineParam{PrefetchPolicy::SKP, SubArbitration::DS, false, 4},
+        EngineParam{PrefetchPolicy::SKP, SubArbitration::DS, true, 1},
+        EngineParam{PrefetchPolicy::Perfect, SubArbitration::None, false,
+                    4},
+        EngineParam{PrefetchPolicy::Perfect, SubArbitration::DS, false,
+                    2}),
+    engine_param_name);
+
+// Sized-planner analogue of the structural grid.
+class SizedEngineTest : public ::testing::Test {};
+
+TEST(SizedEngineTest, SizedPlansRespectCapacityAndDisjointness) {
+  Rng rng(7500);
+  for (int trial = 0; trial < 120; ++trial) {
+    testing::RandomInstanceOptions opt;
+    opt.n = 10;
+    const Instance inst = testing::random_instance(rng, opt);
+    std::vector<double> sizes(inst.n());
+    for (auto& s : sizes) s = rng.uniform(1.0, 8.0);
+    const double capacity = 20.0;
+    SizedCache cache(sizes, capacity);
+    // Random prefill.
+    std::vector<ItemId> ids(inst.n());
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.shuffle(ids);
+    for (const ItemId i : ids) {
+      if (cache.fits(i) && rng.bernoulli(0.6)) cache.insert(i);
+    }
+    FreqTracker freq(inst.n());
+    EngineConfig ecfg;
+    ecfg.policy = PrefetchPolicy::SKP;
+    ecfg.arbitration.sub = SubArbitration::DS;
+    for (int i = 0; i < 20; ++i) {
+      freq.record(static_cast<ItemId>(rng.next_below(inst.n())));
+    }
+    const PrefetchEngine engine(ecfg);
+    const auto plan = engine.plan_with_sized_cache(inst, cache, &freq);
+
+    double incoming = 0.0, outgoing = 0.0;
+    for (const ItemId f : plan.fetch) {
+      EXPECT_FALSE(cache.contains(f));
+      incoming += cache.size_of(f);
+    }
+    for (const ItemId d : plan.evict) {
+      EXPECT_TRUE(cache.contains(d));
+      outgoing += cache.size_of(d);
+    }
+    EXPECT_LE(cache.used() - outgoing + incoming, capacity + 1e-9);
+    EXPECT_TRUE(is_valid_prefetch_list(inst, plan.fetch));
+  }
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,157 @@
+#include "core/item.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_util.hpp"
+
+namespace skp {
+namespace {
+
+TEST(Instance, ValidInstancePasses) {
+  const Instance inst = testing::small_instance();
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_EQ(inst.n(), 4u);
+}
+
+TEST(Instance, RejectsEmptyCatalog) {
+  Instance inst;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, RejectsSizeMismatch) {
+  Instance inst;
+  inst.P = {0.5, 0.5};
+  inst.r = {1.0};
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, RejectsNegativeProbability) {
+  Instance inst;
+  inst.P = {1.2, -0.2};
+  inst.r = {1.0, 1.0};
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, RejectsProbabilitySumOverOne) {
+  Instance inst;
+  inst.P = {0.7, 0.7};
+  inst.r = {1.0, 1.0};
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, AllowsSubUnitMass) {
+  // Cache-aware planning works with P restricted to N \ C.
+  Instance inst;
+  inst.P = {0.2, 0.3};
+  inst.r = {1.0, 2.0};
+  inst.v = 1.0;
+  EXPECT_NO_THROW(inst.validate());
+}
+
+TEST(Instance, RejectsNonPositiveRetrievalTime) {
+  Instance inst;
+  inst.P = {0.5, 0.5};
+  inst.r = {1.0, 0.0};
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, RejectsNegativeViewingTime) {
+  Instance inst = testing::small_instance();
+  inst.v = -1.0;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Instance, ProfitIsPTimesR) {
+  const Instance inst = testing::small_instance();
+  EXPECT_DOUBLE_EQ(inst.profit(0), 5.0);
+  EXPECT_DOUBLE_EQ(inst.profit(1), 6.0);
+}
+
+TEST(Instance, IdxRejectsNegative) {
+  EXPECT_THROW(Instance::idx(-1), std::invalid_argument);
+}
+
+TEST(CanonicalOrder, SortsByProbabilityDescending) {
+  const Instance inst = testing::small_instance();
+  const auto order = canonical_order(inst);
+  const std::vector<ItemId> expected{0, 1, 2, 3};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(CanonicalOrder, TieBrokenByRetrievalAscending) {
+  Instance inst;
+  inst.P = {0.25, 0.25, 0.25, 0.25};
+  inst.r = {9.0, 3.0, 7.0, 5.0};
+  inst.v = 10.0;
+  const auto order = canonical_order(inst);
+  const std::vector<ItemId> expected{1, 3, 2, 0};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(CanonicalOrder, FullTieBrokenById) {
+  Instance inst;
+  inst.P = {0.5, 0.5};
+  inst.r = {4.0, 4.0};
+  inst.v = 10.0;
+  const auto order = canonical_order(inst);
+  const std::vector<ItemId> expected{0, 1};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(CanonicalOrder, SubsetRestriction) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> cand{3, 1};
+  const auto order = canonical_order(inst, cand);
+  const std::vector<ItemId> expected{1, 3};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(CanonicalOrder, SatisfiesEq5Predicate) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Instance inst = testing::random_instance(rng);
+    const auto order = canonical_order(inst);
+    EXPECT_TRUE(is_canonically_sorted(inst, order));
+  }
+}
+
+TEST(IsCanonicallySorted, DetectsViolation) {
+  const Instance inst = testing::small_instance();
+  const std::vector<ItemId> bad{1, 0};
+  EXPECT_FALSE(is_canonically_sorted(inst, bad));
+}
+
+TEST(IsCanonicallySorted, EmptyAndSingleton) {
+  const Instance inst = testing::small_instance();
+  EXPECT_TRUE(is_canonically_sorted(inst, std::vector<ItemId>{}));
+  EXPECT_TRUE(is_canonically_sorted(inst, std::vector<ItemId>{2}));
+}
+
+TEST(NormalizeProbabilities, SumsToOne) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  const auto p = normalize_probabilities(w);
+  double sum = 0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(p[3], 0.4, 1e-12);
+}
+
+TEST(NormalizeProbabilities, RejectsAllZero) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(normalize_probabilities(w), std::invalid_argument);
+}
+
+TEST(NormalizeProbabilities, RejectsNegative) {
+  const std::vector<double> w{1.0, -1.0};
+  EXPECT_THROW(normalize_probabilities(w), std::invalid_argument);
+}
+
+TEST(NormalizeProbabilities, RejectsEmpty) {
+  const std::vector<double> w;
+  EXPECT_THROW(normalize_probabilities(w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skp

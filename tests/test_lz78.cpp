@@ -1,0 +1,117 @@
+#include "predict/lz78_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/markov_source.hpp"
+
+namespace skp {
+namespace {
+
+double sum(const std::vector<double>& p) {
+  double s = 0;
+  for (double x : p) s += x;
+  return s;
+}
+
+TEST(Lz78, ConstructionValidation) {
+  EXPECT_THROW(Lz78Predictor(0), std::invalid_argument);
+  EXPECT_NO_THROW(Lz78Predictor(5));
+}
+
+TEST(Lz78, ColdStartUniform) {
+  Lz78Predictor pred(4);
+  const auto p = pred.predict();
+  for (double x : p) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(Lz78, DistributionInvariant) {
+  Lz78Predictor pred(8);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = pred.predict();
+    EXPECT_NEAR(sum(p), 1.0, 1e-9);
+    for (double x : p) EXPECT_GE(x, 0.0);
+    pred.observe(static_cast<ItemId>(rng.next_below(8)));
+  }
+}
+
+TEST(Lz78, TreeGrowsByPhrases) {
+  Lz78Predictor pred(3);
+  EXPECT_EQ(pred.node_count(), 1u);  // root only
+  pred.observe(0);                   // new phrase "0"
+  EXPECT_EQ(pred.node_count(), 2u);
+  EXPECT_EQ(pred.phrase_count(), 1u);
+  EXPECT_EQ(pred.current_depth(), 0u);  // back at root
+  pred.observe(0);                      // descends into "0"
+  EXPECT_EQ(pred.current_depth(), 1u);
+  pred.observe(1);  // new phrase "01"
+  EXPECT_EQ(pred.node_count(), 3u);
+  EXPECT_EQ(pred.current_depth(), 0u);
+}
+
+TEST(Lz78, LearnsDeterministicCycle) {
+  // LZ78 restarts at the tree root after each new phrase, so pointwise
+  // predictions at phrase boundaries stay weak (the marginal); the right
+  // measure — as in Vitter & Krishnan's analysis — is the *average* mass
+  // assigned to the realized next symbol, which must rise well above the
+  // uniform 1/3 on a deterministic cycle.
+  Lz78Predictor pred(3);
+  const int syms[3] = {0, 1, 2};
+  double mass = 0.0;
+  int scored = 0;
+  for (int step = 0; step < 900; ++step) {
+    const ItemId next = syms[step % 3];
+    if (step > 450) {
+      mass += pred.predict()[static_cast<std::size_t>(next)];
+      ++scored;
+    }
+    pred.observe(next);
+  }
+  EXPECT_GT(mass / scored, 0.45);
+}
+
+TEST(Lz78, ResetRestoresColdState) {
+  Lz78Predictor pred(3);
+  for (int i = 0; i < 50; ++i) pred.observe(i % 3);
+  pred.reset();
+  EXPECT_EQ(pred.node_count(), 1u);
+  EXPECT_EQ(pred.phrase_count(), 0u);
+  const auto p = pred.predict();
+  for (double x : p) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Lz78, OutOfRangeThrows) {
+  Lz78Predictor pred(3);
+  EXPECT_THROW(pred.observe(3), std::invalid_argument);
+  EXPECT_THROW(pred.observe(-1), std::invalid_argument);
+}
+
+TEST(Lz78, BeatsUniformOnMarkovSource) {
+  // Vitter–Krishnan's setting: the LZ78 predictor must assign the
+  // realized next state materially more mass than uniform on average.
+  Rng build(9);
+  MarkovSourceConfig cfg;
+  cfg.n_states = 20;
+  cfg.out_degree_lo = 3;
+  cfg.out_degree_hi = 5;
+  MarkovSource src(cfg, build);
+  src.teleport(0);
+  Lz78Predictor pred(cfg.n_states);
+  pred.observe(0);
+  Rng walk(10);
+  double mass = 0;
+  const int steps = 8000;
+  int scored = 0;
+  for (int i = 0; i < steps; ++i) {
+    const auto next = static_cast<ItemId>(src.step(walk));
+    if (i > steps / 2) {
+      mass += pred.predict()[static_cast<std::size_t>(next)];
+      ++scored;
+    }
+    pred.observe(next);
+  }
+  EXPECT_GT(mass / scored, 2.0 / cfg.n_states);
+}
+
+}  // namespace
+}  // namespace skp

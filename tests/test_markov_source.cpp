@@ -1,0 +1,196 @@
+#include "workload/markov_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace skp {
+namespace {
+
+MarkovSourceConfig small_config() {
+  MarkovSourceConfig cfg;
+  cfg.n_states = 20;
+  cfg.out_degree_lo = 3;
+  cfg.out_degree_hi = 6;
+  return cfg;
+}
+
+TEST(MarkovSource, PaperDefaultsMatchFig7Caption) {
+  const MarkovSourceConfig cfg;
+  EXPECT_EQ(cfg.n_states, 100u);
+  EXPECT_EQ(cfg.out_degree_lo, 10u);
+  EXPECT_EQ(cfg.out_degree_hi, 20u);
+  EXPECT_DOUBLE_EQ(cfg.v_lo, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.v_hi, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.r_lo, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.r_hi, 30.0);
+}
+
+TEST(MarkovSource, RejectsDegenerateConfigs) {
+  Rng rng(1);
+  MarkovSourceConfig cfg;
+  cfg.n_states = 1;
+  EXPECT_THROW(MarkovSource(cfg, rng), std::invalid_argument);
+  cfg = MarkovSourceConfig{};
+  cfg.out_degree_lo = 0;
+  EXPECT_THROW(MarkovSource(cfg, rng), std::invalid_argument);
+  cfg = MarkovSourceConfig{};
+  cfg.out_degree_lo = 5;
+  cfg.out_degree_hi = 3;
+  EXPECT_THROW(MarkovSource(cfg, rng), std::invalid_argument);
+}
+
+TEST(MarkovSource, TimesWithinConfiguredRanges) {
+  Rng rng(2);
+  const MarkovSource src(MarkovSourceConfig{}, rng);
+  for (std::size_t s = 0; s < src.n_states(); ++s) {
+    EXPECT_GE(src.viewing_time(s), 1.0);
+    EXPECT_LE(src.viewing_time(s), 100.0);
+    EXPECT_GE(src.retrieval_time(static_cast<ItemId>(s)), 1.0);
+    EXPECT_LE(src.retrieval_time(static_cast<ItemId>(s)), 30.0);
+  }
+}
+
+TEST(MarkovSource, IntegerTimesAreIntegral) {
+  Rng rng(3);
+  const MarkovSource src(MarkovSourceConfig{}, rng);
+  for (std::size_t s = 0; s < src.n_states(); ++s) {
+    const double v = src.viewing_time(s);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+  }
+}
+
+TEST(MarkovSource, OutDegreesWithinBounds) {
+  Rng rng(4);
+  const MarkovSource src(MarkovSourceConfig{}, rng);
+  for (std::size_t s = 0; s < src.n_states(); ++s) {
+    const auto succ = src.successors(s);
+    EXPECT_GE(succ.size(), 10u);
+    EXPECT_LE(succ.size(), 20u);
+  }
+}
+
+TEST(MarkovSource, RowsAreProbabilityDistributions) {
+  Rng rng(5);
+  const MarkovSource src(small_config(), rng);
+  for (std::size_t s = 0; s < src.n_states(); ++s) {
+    const auto row = src.transition_row(s);
+    double sum = 0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovSource, NoSelfLoopsByDefault) {
+  Rng rng(6);
+  const MarkovSource src(small_config(), rng);
+  for (std::size_t s = 0; s < src.n_states(); ++s) {
+    EXPECT_DOUBLE_EQ(src.transition_row(s)[s], 0.0);
+  }
+}
+
+TEST(MarkovSource, SelfLoopsWhenAllowed) {
+  Rng rng(7);
+  MarkovSourceConfig cfg = small_config();
+  cfg.allow_self_loop = true;
+  cfg.out_degree_lo = cfg.n_states;  // force full fan-out
+  cfg.out_degree_hi = cfg.n_states;
+  const MarkovSource src(cfg, rng);
+  bool any_self = false;
+  for (std::size_t s = 0; s < src.n_states(); ++s) {
+    if (src.transition_row(s)[s] > 0.0) any_self = true;
+  }
+  EXPECT_TRUE(any_self);
+}
+
+TEST(MarkovSource, SuccessorsMatchDenseRow) {
+  Rng rng(8);
+  const MarkovSource src(small_config(), rng);
+  for (std::size_t s = 0; s < src.n_states(); ++s) {
+    const auto row = src.transition_row(s);
+    std::set<ItemId> from_row;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (row[j] > 0.0) from_row.insert(static_cast<ItemId>(j));
+    }
+    const auto succ = src.successors(s);
+    const std::set<ItemId> from_succ(succ.begin(), succ.end());
+    EXPECT_EQ(from_row, from_succ);
+  }
+}
+
+TEST(MarkovSource, StepOnlyReachesSuccessors) {
+  Rng rng(9);
+  MarkovSource src(small_config(), rng);
+  Rng walk(10);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t before = src.current_state();
+    const std::size_t after = src.step(walk);
+    const auto succ = src.successors(before);
+    EXPECT_NE(std::find(succ.begin(), succ.end(),
+                        static_cast<ItemId>(after)),
+              succ.end());
+    EXPECT_EQ(after, src.current_state());
+  }
+}
+
+TEST(MarkovSource, StepFrequenciesTrackProbabilities) {
+  Rng rng(11);
+  MarkovSource src(small_config(), rng);
+  src.teleport(0);
+  const auto row = src.transition_row(0);
+  std::vector<int> counts(src.n_states(), 0);
+  Rng walk(12);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    src.teleport(0);
+    ++counts[src.step(walk)];
+  }
+  for (std::size_t j = 0; j < src.n_states(); ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / trials, row[j], 0.01);
+  }
+}
+
+TEST(MarkovSource, TeleportValidation) {
+  Rng rng(13);
+  MarkovSource src(small_config(), rng);
+  EXPECT_THROW(src.teleport(99), std::invalid_argument);
+  src.teleport(5);
+  EXPECT_EQ(src.current_state(), 5u);
+}
+
+TEST(MarkovSource, InstanceAtMatchesRowAndTimes) {
+  Rng rng(14);
+  const MarkovSource src(small_config(), rng);
+  const Instance inst = src.instance_at(3);
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_EQ(inst.n(), src.n_states());
+  EXPECT_DOUBLE_EQ(inst.v, src.viewing_time(3));
+  const auto row = src.transition_row(3);
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    EXPECT_DOUBLE_EQ(inst.P[j], row[j]);
+    EXPECT_DOUBLE_EQ(inst.r[j],
+                     src.retrieval_time(static_cast<ItemId>(j)));
+  }
+}
+
+TEST(MarkovSource, DeterministicInSeed) {
+  Rng rng1(15), rng2(15);
+  const MarkovSource a(small_config(), rng1);
+  const MarkovSource b(small_config(), rng2);
+  for (std::size_t s = 0; s < a.n_states(); ++s) {
+    EXPECT_DOUBLE_EQ(a.viewing_time(s), b.viewing_time(s));
+    const auto ra = a.transition_row(s);
+    const auto rb = b.transition_row(s);
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      EXPECT_DOUBLE_EQ(ra[j], rb[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skp

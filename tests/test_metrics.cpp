@@ -1,0 +1,56 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace skp {
+namespace {
+
+TEST(SimMetrics, ZeroInitialized) {
+  const SimMetrics m;
+  EXPECT_EQ(m.requests, 0u);
+  EXPECT_DOUBLE_EQ(m.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_access_time(), 0.0);
+  EXPECT_DOUBLE_EQ(m.network_time_per_request(), 0.0);
+  EXPECT_DOUBLE_EQ(m.waste_rate(), 0.0);
+}
+
+TEST(SimMetrics, DerivedRatios) {
+  SimMetrics m;
+  m.requests = 10;
+  m.hits = 4;
+  m.network_time = 55.0;
+  m.prefetch_fetches = 8;
+  m.wasted_prefetches = 2;
+  EXPECT_DOUBLE_EQ(m.hit_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(m.network_time_per_request(), 5.5);
+  EXPECT_DOUBLE_EQ(m.waste_rate(), 0.25);
+}
+
+TEST(SimMetrics, MergeAddsCounters) {
+  SimMetrics a, b;
+  a.requests = 3;
+  a.hits = 1;
+  a.network_time = 10.0;
+  a.access_time.add(2.0);
+  b.requests = 7;
+  b.hits = 2;
+  b.network_time = 5.0;
+  b.access_time.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.requests, 10u);
+  EXPECT_EQ(a.hits, 3u);
+  EXPECT_DOUBLE_EQ(a.network_time, 15.0);
+  EXPECT_EQ(a.access_time.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.access_time.mean(), 3.0);
+}
+
+TEST(SimMetrics, ToStringMentionsKeyFields) {
+  SimMetrics m;
+  m.requests = 5;
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("requests=5"), std::string::npos);
+  EXPECT_NE(s.find("hit_rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,102 @@
+#include "sim/multi_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/prefetch_cache.hpp"
+
+namespace skp {
+namespace {
+
+MultiClientConfig quick(std::size_t clients, double threshold = 0.0) {
+  MultiClientConfig cfg;
+  cfg.n_clients = clients;
+  cfg.source.n_states = 25;
+  cfg.source.out_degree_lo = 4;
+  cfg.source.out_degree_hi = 7;
+  cfg.cache_size = 6;
+  cfg.engine.policy = PrefetchPolicy::SKP;
+  cfg.engine.min_profit_threshold = threshold;
+  cfg.requests_per_client = 400;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(MultiClient, Validation) {
+  auto cfg = quick(1);
+  cfg.n_clients = 0;
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+  cfg = quick(1);
+  cfg.link_speedup = 0.0;
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+  cfg = quick(1);
+  cfg.cache_size = 0;
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+}
+
+TEST(MultiClient, EveryClientServesItsQuota) {
+  const auto res = run_multi_client(quick(3));
+  ASSERT_EQ(res.per_client.size(), 3u);
+  for (const auto& m : res.per_client) {
+    EXPECT_EQ(m.requests, 400u);
+  }
+  EXPECT_EQ(res.aggregate.requests, 1200u);
+}
+
+TEST(MultiClient, DeterministicInSeed) {
+  const auto a = run_multi_client(quick(2));
+  const auto b = run_multi_client(quick(2));
+  EXPECT_DOUBLE_EQ(a.aggregate.mean_access_time(),
+                   b.aggregate.mean_access_time());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(MultiClient, LinkUtilizationBounded) {
+  const auto res = run_multi_client(quick(4));
+  EXPECT_GE(res.link_utilization(), 0.0);
+  EXPECT_LE(res.link_utilization(), 1.0 + 1e-9);
+  EXPECT_GT(res.makespan, 0.0);
+}
+
+TEST(MultiClient, ContentionHurtsAtFixedLinkSpeed) {
+  // More clients on the SAME link (no speedup) must not make the average
+  // access time better.
+  auto one = quick(1);
+  auto four = quick(4);
+  const double t1 = run_multi_client(one).aggregate.mean_access_time();
+  const double t4 = run_multi_client(four).aggregate.mean_access_time();
+  EXPECT_GE(t4, t1 * 0.9);
+}
+
+TEST(MultiClient, ThrottlingHelpsUnderHeavyContention) {
+  // At 6 clients on an unscaled link, disabling speculation must not be
+  // worse than unbounded speculation by any large margin — and typically
+  // strictly beats it.
+  auto eager = quick(6, 0.0);
+  auto off = quick(6, 1e9);
+  const auto res_eager = run_multi_client(eager);
+  const auto res_off = run_multi_client(off);
+  EXPECT_EQ(res_off.aggregate.prefetch_fetches, 0u);
+  EXPECT_LE(res_off.aggregate.mean_access_time(),
+            res_eager.aggregate.mean_access_time() * 1.5);
+}
+
+TEST(MultiClient, SingleClientMatchesAnalyticOrdering) {
+  // With one client the system degenerates to the Fig.-7 setting: SKP
+  // must beat no-prefetch.
+  auto skp_cfg = quick(1);
+  auto none_cfg = quick(1);
+  none_cfg.engine.policy = PrefetchPolicy::None;
+  EXPECT_LT(run_multi_client(skp_cfg).aggregate.mean_access_time(),
+            run_multi_client(none_cfg).aggregate.mean_access_time());
+}
+
+TEST(MultiClient, FasterLinkNeverHurts) {
+  auto slow = quick(4);
+  auto fast = quick(4);
+  fast.link_speedup = 4.0;
+  EXPECT_LE(run_multi_client(fast).aggregate.mean_access_time(),
+            run_multi_client(slow).aggregate.mean_access_time() + 1e-9);
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,195 @@
+#include "sim/netsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/access_model.hpp"
+#include "test_util.hpp"
+
+namespace skp {
+namespace {
+
+EngineConfig skp_engine() {
+  EngineConfig cfg;
+  cfg.policy = PrefetchPolicy::SKP;
+  return cfg;
+}
+
+TEST(ServerCatalog, RetrievalTimeFromLatencyAndBandwidth) {
+  ServerCatalog cat{{10.0, 20.0}};
+  NetConfig net;
+  net.bandwidth = 2.0;
+  net.latency = 1.5;
+  EXPECT_DOUBLE_EQ(cat.retrieval_time(0, net), 6.5);
+  EXPECT_DOUBLE_EQ(cat.retrieval_time(1, net), 11.5);
+  const auto r = cat.retrieval_times(net);
+  EXPECT_DOUBLE_EQ(r[0], 6.5);
+  EXPECT_DOUBLE_EQ(r[1], 11.5);
+}
+
+TEST(ServerCatalog, OutOfRangeThrows) {
+  ServerCatalog cat{{10.0}};
+  EXPECT_THROW(cat.retrieval_time(1, NetConfig{}), std::invalid_argument);
+}
+
+TEST(ClientSession, RejectsBadConfiguration) {
+  ServerCatalog cat{{1.0, 2.0}};
+  NetConfig bad_bw;
+  bad_bw.bandwidth = 0.0;
+  EXPECT_THROW(ClientSession(cat, bad_bw, skp_engine(), 2),
+               std::invalid_argument);
+  NetConfig bad_lat;
+  bad_lat.latency = -1.0;
+  EXPECT_THROW(ClientSession(cat, bad_lat, skp_engine(), 2),
+               std::invalid_argument);
+  EXPECT_THROW(ClientSession(ServerCatalog{{1.0, 0.0}}, NetConfig{},
+                             skp_engine(), 2),
+               std::invalid_argument);
+}
+
+TEST(ClientSession, RequestValidation) {
+  ClientSession s(ServerCatalog{{1.0, 2.0}}, NetConfig{}, skp_engine(), 2);
+  const std::vector<double> P{0.5, 0.5};
+  EXPECT_THROW(s.request(5, 1.0, P), std::invalid_argument);
+  EXPECT_THROW(s.request(0, -1.0, P), std::invalid_argument);
+  EXPECT_THROW(s.request(0, 1.0, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+// The central validation: with latency 0 and unit bandwidth (sizes == r),
+// a fresh session's first cycle reproduces the analytic access time of
+// Sections 3/5 exactly. This is what licenses the closed-form model.
+TEST(ClientSession, SingleCycleMatchesAnalyticModel) {
+  Rng rng(91);
+  for (int trial = 0; trial < 200; ++trial) {
+    testing::RandomInstanceOptions opt;
+    opt.n = 8;
+    const Instance inst = testing::random_instance(rng, opt);
+
+    ServerCatalog cat{inst.r};  // bandwidth 1, latency 0 -> sizes = r
+    ClientSession session(cat, NetConfig{}, skp_engine(), inst.n());
+
+    // What the engine would plan from a cold cache.
+    SlotCache empty(inst.n(), inst.n());
+    FreqTracker freq(inst.n());
+    const PrefetchEngine engine(skp_engine());
+    const auto plan = engine.plan_with_cache(inst, empty, &freq);
+
+    const auto item =
+        static_cast<ItemId>(rng.next_below(inst.n()));
+    const double T_des = session.request(item, inst.v, inst.P);
+    const double T_model = realized_access_time(inst, plan.fetch, item);
+    EXPECT_NEAR(T_des, T_model, 1e-9)
+        << "trial " << trial << " item " << item;
+  }
+}
+
+TEST(ClientSession, HitAfterPrefetchIsFree) {
+  // One certain item that fits in the viewing time: T = 0.
+  ServerCatalog cat{{5.0, 1.0}};
+  ClientSession s(cat, NetConfig{}, skp_engine(), 2);
+  const std::vector<double> P{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(s.request(1, 2.0, P), 0.0);
+  EXPECT_EQ(s.metrics().hits, 1u);
+  EXPECT_EQ(s.metrics().prefetch_fetches, 1u);
+  EXPECT_EQ(s.metrics().demand_fetches, 0u);
+}
+
+TEST(ClientSession, MissPaysStretchPlusRetrieval) {
+  // Prefetch of item 1 (r=4) stretches past v=2 by 2; a request for item 0
+  // (r=5) then waits the stretch plus its own transfer: T = 2 + 5 = 7.
+  ServerCatalog cat{{5.0, 4.0}};
+  ClientSession s(cat, NetConfig{}, skp_engine(), 2);
+  const std::vector<double> P{0.1, 0.9};
+  // SKP with v=2: F = {1} (g = 3.6 - 2 = 1.6 > 0).
+  EXPECT_DOUBLE_EQ(s.request(0, 2.0, P), 7.0);
+  EXPECT_EQ(s.metrics().demand_fetches, 1u);
+}
+
+TEST(ClientSession, StretchCarryoverDelaysNextCycle) {
+  // Cycle 1 leaves the link busy past the request (hit in K while z is
+  // still in flight); cycle 2's transfers must queue behind it. This is
+  // the Section-4.4 "stretch intrudes into the next viewing time" effect
+  // that the per-cycle analytic model ignores.
+  ServerCatalog cat{{3.0, 1.0, 10.0, 2.0, 5.0}};
+  ClientSession s(cat, NetConfig{}, skp_engine(), 5);
+  // Cycle 1: F = {1, 2} (st = 9); request 1 hits (T = 0) at t = 2 while
+  // item 2 transfers until t = 11.
+  const std::vector<double> P1{0.0, 0.6, 0.4, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(s.request(1, 2.0, P1), 0.0);
+  // Cycle 2 (t0 = 2): prefetch of 4 queues at t = 11; request of 3 at
+  // t = 3 misses and waits behind both: T = 16 + 2 - 3 = 15.
+  const std::vector<double> P2{0.0, 0.0, 0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(s.request(3, 1.0, P2), 15.0);
+}
+
+TEST(ClientSession, CancelPendingRecoversQueuedTime) {
+  // Same scenario as above but queued prefetches are dropped on demand:
+  // the demand fetch only waits for the in-flight transfer (t = 11),
+  // T = 11 + 2 - 3 = 10.
+  ServerCatalog cat{{3.0, 1.0, 10.0, 2.0, 5.0}};
+  NetConfig net;
+  net.cancel_pending_on_demand = true;
+  ClientSession s(cat, net, skp_engine(), 5);
+  const std::vector<double> P1{0.0, 0.6, 0.4, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(s.request(1, 2.0, P1), 0.0);
+  const std::vector<double> P2{0.0, 0.0, 0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(s.request(3, 1.0, P2), 10.0);
+}
+
+TEST(ClientSession, LatencyAddsPerTransfer) {
+  ServerCatalog cat{{4.0, 1.0}};
+  NetConfig net;
+  net.latency = 0.5;
+  ClientSession s(cat, net, skp_engine(), 2);
+  // No prefetch possible (P mass on the requested item, v = 0).
+  const std::vector<double> P{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(s.request(0, 0.0, P), 4.5);
+}
+
+TEST(ClientSession, CacheHitCostsNothing) {
+  ServerCatalog cat{{4.0, 1.0}};
+  ClientSession s(cat, NetConfig{}, skp_engine(), 2);
+  const std::vector<double> P{1.0, 0.0};
+  const double t1 = s.request(0, 0.0, P);
+  EXPECT_GT(t1, 0.0);
+  const double t2 = s.request(0, 5.0, P);  // now cached
+  EXPECT_DOUBLE_EQ(t2, 0.0);
+}
+
+TEST(ClientSession, EvictionRespectsArbitration) {
+  // Capacity 1; cached item has high Pr; demand fetch must still evict it
+  // (mandatory victim).
+  ServerCatalog cat{{4.0, 1.0}};
+  ClientSession s(cat, NetConfig{}, skp_engine(), 1);
+  const std::vector<double> P{0.9, 0.1};
+  s.request(0, 0.0, P);  // 0 cached
+  s.request(1, 0.0, P);  // demand fetch of 1 evicts 0
+  EXPECT_TRUE(s.cache().contains(1));
+  EXPECT_FALSE(s.cache().contains(0));
+}
+
+TEST(ClientSession, LinkUtilizationBounded) {
+  Rng rng(93);
+  ServerCatalog cat{{3.0, 4.0, 5.0, 2.0}};
+  ClientSession s(cat, NetConfig{}, skp_engine(), 4);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> P(4, 0.25);
+    s.request(static_cast<ItemId>(rng.next_below(4)), 3.0, P);
+  }
+  EXPECT_GE(s.link_utilization(), 0.0);
+  EXPECT_LE(s.link_utilization(), 1.0 + 1e-9);
+}
+
+TEST(ClientSession, MetricsAccumulate) {
+  ServerCatalog cat{{2.0, 3.0}};
+  ClientSession s(cat, NetConfig{}, skp_engine(), 2);
+  const std::vector<double> P{0.5, 0.5};
+  for (int i = 0; i < 5; ++i) {
+    s.request(static_cast<ItemId>(i % 2), 1.0, P);
+  }
+  EXPECT_EQ(s.metrics().requests, 5u);
+  EXPECT_GT(s.metrics().network_time, 0.0);
+}
+
+}  // namespace
+}  // namespace skp

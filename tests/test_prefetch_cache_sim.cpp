@@ -1,0 +1,167 @@
+#include "sim/prefetch_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace skp {
+namespace {
+
+PrefetchCacheConfig quick(PrefetchPolicy policy,
+                          SubArbitration sub = SubArbitration::None) {
+  PrefetchCacheConfig cfg;
+  cfg.source.n_states = 30;
+  cfg.source.out_degree_lo = 4;
+  cfg.source.out_degree_hi = 8;
+  cfg.cache_size = 6;
+  cfg.policy = policy;
+  cfg.sub = sub;
+  cfg.requests = 3000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(PrefetchCacheSim, DeterministicInSeed) {
+  const auto a = run_prefetch_cache(quick(PrefetchPolicy::SKP));
+  const auto b = run_prefetch_cache(quick(PrefetchPolicy::SKP));
+  EXPECT_DOUBLE_EQ(a.metrics.mean_access_time(),
+                   b.metrics.mean_access_time());
+  EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+  EXPECT_EQ(a.metrics.demand_fetches, b.metrics.demand_fetches);
+}
+
+TEST(PrefetchCacheSim, RequestCountHonored) {
+  auto cfg = quick(PrefetchPolicy::None);
+  cfg.requests = 777;
+  const auto res = run_prefetch_cache(cfg);
+  EXPECT_EQ(res.metrics.requests, 777u);
+}
+
+TEST(PrefetchCacheSim, WarmupExcludedFromMetrics) {
+  auto cfg = quick(PrefetchPolicy::SKP);
+  cfg.requests = 1000;
+  cfg.warmup = 400;
+  const auto res = run_prefetch_cache(cfg);
+  EXPECT_EQ(res.metrics.requests, 600u);
+}
+
+TEST(PrefetchCacheSim, NoPolicyNeverPrefetches) {
+  const auto res = run_prefetch_cache(quick(PrefetchPolicy::None));
+  EXPECT_EQ(res.metrics.prefetch_fetches, 0u);
+  EXPECT_GT(res.metrics.demand_fetches, 0u);
+}
+
+TEST(PrefetchCacheSim, PerfectDominatesEverything) {
+  const double perfect =
+      run_prefetch_cache(quick(PrefetchPolicy::Perfect))
+          .metrics.mean_access_time();
+  const double skp = run_prefetch_cache(quick(PrefetchPolicy::SKP))
+                         .metrics.mean_access_time();
+  const double none = run_prefetch_cache(quick(PrefetchPolicy::None))
+                          .metrics.mean_access_time();
+  EXPECT_LE(perfect, skp + 1e-9);
+  EXPECT_LE(perfect, none + 1e-9);
+}
+
+TEST(PrefetchCacheSim, SkpBeatsNoPrefetch) {
+  const double skp = run_prefetch_cache(quick(PrefetchPolicy::SKP))
+                         .metrics.mean_access_time();
+  const double none = run_prefetch_cache(quick(PrefetchPolicy::None))
+                          .metrics.mean_access_time();
+  EXPECT_LT(skp, none);
+}
+
+TEST(PrefetchCacheSim, BiggerCacheHelps) {
+  auto small = quick(PrefetchPolicy::SKP);
+  small.cache_size = 2;
+  auto large = quick(PrefetchPolicy::SKP);
+  large.cache_size = 25;
+  const double t_small =
+      run_prefetch_cache(small).metrics.mean_access_time();
+  const double t_large =
+      run_prefetch_cache(large).metrics.mean_access_time();
+  EXPECT_LT(t_large, t_small);
+}
+
+TEST(PrefetchCacheSim, FullCoverageCacheMakesHitsCheap) {
+  // Cache as large as the catalog: after warmup nearly everything hits.
+  auto cfg = quick(PrefetchPolicy::SKP);
+  cfg.cache_size = cfg.source.n_states;
+  cfg.requests = 4000;
+  cfg.warmup = 2000;
+  const auto res = run_prefetch_cache(cfg);
+  EXPECT_GT(res.metrics.hit_rate(), 0.95);
+}
+
+TEST(PrefetchCacheSim, SubArbitrationChangesOutcome) {
+  const auto plain =
+      run_prefetch_cache(quick(PrefetchPolicy::SKP, SubArbitration::None));
+  const auto ds =
+      run_prefetch_cache(quick(PrefetchPolicy::SKP, SubArbitration::DS));
+  // Different victim choices must perturb the trajectory; exact values are
+  // workload-dependent but the runs must not be identical.
+  EXPECT_NE(plain.metrics.hits, ds.metrics.hits);
+}
+
+TEST(PrefetchCacheSim, PredictorModeRuns) {
+  auto cfg = quick(PrefetchPolicy::SKP);
+  cfg.predictor = PredictorKind::Markov1;
+  cfg.requests = 1500;
+  const auto res = run_prefetch_cache(cfg);
+  EXPECT_EQ(res.metrics.requests, 1500u);
+  EXPECT_GT(res.metrics.prefetch_fetches, 0u);
+}
+
+TEST(PrefetchCacheSim, OracleBeatsColdPredictorEarly) {
+  auto oracle = quick(PrefetchPolicy::SKP);
+  oracle.requests = 2000;
+  auto learned = oracle;
+  learned.predictor = PredictorKind::Markov1;
+  const double t_oracle =
+      run_prefetch_cache(oracle).metrics.mean_access_time();
+  const double t_learned =
+      run_prefetch_cache(learned).metrics.mean_access_time();
+  EXPECT_LE(t_oracle, t_learned + 0.5);
+}
+
+TEST(PrefetchCacheSim, ThresholdReducesNetworkUsage) {
+  auto eager = quick(PrefetchPolicy::SKP);
+  eager.requests = 2000;
+  auto frugal = eager;
+  frugal.min_profit_threshold = 3.0;
+  const auto res_eager = run_prefetch_cache(eager);
+  const auto res_frugal = run_prefetch_cache(frugal);
+  EXPECT_LT(res_frugal.metrics.network_time_per_request(),
+            res_eager.metrics.network_time_per_request());
+}
+
+TEST(PrefetchCacheSim, AccessTimesNonNegative) {
+  const auto res = run_prefetch_cache(quick(PrefetchPolicy::SKP));
+  EXPECT_GE(res.metrics.access_time.min(), 0.0);
+}
+
+TEST(PrefetchCacheSim, CacheSizeValidation) {
+  auto cfg = quick(PrefetchPolicy::SKP);
+  cfg.cache_size = 0;
+  EXPECT_THROW(run_prefetch_cache(cfg), std::invalid_argument);
+}
+
+TEST(PrefetchCacheSim, SharedSourceOverloadUsesCallerChain) {
+  auto cfg = quick(PrefetchPolicy::SKP);
+  Rng build(cfg.seed);
+  MarkovSource source(cfg.source, build);
+  Rng walk = build.split(0x57a1f);
+  source.teleport(0);
+  const auto via_overload = run_prefetch_cache(cfg, source, walk);
+  const auto via_config = run_prefetch_cache(cfg);
+  EXPECT_DOUBLE_EQ(via_overload.metrics.mean_access_time(),
+                   via_config.metrics.mean_access_time());
+}
+
+TEST(PredictorKindNames, Stable) {
+  EXPECT_STREQ(to_string(PredictorKind::Oracle), "oracle");
+  EXPECT_STREQ(to_string(PredictorKind::Markov1), "markov1");
+  EXPECT_STREQ(to_string(PredictorKind::Ppm), "ppm");
+  EXPECT_STREQ(to_string(PredictorKind::DependencyWindow), "depgraph");
+}
+
+}  // namespace
+}  // namespace skp

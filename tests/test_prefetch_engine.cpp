@@ -1,0 +1,227 @@
+#include "core/prefetch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/access_model.hpp"
+#include "test_util.hpp"
+
+namespace skp {
+namespace {
+
+EngineConfig cfg_for(PrefetchPolicy p) {
+  EngineConfig cfg;
+  cfg.policy = p;
+  return cfg;
+}
+
+TEST(EnginePlan, NonePolicyPlansNothing) {
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::None));
+  const auto plan = engine.plan(testing::small_instance());
+  EXPECT_TRUE(plan.fetch.empty());
+  EXPECT_TRUE(plan.evict.empty());
+  EXPECT_DOUBLE_EQ(plan.predicted_g, 0.0);
+}
+
+TEST(EnginePlan, SkpPolicyMatchesSolver) {
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::SKP));
+  const Instance inst = testing::small_instance();
+  const auto plan = engine.plan(inst);
+  const auto sol = solve_skp(inst);
+  EXPECT_EQ(plan.fetch, sol.F);
+  EXPECT_DOUBLE_EQ(plan.predicted_g, sol.g);
+}
+
+TEST(EnginePlan, KpPolicyNeverStretches) {
+  Rng rng(401);
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::KP));
+  for (int trial = 0; trial < 100; ++trial) {
+    const Instance inst = testing::random_instance(rng);
+    const auto plan = engine.plan(inst);
+    EXPECT_DOUBLE_EQ(plan.stretch, 0.0);
+    EXPECT_DOUBLE_EQ(stretch_time(inst, plan.fetch), 0.0);
+  }
+}
+
+TEST(EnginePlan, PerfectFetchesExactlyTheOracleItem) {
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::Perfect));
+  const Instance inst = testing::small_instance();
+  const auto plan = engine.plan(inst, ItemId{1});
+  EXPECT_EQ(plan.fetch, (PrefetchList{1}));
+}
+
+TEST(EnginePlan, PerfectWithoutOracleIsEmpty) {
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::Perfect));
+  const auto plan = engine.plan(testing::small_instance());
+  EXPECT_TRUE(plan.fetch.empty());
+}
+
+TEST(EnginePlan, ThresholdSuppressesLowValueItems) {
+  EngineConfig cfg = cfg_for(PrefetchPolicy::SKP);
+  cfg.min_profit_threshold = 1.0;  // drops items 2 (.75) and 3 (.4)
+  const PrefetchEngine engine(cfg);
+  Instance inst = testing::small_instance();
+  inst.v = 1000.0;  // room for everything
+  const auto plan = engine.plan(inst);
+  for (ItemId f : plan.fetch) {
+    EXPECT_GE(inst.profit(f), 1.0);
+  }
+  EXPECT_EQ(plan.fetch.size(), 2u);
+}
+
+TEST(EnginePlanCache, CachedItemsAreNotCandidates) {
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::SKP));
+  const Instance inst = testing::small_instance();
+  SlotCache cache(inst.n(), 2);
+  cache.insert(0);
+  FreqTracker freq(inst.n());
+  const auto plan = engine.plan_with_cache(inst, cache, &freq);
+  for (ItemId f : plan.fetch) {
+    EXPECT_NE(f, 0);
+  }
+}
+
+TEST(EnginePlanCache, FreeSlotsFillWithoutEvictions) {
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::SKP));
+  const Instance inst = testing::small_instance();
+  SlotCache cache(inst.n(), 4);  // plenty of space, nothing cached
+  FreqTracker freq(inst.n());
+  const auto plan = engine.plan_with_cache(inst, cache, &freq);
+  EXPECT_FALSE(plan.fetch.empty());
+  EXPECT_TRUE(plan.evict.empty());
+}
+
+TEST(EnginePlanCache, FullCacheRequiresAdmission) {
+  // Cache holds the two most profitable items; remaining candidates have
+  // lower profit, so Pr-arbitration blocks every prefetch.
+  const Instance inst = testing::small_instance();
+  SlotCache cache(inst.n(), 2);
+  cache.insert(0);  // profit 5
+  cache.insert(1);  // profit 6
+  FreqTracker freq(inst.n());
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::SKP));
+  const auto plan = engine.plan_with_cache(inst, cache, &freq);
+  EXPECT_TRUE(plan.fetch.empty());
+}
+
+TEST(EnginePlanCache, ProfitableCandidateDisplacesCheapVictim) {
+  // Cache holds the two cheapest items; item 0 (profit 5) must displace
+  // the minimal-Pr victim (item 3, profit .4).
+  Instance inst = testing::small_instance();
+  inst.v = 11.0;  // item 0 fits without stretch
+  SlotCache cache(inst.n(), 2);
+  cache.insert(2);
+  cache.insert(3);
+  FreqTracker freq(inst.n());
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::SKP));
+  const auto plan = engine.plan_with_cache(inst, cache, &freq);
+  ASSERT_FALSE(plan.fetch.empty());
+  EXPECT_EQ(plan.fetch.front(), 0);
+  ASSERT_EQ(plan.evict.size(), plan.fetch.size());
+  EXPECT_EQ(plan.evict.front(), 3);
+}
+
+TEST(EnginePlanCache, EvictAlignedWithFetchWhenFull) {
+  Rng rng(403);
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::SKP));
+  for (int trial = 0; trial < 100; ++trial) {
+    testing::RandomInstanceOptions opt;
+    opt.n = 10;
+    const Instance inst = testing::random_instance(rng, opt);
+    SlotCache cache(inst.n(), 3);
+    // Fill the cache with three random items.
+    std::vector<ItemId> ids(inst.n());
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.shuffle(ids);
+    for (int k = 0; k < 3; ++k) cache.insert(ids[k]);
+    FreqTracker freq(inst.n());
+    const auto plan = engine.plan_with_cache(inst, cache, &freq);
+    EXPECT_EQ(plan.fetch.size(), plan.evict.size());
+    // Victims must come from the cache, fetches from outside it.
+    for (ItemId d : plan.evict) EXPECT_TRUE(cache.contains(d));
+    for (ItemId f : plan.fetch) EXPECT_FALSE(cache.contains(f));
+    // The plan must be a valid Eq.-(1) construction.
+    EXPECT_TRUE(is_valid_prefetch_list(inst, plan.fetch));
+  }
+}
+
+TEST(EnginePlanCache, PredictedGMatchesEq9) {
+  Rng rng(405);
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::SKP));
+  for (int trial = 0; trial < 100; ++trial) {
+    testing::RandomInstanceOptions opt;
+    opt.n = 10;
+    const Instance inst = testing::random_instance(rng, opt);
+    SlotCache cache(inst.n(), 3);
+    std::vector<ItemId> ids(inst.n());
+    std::iota(ids.begin(), ids.end(), 0);
+    rng.shuffle(ids);
+    for (int k = 0; k < 3; ++k) cache.insert(ids[k]);
+    FreqTracker freq(inst.n());
+    const auto plan = engine.plan_with_cache(inst, cache, &freq);
+    if (plan.fetch.empty()) continue;
+    EXPECT_NEAR(plan.predicted_g,
+                access_improvement_cached(inst, plan.fetch, plan.evict,
+                                          cache.contents()),
+                1e-9);
+  }
+}
+
+TEST(EnginePlanCache, PerfectBypassesAdmission) {
+  // Oracle item has lower profit than every cached item but is prefetched
+  // anyway (it *will* be requested).
+  const Instance inst = testing::small_instance();
+  SlotCache cache(inst.n(), 2);
+  cache.insert(0);
+  cache.insert(1);
+  FreqTracker freq(inst.n());
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::Perfect));
+  const auto plan = engine.plan_with_cache(inst, cache, &freq, ItemId{3});
+  ASSERT_EQ(plan.fetch.size(), 1u);
+  EXPECT_EQ(plan.fetch.front(), 3);
+  ASSERT_EQ(plan.evict.size(), 1u);
+}
+
+TEST(EnginePlanCache, PerfectSkipsCachedOracle) {
+  const Instance inst = testing::small_instance();
+  SlotCache cache(inst.n(), 2);
+  cache.insert(1);
+  FreqTracker freq(inst.n());
+  const PrefetchEngine engine(cfg_for(PrefetchPolicy::Perfect));
+  const auto plan = engine.plan_with_cache(inst, cache, &freq, ItemId{1});
+  EXPECT_TRUE(plan.fetch.empty());
+}
+
+TEST(EnginePlanCache, StrictTiesBlockEqualProfitSwap) {
+  Instance inst;
+  inst.P = {0.5, 0.5};
+  inst.r = {4.0, 4.0};  // equal profit 2.0
+  inst.v = 10.0;
+  SlotCache cache(inst.n(), 1);
+  cache.insert(0);
+  FreqTracker freq(inst.n());
+  EngineConfig strict = cfg_for(PrefetchPolicy::SKP);
+  strict.arbitration.strict_ties = true;
+  EXPECT_TRUE(PrefetchEngine(strict)
+                  .plan_with_cache(inst, cache, &freq)
+                  .fetch.empty());
+  EngineConfig listing = cfg_for(PrefetchPolicy::SKP);
+  const auto plan =
+      PrefetchEngine(listing).plan_with_cache(inst, cache, &freq);
+  ASSERT_EQ(plan.fetch.size(), 1u);  // listing rule admits the tie
+  EXPECT_EQ(plan.fetch.front(), 1);
+}
+
+TEST(PolicyNames, ToStringCoverage) {
+  EXPECT_EQ(to_string(PrefetchPolicy::None), "none");
+  EXPECT_EQ(to_string(PrefetchPolicy::KP), "KP");
+  EXPECT_EQ(to_string(PrefetchPolicy::SKP), "SKP");
+  EXPECT_EQ(to_string(PrefetchPolicy::Perfect), "perfect");
+  EXPECT_EQ(to_string(SubArbitration::None), "none");
+  EXPECT_EQ(to_string(SubArbitration::LFU), "LFU");
+  EXPECT_EQ(to_string(SubArbitration::DS), "DS");
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,187 @@
+#include "sim/prefetch_only.hpp"
+
+#include <gtest/gtest.h>
+
+namespace skp {
+namespace {
+
+PrefetchOnlyConfig quick(PrefetchPolicy policy, ProbMethod method,
+                         std::size_t iters = 4000) {
+  PrefetchOnlyConfig cfg;
+  cfg.policy = policy;
+  cfg.method = method;
+  cfg.iterations = iters;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(PrefetchOnlySim, DeterministicInSeed) {
+  const auto a = run_prefetch_only(quick(PrefetchPolicy::SKP,
+                                         ProbMethod::Skewy, 1000));
+  const auto b = run_prefetch_only(quick(PrefetchPolicy::SKP,
+                                         ProbMethod::Skewy, 1000));
+  EXPECT_DOUBLE_EQ(a.metrics.mean_access_time(),
+                   b.metrics.mean_access_time());
+  EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+}
+
+TEST(PrefetchOnlySim, RequestCountMatchesIterations) {
+  const auto res = run_prefetch_only(quick(PrefetchPolicy::KP,
+                                           ProbMethod::Flat, 1234));
+  EXPECT_EQ(res.metrics.requests, 1234u);
+  EXPECT_EQ(res.metrics.access_time.count(), 1234u);
+}
+
+TEST(PrefetchOnlySim, NoPrefetchMeanMatchesTheory) {
+  // With no prefetching, E(T) = E(r) = 15.5 for r ~ U{1..30}.
+  auto cfg = quick(PrefetchPolicy::None, ProbMethod::Flat, 30000);
+  const auto res = run_prefetch_only(cfg);
+  EXPECT_NEAR(res.metrics.mean_access_time(), 15.5, 0.4);
+  EXPECT_EQ(res.metrics.hits, 0u);
+  EXPECT_EQ(res.metrics.prefetch_fetches, 0u);
+}
+
+TEST(PrefetchOnlySim, PerfectPrefetchIsMaxZeroRMinusV) {
+  // Perfect prefetch: T = max(0, r - v); with v >= 30 always 0.
+  auto cfg = quick(PrefetchPolicy::Perfect, ProbMethod::Flat, 5000);
+  cfg.v_lo = 30.0;
+  cfg.v_hi = 100.0;
+  const auto res = run_prefetch_only(cfg);
+  EXPECT_DOUBLE_EQ(res.metrics.mean_access_time(), 0.0);
+  EXPECT_EQ(res.metrics.hits, res.metrics.requests);
+}
+
+TEST(PrefetchOnlySim, PolicyOrderingUnderSkewyMethod) {
+  // Fig. 5 shape: perfect <= SKP <= no-prefetch, and SKP <= KP + margin.
+  const double t_perfect =
+      run_prefetch_only(quick(PrefetchPolicy::Perfect, ProbMethod::Skewy))
+          .metrics.mean_access_time();
+  const double t_skp =
+      run_prefetch_only(quick(PrefetchPolicy::SKP, ProbMethod::Skewy))
+          .metrics.mean_access_time();
+  const double t_kp =
+      run_prefetch_only(quick(PrefetchPolicy::KP, ProbMethod::Skewy))
+          .metrics.mean_access_time();
+  const double t_none =
+      run_prefetch_only(quick(PrefetchPolicy::None, ProbMethod::Skewy))
+          .metrics.mean_access_time();
+  EXPECT_LE(t_perfect, t_skp + 1e-9);
+  EXPECT_LT(t_skp, t_none);
+  EXPECT_LT(t_kp, t_none);
+  EXPECT_LT(t_skp, t_kp + 0.5);  // SKP at least comparable to KP
+}
+
+TEST(PrefetchOnlySim, ScatterCollectsRequestedSamples) {
+  auto cfg = quick(PrefetchPolicy::SKP, ProbMethod::Skewy, 2000);
+  cfg.scatter_limit = 500;
+  const auto res = run_prefetch_only(cfg);
+  EXPECT_EQ(res.scatter.size(), 500u);
+  for (const auto& [v, T] : res.scatter) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+    EXPECT_GE(T, 0.0);
+  }
+}
+
+TEST(PrefetchOnlySim, SkpScatterShowsStretchTail) {
+  // Fig. 4a: SKP points can exceed max r = 30 (stretch intrusion); KP
+  // points cannot exceed st + r... with st = 0, T <= 30 always.
+  auto skp_cfg = quick(PrefetchPolicy::SKP, ProbMethod::Skewy, 30000);
+  skp_cfg.scatter_limit = 30000;
+  const auto skp_res = run_prefetch_only(skp_cfg);
+  bool skp_above_30 = false;
+  for (const auto& [v, T] : skp_res.scatter) {
+    if (T > 30.0) skp_above_30 = true;
+  }
+  EXPECT_TRUE(skp_above_30);
+
+  auto kp_cfg = quick(PrefetchPolicy::KP, ProbMethod::Skewy, 10000);
+  kp_cfg.scatter_limit = 10000;
+  const auto kp_res = run_prefetch_only(kp_cfg);
+  for (const auto& [v, T] : kp_res.scatter) {
+    EXPECT_LE(T, 30.0);
+  }
+}
+
+TEST(PrefetchOnlySim, BinnedMeansCoverVRange) {
+  const auto res = run_prefetch_only(quick(PrefetchPolicy::SKP,
+                                           ProbMethod::Flat, 20000));
+  const auto series = res.avg_T_by_v.series();
+  EXPECT_GT(series.size(), 90u);  // nearly every v in 1..100 hit
+}
+
+TEST(PrefetchOnlySim, MoreItemsRaiseAccessTime) {
+  // Fig. 5 (a) vs (c): n = 25 has higher average T than n = 10.
+  auto cfg10 = quick(PrefetchPolicy::SKP, ProbMethod::Skewy, 8000);
+  auto cfg25 = cfg10;
+  cfg25.n_items = 25;
+  const double t10 = run_prefetch_only(cfg10).metrics.mean_access_time();
+  const double t25 = run_prefetch_only(cfg25).metrics.mean_access_time();
+  EXPECT_GT(t25, t10);
+}
+
+TEST(PrefetchOnlySim, FlatMethodNarrowsSkpKpGap) {
+  // Fig. 5 (b)(d): under flat P the SKP and KP curves nearly coincide.
+  const double skp =
+      run_prefetch_only(quick(PrefetchPolicy::SKP, ProbMethod::Flat, 8000))
+          .metrics.mean_access_time();
+  const double kp =
+      run_prefetch_only(quick(PrefetchPolicy::KP, ProbMethod::Flat, 8000))
+          .metrics.mean_access_time();
+  EXPECT_NEAR(skp, kp, 0.5);
+}
+
+TEST(PrefetchOnlySim, ParallelMatchesSequentialStatistically) {
+  // Parallel chunking uses different RNG streams, so expect statistical
+  // (not bitwise) agreement.
+  auto cfg = quick(PrefetchPolicy::SKP, ProbMethod::Skewy, 20000);
+  const auto seq = run_prefetch_only(cfg);
+  ThreadPool pool(4);
+  const auto par = run_prefetch_only_parallel(cfg, pool, 4);
+  EXPECT_EQ(par.metrics.requests, cfg.iterations);
+  EXPECT_NEAR(par.metrics.mean_access_time(),
+              seq.metrics.mean_access_time(), 0.5);
+}
+
+TEST(PrefetchOnlySim, ParallelDeterministicInChunkCount) {
+  auto cfg = quick(PrefetchPolicy::KP, ProbMethod::Flat, 5000);
+  ThreadPool pool(4);
+  const auto a = run_prefetch_only_parallel(cfg, pool, 3);
+  const auto b = run_prefetch_only_parallel(cfg, pool, 3);
+  EXPECT_DOUBLE_EQ(a.metrics.mean_access_time(),
+                   b.metrics.mean_access_time());
+}
+
+TEST(PrefetchOnlySim, StretchIntrusionRaisesAccessTimes) {
+  // Section 4.4: carrying the stretch into the next viewing window can
+  // only reduce the prefetching asset, so mean T must not improve.
+  auto base = quick(PrefetchPolicy::SKP, ProbMethod::Skewy, 20000);
+  auto intruding = base;
+  intruding.stretch_intrudes = true;
+  const double plain = run_prefetch_only(base).metrics.mean_access_time();
+  const double carry =
+      run_prefetch_only(intruding).metrics.mean_access_time();
+  EXPECT_GE(carry, plain - 0.05);
+}
+
+TEST(PrefetchOnlySim, StretchIntrusionNoopForKp) {
+  // KP never stretches, so the carryover is identically zero and the two
+  // modes draw identical random streams -> identical results.
+  auto base = quick(PrefetchPolicy::KP, ProbMethod::Skewy, 5000);
+  auto intruding = base;
+  intruding.stretch_intrudes = true;
+  EXPECT_DOUBLE_EQ(run_prefetch_only(base).metrics.mean_access_time(),
+                   run_prefetch_only(intruding).metrics.mean_access_time());
+}
+
+TEST(PrefetchOnlySim, ConfigValidation) {
+  PrefetchOnlyConfig cfg;
+  cfg.n_items = 0;
+  EXPECT_THROW(run_prefetch_only(cfg), std::invalid_argument);
+  cfg = PrefetchOnlyConfig{};
+  cfg.r_lo = 0.0;
+  EXPECT_THROW(run_prefetch_only(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skp

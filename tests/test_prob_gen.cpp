@@ -1,0 +1,159 @@
+#include "workload/prob_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace skp {
+namespace {
+
+double sum(const std::vector<double>& p) {
+  double s = 0;
+  for (double x : p) s += x;
+  return s;
+}
+
+TEST(FlatProbabilities, SumToOneAndPositive) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto p = flat_probabilities(10, rng);
+    EXPECT_NEAR(sum(p), 1.0, 1e-12);
+    for (double x : p) EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(SkewyProbabilities, SumToOneAndPositive) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto p = skewy_probabilities(10, rng);
+    EXPECT_NEAR(sum(p), 1.0, 1e-12);
+    for (double x : p) EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(SkewyProbabilities, MoreSkewedThanFlat) {
+  // "The skewy method generates a situation where the next request is
+  // highly predictable" — its entropy must sit well below flat's.
+  Rng rng(3);
+  double h_skewy = 0, h_flat = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    h_skewy += entropy(skewy_probabilities(10, rng));
+    h_flat += entropy(flat_probabilities(10, rng));
+  }
+  EXPECT_LT(h_skewy / trials, 0.6 * (h_flat / trials));
+}
+
+TEST(SkewyProbabilities, DominantItemCarriesMostMass) {
+  Rng rng(4);
+  double avg_max = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = skewy_probabilities(10, rng);
+    avg_max += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_GT(avg_max / trials, 0.55);  // highly predictable on average
+}
+
+TEST(SkewyProbabilities, ExponentControlsSkew) {
+  Rng rng(5);
+  double h2 = 0, h16 = 0;
+  for (int t = 0; t < 300; ++t) {
+    h2 += entropy(skewy_probabilities(10, rng, 2.0));
+    h16 += entropy(skewy_probabilities(10, rng, 16.0));
+  }
+  EXPECT_LT(h16, h2);
+}
+
+TEST(GenerateProbabilities, DispatchesOnMethod) {
+  Rng rng(6);
+  const auto skewy = generate_probabilities(8, ProbMethod::Skewy, rng);
+  const auto flat = generate_probabilities(8, ProbMethod::Flat, rng);
+  EXPECT_EQ(skewy.size(), 8u);
+  EXPECT_EQ(flat.size(), 8u);
+  EXPECT_NEAR(sum(skewy), 1.0, 1e-12);
+  EXPECT_NEAR(sum(flat), 1.0, 1e-12);
+}
+
+TEST(ZipfProbabilities, UnshuffledIsMonotone) {
+  Rng rng(7);
+  const auto p = zipf_probabilities(10, 1.0, rng, /*shuffle=*/false);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GE(p[i - 1], p[i]);
+  }
+  EXPECT_NEAR(sum(p), 1.0, 1e-12);
+}
+
+TEST(ZipfProbabilities, ZeroExponentIsUniform) {
+  Rng rng(8);
+  const auto p = zipf_probabilities(5, 0.0, rng, false);
+  for (double x : p) EXPECT_NEAR(x, 0.2, 1e-12);
+}
+
+TEST(ZipfProbabilities, ShuffleKeepsMultiset) {
+  Rng rng(9);
+  auto a = zipf_probabilities(10, 1.2, rng, false);
+  auto b = zipf_probabilities(10, 1.2, rng, true);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(DirichletProbabilities, SumToOne) {
+  Rng rng(10);
+  for (double alpha : {0.2, 1.0, 5.0}) {
+    const auto p = dirichlet_probabilities(12, alpha, rng);
+    EXPECT_NEAR(sum(p), 1.0, 1e-12);
+  }
+}
+
+TEST(DirichletProbabilities, SmallAlphaIsSpikier) {
+  Rng rng(11);
+  double h_small = 0, h_large = 0;
+  for (int t = 0; t < 300; ++t) {
+    h_small += entropy(dirichlet_probabilities(10, 0.1, rng));
+    h_large += entropy(dirichlet_probabilities(10, 10.0, rng));
+  }
+  EXPECT_LT(h_small, h_large);
+}
+
+TEST(DirichletProbabilities, AlphaOneMatchesFlatDistributionally) {
+  // Dirichlet(1) and normalized-Exp(1) are the same law; compare mean
+  // entropies as a cheap distributional check.
+  Rng rng(12);
+  double h_d = 0, h_f = 0;
+  for (int t = 0; t < 2000; ++t) {
+    h_d += entropy(dirichlet_probabilities(8, 1.0, rng));
+    h_f += entropy(flat_probabilities(8, rng));
+  }
+  EXPECT_NEAR(h_d / 2000, h_f / 2000, 0.02);
+}
+
+TEST(Entropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(entropy({1.0, 0.0}), 0.0);
+  EXPECT_NEAR(entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(Generators, RejectDegenerateArguments) {
+  Rng rng(13);
+  EXPECT_THROW(flat_probabilities(0, rng), std::invalid_argument);
+  EXPECT_THROW(skewy_probabilities(0, rng), std::invalid_argument);
+  EXPECT_THROW(skewy_probabilities(5, rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(zipf_probabilities(0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(zipf_probabilities(5, -1.0, rng), std::invalid_argument);
+  EXPECT_THROW(dirichlet_probabilities(0, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(dirichlet_probabilities(5, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(ProbMethodNames, Stable) {
+  EXPECT_STREQ(to_string(ProbMethod::Skewy), "skewy");
+  EXPECT_STREQ(to_string(ProbMethod::Flat), "flat");
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,108 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace skp {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  SlotCache cache(10, 2);
+  auto lru = make_lru();
+  access_with_policy(cache, *lru, 0);
+  access_with_policy(cache, *lru, 1);
+  access_with_policy(cache, *lru, 0);  // refresh 0
+  access_with_policy(cache, *lru, 2);  // evicts 1
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Lru, HitReturnsTrue) {
+  SlotCache cache(10, 2);
+  auto lru = make_lru();
+  EXPECT_FALSE(access_with_policy(cache, *lru, 0));
+  EXPECT_TRUE(access_with_policy(cache, *lru, 0));
+}
+
+TEST(Fifo, IgnoresAccessRecency) {
+  SlotCache cache(10, 2);
+  auto fifo = make_fifo();
+  access_with_policy(cache, *fifo, 0);
+  access_with_policy(cache, *fifo, 1);
+  access_with_policy(cache, *fifo, 0);  // does NOT refresh under FIFO
+  access_with_policy(cache, *fifo, 2);  // evicts 0 (first in)
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Lfu, EvictsLeastFrequent) {
+  SlotCache cache(10, 2);
+  auto lfu = make_lfu();
+  access_with_policy(cache, *lfu, 0);
+  access_with_policy(cache, *lfu, 0);
+  access_with_policy(cache, *lfu, 1);
+  access_with_policy(cache, *lfu, 2);  // evicts 1 (freq 1 < freq 2)
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lfu, CountsPersistAcrossEviction) {
+  SlotCache cache(10, 1);
+  auto lfu = make_lfu();
+  access_with_policy(cache, *lfu, 0);
+  access_with_policy(cache, *lfu, 0);
+  access_with_policy(cache, *lfu, 1);  // evicts 0 (only resident)
+  // 0 re-enters with its old count 2, so the next miss evicts 1.
+  access_with_policy(cache, *lfu, 0);
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(RandomPolicy, EvictsSomeResident) {
+  SlotCache cache(10, 3);
+  auto rnd = make_random(7);
+  for (ItemId i = 0; i < 3; ++i) access_with_policy(cache, *rnd, i);
+  access_with_policy(cache, *rnd, 5);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.contains(5));
+}
+
+TEST(RandomPolicy, DeterministicForSeed) {
+  SlotCache c1(10, 2), c2(10, 2);
+  auto r1 = make_random(42);
+  auto r2 = make_random(42);
+  for (ItemId i : {0, 1, 2, 3, 4, 0, 2}) {
+    access_with_policy(c1, *r1, i);
+    access_with_policy(c2, *r2, i);
+  }
+  for (ItemId i = 0; i < 10; ++i) {
+    EXPECT_EQ(c1.contains(i), c2.contains(i));
+  }
+}
+
+TEST(Policies, NamesAreStable) {
+  EXPECT_EQ(make_lru()->name(), "LRU");
+  EXPECT_EQ(make_fifo()->name(), "FIFO");
+  EXPECT_EQ(make_lfu()->name(), "LFU");
+  EXPECT_EQ(make_random(1)->name(), "Random");
+}
+
+TEST(Policies, ChooseVictimOnEmptyThrows) {
+  SlotCache cache(10, 2);
+  auto lru = make_lru();
+  EXPECT_THROW(lru->choose_victim(cache), std::invalid_argument);
+}
+
+TEST(Policies, CacheNeverExceedsCapacity) {
+  SlotCache cache(50, 5);
+  auto lru = make_lru();
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    access_with_policy(cache, *lru,
+                       static_cast<ItemId>(rng.next_below(50)));
+    EXPECT_LE(cache.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,118 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace skp {
+namespace {
+
+Trace sample_trace() {
+  Trace t(4, {10.0, 20.0, 5.0, 8.0});
+  t.append(0, 12.0);
+  t.append(2, 30.5);
+  t.append(1, 7.0);
+  return t;
+}
+
+TEST(Trace, ConstructionValidation) {
+  EXPECT_THROW(Trace(0, {}), std::invalid_argument);
+  EXPECT_THROW(Trace(2, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Trace(2, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_NO_THROW(Trace(2, {1.0, 2.0}));
+}
+
+TEST(Trace, AppendValidation) {
+  Trace t(2, {1.0, 2.0});
+  EXPECT_THROW(t.append(2, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.append(-1, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.append(0, -1.0), std::invalid_argument);
+  t.append(0, 0.0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Trace, RecordsPreserved) {
+  const Trace t = sample_trace();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.records()[0].item, 0);
+  EXPECT_DOUBLE_EQ(t.records()[1].viewing_time, 30.5);
+  EXPECT_EQ(t.records()[2].item, 1);
+}
+
+TEST(Trace, RoundTripThroughStream) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  t.save(ss);
+  const Trace loaded = Trace::load(ss);
+  EXPECT_TRUE(t == loaded);
+}
+
+TEST(Trace, RoundTripThroughFile) {
+  const Trace t = sample_trace();
+  const std::string path = ::testing::TempDir() + "/skp_trace_test.txt";
+  t.save_file(path);
+  const Trace loaded = Trace::load_file(path);
+  EXPECT_TRUE(t == loaded);
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlanks) {
+  std::stringstream ss;
+  ss << "skptrace v1 2\n"
+     << "r 3 4\n"
+     << "# a comment\n"
+     << "\n"
+     << "1 5.5\n";
+  const Trace t = Trace::load(ss);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.records()[0].item, 1);
+  EXPECT_DOUBLE_EQ(t.records()[0].viewing_time, 5.5);
+}
+
+TEST(Trace, LoadRejectsBadHeader) {
+  std::stringstream ss;
+  ss << "not-a-trace v1 2\n";
+  EXPECT_THROW(Trace::load(ss), std::invalid_argument);
+}
+
+TEST(Trace, LoadRejectsTruncatedRLine) {
+  std::stringstream ss;
+  ss << "skptrace v1 3\nr 1 2\n";
+  EXPECT_THROW(Trace::load(ss), std::invalid_argument);
+}
+
+TEST(Trace, LoadRejectsMalformedRecord) {
+  std::stringstream ss;
+  ss << "skptrace v1 2\nr 1 2\nabc def\n";
+  EXPECT_THROW(Trace::load(ss), std::invalid_argument);
+}
+
+TEST(Trace, LoadRejectsOutOfRangeItem) {
+  std::stringstream ss;
+  ss << "skptrace v1 2\nr 1 2\n5 1.0\n";
+  EXPECT_THROW(Trace::load(ss), std::invalid_argument);
+}
+
+TEST(Trace, LoadFileMissingThrows) {
+  EXPECT_THROW(Trace::load_file("/nonexistent/trace.txt"),
+               std::invalid_argument);
+}
+
+TEST(Trace, EqualityDiscriminates) {
+  const Trace a = sample_trace();
+  Trace b = sample_trace();
+  EXPECT_TRUE(a == b);
+  b.append(3, 1.0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Trace, RetrievalTimesPreservedExactly) {
+  Trace t(2, {1.25, 2.75});
+  std::stringstream ss;
+  t.save(ss);
+  const Trace loaded = Trace::load(ss);
+  EXPECT_DOUBLE_EQ(loaded.retrieval_times()[0], 1.25);
+  EXPECT_DOUBLE_EQ(loaded.retrieval_times()[1], 2.75);
+}
+
+}  // namespace
+}  // namespace skp

@@ -1,0 +1,56 @@
+// Shared helpers for the test suite: random instance generation and
+// common matchers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/item.hpp"
+#include "util/rng.hpp"
+#include "workload/prob_gen.hpp"
+
+namespace skp::testing {
+
+struct RandomInstanceOptions {
+  std::size_t n = 8;
+  double r_lo = 1.0, r_hi = 30.0;
+  double v_lo = 1.0, v_hi = 100.0;
+  bool integer_times = false;
+  ProbMethod method = ProbMethod::Flat;
+};
+
+inline Instance random_instance(Rng& rng,
+                                const RandomInstanceOptions& opt = {}) {
+  Instance inst;
+  inst.P = generate_probabilities(opt.n, opt.method, rng);
+  inst.r.resize(opt.n);
+  for (auto& x : inst.r) {
+    x = opt.integer_times
+            ? static_cast<double>(rng.uniform_int(
+                  static_cast<std::int64_t>(opt.r_lo),
+                  static_cast<std::int64_t>(opt.r_hi)))
+            : rng.uniform(opt.r_lo, opt.r_hi);
+  }
+  inst.v = opt.integer_times
+               ? static_cast<double>(rng.uniform_int(
+                     static_cast<std::int64_t>(opt.v_lo),
+                     static_cast<std::int64_t>(opt.v_hi)))
+               : rng.uniform(opt.v_lo, opt.v_hi);
+  return inst;
+}
+
+// A tiny hand-checkable instance used across the core tests:
+//   item: 0     1     2     3
+//   P   : 0.5   0.3   0.15  0.05
+//   r   : 10    20    5     8
+//   v   : 12
+inline Instance small_instance() {
+  Instance inst;
+  inst.P = {0.5, 0.3, 0.15, 0.05};
+  inst.r = {10.0, 20.0, 5.0, 8.0};
+  inst.v = 12.0;
+  return inst;
+}
+
+}  // namespace skp::testing
