@@ -1,0 +1,12 @@
+# Auto-detect ccache and route compiler invocations through it. Opt out
+# with -DSKP_USE_CCACHE=OFF (e.g. for benchmarking cold-build times).
+option(SKP_USE_CCACHE "Use ccache as compiler launcher when available" ON)
+
+if(SKP_USE_CCACHE AND NOT CMAKE_CXX_COMPILER_LAUNCHER)
+  find_program(SKP_CCACHE_PROGRAM ccache)
+  if(SKP_CCACHE_PROGRAM)
+    message(STATUS "ccache found: ${SKP_CCACHE_PROGRAM}")
+    set(CMAKE_CXX_COMPILER_LAUNCHER "${SKP_CCACHE_PROGRAM}")
+    set(CMAKE_C_COMPILER_LAUNCHER "${SKP_CCACHE_PROGRAM}")
+  endif()
+endif()

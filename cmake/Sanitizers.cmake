@@ -1,0 +1,21 @@
+# SKP_SANITIZE=ON wires AddressSanitizer + UndefinedBehaviorSanitizer into
+# every target that links skp_options, giving a second ctest configuration
+# (see the `asan` preset in CMakePresets.json and the CI sanitizer job).
+# Failures are fatal: UBSan reports abort instead of printing and carrying on.
+
+function(skp_apply_sanitizers target)
+  if(NOT SKP_SANITIZE)
+    return()
+  endif()
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang|AppleClang")
+    message(WARNING "SKP_SANITIZE is only wired up for GCC/Clang; ignoring")
+    return()
+  endif()
+  set(_flags
+    -fsanitize=address,undefined
+    -fno-sanitize-recover=all
+    -fno-omit-frame-pointer)
+  target_compile_options(${target} INTERFACE ${_flags})
+  target_link_options(${target} INTERFACE ${_flags})
+  message(STATUS "Sanitizers enabled (ASan + UBSan) via ${target}")
+endfunction()

@@ -1,0 +1,324 @@
+// Scenario-matrix regression harness.
+//
+// Drives the full pipeline — workload generation -> online predictor ->
+// SKP/KP planning -> cache with a classical replacement policy -> realized
+// network cost — across the cross-product of
+//   {predictor}  x {replacement policy} x {network profile} x {workload}
+// with every random stream derived from one fixed seed, so a scenario's
+// counters are bit-reproducible. test_scenario_matrix.cpp asserts
+// structural invariants over the whole matrix (metrics conservation,
+// prefetch bandwidth budget) and pins golden hit-rates on a slice, giving
+// future sharding/async/perf refactors a behavioral safety net.
+//
+// Unlike sim/prefetch_cache.cpp (oracle transition rows, Pr-arbitration
+// victims) this harness runs the deployment configuration the paper's
+// Section 6 sketches: probabilities come only from a learned predictor,
+// and eviction is delegated to a pluggable ReplacementPolicy. Retrieval
+// times are grounded through sim/netsim's ServerCatalog + NetConfig
+// (r_i = latency + size_i / bandwidth) instead of being drawn directly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/replacement.hpp"
+#include "core/prefetch_engine.hpp"
+#include "predict/lz78_predictor.hpp"
+#include "predict/markov_predictor.hpp"
+#include "predict/ppm_predictor.hpp"
+#include "sim/netsim.hpp"
+#include "sim/prefetch_cache.hpp"  // PredictorKind + to_string
+#include "util/rng.hpp"
+#include "workload/markov_source.hpp"
+#include "workload/prob_gen.hpp"
+#include "workload/request_stream.hpp"
+#include "workload/trace.hpp"
+
+namespace skp::testing {
+
+enum class CachePolicyKind { LRU, FIFO, LFU, Random };
+enum class ScenarioWorkload { MarkovChain, IidSkewy, TraceReplay };
+
+inline const char* to_string(CachePolicyKind k) {
+  switch (k) {
+    case CachePolicyKind::LRU: return "lru";
+    case CachePolicyKind::FIFO: return "fifo";
+    case CachePolicyKind::LFU: return "lfu";
+    case CachePolicyKind::Random: return "random";
+  }
+  return "?";
+}
+
+inline const char* to_string(ScenarioWorkload w) {
+  switch (w) {
+    case ScenarioWorkload::MarkovChain: return "markov";
+    case ScenarioWorkload::IidSkewy: return "iid";
+    case ScenarioWorkload::TraceReplay: return "trace";
+  }
+  return "?";
+}
+
+// A named (bandwidth, latency) point fed to sim/netsim's NetConfig.
+struct NetProfile {
+  const char* name;
+  double bandwidth;
+  double latency;
+};
+
+// The three profiles the matrix sweeps: item sizes are 1..30 size units,
+// so retrieval times span roughly 0.4-4 (lan), 3-32 (wan), 9-125 (modem)
+// time units against viewing times of 10-60.
+inline constexpr NetProfile kLan{"lan", 8.0, 0.25};
+inline constexpr NetProfile kWan{"wan", 1.0, 2.0};
+inline constexpr NetProfile kModem{"modem", 0.25, 5.0};
+
+struct ScenarioConfig {
+  PredictorKind predictor = PredictorKind::Markov1;  // Markov1 | Lz78 | Ppm
+  CachePolicyKind cache_policy = CachePolicyKind::LRU;
+  NetProfile net = kLan;
+  ScenarioWorkload workload = ScenarioWorkload::MarkovChain;
+
+  std::size_t n_items = 24;
+  std::size_t cache_capacity = 6;
+  std::size_t requests = 1200;
+  // Observe-only prefix: the predictor trains before planning starts, so
+  // early near-uniform distributions don't dominate the goldens.
+  std::size_t predictor_warmup = 64;
+  // Smoothed predictors put slivers of mass everywhere; entries below this
+  // floor are dropped before planning (candidate shortlist).
+  double min_prob = 0.02;
+  PrefetchPolicy policy = PrefetchPolicy::SKP;
+  std::uint64_t seed = 2026;
+};
+
+struct ScenarioResult {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;            // served from cache, zero access time
+  std::uint64_t demand_fetches = 0;  // misses, fetched on demand
+  std::uint64_t prefetch_fetches = 0;
+  std::uint64_t plans = 0;           // planning rounds that fetched anything
+  double prefetch_network_time = 0.0;
+  double demand_network_time = 0.0;
+  double network_time = 0.0;  // prefetch + demand, accumulated separately
+  // Plans violating the stretch-knapsack bandwidth budget (all fetches but
+  // the last must complete within the viewing time v; for KP the whole
+  // plan must). The matrix asserts this stays 0.
+  std::uint64_t budget_violations = 0;
+  double worst_budget_overrun = 0.0;
+
+  double hit_rate() const {
+    return requests ? static_cast<double>(hits) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+
+  bool operator==(const ScenarioResult&) const = default;
+};
+
+inline std::string scenario_name(const ScenarioConfig& cfg) {
+  std::string name = to_string(cfg.predictor);
+  for (auto& c : name) c = static_cast<char>(std::tolower(c));
+  name += '_';
+  name += to_string(cfg.cache_policy);
+  name += '_';
+  name += cfg.net.name;
+  name += '_';
+  name += to_string(cfg.workload);
+  return name;
+}
+
+inline std::unique_ptr<Predictor> make_scenario_predictor(
+    PredictorKind kind, std::size_t n) {
+  switch (kind) {
+    case PredictorKind::Markov1:
+      return std::make_unique<MarkovPredictor>(n);
+    case PredictorKind::Lz78:
+      return std::make_unique<Lz78Predictor>(n);
+    case PredictorKind::Ppm:
+      return std::make_unique<PpmPredictor>(n, 2);
+    default:
+      ADD_FAILURE() << "unsupported predictor kind in scenario harness";
+      return std::make_unique<MarkovPredictor>(n);
+  }
+}
+
+inline std::unique_ptr<ReplacementPolicy> make_scenario_policy(
+    CachePolicyKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case CachePolicyKind::LRU: return make_lru();
+    case CachePolicyKind::FIFO: return make_fifo();
+    case CachePolicyKind::LFU: return make_lfu();
+    case CachePolicyKind::Random: return make_random(seed);
+  }
+  return make_lru();
+}
+
+// Materializes the request cycles (item, viewing_time) for a scenario.
+// All three workloads are reduced to a flat record list so the simulation
+// loop below is identical across them; the TraceReplay workload
+// additionally round-trips through the skptrace text format, exercising
+// workload/trace.hpp serialization end to end.
+inline std::vector<TraceRecord> make_scenario_cycles(
+    const ScenarioConfig& cfg, Rng& build, Rng& walk) {
+  std::vector<TraceRecord> cycles;
+  cycles.reserve(cfg.requests);
+  switch (cfg.workload) {
+    case ScenarioWorkload::MarkovChain: {
+      MarkovSourceConfig mcfg;
+      mcfg.n_states = cfg.n_items;
+      mcfg.out_degree_lo = 4;
+      mcfg.out_degree_hi = 8;
+      mcfg.v_lo = 10.0;
+      mcfg.v_hi = 60.0;
+      MarkovSource src(mcfg, build);
+      for (std::size_t i = 0; i < cfg.requests; ++i) {
+        const double v = src.viewing_time(src.current_state());
+        const auto item = static_cast<ItemId>(src.step(walk));
+        cycles.push_back({item, v});
+      }
+      break;
+    }
+    case ScenarioWorkload::IidSkewy: {
+      Instance inst;
+      inst.P = skewy_probabilities(cfg.n_items, build);
+      inst.r.assign(cfg.n_items, 1.0);  // placeholder; harness re-derives r
+      inst.v = 30.0;
+      IidStream stream(std::move(inst));
+      for (std::size_t i = 0; i < cfg.requests; ++i) {
+        const RequestEvent e = stream.next(walk);
+        cycles.push_back({e.item, e.instance.v});
+      }
+      break;
+    }
+    case ScenarioWorkload::TraceReplay: {
+      MarkovSourceConfig mcfg;
+      mcfg.n_states = cfg.n_items;
+      mcfg.out_degree_lo = 2;
+      mcfg.out_degree_hi = 6;
+      mcfg.v_lo = 5.0;
+      mcfg.v_hi = 40.0;
+      MarkovSource src(mcfg, build);
+      Trace recorded(cfg.n_items,
+                     std::vector<double>(src.retrieval_times().begin(),
+                                         src.retrieval_times().end()));
+      for (std::size_t i = 0; i < cfg.requests; ++i) {
+        const double v = src.viewing_time(src.current_state());
+        recorded.append(static_cast<ItemId>(src.step(walk)), v);
+      }
+      std::stringstream io;
+      recorded.save(io);
+      const Trace replayed = Trace::load(io);
+      cycles.assign(replayed.records().begin(), replayed.records().end());
+      break;
+    }
+  }
+  return cycles;
+}
+
+inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  Rng root(cfg.seed);
+  Rng build = root.split(1);
+  Rng walk = root.split(2);
+  Rng sizes_rng = root.split(3);
+
+  // Ground retrieval times through the DES catalog: size_i in [1, 30]
+  // size units, r_i = latency + size_i / bandwidth.
+  ServerCatalog catalog;
+  catalog.sizes.resize(cfg.n_items);
+  for (auto& s : catalog.sizes) {
+    s = static_cast<double>(sizes_rng.uniform_int(1, 30));
+  }
+  const NetConfig net{cfg.net.bandwidth, cfg.net.latency, false};
+  const std::vector<double> r = catalog.retrieval_times(net);
+
+  const std::vector<TraceRecord> cycles =
+      make_scenario_cycles(cfg, build, walk);
+
+  auto predictor = make_scenario_predictor(cfg.predictor, cfg.n_items);
+  auto policy =
+      make_scenario_policy(cfg.cache_policy, root.split(4).next_u64());
+  SlotCache cache(cfg.n_items, cfg.cache_capacity);
+
+  EngineConfig ecfg;
+  ecfg.policy = cfg.policy;
+  ecfg.delta_rule = DeltaRule::ExactComplement;
+  const PrefetchEngine engine(ecfg);
+
+  ScenarioResult res;
+  constexpr double kEps = 1e-9;
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const ItemId item = cycles[i].item;
+    const double v = cycles[i].viewing_time;
+
+    if (i >= cfg.predictor_warmup) {
+      Instance inst;
+      inst.P = predictor->predict();
+      inst.r = r;
+      inst.v = v;
+      double mass = 0.0;
+      for (std::size_t j = 0; j < inst.P.size(); ++j) {
+        // Shortlist: drop sliver mass and items already cached (planning
+        // over N \ C, Section 5).
+        if (inst.P[j] < cfg.min_prob ||
+            cache.contains(static_cast<ItemId>(j))) {
+          inst.P[j] = 0.0;
+        }
+        mass += inst.P[j];
+      }
+      if (mass > 0.0) {
+        const PrefetchPlan plan = engine.plan(inst);
+        // Bandwidth budget (Eq. 1): every fetch but the last must finish
+        // within v; plain KP may not stretch at all.
+        double prefix = 0.0;
+        for (std::size_t k = 0; k + 1 < plan.fetch.size(); ++k) {
+          prefix += r[Instance::idx(plan.fetch[k])];
+        }
+        double budget_used = prefix;
+        if (cfg.policy == PrefetchPolicy::KP && !plan.fetch.empty()) {
+          budget_used += r[Instance::idx(plan.fetch.back())];
+        }
+        if (budget_used > v + kEps) {
+          ++res.budget_violations;
+          res.worst_budget_overrun =
+              std::max(res.worst_budget_overrun, budget_used - v);
+        }
+        if (!plan.fetch.empty()) ++res.plans;
+        for (const ItemId f : plan.fetch) {
+          if (cache.contains(f)) continue;  // zero-profit filler
+          if (cache.full()) {
+            const ItemId victim = policy->choose_victim(cache);
+            cache.erase(victim);
+            policy->on_evict(victim);
+          }
+          cache.insert(f);
+          policy->on_insert(f);
+          ++res.prefetch_fetches;
+          res.prefetch_network_time += r[Instance::idx(f)];
+        }
+      }
+    }
+
+    if (cache.contains(item)) {
+      ++res.hits;
+      policy->on_access(item);
+    } else {
+      ++res.demand_fetches;
+      res.demand_network_time += r[Instance::idx(item)];
+      access_with_policy(cache, *policy, item);
+    }
+    ++res.requests;
+    predictor->observe(item);
+  }
+  res.network_time = res.prefetch_network_time + res.demand_network_time;
+  return res;
+}
+
+}  // namespace skp::testing

@@ -1,0 +1,98 @@
+// Unit tests for bench/bench_util.hpp — the CLI shared by every
+// figure-reproduction binary. parse_args exits the process on --help and
+// on unrecognized input, so those paths run as death tests.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace skp::bench {
+namespace {
+
+// argv helper: owns mutable copies (argv elements are char*, not const).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "bench_binary");
+    for (auto& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(BenchUtil, DefaultsWithNoArguments) {
+  Argv a({});
+  const BenchArgs args = parse_args(a.argc(), a.argv());
+  EXPECT_FALSE(args.full);
+  EXPECT_EQ(args.seed, 1u);
+  EXPECT_FALSE(args.csv_dir.has_value());
+}
+
+TEST(BenchUtil, FullFlag) {
+  Argv a({"--full"});
+  EXPECT_TRUE(parse_args(a.argc(), a.argv()).full);
+}
+
+TEST(BenchUtil, SeedParsesU64) {
+  Argv a({"--seed", "18446744073709551615"});  // max u64 round-trips
+  EXPECT_EQ(parse_args(a.argc(), a.argv()).seed,
+            18446744073709551615ull);
+}
+
+TEST(BenchUtil, CsvCapturesDirectory) {
+  Argv a({"--csv", "out/dir"});
+  const BenchArgs args = parse_args(a.argc(), a.argv());
+  ASSERT_TRUE(args.csv_dir.has_value());
+  EXPECT_EQ(*args.csv_dir, "out/dir");
+}
+
+TEST(BenchUtil, AllFlagsCombineInAnyOrder) {
+  Argv a({"--csv", "plots", "--full", "--seed", "42"});
+  const BenchArgs args = parse_args(a.argc(), a.argv());
+  EXPECT_TRUE(args.full);
+  EXPECT_EQ(args.seed, 42u);
+  ASSERT_TRUE(args.csv_dir.has_value());
+  EXPECT_EQ(*args.csv_dir, "plots");
+}
+
+TEST(BenchUtilDeathTest, UnknownFlagExits2) {
+  Argv a({"--bogus"});
+  EXPECT_EXIT(parse_args(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(2), "unknown argument: --bogus");
+}
+
+TEST(BenchUtilDeathTest, SeedMissingValueIsRejected) {
+  // A trailing --seed has no value; parse_args treats it as unknown input
+  // rather than silently defaulting.
+  Argv a({"--seed"});
+  EXPECT_EXIT(parse_args(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(2), "unknown argument: --seed");
+}
+
+TEST(BenchUtilDeathTest, CsvMissingValueIsRejected) {
+  Argv a({"--csv"});
+  EXPECT_EXIT(parse_args(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(2), "unknown argument: --csv");
+}
+
+TEST(BenchUtilDeathTest, HelpPrintsUsageAndExits0) {
+  Argv a({"--help"});
+  // Usage goes to stdout (not stderr), so match only the exit status.
+  EXPECT_EXIT(parse_args(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchUtilDeathTest, ShortHelpAlsoExits0) {
+  Argv a({"-h"});
+  EXPECT_EXIT(parse_args(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace skp::bench

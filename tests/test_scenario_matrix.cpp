@@ -1,0 +1,264 @@
+// Scenario-matrix regression suite (see scenario_harness.hpp).
+//
+// Three layers of protection:
+//   1. Invariants over the FULL 3x4x3x3 = 108-combination cross-product:
+//      metrics conservation (hits + demand fetches == requests), network
+//      accounting consistency, and the stretch-knapsack bandwidth budget
+//      (no plan schedules more than the viewing time allows, modulo the
+//      single stretching tail fetch).
+//   2. Bit-level determinism: the same (scenario, seed) must reproduce the
+//      same counters run-to-run.
+//   3. Golden hit-rates on a 24-combination slice spanning all four
+//      dimensions. Tolerance: +/- 0.03 absolute. The runs are
+//      deterministic, so on one toolchain the match is exact; the slack
+//      absorbs standard-library differences (the predictors hold counts in
+//      unordered_maps, whose iteration order is implementation-defined and
+//      can perturb tie-breaking in the last floating-point bits). Refresh
+//      workflow after an intentional behavior change:
+//        ./build/tests/test_scenario_matrix --gtest_also_run_disabled_tests
+//            --gtest_filter='*PrintGoldenTable*'
+//      and paste the emitted rows over kGolden below.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "scenario_harness.hpp"
+
+namespace skp::testing {
+namespace {
+
+const PredictorKind kPredictors[] = {PredictorKind::Markov1,
+                                     PredictorKind::Lz78, PredictorKind::Ppm};
+const CachePolicyKind kCachePolicies[] = {
+    CachePolicyKind::LRU, CachePolicyKind::FIFO, CachePolicyKind::LFU,
+    CachePolicyKind::Random};
+const NetProfile kNets[] = {kLan, kWan, kModem};
+const ScenarioWorkload kWorkloads[] = {ScenarioWorkload::MarkovChain,
+                                       ScenarioWorkload::IidSkewy,
+                                       ScenarioWorkload::TraceReplay};
+
+ScenarioConfig make_config(PredictorKind p, CachePolicyKind c,
+                           const NetProfile& n, ScenarioWorkload w) {
+  ScenarioConfig cfg;
+  cfg.predictor = p;
+  cfg.cache_policy = c;
+  cfg.net = n;
+  cfg.workload = w;
+  return cfg;
+}
+
+std::vector<ScenarioConfig> full_matrix() {
+  std::vector<ScenarioConfig> all;
+  for (const auto p : kPredictors)
+    for (const auto c : kCachePolicies)
+      for (const auto& n : kNets)
+        for (const auto w : kWorkloads)
+          all.push_back(make_config(p, c, n, w));
+  return all;
+}
+
+class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioConfig> {};
+
+TEST_P(ScenarioMatrixTest, InvariantsHold) {
+  const ScenarioConfig cfg = GetParam();
+  const ScenarioResult res = run_scenario(cfg);
+
+  // Every cycle is accounted for exactly once.
+  EXPECT_EQ(res.requests, cfg.requests);
+  EXPECT_EQ(res.hits + res.demand_fetches, res.requests)
+      << "metrics conservation violated";
+
+  // Network accounting is consistent and strictly positive (a cold cache
+  // must demand-fetch at least the first request).
+  EXPECT_NEAR(res.network_time,
+              res.prefetch_network_time + res.demand_network_time, 1e-9);
+  EXPECT_GT(res.demand_fetches, 0u);
+  EXPECT_GT(res.demand_network_time, 0.0);
+
+  // The planner never schedules past the viewing-time budget (Eq. 1: only
+  // the final fetch may stretch).
+  EXPECT_EQ(res.budget_violations, 0u)
+      << "worst overrun: " << res.worst_budget_overrun;
+
+  // The pipeline is actually exercising prefetch + cache: some plans fire
+  // and some requests hit. Every predictor concentrates enough mass on
+  // these workloads for both to hold at the default scale.
+  EXPECT_GT(res.plans, 0u);
+  EXPECT_GT(res.prefetch_fetches, 0u);
+  EXPECT_GT(res.hits, 0u);
+  EXPECT_LE(res.hit_rate(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Full, ScenarioMatrixTest, ::testing::ValuesIn(full_matrix()),
+    [](const ::testing::TestParamInfo<ScenarioConfig>& info) {
+      return scenario_name(info.param);
+    });
+
+TEST(ScenarioDeterminism, SameSeedSameCounters) {
+  // One combo per workload x predictor pairing (cache/net varied too);
+  // default-equality on ScenarioResult covers every counter incl. doubles.
+  const ScenarioConfig picks[] = {
+      make_config(PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+                  ScenarioWorkload::MarkovChain),
+      make_config(PredictorKind::Lz78, CachePolicyKind::Random, kWan,
+                  ScenarioWorkload::IidSkewy),
+      make_config(PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
+                  ScenarioWorkload::TraceReplay),
+  };
+  for (const auto& cfg : picks) {
+    const ScenarioResult a = run_scenario(cfg);
+    const ScenarioResult b = run_scenario(cfg);
+    EXPECT_EQ(a, b) << scenario_name(cfg);
+  }
+}
+
+TEST(ScenarioDeterminism, SeedChangesTrajectory) {
+  ScenarioConfig cfg;  // defaults: markov1 / lru / lan / markov chain
+  const ScenarioResult a = run_scenario(cfg);
+  cfg.seed = 77;
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_NE(a.network_time, b.network_time);
+}
+
+TEST(ScenarioShape, SlowerNetworksCostMoreWirePerRequest) {
+  // Demand time per miss grows with the profile's per-item retrieval time;
+  // holds pairwise on the same workload trajectory.
+  auto demand_per_miss = [](const NetProfile& n) {
+    const ScenarioResult r = run_scenario(
+        make_config(PredictorKind::Markov1, CachePolicyKind::LRU, n,
+                    ScenarioWorkload::MarkovChain));
+    return r.demand_network_time / static_cast<double>(r.demand_fetches);
+  };
+  const double lan = demand_per_miss(kLan);
+  const double wan = demand_per_miss(kWan);
+  const double modem = demand_per_miss(kModem);
+  EXPECT_LT(lan, wan);
+  EXPECT_LT(wan, modem);
+}
+
+// ---- Golden slice -------------------------------------------------------
+
+struct GoldenRow {
+  PredictorKind p;
+  CachePolicyKind c;
+  NetProfile n;
+  ScenarioWorkload w;
+  double hit_rate;
+};
+
+// 3 predictors x {LRU, LFU} x {lan, wan} x {markov, trace} = 24 rows, all
+// four dimensions varying. Values produced by PrintGoldenTable (below) at
+// seed 2026, 1200 requests; tolerance documented in the file header.
+constexpr double kGoldenTol = 0.03;
+
+const std::vector<GoldenRow> kGolden = {
+    // clang-format off
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, 0.750833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, 0.822500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, 0.601667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, 0.530833},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::MarkovChain, 0.530000},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::TraceReplay, 0.569167},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::MarkovChain, 0.583333},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::TraceReplay, 0.647500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, 0.404167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, 0.505833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, 0.439167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, 0.380833},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::MarkovChain, 0.490833},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::TraceReplay, 0.464167},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::MarkovChain, 0.516667},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::TraceReplay, 0.519167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, 0.686667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, 0.782500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, 0.574167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, 0.546667},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::MarkovChain, 0.535000},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::TraceReplay, 0.555000},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::MarkovChain, 0.579167},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::TraceReplay, 0.647500},
+    // clang-format on
+};
+
+TEST(ScenarioGolden, HitRatesWithinTolerance) {
+  ASSERT_GT(kGolden.size(), 0u) << "golden table not populated";
+  for (const auto& g : kGolden) {
+    const ScenarioConfig cfg = make_config(g.p, g.c, g.n, g.w);
+    const ScenarioResult res = run_scenario(cfg);
+    EXPECT_NEAR(res.hit_rate(), g.hit_rate, kGoldenTol)
+        << scenario_name(cfg) << " drifted: golden " << g.hit_rate
+        << " actual " << res.hit_rate();
+  }
+}
+
+// Manual golden refresh: prints the kGolden initializer rows. Disabled so
+// ctest never depends on it; see the file header for the invocation.
+TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
+  auto enum_name = [](PredictorKind p) {
+    switch (p) {
+      case PredictorKind::Markov1: return "Markov1";
+      case PredictorKind::Lz78: return "Lz78";
+      case PredictorKind::Ppm: return "Ppm";
+      default: return "?";
+    }
+  };
+  auto cache_name = [](CachePolicyKind c) {
+    switch (c) {
+      case CachePolicyKind::LRU: return "LRU";
+      case CachePolicyKind::FIFO: return "FIFO";
+      case CachePolicyKind::LFU: return "LFU";
+      case CachePolicyKind::Random: return "Random";
+    }
+    return "?";
+  };
+  const CachePolicyKind caches[] = {CachePolicyKind::LRU,
+                                    CachePolicyKind::LFU};
+  const NetProfile nets[] = {kLan, kWan};
+  const ScenarioWorkload loads[] = {ScenarioWorkload::MarkovChain,
+                                    ScenarioWorkload::TraceReplay};
+  for (const auto p : kPredictors)
+    for (const auto c : caches)
+      for (const auto& n : nets)
+        for (const auto w : loads) {
+          const ScenarioResult res =
+              run_scenario(make_config(p, c, n, w));
+          std::printf(
+              "    {PredictorKind::%s, CachePolicyKind::%s, k%c%s,\n"
+              "     ScenarioWorkload::%s, %.6f},\n",
+              enum_name(p), cache_name(c),
+              static_cast<char>(std::toupper(n.name[0])), n.name + 1,
+              w == ScenarioWorkload::MarkovChain ? "MarkovChain"
+                                                 : "TraceReplay",
+              res.hit_rate());
+        }
+}
+
+}  // namespace
+}  // namespace skp::testing
