@@ -10,19 +10,24 @@
 //                     natural bandwidth coupling), density arbitration
 #include <iomanip>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "sim/prefetch_cache.hpp"
+#include "sim/sweep.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace skp;
   const auto args = skp::bench::parse_args(argc, argv);
   const std::size_t requests = args.full ? 50'000 : 5'000;
+  ThreadPool pool(args.threads);
   std::cout << "=== E10: heterogeneous item sizes (slot vs byte cache) "
                "===\n"
             << "    " << requests << " requests per cell; seed "
-            << args.seed << "\n"
+            << args.seed << "; " << pool.thread_count()
+            << " sweep thread(s)\n"
             << "    mean item size ~ 15.5 units; capacities matched as "
                "slots x 15.5\n\n";
 
@@ -35,30 +40,39 @@ int main(int argc, char** argv) {
 
   std::cout << "  slots  slot model  sized uniform  sized coupled  "
                "coupled waste\n";
-  for (const std::size_t slots : {5u, 10u, 20u, 40u, 80u}) {
-    PrefetchCacheConfig slot_cfg;
-    slot_cfg.cache_size = slots;
-    slot_cfg.policy = PrefetchPolicy::SKP;
-    slot_cfg.sub = SubArbitration::DS;
-    slot_cfg.requests = requests;
-    slot_cfg.seed = args.seed;
-    const auto slot_res = run_prefetch_cache(slot_cfg);
+  const std::size_t slot_counts[] = {5, 10, 20, 40, 80};
+  constexpr std::size_t kCells = 3;  // slot model / uniform / coupled
+  // Fan the 5x3 grid out as independent sims (cell kind = idx % 3).
+  const auto results = sweep_points(
+      pool, std::size(slot_counts) * kCells, [&](std::size_t idx) {
+        const std::size_t slots = slot_counts[idx / kCells];
+        const std::size_t cell = idx % kCells;
+        if (cell == 0) {
+          PrefetchCacheConfig slot_cfg;
+          slot_cfg.cache_size = slots;
+          slot_cfg.policy = PrefetchPolicy::SKP;
+          slot_cfg.sub = SubArbitration::DS;
+          slot_cfg.requests = requests;
+          slot_cfg.seed = args.seed;
+          return run_prefetch_cache(slot_cfg);
+        }
+        const double mean_size = 15.5;  // E[U{1..30}]
+        SizedExperimentConfig cfg;
+        cfg.capacity = static_cast<double>(slots) * mean_size;
+        cfg.size_per_r = cell == 1 ? 0.0 : 1.0;  // uniform vs coupled
+        cfg.size_lo = cfg.size_hi = mean_size;
+        cfg.policy = PrefetchPolicy::SKP;
+        cfg.sub = SubArbitration::DS;
+        cfg.requests = requests;
+        cfg.seed = args.seed;
+        return run_prefetch_cache_sized(cfg);
+      });
 
-    const double mean_size = 15.5;  // E[U{1..30}]
-    SizedExperimentConfig uni;
-    uni.capacity = static_cast<double>(slots) * mean_size;
-    uni.size_per_r = 0.0;
-    uni.size_lo = uni.size_hi = mean_size;
-    uni.policy = PrefetchPolicy::SKP;
-    uni.sub = SubArbitration::DS;
-    uni.requests = requests;
-    uni.seed = args.seed;
-    const auto uni_res = run_prefetch_cache_sized(uni);
-
-    SizedExperimentConfig coupled = uni;
-    coupled.size_per_r = 1.0;  // size == retrieval time
-    const auto coupled_res = run_prefetch_cache_sized(coupled);
-
+  for (std::size_t s = 0; s < std::size(slot_counts); ++s) {
+    const std::size_t slots = slot_counts[s];
+    const auto& slot_res = results[s * kCells + 0];
+    const auto& uni_res = results[s * kCells + 1];
+    const auto& coupled_res = results[s * kCells + 2];
     std::cout << "  " << std::setw(5) << slots << "  " << std::setw(10)
               << slot_res.metrics.mean_access_time() << "  "
               << std::setw(13) << uni_res.metrics.mean_access_time()

@@ -1,10 +1,15 @@
 // Shared command-line handling for the figure-reproduction binaries.
 //
 // Every bench accepts:
-//   --full         paper-scale run (50 000 iterations etc.); default is a
-//                  reduced-scale run that finishes in seconds
-//   --seed <u64>   RNG seed (default 1)
-//   --csv <dir>    also write each series as CSV files into <dir>
+//   --full          paper-scale run (50 000 iterations etc.); default is a
+//                   reduced-scale run that finishes in seconds
+//   --seed <u64>    RNG seed (default 1)
+//   --csv <dir>     also write each series as CSV files into <dir>
+//   --threads <n>   worker threads for the sweep drivers (0 = one per
+//                   hardware thread, the default; 1 = serial). Sweep
+//                   results are bit-identical for every thread count —
+//                   each sim point is independently seeded — so this only
+//                   changes wall-clock.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,7 @@ struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 1;
   std::optional<std::string> csv_dir;
+  std::size_t threads = 0;  // 0 = hardware concurrency
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -31,9 +37,13 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (a == "--csv" && i + 1 < argc) {
       args.csv_dir = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      args.threads = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--full] [--seed <u64>] [--csv <dir>]\n";
+                << " [--full] [--seed <u64>] [--csv <dir>]"
+                   " [--threads <n>]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << a << "\n";

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON snapshots and fail on regressions.
+
+Subcommands:
+
+  compare BASELINE.json CURRENT.json [--threshold 0.15]
+      For every benchmark present in both snapshots:
+        * cpu_time        — fail when CURRENT is more than `threshold`
+                            slower than BASELINE (relative).
+        * items_per_second — fail when CURRENT is more than `threshold`
+                            below BASELINE (throughput; emitted by
+                            sim_throughput as requests/second).
+        * nodes / solver_nodes counters — fail on ANY difference: these
+                            are deterministic search-effort counts, so a
+                            drift is an algorithmic change, not noise
+                            (pass --allow-node-drift while intentionally
+                            landing one).
+      Benchmarks present on only one side are reported but do not fail
+      the gate (new benchmarks must be able to land).
+
+  merge OUT.json IN1.json [IN2.json ...]
+      Concatenate the `benchmarks` arrays of several snapshots (context
+      taken from the first input). Used by CI to fold solver_micro and
+      sim_throughput into one BENCH_seed.json.
+
+Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+COUNTER_EXACT = ("nodes", "solver_nodes")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def by_name(snapshot):
+    raw, median = {}, {}
+    for b in snapshot.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            # repetition runs: compare the median aggregate, which is far
+            # less noise-sensitive than any single repetition
+            if b.get("aggregate_name") == "median":
+                median[b["run_name"]] = b
+        else:
+            raw[b["name"]] = b
+    out = raw
+    out.update(median)
+    return out
+
+
+def cmd_merge(args):
+    merged = load(args.inputs[0])
+    for path in args.inputs[1:]:
+        merged.setdefault("benchmarks", []).extend(
+            load(path).get("benchmarks", []))
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=1)
+    print(f"merged {len(args.inputs)} snapshot(s) -> {args.out} "
+          f"({len(merged.get('benchmarks', []))} benchmarks)")
+    return 0
+
+
+def cmd_compare(args):
+    base = by_name(load(args.baseline))
+    cur = by_name(load(args.current))
+    failures = []
+    checked = 0
+
+    for name in sorted(base.keys() | cur.keys()):
+        if name not in base:
+            print(f"  [new ] {name} (not in baseline, skipped)")
+            continue
+        if name not in cur:
+            print(f"  [gone] {name} (not in current, skipped)")
+            continue
+        b, c = base[name], cur[name]
+        checked += 1
+
+        bt, ct = b.get("cpu_time"), c.get("cpu_time")
+        if bt and ct:
+            ratio = ct / bt
+            status = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+            print(f"  [{status:4}] {name}: cpu_time {bt:.0f} -> {ct:.0f} "
+                  f"{b.get('time_unit', 'ns')} ({ratio - 1.0:+.1%})")
+            if status == "FAIL":
+                failures.append(f"{name}: cpu_time {ratio:.2f}x baseline")
+
+        bi, ci = b.get("items_per_second"), c.get("items_per_second")
+        if bi and ci:
+            ratio = ci / bi
+            # Symmetric with the time check (cur > base*(1+t) fails):
+            # throughput fails when cur < base/(1+t). Unlike 1-t this
+            # stays a real bound for any threshold (1-t is vacuous at
+            # t >= 1, e.g. CI's loose cross-machine backstop).
+            status = "FAIL" if ratio < 1.0 / (1.0 + args.threshold) else "ok"
+            print(f"  [{status:4}] {name}: items/s {bi:.0f} -> {ci:.0f} "
+                  f"({ratio:.2f}x baseline)")
+            if status == "FAIL":
+                failures.append(f"{name}: items/s {ratio:.2f}x baseline")
+
+        for counter in COUNTER_EXACT:
+            bn, cn = b.get(counter), c.get(counter)
+            if bn is None or cn is None:
+                continue
+            if bn != cn:
+                msg = (f"{name}: {counter} {bn:.0f} -> {cn:.0f} "
+                       f"(deterministic counter drifted)")
+                if args.allow_node_drift:
+                    print(f"  [warn] {msg}")
+                else:
+                    print(f"  [FAIL] {msg}")
+                    failures.append(msg)
+
+    print(f"\nchecked {checked} benchmark(s), "
+          f"{len(failures)} regression(s) "
+          f"(threshold {args.threshold:.0%})")
+    for f in failures:
+        print(f"  regression: {f}")
+    if checked == 0:
+        # Nothing overlapped (renamed benchmarks, wrong file, flag
+        # mismatch): a gate that compared nothing must not pass.
+        print("error: no benchmark appears in both snapshots — "
+              "the gate compared nothing", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_cmp = sub.add_parser("compare", help="diff two snapshots")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("--threshold", type=float, default=0.15,
+                       help="relative time/throughput tolerance "
+                            "(default 0.15 = 15%%)")
+    p_cmp.add_argument("--allow-node-drift", action="store_true",
+                       help="downgrade deterministic-counter mismatches "
+                            "to warnings")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_merge = sub.add_parser("merge", help="concatenate snapshots")
+    p_merge.add_argument("out")
+    p_merge.add_argument("inputs", nargs="+")
+    p_merge.set_defaults(func=cmd_merge)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

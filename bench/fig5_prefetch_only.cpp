@@ -17,9 +17,12 @@
 // and the near-identical flat panels, but provably never crosses the
 // no-prefetch curve. Both are plotted.
 #include <iostream>
+#include <iterator>
+#include <span>
 
 #include "bench_util.hpp"
 #include "sim/prefetch_only.hpp"
+#include "sim/sweep.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
@@ -46,22 +49,17 @@ const Policy kPolicies[] = {
      DeltaRule::ExactComplement, 'x'},
 };
 
+// One panel's five policy runs, already simulated by the sweep below.
 void run_panel(const char* label, std::size_t n, ProbMethod method,
-               const bench::BenchArgs& args, ThreadPool& pool) {
+               const bench::BenchArgs& args,
+               std::span<const PrefetchOnlyResult> results) {
   std::vector<PlotSeries> series;
   std::vector<std::vector<std::pair<double, double>>> raw;
-  for (const auto& pol : kPolicies) {
-    PrefetchOnlyConfig cfg;
-    cfg.n_items = n;
-    cfg.method = method;
-    cfg.policy = pol.policy;
-    cfg.delta_rule = pol.rule;
-    cfg.iterations = args.full ? 50'000 : 10'000;
-    cfg.seed = args.seed;
-    const auto res = run_prefetch_only_parallel(cfg, pool);
+  for (std::size_t k = 0; k < std::size(kPolicies); ++k) {
+    const auto& res = results[k];
     PlotSeries s;
-    s.name = pol.name;
-    s.glyph = pol.glyph;
+    s.name = kPolicies[k].name;
+    s.glyph = kPolicies[k].glyph;
     for (const auto& [v, t] : res.avg_T_by_v.series()) {
       if (v <= 50.0) s.points.emplace_back(v, t);  // paper clips at 50
     }
@@ -112,15 +110,49 @@ void run_panel(const char* label, std::size_t n, ProbMethod method,
 
 }  // namespace
 
+struct Panel {
+  const char* label;
+  std::size_t n;
+  ProbMethod method;
+};
+
 int main(int argc, char** argv) {
   const auto args = skp::bench::parse_args(argc, argv);
+  ThreadPool pool(args.threads);
   std::cout << "=== Figure 5: average T against v, four policies ===\n"
             << "    " << (args.full ? "full" : "reduced")
-            << " scale; seed " << args.seed << "\n\n";
-  ThreadPool pool;
-  run_panel("a", 10, ProbMethod::Skewy, args, pool);
-  run_panel("b", 10, ProbMethod::Flat, args, pool);
-  run_panel("c", 25, ProbMethod::Skewy, args, pool);
-  run_panel("d", 25, ProbMethod::Flat, args, pool);
+            << " scale; seed " << args.seed << "; " << pool.thread_count()
+            << " sweep thread(s)\n\n";
+
+  const Panel panels[] = {
+      {"a", 10, ProbMethod::Skewy},
+      {"b", 10, ProbMethod::Flat},
+      {"c", 25, ProbMethod::Skewy},
+      {"d", 25, ProbMethod::Flat},
+  };
+
+  // All 4 panels x 5 policies fan out as one sweep of independently
+  // seeded serial sims; results are therefore identical for any thread
+  // count (and machine-independent, unlike a chunk-split run).
+  const std::size_t per_panel = std::size(kPolicies);
+  const std::vector<PrefetchOnlyResult> results = sweep_points(
+      pool, std::size(panels) * per_panel, [&](std::size_t idx) {
+        const Panel& panel = panels[idx / per_panel];
+        const Policy& pol = kPolicies[idx % per_panel];
+        PrefetchOnlyConfig cfg;
+        cfg.n_items = panel.n;
+        cfg.method = panel.method;
+        cfg.policy = pol.policy;
+        cfg.delta_rule = pol.rule;
+        cfg.iterations = args.full ? 50'000 : 10'000;
+        cfg.seed = args.seed;
+        return run_prefetch_only(cfg);
+      });
+
+  for (std::size_t p = 0; p < std::size(panels); ++p) {
+    run_panel(panels[p].label, panels[p].n, panels[p].method, args,
+              std::span<const PrefetchOnlyResult>(results)
+                  .subspan(p * per_panel, per_panel));
+  }
   return 0;
 }

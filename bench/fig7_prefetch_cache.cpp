@@ -8,12 +8,17 @@
 // Expected shape: all curves fall with cache size and converge once the
 // cache approaches the catalog size; SKP+Pr+DS lowest, then SKP+Pr+LFU,
 // SKP+Pr, KP+Pr, No+Pr highest.
+#include <chrono>
+#include <cstdint>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "sim/prefetch_cache.hpp"
+#include "sim/sweep.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -40,40 +45,60 @@ int main(int argc, char** argv) {
   const auto args = skp::bench::parse_args(argc, argv);
   const std::size_t requests = args.full ? 50'000 : 4'000;
   const std::size_t step = args.full ? 1 : 5;  // cache sizes 1,1+step,...
+  ThreadPool pool(args.threads);
   std::cout << "=== Figure 7: access time per request vs cache size ===\n"
             << "    " << (args.full ? "full" : "reduced") << " scale ("
             << requests << " requests/point, cache step " << step
-            << "); seed " << args.seed << "\n\n";
+            << "); seed " << args.seed << "; " << pool.thread_count()
+            << " sweep thread(s)\n\n";
 
   std::vector<std::size_t> sizes;
   sizes.push_back(1);
   for (std::size_t c = step; c <= 100; c += step) sizes.push_back(c);
 
+  // Every (policy, cache size) cell is an independently seeded sim, so the
+  // parallel fan-out reproduces the serial numbers bit-for-bit.
+  const std::size_t n_points = std::size(kPolicies) * sizes.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<double> mean_T =
+      sweep_points(pool, n_points, [&](std::size_t idx) {
+        const Policy& pol = kPolicies[idx / sizes.size()];
+        PrefetchCacheConfig cfg;  // paper-default Markov source
+        cfg.cache_size = sizes[idx % sizes.size()];
+        cfg.policy = pol.policy;
+        cfg.sub = pol.sub;
+        // ExactComplement reproduces the paper's "SKP prefetch performs
+        // better than KP prefetch"; the verbatim Figure-3 tail-sum delta
+        // inverts that ordering (see EXPERIMENTS.md / ablation_delta).
+        cfg.delta_rule = DeltaRule::ExactComplement;
+        cfg.requests = requests;
+        cfg.seed = args.seed;  // same chain + walk for every policy
+        return run_prefetch_cache(cfg).metrics.mean_access_time();
+      });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   std::vector<PlotSeries> series;
-  for (const auto& pol : kPolicies) {
+  for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
     PlotSeries s;
-    s.name = pol.name;
-    s.glyph = pol.glyph;
-    for (const std::size_t cache_size : sizes) {
-      PrefetchCacheConfig cfg;  // paper-default Markov source
-      cfg.cache_size = cache_size;
-      cfg.policy = pol.policy;
-      cfg.sub = pol.sub;
-      // ExactComplement reproduces the paper's "SKP prefetch performs
-      // better than KP prefetch"; the verbatim Figure-3 tail-sum delta
-      // inverts that ordering (see EXPERIMENTS.md / ablation_delta).
-      cfg.delta_rule = DeltaRule::ExactComplement;
-      cfg.requests = requests;
-      cfg.seed = args.seed;  // same chain + walk for every policy
-      const auto res = run_prefetch_cache(cfg);
-      s.points.emplace_back(static_cast<double>(cache_size),
-                            res.metrics.mean_access_time());
+    s.name = kPolicies[p].name;
+    s.glyph = kPolicies[p].glyph;
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      s.points.emplace_back(static_cast<double>(sizes[c]),
+                            mean_T[p * sizes.size() + c]);
     }
-    std::cout << "  finished " << pol.name << " (last point: T = "
+    std::cout << "  finished " << kPolicies[p].name << " (last point: T = "
               << s.points.back().second << ")\n";
     series.push_back(std::move(s));
   }
-  std::cout << "\n";
+  const double total_requests =
+      static_cast<double>(requests) * static_cast<double>(n_points);
+  std::cout << "  sweep: " << n_points << " sim points, "
+            << static_cast<std::uint64_t>(total_requests) << " requests in "
+            << elapsed << " s  ("
+            << static_cast<std::uint64_t>(total_requests / elapsed)
+            << " requests/s)\n\n";
 
   PlotOptions opts;
   opts.title = "Fig 7  access time per request vs cache size";

@@ -10,19 +10,24 @@
 // wasted prefetch fraction) on the Fig. 7 workload.
 #include <iomanip>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "sim/prefetch_cache.hpp"
+#include "sim/sweep.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace skp;
   const auto args = skp::bench::parse_args(argc, argv);
   const std::size_t requests = args.full ? 50'000 : 6'000;
+  ThreadPool pool(args.threads);
   std::cout << "=== E8: access improvement vs network usage "
                "(threshold sweep) ===\n"
             << "    " << requests << " requests per point; seed "
-            << args.seed << "\n\n";
+            << args.seed << "; " << pool.thread_count()
+            << " sweep thread(s)\n\n";
 
   std::optional<std::ofstream> csv;
   if (args.csv_dir) {
@@ -34,15 +39,21 @@ int main(int argc, char** argv) {
   std::cout << "  threshold  mean T    net time/req  prefetches  "
                "waste rate\n";
   const double thresholds[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 1e9};
-  for (const double th : thresholds) {
-    PrefetchCacheConfig cfg;
-    cfg.cache_size = 20;
-    cfg.policy = PrefetchPolicy::SKP;
-    cfg.sub = SubArbitration::DS;
-    cfg.requests = requests;
-    cfg.seed = args.seed;
-    cfg.min_profit_threshold = th;
-    const auto res = run_prefetch_cache(cfg);
+  // Independent sim per threshold: fan out, report in order.
+  const auto results = sweep_points(
+      pool, std::size(thresholds), [&](std::size_t i) {
+        PrefetchCacheConfig cfg;
+        cfg.cache_size = 20;
+        cfg.policy = PrefetchPolicy::SKP;
+        cfg.sub = SubArbitration::DS;
+        cfg.requests = requests;
+        cfg.seed = args.seed;
+        cfg.min_profit_threshold = thresholds[i];
+        return run_prefetch_cache(cfg);
+      });
+  for (std::size_t i = 0; i < std::size(thresholds); ++i) {
+    const double th = thresholds[i];
+    const auto& res = results[i];
     std::cout << "  " << std::setw(9) << th << "  " << std::setw(8)
               << res.metrics.mean_access_time() << "  " << std::setw(12)
               << res.metrics.network_time_per_request() << "  "

@@ -1,0 +1,82 @@
+// Sim-throughput microbenchmarks (google-benchmark) for the CI perf
+// snapshot.
+//
+// One reduced Figure-7 point per policy: a complete run_prefetch_cache sim
+// (paper-default 100-state source, cache size 20) measured end to end.
+// `items_per_second` in the JSON output is requests/second — the number
+// the ROADMAP "Perf baseline" item asks to track next to the solver
+// micro-benches — and the `solver_nodes` counter is deterministic, which
+// gives bench/compare_bench.py a machine-independent regression signal on
+// top of the timing.
+#include <benchmark/benchmark.h>
+
+#include "sim/prefetch_cache.hpp"
+
+namespace {
+
+using namespace skp;
+
+constexpr std::size_t kRequests = 2'000;
+
+void run_point(benchmark::State& state, PrefetchPolicy policy,
+               SubArbitration sub) {
+  PrefetchCacheConfig cfg;  // paper-default Markov source
+  cfg.cache_size = 20;
+  cfg.policy = policy;
+  cfg.sub = sub;
+  cfg.requests = kRequests;
+  cfg.seed = 1;
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const auto res = run_prefetch_cache(cfg);
+    nodes = res.metrics.solver_nodes;
+    benchmark::DoNotOptimize(res.metrics.hits);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kRequests));
+  state.counters["solver_nodes"] = static_cast<double>(nodes);
+}
+
+void BM_Fig7Point_NoPr(benchmark::State& state) {
+  run_point(state, PrefetchPolicy::None, SubArbitration::None);
+}
+BENCHMARK(BM_Fig7Point_NoPr);
+
+void BM_Fig7Point_KpPr(benchmark::State& state) {
+  run_point(state, PrefetchPolicy::KP, SubArbitration::None);
+}
+BENCHMARK(BM_Fig7Point_KpPr);
+
+void BM_Fig7Point_SkpPr(benchmark::State& state) {
+  run_point(state, PrefetchPolicy::SKP, SubArbitration::None);
+}
+BENCHMARK(BM_Fig7Point_SkpPr);
+
+void BM_Fig7Point_SkpPrLfu(benchmark::State& state) {
+  run_point(state, PrefetchPolicy::SKP, SubArbitration::LFU);
+}
+BENCHMARK(BM_Fig7Point_SkpPrLfu);
+
+void BM_Fig7Point_SkpPrDs(benchmark::State& state) {
+  run_point(state, PrefetchPolicy::SKP, SubArbitration::DS);
+}
+BENCHMARK(BM_Fig7Point_SkpPrDs);
+
+// The learned-predictor variant exercises predict_into + the dense-row
+// candidate filter, the other per-request hot path.
+void BM_Fig7Point_SkpMarkov1(benchmark::State& state) {
+  PrefetchCacheConfig cfg;
+  cfg.cache_size = 20;
+  cfg.policy = PrefetchPolicy::SKP;
+  cfg.predictor = PredictorKind::Markov1;
+  cfg.requests = kRequests;
+  cfg.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_prefetch_cache(cfg).metrics.hits);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kRequests));
+}
+BENCHMARK(BM_Fig7Point_SkpMarkov1);
+
+}  // namespace

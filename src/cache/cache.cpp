@@ -5,20 +5,10 @@
 namespace skp {
 
 SlotCache::SlotCache(std::size_t catalog_size, std::size_t capacity)
-    : capacity_(capacity), present_(catalog_size, 0) {
+    : capacity_(capacity), present_(catalog_size, 0), pos_(catalog_size, 0) {
   SKP_REQUIRE(catalog_size > 0, "catalog_size must be positive");
   SKP_REQUIRE(capacity >= 1, "capacity must be >= 1");
   contents_.reserve(capacity);
-}
-
-void SlotCache::check_id(ItemId item) const {
-  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < present_.size(),
-              "item " << item << " outside catalog of " << present_.size());
-}
-
-bool SlotCache::contains(ItemId item) const {
-  check_id(item);
-  return present_[static_cast<std::size_t>(item)] != 0;
 }
 
 void SlotCache::insert(ItemId item) {
@@ -26,6 +16,8 @@ void SlotCache::insert(ItemId item) {
   SKP_REQUIRE(!contains(item), "item " << item << " already cached");
   SKP_REQUIRE(contents_.size() < capacity_,
               "cache full (capacity " << capacity_ << "); evict first");
+  pos_[static_cast<std::size_t>(item)] =
+      static_cast<std::uint32_t>(contents_.size());
   contents_.push_back(item);
   present_[static_cast<std::size_t>(item)] = 1;
 }
@@ -33,8 +25,14 @@ void SlotCache::insert(ItemId item) {
 void SlotCache::erase(ItemId item) {
   check_id(item);
   SKP_REQUIRE(contains(item), "item " << item << " not cached");
-  auto it = std::find(contents_.begin(), contents_.end(), item);
-  contents_.erase(it);
+  // O(1) position lookup; the tail shift keeps the documented
+  // insertion-order iteration for the survivors.
+  const std::size_t at = pos_[static_cast<std::size_t>(item)];
+  contents_.erase(contents_.begin() + static_cast<std::ptrdiff_t>(at));
+  for (std::size_t k = at; k < contents_.size(); ++k) {
+    pos_[static_cast<std::size_t>(contents_[k])] =
+        static_cast<std::uint32_t>(k);
+  }
   present_[static_cast<std::size_t>(item)] = 0;
 }
 

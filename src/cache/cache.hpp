@@ -24,7 +24,17 @@ class SlotCache {
   std::size_t size() const noexcept { return contents_.size(); }
   bool full() const noexcept { return contents_.size() == capacity_; }
   bool empty() const noexcept { return contents_.empty(); }
-  bool contains(ItemId item) const;
+
+  // Inline: the candidate filter probes this once per catalog item per
+  // planning round.
+  bool contains(ItemId item) const {
+    check_id(item);
+    return present_[static_cast<std::size_t>(item)] != 0;
+  }
+
+  // Raw presence bitmap (indexed by item id over the whole catalog) for
+  // bulk membership scans that bounds-check once instead of per probe.
+  std::span<const char> presence() const noexcept { return present_; }
 
   // Inserts an item that must not already be cached; throws when full
   // (evict first) or duplicated.
@@ -43,11 +53,18 @@ class SlotCache {
   void clear();
 
  private:
-  void check_id(ItemId item) const;
+  void check_id(ItemId item) const {
+    SKP_REQUIRE(
+        item >= 0 && static_cast<std::size_t>(item) < present_.size(),
+        "item " << item << " outside catalog of " << present_.size());
+  }
 
   std::size_t capacity_;
   std::vector<ItemId> contents_;
   std::vector<char> present_;
+  // item -> index in contents_ (meaningful only while present_); turns
+  // erase's membership scan into an O(1) lookup.
+  std::vector<std::uint32_t> pos_;
 };
 
 }  // namespace skp

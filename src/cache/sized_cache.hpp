@@ -27,6 +27,8 @@ class SizedCache {
   double free_space() const noexcept { return capacity_ - used_; }
   std::size_t count() const noexcept { return contents_.size(); }
   bool empty() const noexcept { return contents_.empty(); }
+  // Number of items in the catalog (valid ids are [0, catalog_size)).
+  std::size_t catalog_size() const noexcept { return sizes_.size(); }
 
   double size_of(ItemId item) const;
   bool contains(ItemId item) const;

@@ -7,15 +7,15 @@ namespace skp {
 
 namespace {
 
-double sum_r(const Instance& inst, std::span<const ItemId> items) {
+double sum_r(InstanceView inst, std::span<const ItemId> items) {
   double s = 0.0;
-  for (ItemId i : items) s += inst.r[Instance::idx(i)];
+  for (ItemId i : items) s += inst.r[InstanceView::idx(i)];
   return s;
 }
 
-double sum_P(const Instance& inst, std::span<const ItemId> items) {
+double sum_P(InstanceView inst, std::span<const ItemId> items) {
   double s = 0.0;
-  for (ItemId i : items) s += inst.P[Instance::idx(i)];
+  for (ItemId i : items) s += inst.P[InstanceView::idx(i)];
   return s;
 }
 
@@ -25,12 +25,12 @@ bool contains(std::span<const ItemId> items, ItemId x) {
 
 }  // namespace
 
-double stretch_time(const Instance& inst, std::span<const ItemId> F) {
+double stretch_time(InstanceView inst, std::span<const ItemId> F) {
   if (F.empty()) return 0.0;
   return std::max(0.0, sum_r(inst, F) - inst.v);
 }
 
-bool is_valid_prefetch_list(const Instance& inst, std::span<const ItemId> F) {
+bool is_valid_prefetch_list(InstanceView inst, std::span<const ItemId> F) {
   if (F.empty()) return true;
   std::unordered_set<ItemId> seen;
   for (ItemId i : F) {
@@ -42,19 +42,19 @@ bool is_valid_prefetch_list(const Instance& inst, std::span<const ItemId> F) {
   return r_K < inst.v;
 }
 
-double expected_access_time_no_prefetch(const Instance& inst) {
+double expected_access_time_no_prefetch(InstanceView inst) {
   double s = 0.0;
   for (std::size_t i = 0; i < inst.n(); ++i) s += inst.P[i] * inst.r[i];
   return s;
 }
 
-double expected_access_time_prefetch(const Instance& inst,
+double expected_access_time_prefetch(InstanceView inst,
                                      std::span<const ItemId> F) {
   if (F.empty()) return expected_access_time_no_prefetch(inst);
   SKP_REQUIRE(is_valid_prefetch_list(inst, F), "invalid prefetch list");
   const double st = stretch_time(inst, F);
   const ItemId z = F.back();
-  double e = inst.P[Instance::idx(z)] * st;
+  double e = inst.P[InstanceView::idx(z)] * st;
   for (std::size_t i = 0; i < inst.n(); ++i) {
     const auto id = static_cast<ItemId>(i);
     if (!contains(F, id)) e += inst.P[i] * (inst.r[i] + st);
@@ -62,7 +62,7 @@ double expected_access_time_prefetch(const Instance& inst,
   return e;
 }
 
-double access_improvement(const Instance& inst, std::span<const ItemId> F,
+double access_improvement(InstanceView inst, std::span<const ItemId> F,
                           double total_prob_mass) {
   if (F.empty()) return 0.0;
   SKP_REQUIRE(is_valid_prefetch_list(inst, F), "invalid prefetch list");
@@ -74,25 +74,25 @@ double access_improvement(const Instance& inst, std::span<const ItemId> F,
   return gain - (total_prob_mass - prob_K) * st;
 }
 
-double theorem3_delta(const Instance& inst, ItemId z, double prob_in_K,
+double theorem3_delta(InstanceView inst, ItemId z, double prob_in_K,
                       double stretch, double total_prob_mass) {
   return inst.profit(z) - (total_prob_mass - prob_in_K) * stretch;
 }
 
-double realized_access_time(const Instance& inst, std::span<const ItemId> F,
+double realized_access_time(InstanceView inst, std::span<const ItemId> F,
                             ItemId requested) {
   SKP_REQUIRE(requested >= 0 &&
                   static_cast<std::size_t>(requested) < inst.n(),
               "requested item out of range");
-  if (F.empty()) return inst.r[Instance::idx(requested)];
+  if (F.empty()) return inst.r[InstanceView::idx(requested)];
   const double st = stretch_time(inst, F);
   const ItemId z = F.back();
   if (requested == z) return st;
   if (contains(F.subspan(0, F.size() - 1), requested)) return 0.0;
-  return st + inst.r[Instance::idx(requested)];
+  return st + inst.r[InstanceView::idx(requested)];
 }
 
-double expected_access_time_no_prefetch_cached(const Instance& inst,
+double expected_access_time_no_prefetch_cached(InstanceView inst,
                                                std::span<const ItemId> C) {
   double s = 0.0;
   for (std::size_t i = 0; i < inst.n(); ++i) {
@@ -102,7 +102,7 @@ double expected_access_time_no_prefetch_cached(const Instance& inst,
   return s;
 }
 
-double access_improvement_cached(const Instance& inst,
+double access_improvement_cached(InstanceView inst,
                                  std::span<const ItemId> F,
                                  std::span<const ItemId> D,
                                  std::span<const ItemId> C) {
@@ -115,12 +115,12 @@ double access_improvement_cached(const Instance& inst,
   double anti_g = 0.0;
   for (ItemId d : D) anti_g += inst.profit(d);
   for (ItemId c : C) {
-    if (!contains(D, c)) anti_g -= inst.P[Instance::idx(c)] * st;
+    if (!contains(D, c)) anti_g -= inst.P[InstanceView::idx(c)] * st;
   }
   return g_star - anti_g;
 }
 
-double realized_access_time_cached(const Instance& inst,
+double realized_access_time_cached(InstanceView inst,
                                    std::span<const ItemId> F,
                                    std::span<const ItemId> D,
                                    std::span<const ItemId> C,
@@ -135,7 +135,7 @@ double realized_access_time_cached(const Instance& inst,
     if (contains(F.subspan(0, F.size() - 1), requested)) return 0.0;
   }
   if (contains(C, requested) && !contains(D, requested)) return 0.0;
-  return st + inst.r[Instance::idx(requested)];
+  return st + inst.r[InstanceView::idx(requested)];
 }
 
 }  // namespace skp

@@ -24,30 +24,30 @@
 namespace skp {
 
 // st(F): the amount by which F's total retrieval time exceeds v (Eq. 2).
-double stretch_time(const Instance& inst, std::span<const ItemId> F);
+double stretch_time(InstanceView inst, std::span<const ItemId> F);
 
 // True when F satisfies the Eq.-(1) construction: no duplicate items, and
 // the retrieval times of all but the last element fit strictly within v.
 // The empty list is valid (prefetch nothing).
-bool is_valid_prefetch_list(const Instance& inst, std::span<const ItemId> F);
+bool is_valid_prefetch_list(InstanceView inst, std::span<const ItemId> F);
 
 // E(T* | no prefetch) = sum_i P_i r_i (empty cache).
-double expected_access_time_no_prefetch(const Instance& inst);
+double expected_access_time_no_prefetch(InstanceView inst);
 
 // E(T* | prefetch F) = P_z st(F) + sum_{i in N\F} P_i (r_i + st(F)).
-double expected_access_time_prefetch(const Instance& inst,
+double expected_access_time_prefetch(InstanceView inst,
                                      std::span<const ItemId> F);
 
 // g*(F) per Eq. (3). `total_prob_mass` is the total catalog probability
 // entering the stretch penalty (see header comment); 1.0 for a full
 // catalog.
-double access_improvement(const Instance& inst, std::span<const ItemId> F,
+double access_improvement(InstanceView inst, std::span<const ItemId> F,
                           double total_prob_mass = 1.0);
 
 // Theorem 3: g*(K ++ <z>) = g*(K) + delta with
 //   delta = P_z r_z - (total_prob_mass - sum_{i in K} P_i) * st(K ++ <z>).
 // `prob_in_K` = sum of P over K; `stretch` = st(K ++ <z>).
-double theorem3_delta(const Instance& inst, ItemId z, double prob_in_K,
+double theorem3_delta(InstanceView inst, ItemId z, double prob_in_K,
                       double stretch, double total_prob_mass = 1.0);
 
 // Realized (not expected) access time of the empty-cache model, given the
@@ -55,24 +55,24 @@ double theorem3_delta(const Instance& inst, ItemId z, double prob_in_K,
 //   requested in K      -> 0
 //   requested == z      -> st(F)
 //   requested not in F  -> st(F) + r_requested
-double realized_access_time(const Instance& inst, std::span<const ItemId> F,
+double realized_access_time(InstanceView inst, std::span<const ItemId> F,
                             ItemId requested);
 
 // ---- Section 5: cache in play -------------------------------------------
 
 // E(T | no prefetch, cache C) = sum_{i in N\C} P_i r_i.
-double expected_access_time_no_prefetch_cached(const Instance& inst,
+double expected_access_time_no_prefetch_cached(InstanceView inst,
                                                std::span<const ItemId> C);
 
 // g(F, D) per Eq. (9). F must be disjoint from C; D must be a sublist of C.
-double access_improvement_cached(const Instance& inst,
+double access_improvement_cached(InstanceView inst,
                                  std::span<const ItemId> F,
                                  std::span<const ItemId> D,
                                  std::span<const ItemId> C);
 
 // Realized access time with cache: requested in K or in C\D -> 0;
 // requested == z -> st(F); otherwise st(F) + r_requested.
-double realized_access_time_cached(const Instance& inst,
+double realized_access_time_cached(InstanceView inst,
                                    std::span<const ItemId> F,
                                    std::span<const ItemId> D,
                                    std::span<const ItemId> C,

@@ -4,11 +4,29 @@
 
 namespace skp {
 
-ItemId choose_victim(const Instance& inst, std::span<const ItemId> cached,
+ItemId choose_victim(InstanceView inst, std::span<const ItemId> cached,
                      const FreqTracker* freq, const ArbitrationConfig& cfg) {
   SKP_REQUIRE(!cached.empty(), "choose_victim over empty cache");
   SKP_REQUIRE(cfg.sub == SubArbitration::None || freq != nullptr,
               "sub-arbitration requires a FreqTracker");
+  if (cfg.sub == SubArbitration::None) {
+    // Fast path (every demand miss lands here under the paper's default):
+    // plain (Pr, id) minimum, no score indirection. All sub scores are 0,
+    // so ties fall straight through to the id rule of the general loop.
+    ItemId victim = cached.front();
+    double victim_pr = inst.P[static_cast<std::size_t>(victim)] *
+                       inst.r[static_cast<std::size_t>(victim)];
+    for (std::size_t k = 1; k < cached.size(); ++k) {
+      const ItemId i = cached[k];
+      const double pr = inst.P[static_cast<std::size_t>(i)] *
+                        inst.r[static_cast<std::size_t>(i)];
+      if (pr < victim_pr || (pr == victim_pr && i < victim)) {
+        victim = i;
+        victim_pr = pr;
+      }
+    }
+    return victim;
+  }
   ItemId victim = cached.front();
   double victim_pr = inst.profit(victim);
   auto sub_score = [&](ItemId i) {
@@ -16,7 +34,7 @@ ItemId choose_victim(const Instance& inst, std::span<const ItemId> cached,
       case SubArbitration::LFU:
         return freq->frequency(i);
       case SubArbitration::DS:
-        return freq->delay_saving_profit(i, inst.r[Instance::idx(i)]);
+        return freq->delay_saving_profit(i, inst.r[InstanceView::idx(i)]);
       case SubArbitration::None:
         return 0.0;
     }
@@ -43,35 +61,55 @@ ItemId choose_victim(const Instance& inst, std::span<const ItemId> cached,
   return victim;
 }
 
-bool admits_prefetch(const Instance& inst, ItemId f, ItemId d,
+bool admits_prefetch(InstanceView inst, ItemId f, ItemId d,
                      const ArbitrationConfig& cfg) {
   const double pf = inst.profit(f);
   const double pd = inst.profit(d);
   return cfg.strict_ties ? (pf > pd) : (pf >= pd);
 }
 
-VictimSet gather_victims_by_density(const Instance& inst,
+void VictimSet::clear() {
+  victims.clear();
+  freed = 0.0;
+  total_pr = 0.0;
+  ok = false;
+}
+
+VictimSet gather_victims_by_density(InstanceView inst,
                                     const SizedCache& cache,
                                     const FreqTracker* freq,
                                     const ArbitrationConfig& cfg,
                                     double needed_free) {
+  VictimSet out;
+  std::vector<ItemId> pool;
+  gather_victims_by_density_into(inst, cache, freq, cfg, needed_free, pool,
+                                 out);
+  return out;
+}
+
+void gather_victims_by_density_into(InstanceView inst,
+                                    const SizedCache& cache,
+                                    const FreqTracker* freq,
+                                    const ArbitrationConfig& cfg,
+                                    double needed_free,
+                                    std::vector<ItemId>& pool,
+                                    VictimSet& out) {
   SKP_REQUIRE(needed_free >= 0.0, "negative space request");
   SKP_REQUIRE(cfg.sub == SubArbitration::None || freq != nullptr,
               "sub-arbitration requires a FreqTracker");
-  VictimSet out;
+  out.clear();
   double available = cache.free_space();
   if (available >= needed_free) {
     out.ok = true;
-    return out;
+    return;
   }
-  std::vector<ItemId> pool(cache.contents().begin(),
-                           cache.contents().end());
+  pool.assign(cache.contents().begin(), cache.contents().end());
   auto sub_score = [&](ItemId i) {
     switch (cfg.sub) {
       case SubArbitration::LFU:
         return freq->frequency(i);
       case SubArbitration::DS:
-        return freq->delay_saving_profit(i, inst.r[Instance::idx(i)]);
+        return freq->delay_saving_profit(i, inst.r[InstanceView::idx(i)]);
       case SubArbitration::None:
         return 0.0;
     }
@@ -95,7 +133,6 @@ VictimSet gather_victims_by_density(const Instance& inst,
     available += cache.size_of(d);
   }
   out.ok = available >= needed_free;
-  return out;
 }
 
 }  // namespace skp

@@ -34,12 +34,12 @@ struct ArbitrationConfig {
 // Chooses the eviction victim among `cached` (non-empty): minimal
 // P_d * r_d, ties resolved by `cfg.sub` (then by lowest id). `freq` may be
 // null only when cfg.sub == None.
-ItemId choose_victim(const Instance& inst, std::span<const ItemId> cached,
+ItemId choose_victim(InstanceView inst, std::span<const ItemId> cached,
                      const FreqTracker* freq, const ArbitrationConfig& cfg);
 
 // True when prefetch candidate `f` is allowed to displace victim `d`
 // (Pr-arbitration admission test).
-bool admits_prefetch(const Instance& inst, ItemId f, ItemId d,
+bool admits_prefetch(InstanceView inst, ItemId f, ItemId d,
                      const ArbitrationConfig& cfg);
 
 // Size-aware generalization (extension; the paper's Section-6 open item).
@@ -53,11 +53,25 @@ struct VictimSet {
   double freed = 0.0;     // space the victims release
   double total_pr = 0.0;  // sum of P_d r_d over the victims
   bool ok = false;
+
+  // Resets to the empty set, keeping `victims`' capacity (hot-path reuse).
+  void clear();
 };
-VictimSet gather_victims_by_density(const Instance& inst,
+VictimSet gather_victims_by_density(InstanceView inst,
                                     const SizedCache& cache,
                                     const FreqTracker* freq,
                                     const ArbitrationConfig& cfg,
                                     double needed_free);
+
+// Allocation-free variant: the candidate pool is staged in `pool` and the
+// result written into `out` (both cleared first, capacity reused).
+// Bit-identical to gather_victims_by_density.
+void gather_victims_by_density_into(InstanceView inst,
+                                    const SizedCache& cache,
+                                    const FreqTracker* freq,
+                                    const ArbitrationConfig& cfg,
+                                    double needed_free,
+                                    std::vector<ItemId>& pool,
+                                    VictimSet& out);
 
 }  // namespace skp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace skp {
@@ -10,47 +11,86 @@ namespace {
 constexpr double kProbEps = 1e-9;
 }
 
-void Instance::validate() const {
+void InstanceView::validate() const {
   SKP_REQUIRE(!P.empty(), "empty catalog");
   SKP_REQUIRE(P.size() == r.size(),
               "P/r size mismatch: " << P.size() << " vs " << r.size());
   SKP_REQUIRE(v >= 0.0, "viewing time v = " << v << " must be >= 0");
+  // Hot path: one branch-free scan. A non-finite P_i is caught without an
+  // explicit isfinite() — NaN fails `>= 0`, +inf blows the sum check — and
+  // `r_i < inf` together with `r_i > 0` excludes NaN and both infinities.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   double sum = 0.0;
+  int ok = 1;
   for (std::size_t i = 0; i < P.size(); ++i) {
-    SKP_REQUIRE(P[i] >= 0.0 && std::isfinite(P[i]),
-                "P[" << i << "] = " << P[i]);
-    SKP_REQUIRE(r[i] > 0.0 && std::isfinite(r[i]),
-                "r[" << i << "] = " << r[i] << " must be > 0");
+    ok &= static_cast<int>(P[i] >= 0.0) & static_cast<int>(r[i] > 0.0) &
+          static_cast<int>(r[i] < kInf);
     sum += P[i];
+  }
+  if (!ok) {
+    // Slow path only on failure: re-scan for the precise message.
+    for (std::size_t i = 0; i < P.size(); ++i) {
+      SKP_REQUIRE(P[i] >= 0.0 && std::isfinite(P[i]),
+                  "P[" << i << "] = " << P[i]);
+      SKP_REQUIRE(r[i] > 0.0 && std::isfinite(r[i]),
+                  "r[" << i << "] = " << r[i] << " must be > 0");
+    }
   }
   SKP_REQUIRE(sum <= 1.0 + kProbEps,
               "probabilities sum to " << sum << " > 1");
 }
 
-bool canonical_before(const Instance& inst, ItemId a, ItemId b) {
-  const std::size_t ia = Instance::idx(a), ib = Instance::idx(b);
+void Instance::validate() const { InstanceView(*this).validate(); }
+
+bool canonical_before(InstanceView inst, ItemId a, ItemId b) {
+  const std::size_t ia = InstanceView::idx(a), ib = InstanceView::idx(b);
   if (inst.P[ia] != inst.P[ib]) return inst.P[ia] > inst.P[ib];
   if (inst.r[ia] != inst.r[ib]) return inst.r[ia] < inst.r[ib];
   return a < b;
 }
 
-std::vector<ItemId> canonical_order(const Instance& inst,
-                                    std::span<const ItemId> candidates) {
-  std::vector<ItemId> order(candidates.begin(), candidates.end());
-  std::sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+void canonical_order_into(InstanceView inst,
+                          std::span<const ItemId> candidates,
+                          std::vector<ItemId>& out) {
+  out.assign(candidates.begin(), candidates.end());
+  std::sort(out.begin(), out.end(), [&](ItemId a, ItemId b) {
     return canonical_before(inst, a, b);
   });
+}
+
+void canonical_order_into(InstanceView inst,
+                          std::span<const ItemId> candidates,
+                          std::vector<CanonKey>& keys,
+                          std::vector<ItemId>& out) {
+  keys.clear();
+  for (const ItemId c : candidates) {
+    const std::size_t i = InstanceView::idx(c);
+    keys.push_back({inst.P[i], inst.r[i], c});
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const CanonKey& a, const CanonKey& b) {
+              if (a.P != b.P) return a.P > b.P;
+              if (a.r != b.r) return a.r < b.r;
+              return a.id < b.id;
+            });
+  out.clear();
+  for (const CanonKey& k : keys) out.push_back(k.id);
+}
+
+std::vector<ItemId> canonical_order(InstanceView inst,
+                                    std::span<const ItemId> candidates) {
+  std::vector<ItemId> order;
+  canonical_order_into(inst, candidates, order);
   return order;
 }
 
-std::vector<ItemId> canonical_order(const Instance& inst) {
+std::vector<ItemId> canonical_order(InstanceView inst) {
   std::vector<ItemId> all(inst.n());
   std::iota(all.begin(), all.end(), ItemId{0});
   return canonical_order(inst, all);
 }
 
-bool is_canonically_sorted(const Instance& inst,
-                           std::span<const ItemId> list) {
+bool is_canonically_sorted(InstanceView inst, std::span<const ItemId> list) {
   for (std::size_t i = 1; i < list.size(); ++i) {
     if (canonical_before(inst, list[i], list[i - 1])) return false;
   }

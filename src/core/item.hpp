@@ -50,23 +50,88 @@ struct Instance {
   }
 };
 
+// Borrowed view of an instance: spans over storage owned elsewhere (an
+// Instance, a MarkovSource's transition row + catalog retrieval times, a
+// predictor's output buffer). The planning hot path runs entirely on views
+// so per-request planning copies nothing; an owning Instance converts
+// implicitly, so every solver/model entry point accepts either. The view
+// must not outlive the storage it borrows.
+struct InstanceView {
+  std::span<const double> P;
+  std::span<const double> r;
+  double v = 0.0;
+
+  InstanceView() = default;
+  InstanceView(std::span<const double> P_, std::span<const double> r_,
+               double v_) noexcept
+      : P(P_), r(r_), v(v_) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional — every
+  // Instance call site keeps working unchanged through this conversion.
+  InstanceView(const Instance& inst) noexcept
+      : P(inst.P), r(inst.r), v(inst.v) {}
+
+  std::size_t n() const noexcept { return P.size(); }
+
+  // Throws std::invalid_argument when any Instance invariant is violated.
+  void validate() const;
+
+  // O(1) structural subset of validate() — sizes and v only. The
+  // scratch-based planning overloads use this once per request and trust
+  // the caller for the per-element invariants (their P/r rows come from
+  // validated sources: Markov rows, normalized predictor output); the
+  // convenience overloads still run the full validate().
+  void validate_shape() const {
+    SKP_REQUIRE(!P.empty(), "empty catalog");
+    SKP_REQUIRE(P.size() == r.size(),
+                "P/r size mismatch: " << P.size() << " vs " << r.size());
+    SKP_REQUIRE(v >= 0.0, "viewing time v = " << v << " must be >= 0");
+  }
+
+  double profit(ItemId i) const { return P[idx(i)] * r[idx(i)]; }
+
+  static std::size_t idx(ItemId i) {
+    SKP_REQUIRE(i >= 0, "negative ItemId " << i);
+    return static_cast<std::size_t>(i);
+  }
+};
+
 // The canonical order of Eq. (5): probability descending; ties broken by
 // retrieval time ascending; remaining ties by item id ascending so the
 // order is a deterministic total order. Theorem 1 licenses restricting the
 // SKP search to lists sorted this way.
-std::vector<ItemId> canonical_order(const Instance& inst);
+std::vector<ItemId> canonical_order(InstanceView inst);
 
 // Same, but restricted to a candidate subset (used by cache-aware planning,
 // which solves the SKP over N \ C).
-std::vector<ItemId> canonical_order(const Instance& inst,
+std::vector<ItemId> canonical_order(InstanceView inst,
                                     std::span<const ItemId> candidates);
 
+// Allocation-free variant: writes the order into `out` (cleared first,
+// capacity reused). `candidates` must not alias `out`.
+void canonical_order_into(InstanceView inst,
+                          std::span<const ItemId> candidates,
+                          std::vector<ItemId>& out);
+
+// Key-cached variant for the planning hot path: stages one (P, r, id)
+// triple per candidate in `keys` and sorts those flat records, touching
+// the instance once per candidate instead of twice per comparison. The
+// order is a strict total order (ids are unique), so the result is
+// identical to canonical_order_into.
+struct CanonKey {
+  double P;
+  double r;
+  ItemId id;
+};
+void canonical_order_into(InstanceView inst,
+                          std::span<const ItemId> candidates,
+                          std::vector<CanonKey>& keys,
+                          std::vector<ItemId>& out);
+
 // True when `a` precedes (or ties) `b` in the canonical order.
-bool canonical_before(const Instance& inst, ItemId a, ItemId b);
+bool canonical_before(InstanceView inst, ItemId a, ItemId b);
 
 // True when `list` is sorted per Eq. (5).
-bool is_canonically_sorted(const Instance& inst,
-                           std::span<const ItemId> list);
+bool is_canonically_sorted(InstanceView inst, std::span<const ItemId> list);
 
 // Normalizes a non-negative weight vector into probabilities (sum == 1).
 // Throws if all weights are zero or any is negative.

@@ -8,7 +8,7 @@ namespace skp {
 
 namespace {
 
-std::vector<ItemId> all_items(const Instance& inst) {
+std::vector<ItemId> all_items(InstanceView inst) {
   std::vector<ItemId> ids(inst.n());
   std::iota(ids.begin(), ids.end(), ItemId{0});
   return ids;
@@ -16,29 +16,28 @@ std::vector<ItemId> all_items(const Instance& inst) {
 
 // Recursive Horowitz–Sahni style depth-first search. Items are visited in
 // canonical (profit-density descending) order; at each node the Dantzig
-// bound prunes subtrees that cannot beat the incumbent.
+// bound prunes subtrees that cannot beat the incumbent. All working memory
+// is borrowed from a KpWorkspace so repeated solves never allocate.
 class KpSearch {
  public:
-  KpSearch(const Instance& inst, std::vector<ItemId> order)
-      : inst_(inst), order_(std::move(order)) {
-    chosen_.assign(order_.size(), false);
-    best_chosen_ = chosen_;
+  KpSearch(InstanceView inst, std::span<const ItemId> order, KpWorkspace& ws)
+      : inst_(inst), order_(order), ws_(ws) {
+    ws_.chosen.assign(order_.size(), 0);
+    ws_.best_chosen.assign(order_.size(), 0);
   }
 
-  KpSolution run(double capacity) {
+  void run(double capacity, KpSolution& sol) {
     capacity_ = capacity;
     dfs(0, 0.0, 0.0);
-    KpSolution sol;
     sol.value = best_value_;
     sol.nodes = nodes_;
     sol.pruned = pruned_;
     for (std::size_t i = 0; i < order_.size(); ++i) {
-      if (best_chosen_[i]) {
+      if (ws_.best_chosen[i]) {
         sol.items.push_back(order_[i]);
-        sol.weight += inst_.r[Instance::idx(order_[i])];
+        sol.weight += inst_.r[InstanceView::idx(order_[i])];
       }
     }
-    return sol;
   }
 
  private:
@@ -46,7 +45,8 @@ class KpSearch {
     ++nodes_;
     if (value > best_value_) {
       best_value_ = value;
-      best_chosen_ = chosen_;
+      std::copy(ws_.chosen.begin(), ws_.chosen.end(),
+                ws_.best_chosen.begin());
     }
     if (depth == order_.size()) return;
     const double residual = capacity_ - weight;
@@ -55,20 +55,19 @@ class KpSearch {
       ++pruned_;
       return;
     }
-    const ItemId id = order_[depth];
-    const double w = inst_.r[Instance::idx(id)];
+    const auto id_i = static_cast<std::size_t>(order_[depth]);
+    const double w = inst_.r[id_i];
     if (w <= residual) {  // take
-      chosen_[depth] = true;
-      dfs(depth + 1, value + inst_.profit(id), weight + w);
-      chosen_[depth] = false;
+      ws_.chosen[depth] = 1;
+      dfs(depth + 1, value + inst_.P[id_i] * w, weight + w);
+      ws_.chosen[depth] = 0;
     }
     dfs(depth + 1, value, weight);  // skip
   }
 
-  const Instance& inst_;
-  std::vector<ItemId> order_;
-  std::vector<char> chosen_;
-  std::vector<char> best_chosen_;
+  InstanceView inst_;
+  std::span<const ItemId> order_;
+  KpWorkspace& ws_;
   double capacity_ = 0.0;
   double best_value_ = 0.0;
   std::uint64_t nodes_ = 0;
@@ -77,46 +76,66 @@ class KpSearch {
 
 }  // namespace
 
-double dantzig_bound(const Instance& inst, std::span<const ItemId> order,
+void KpSolution::clear() {
+  items.clear();
+  value = 0.0;
+  weight = 0.0;
+  nodes = 0;
+  pruned = 0;
+}
+
+double dantzig_bound(InstanceView inst, std::span<const ItemId> order,
                      std::size_t from, double capacity) {
   if (capacity <= 0.0) return 0.0;
   double bound = 0.0;
   double residual = capacity;
   for (std::size_t i = from; i < order.size(); ++i) {
-    const ItemId id = order[i];
-    const double w = inst.r[Instance::idx(id)];
+    // `order` is a validated canonical order; index unchecked (this bound
+    // is evaluated at every node of both searches).
+    const auto id_i = static_cast<std::size_t>(order[i]);
+    const double w = inst.r[id_i];
     if (w <= residual) {
-      bound += inst.profit(id);
+      bound += inst.P[id_i] * w;
       residual -= w;
     } else {
       // Fractional fill of the first item that does not fit (Eq. 7 uses
       // (v - sum r) * P_z, and profit/weight = P_z).
-      bound += residual * inst.P[Instance::idx(id)];
+      bound += residual * inst.P[id_i];
       return bound;
     }
   }
   return bound;
 }
 
-KpSolution solve_kp_bb(const Instance& inst,
-                       std::span<const ItemId> candidates) {
-  inst.validate();
-  KpSearch search(inst, canonical_order(inst, candidates));
-  return search.run(inst.v);
+void solve_kp_bb_into(InstanceView inst, std::span<const ItemId> candidates,
+                      KpWorkspace& ws, KpSolution& sol) {
+  sol.clear();
+  canonical_order_into(inst, candidates, ws.order_keys, ws.order);
+  KpSearch search(inst, ws.order, ws);
+  search.run(inst.v, sol);
 }
 
-KpSolution solve_kp_bb(const Instance& inst) {
+KpSolution solve_kp_bb(InstanceView inst,
+                       std::span<const ItemId> candidates) {
+  inst.validate();
+  KpWorkspace ws;
+  KpSolution sol;
+  solve_kp_bb_into(inst, candidates, ws, sol);
+  return sol;
+}
+
+KpSolution solve_kp_bb(InstanceView inst) {
   const auto ids = all_items(inst);
   return solve_kp_bb(inst, ids);
 }
 
-KpSolution solve_kp_dp(const Instance& inst,
+KpSolution solve_kp_dp(InstanceView inst,
                        std::span<const ItemId> candidates) {
   inst.validate();
   SKP_REQUIRE(inst.v == std::floor(inst.v), "DP requires integral v");
   const auto cap = static_cast<std::size_t>(inst.v);
   for (ItemId i : candidates) {
-    const double w = inst.r[Instance::idx(i)];
+    const double w = inst.r[InstanceView::idx(i)];
     SKP_REQUIRE(w == std::floor(w), "DP requires integral weights, r["
                                         << i << "] = " << w);
   }
@@ -127,7 +146,7 @@ KpSolution solve_kp_dp(const Instance& inst,
   std::vector<std::vector<char>> keep(n, std::vector<char>(cap + 1, 0));
   for (std::size_t i = 0; i < n; ++i) {
     const ItemId id = candidates[i];
-    const auto w = static_cast<std::size_t>(inst.r[Instance::idx(id)]);
+    const auto w = static_cast<std::size_t>(inst.r[InstanceView::idx(id)]);
     const double p = inst.profit(id);
     if (w > cap) continue;
     for (std::size_t c = cap; c >= w; --c) {
@@ -146,7 +165,7 @@ KpSolution solve_kp_dp(const Instance& inst,
     if (keep[i][c]) {
       const ItemId id = candidates[i];
       sol.items.push_back(id);
-      const auto w = static_cast<std::size_t>(inst.r[Instance::idx(id)]);
+      const auto w = static_cast<std::size_t>(inst.r[InstanceView::idx(id)]);
       sol.weight += static_cast<double>(w);
       c -= w;
     }
@@ -157,18 +176,17 @@ KpSolution solve_kp_dp(const Instance& inst,
   return sol;
 }
 
-KpSolution solve_kp_dp(const Instance& inst) {
+KpSolution solve_kp_dp(InstanceView inst) {
   const auto ids = all_items(inst);
   return solve_kp_dp(inst, ids);
 }
 
-KpSolution greedy_kp(const Instance& inst,
-                     std::span<const ItemId> candidates) {
+KpSolution greedy_kp(InstanceView inst, std::span<const ItemId> candidates) {
   inst.validate();
   KpSolution sol;
   double residual = inst.v;
   for (ItemId id : canonical_order(inst, candidates)) {
-    const double w = inst.r[Instance::idx(id)];
+    const double w = inst.r[InstanceView::idx(id)];
     if (w <= residual) {
       sol.items.push_back(id);
       sol.value += inst.profit(id);

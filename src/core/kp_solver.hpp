@@ -32,30 +32,47 @@ struct KpSolution {
   // Search statistics (branch-and-bound only; zero for DP/greedy).
   std::uint64_t nodes = 0;
   std::uint64_t pruned = 0;
+
+  // Resets to the empty solution, keeping `items`' capacity (hot-path
+  // reuse).
+  void clear();
+};
+
+// Reusable buffers for solve_kp_bb_into: one per sim loop / thread,
+// allocated once and grown on demand.
+struct KpWorkspace {
+  std::vector<ItemId> order;
+  std::vector<CanonKey> order_keys;
+  std::vector<char> chosen;
+  std::vector<char> best_chosen;
 };
 
 // Exact B&B over the given candidates (defaults to the whole catalog when
 // `candidates` is empty and `use_all` is true via the convenience overload).
-KpSolution solve_kp_bb(const Instance& inst,
-                       std::span<const ItemId> candidates);
-KpSolution solve_kp_bb(const Instance& inst);
+KpSolution solve_kp_bb(InstanceView inst, std::span<const ItemId> candidates);
+KpSolution solve_kp_bb(InstanceView inst);
+
+// Allocation-free B&B: working memory comes from `ws`, the result is
+// written into `sol` (cleared first, capacity reused). The caller must
+// have validated `inst`. Bit-identical to solve_kp_bb.
+void solve_kp_bb_into(InstanceView inst, std::span<const ItemId> candidates,
+                      KpWorkspace& ws, KpSolution& sol);
 
 // Exact DP. Requires every r_i (over candidates) and v to be integral;
 // throws std::invalid_argument otherwise. O(n * floor(v)) time/space.
-KpSolution solve_kp_dp(const Instance& inst,
+KpSolution solve_kp_dp(InstanceView inst,
                        std::span<const ItemId> candidates);
-KpSolution solve_kp_dp(const Instance& inst);
+KpSolution solve_kp_dp(InstanceView inst);
 
 // Dantzig greedy: scan in profit-density (== probability) order, take every
 // item that still fits. Not exact; used as a fast baseline.
-KpSolution greedy_kp(const Instance& inst,
-                     std::span<const ItemId> candidates);
+KpSolution greedy_kp(InstanceView inst, std::span<const ItemId> candidates);
 
 // Dantzig LP-relaxation bound for the subproblem consisting of
 // `order[from..]` with residual capacity `capacity`: fill whole items in
 // order until one does not fit, then add its fractional profit (Eq. 7 of
 // the paper with j = from). `order` must be canonically sorted.
-double dantzig_bound(const Instance& inst, std::span<const ItemId> order,
+double dantzig_bound(InstanceView inst, std::span<const ItemId> order,
                      std::size_t from, double capacity);
 
 }  // namespace skp

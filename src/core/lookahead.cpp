@@ -1,5 +1,7 @@
 #include "core/lookahead.hpp"
 
+#include <span>
+
 #include "util/require.hpp"
 
 namespace skp {
@@ -23,13 +25,13 @@ std::vector<double> step_distribution(const std::vector<double>& cur,
 }
 
 template <typename RowFn>
-std::vector<double> blend(const std::vector<double>& first_row,
-                          std::size_t horizon, double decay, RowFn row) {
+void blend_into(std::span<const double> first_row, std::size_t horizon,
+                double decay, RowFn row, std::vector<double>& out) {
   SKP_REQUIRE(horizon >= 1, "horizon must be >= 1");
   SKP_REQUIRE(decay > 0.0 && decay <= 1.0, "decay in (0, 1]");
   const std::size_t n = first_row.size();
-  std::vector<double> out(n, 0.0);
-  std::vector<double> cur = first_row;
+  out.assign(n, 0.0);
+  std::vector<double> cur(first_row.begin(), first_row.end());
   double weight = 1.0;
   double weight_sum = 0.0;
   for (std::size_t d = 1; d <= horizon; ++d) {
@@ -41,21 +43,25 @@ std::vector<double> blend(const std::vector<double>& first_row,
     }
   }
   for (double& x : out) x /= weight_sum;
-  return out;
 }
 
 }  // namespace
+
+void horizon_probabilities_into(const MarkovSource& source,
+                                std::size_t state, std::size_t horizon,
+                                double decay, std::vector<double>& out) {
+  SKP_REQUIRE(state < source.n_states(), "state out of range");
+  blend_into(source.transition_row(state), horizon, decay,
+             [&](std::size_t k) { return source.transition_row(k); }, out);
+}
 
 std::vector<double> horizon_probabilities(const MarkovSource& source,
                                           std::size_t state,
                                           std::size_t horizon,
                                           double decay) {
-  SKP_REQUIRE(state < source.n_states(), "state out of range");
-  const auto row0 = source.transition_row(state);
-  const std::vector<double> first(row0.begin(), row0.end());
-  return blend(first, horizon, decay, [&](std::size_t k) {
-    return source.transition_row(k);
-  });
+  std::vector<double> out;
+  horizon_probabilities_into(source, state, horizon, decay, out);
+  return out;
 }
 
 std::vector<double> horizon_probabilities(
@@ -67,9 +73,11 @@ std::vector<double> horizon_probabilities(
   for (const auto& r : matrix) {
     SKP_REQUIRE(r.size() == n, "matrix must be square");
   }
-  return blend(first_row, horizon, decay, [&](std::size_t k) {
-    return std::span<const double>(matrix[k]);
-  });
+  std::vector<double> out;
+  blend_into(first_row, horizon, decay,
+             [&](std::size_t k) { return std::span<const double>(matrix[k]); },
+             out);
+  return out;
 }
 
 }  // namespace skp

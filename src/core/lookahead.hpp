@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "workload/markov_source.hpp"
@@ -29,6 +30,14 @@ std::vector<double> horizon_probabilities(const MarkovSource& source,
                                           std::size_t state,
                                           std::size_t horizon,
                                           double decay = 0.5);
+
+// Buffer-reusing variant: writes the blended distribution into `out`
+// (resized to n, capacity reused) so per-request lookahead planning does
+// not discard the caller's buffer. The horizon-step temporaries still
+// allocate; horizon is small and the mode is an extension.
+void horizon_probabilities_into(const MarkovSource& source,
+                                std::size_t state, std::size_t horizon,
+                                double decay, std::vector<double>& out);
 
 // Same computation from an explicit dense transition matrix (row-major,
 // n x n); `first_row` is the step-1 distribution.

@@ -33,38 +33,167 @@ namespace {
 // network-usage threshold (extension knob; 0 = paper behaviour). The
 // `cached` predicate abstracts over slot and sized caches.
 template <typename CachedFn>
-std::vector<ItemId> viable_candidates_if(const Instance& inst,
-                                         CachedFn cached,
-                                         double min_profit) {
-  std::vector<ItemId> out;
-  out.reserve(inst.n());
+void viable_candidates_into(InstanceView inst, CachedFn cached,
+                            double min_profit, std::vector<ItemId>& out,
+                            std::span<const ItemId> positive_hint = {}) {
+  out.clear();
+  if (!positive_hint.empty()) {
+    // Sparse support scan: the hint lists every positive-P item in
+    // ascending id order, so iterating it reproduces the catalog scan.
+    for (const ItemId id : positive_hint) {
+      const std::size_t i = InstanceView::idx(id);
+      if (inst.P[i] <= 0.0) continue;
+      if (cached(id)) continue;
+      if (min_profit > 0.0 && inst.P[i] * inst.r[i] < min_profit) continue;
+      out.push_back(id);
+    }
+    return;
+  }
+  if (min_profit <= 0.0) {  // paper behaviour: no threshold to evaluate
+    for (std::size_t i = 0; i < inst.n(); ++i) {
+      const auto id = static_cast<ItemId>(i);
+      if (inst.P[i] <= 0.0) continue;
+      if (cached(id)) continue;
+      out.push_back(id);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < inst.n(); ++i) {
     const auto id = static_cast<ItemId>(i);
     if (inst.P[i] <= 0.0) continue;
     if (cached(id)) continue;
-    if (inst.profit(id) < min_profit) continue;
+    if (inst.P[i] * inst.r[i] < min_profit) continue;
     out.push_back(id);
   }
-  return out;
 }
 
-std::vector<ItemId> viable_candidates(const Instance& inst,
-                                      const SlotCache* cache,
-                                      double min_profit) {
-  return viable_candidates_if(
-      inst,
-      [cache](ItemId id) {
-        return cache != nullptr && cache->contains(id);
-      },
-      min_profit);
+// Sorts the proposal into the Figure-6 admission order: descending
+// P_f r_f, ties by canonical order.
+void profit_order_into(InstanceView inst, std::span<const ItemId> fetch,
+                       std::vector<ItemId>& out) {
+  out.assign(fetch.begin(), fetch.end());
+  std::sort(out.begin(), out.end(), [&](ItemId a, ItemId b) {
+    const double pa = inst.profit(a), pb = inst.profit(b);
+    if (pa != pb) return pa > pb;
+    return canonical_before(inst, a, b);
+  });
+}
+
+// Caches every cached item's eviction rank — (Pr, sub-arbitration score,
+// id) — for one planning round. The scores are fixed while one plan is
+// built, so victim k is simply the k-th smallest rank; extract_victim
+// pulls them lazily (selection-scan over the cached keys), which matches
+// repeated choose_victim + removal bit-for-bit while computing each Pr
+// product once instead of once per scan (the fixed-seed equivalence tests
+// pin the equality).
+void rank_victims(InstanceView inst, std::span<const ItemId> cached,
+                  const FreqTracker* freq, const ArbitrationConfig& cfg,
+                  std::vector<PlanScratch::VictimRank>& ranked) {
+  SKP_REQUIRE(cfg.sub == SubArbitration::None || freq != nullptr,
+              "sub-arbitration requires a FreqTracker");
+  ranked.clear();
+  for (const ItemId c : cached) {
+    const auto ci = static_cast<std::size_t>(c);
+    double s = 0.0;
+    switch (cfg.sub) {
+      case SubArbitration::None: break;
+      case SubArbitration::LFU:
+        s = freq->frequency(c);
+        break;
+      case SubArbitration::DS:
+        s = freq->delay_saving_profit(c, inst.r[ci]);
+        break;
+    }
+    ranked.push_back({inst.P[ci] * inst.r[ci], s, c});
+  }
+}
+
+// Swaps the minimal not-yet-consumed rank into position `consumed` and
+// returns it (ties: lowest sub score, then lowest id — choose_victim's
+// exact order).
+const PlanScratch::VictimRank& extract_victim(
+    std::vector<PlanScratch::VictimRank>& ranked, std::size_t consumed) {
+  std::size_t best = consumed;
+  for (std::size_t j = consumed + 1; j < ranked.size(); ++j) {
+    const PlanScratch::VictimRank& a = ranked[j];
+    const PlanScratch::VictimRank& b = ranked[best];
+    if (a.pr != b.pr ? a.pr < b.pr
+                     : (a.sub != b.sub ? a.sub < b.sub : a.id < b.id)) {
+      best = j;
+    }
+  }
+  std::swap(ranked[consumed], ranked[best]);
+  return ranked[consumed];
+}
+
+// Engine-internal Eq.-(9) evaluation over the committed plan: the same
+// floating-point operation order as
+// access_improvement_cached(inst, F, D, C) — g*(F) first, then the
+// anti-improvement of the evictions — but with the D-membership test as an
+// O(1) epoch mark and without re-verifying the engine-guaranteed
+// preconditions (F valid and disjoint from C, D ⊆ C). Reuses the scratch
+// mark epoch, so call it only after the committed marks are consumed.
+double predicted_g_cached(InstanceView inst, const PrefetchPlan& out,
+                          std::span<const ItemId> C, PlanScratch& scratch) {
+  const std::span<const ItemId> F(out.fetch);
+  const double st = stretch_time(inst, F);
+  double gain = 0.0;
+  for (const ItemId i : F) gain += inst.profit(i);
+  double prob_K = 0.0;
+  for (std::size_t k = 0; k + 1 < F.size(); ++k) {
+    prob_K += inst.P[static_cast<std::size_t>(F[k])];
+  }
+  const double g_star = gain - (1.0 - prob_K) * st;
+
+  scratch.begin_epoch(inst.n());  // marks = eviction membership
+  for (const ItemId d : out.evict) scratch.set_mark(d);
+  double anti_g = 0.0;
+  for (const ItemId d : out.evict) anti_g += inst.profit(d);
+  for (const ItemId c : C) {
+    if (!scratch.marked(c)) {
+      anti_g -= inst.P[static_cast<std::size_t>(c)] * st;
+    }
+  }
+  return g_star - anti_g;
+}
+
+// Compacts `out.fetch` down to the items marked committed in `scratch`,
+// preserving the selector's fetch order (canonical, stretching item last)
+// so the Eq.-(1) construction stays valid; evictions are re-aligned with
+// their fetches via `scratch.victim_of`.
+void emit_committed(PlanScratch& scratch, PrefetchPlan& out) {
+  out.evict.clear();
+  std::size_t w = 0;
+  for (std::size_t k = 0; k < out.fetch.size(); ++k) {
+    const ItemId f = out.fetch[k];
+    if (!scratch.marked(f)) continue;
+    out.fetch[w++] = f;
+    for (const auto& fv : scratch.victim_of) {
+      if (fv.first == f) {
+        out.evict.push_back(fv.second);
+        break;
+      }
+    }
+  }
+  out.fetch.resize(w);
 }
 
 }  // namespace
 
-PrefetchPlan PrefetchEngine::select(const Instance& inst,
-                                    std::span<const ItemId> candidates,
-                                    std::optional<ItemId> oracle_next) const {
-  PrefetchPlan plan;
+void PrefetchPlan::clear() {
+  fetch.clear();
+  evict.clear();
+  predicted_g = 0.0;
+  stretch = 0.0;
+  solver_nodes = 0;
+}
+
+void PrefetchEngine::select_into(InstanceView inst,
+                                 std::span<const ItemId> candidates,
+                                 std::optional<ItemId> oracle_next,
+                                 PlanScratch& scratch,
+                                 PrefetchPlan& out) const {
+  out.clear();
   switch (config_.policy) {
     case PrefetchPolicy::None:
       break;
@@ -73,171 +202,231 @@ PrefetchPlan PrefetchEngine::select(const Instance& inst,
         const ItemId next = *oracle_next;
         if (std::find(candidates.begin(), candidates.end(), next) !=
             candidates.end()) {
-          plan.fetch.push_back(next);
-          plan.stretch = stretch_time(inst, plan.fetch);
-          plan.predicted_g = access_improvement(inst, plan.fetch);
+          out.fetch.push_back(next);
+          out.stretch = stretch_time(inst, out.fetch);
+          // access_improvement(inst, {z}) specialized to the singleton
+          // list: g* = P_z r_z - 1.0 * st (K is empty, full penalty
+          // mass) — identical arithmetic. The Eq.-(1) validity check
+          // reduces to 0 < v for a singleton; keep it (only this branch
+          // can emit a non-empty plan when v == 0).
+          SKP_REQUIRE(inst.v > 0.0, "invalid prefetch list");
+          out.predicted_g = inst.profit(next) - out.stretch;
         }
       }
       break;
     }
     case PrefetchPolicy::KP: {
-      const KpSolution sol = solve_kp_bb(inst, candidates);
-      plan.fetch = sol.items;
-      plan.predicted_g = sol.value;
-      plan.solver_nodes = sol.nodes;
-      plan.stretch = 0.0;  // KP never stretches by construction
+      solve_kp_bb_into(inst, candidates, scratch.kp, scratch.kp_sol);
+      out.fetch.assign(scratch.kp_sol.items.begin(),
+                       scratch.kp_sol.items.end());
+      out.predicted_g = scratch.kp_sol.value;
+      out.solver_nodes = scratch.kp_sol.nodes;
+      out.stretch = 0.0;  // KP never stretches by construction
       break;
     }
     case PrefetchPolicy::SKP: {
       SkpOptions opts;
       opts.delta_rule = config_.delta_rule;
       opts.max_nodes = config_.max_solver_nodes;
-      const SkpSolution sol = solve_skp(inst, candidates, opts);
-      plan.fetch = sol.F;
-      plan.predicted_g = sol.g;
-      plan.stretch = sol.stretch;
-      plan.solver_nodes = sol.forward_steps;
+      solve_skp_into(inst, candidates, opts, scratch.skp, scratch.skp_sol);
+      out.fetch.assign(scratch.skp_sol.F.begin(), scratch.skp_sol.F.end());
+      out.predicted_g = scratch.skp_sol.g;
+      out.stretch = scratch.skp_sol.stretch;
+      out.solver_nodes = scratch.skp_sol.forward_steps;
       break;
     }
   }
-  return plan;
 }
 
-PrefetchPlan PrefetchEngine::plan(const Instance& inst,
+void PrefetchEngine::plan(InstanceView inst, PlanScratch& scratch,
+                          PrefetchPlan& out,
+                          std::optional<ItemId> oracle_next) const {
+  inst.validate_shape();
+  viable_candidates_into(
+      inst, [](ItemId) { return false; }, config_.min_profit_threshold,
+      scratch.candidates);
+  select_into(inst, scratch.candidates, oracle_next, scratch, out);
+}
+
+PrefetchPlan PrefetchEngine::plan(InstanceView inst,
                                   std::optional<ItemId> oracle_next) const {
   inst.validate();
-  const auto candidates =
-      viable_candidates(inst, nullptr, config_.min_profit_threshold);
-  return select(inst, candidates, oracle_next);
+  PlanScratch scratch;
+  PrefetchPlan out;
+  plan(inst, scratch, out, oracle_next);
+  return out;
 }
 
-PrefetchPlan PrefetchEngine::plan_with_cache(
-    const Instance& inst, const SlotCache& cache, const FreqTracker* freq,
-    std::optional<ItemId> oracle_next) const {
-  inst.validate();
-  const auto candidates =
-      viable_candidates(inst, &cache, config_.min_profit_threshold);
-  PrefetchPlan proposal = select(inst, candidates, oracle_next);
-  if (proposal.fetch.empty()) return {};
+void PrefetchEngine::plan_with_cache(
+    InstanceView inst, const SlotCache& cache, const FreqTracker* freq,
+    PlanScratch& scratch, PrefetchPlan& out,
+    std::optional<ItemId> oracle_next,
+    std::span<const ItemId> positive_hint) const {
+  inst.validate_shape();
+  // The instance and cache must describe the same catalog: the victim
+  // ranking and Eq.-(9) evaluation below index P/r (and the scratch mark
+  // array, sized to inst.n()) with cached item ids, so a larger cache
+  // catalog would read — and mark — out of bounds.
+  const std::span<const char> present = cache.presence();
+  SKP_REQUIRE(inst.n() == present.size(),
+              "catalog of " << inst.n() << " items vs cache catalog of "
+                            << present.size());
+  viable_candidates_into(
+      inst,
+      [present](ItemId id) {
+        return present[static_cast<std::size_t>(id)] != 0;
+      },
+      config_.min_profit_threshold, scratch.candidates, positive_hint);
+  select_into(inst, scratch.candidates, oracle_next, scratch, out);
+  if (out.fetch.empty()) {
+    out.clear();  // an empty proposal reports no solver stats (pre-refactor
+                  // behaviour, kept for bit-identical metrics)
+    return;
+  }
 
   // Figure 6: process candidates in descending P_f r_f; each must find a
   // minimal-Pr victim that Pr-arbitration lets it displace. Free slots are
   // uncontested. The Perfect oracle bypasses the admission test (it knows
   // its item is the next access) but still evicts the minimal-Pr victim.
-  std::vector<ItemId> by_profit = proposal.fetch;
-  std::sort(by_profit.begin(), by_profit.end(), [&](ItemId a, ItemId b) {
-    const double pa = inst.profit(a), pb = inst.profit(b);
-    if (pa != pb) return pa > pb;
-    return canonical_before(inst, a, b);
-  });
-
-  std::vector<ItemId> remaining(cache.contents().begin(),
-                                cache.contents().end());
+  profit_order_into(inst, out.fetch, scratch.by_profit);
+  bool ranked_built = false;  // rank lazily: uncontested rounds skip it
+  std::size_t next_victim = 0;
   std::size_t free_slots = cache.capacity() - cache.size();
-  std::vector<ItemId> committed;
-  std::vector<std::pair<ItemId, ItemId>> victim_of;  // (fetch, victim)
-  for (ItemId f : by_profit) {
+  scratch.begin_epoch(inst.n());  // marks = committed membership
+  scratch.victim_of.clear();
+  for (ItemId f : scratch.by_profit) {
     if (free_slots > 0) {
       --free_slots;
-      committed.push_back(f);
+      scratch.set_mark(f);
       continue;
     }
-    if (remaining.empty()) break;  // nothing left to displace
-    const ItemId d = choose_victim(inst, remaining, freq,
-                                   config_.arbitration);
-    if (config_.policy != PrefetchPolicy::Perfect &&
-        !admits_prefetch(inst, f, d, config_.arbitration)) {
-      break;  // Figure 6 stops at the first rejected candidate
+    if (!ranked_built) {
+      rank_victims(inst, cache.contents(), freq, config_.arbitration,
+                   scratch.ranked);
+      ranked_built = true;
     }
-    committed.push_back(f);
-    victim_of.emplace_back(f, d);
-    remaining.erase(std::find(remaining.begin(), remaining.end(), d));
+    if (next_victim >= scratch.ranked.size()) break;  // nothing to displace
+    const PlanScratch::VictimRank& vr =
+        extract_victim(scratch.ranked, next_victim);
+    if (config_.policy != PrefetchPolicy::Perfect) {
+      // Pr-arbitration admission test (admits_prefetch, inlined on the
+      // ranked Pr value).
+      const double pf = inst.profit(f);
+      const bool admit =
+          config_.arbitration.strict_ties ? (pf > vr.pr) : (pf >= vr.pr);
+      if (!admit) break;  // Figure 6 stops at the first rejected candidate
+    }
+    scratch.set_mark(f);
+    scratch.victim_of.emplace_back(f, vr.id);
+    ++next_victim;
   }
 
-  // Re-emit the committed items in the selector's fetch order (canonical,
-  // stretching item last) so the Eq.-(1) construction stays valid; align
-  // the evictions with their fetches.
-  PrefetchPlan plan;
-  plan.solver_nodes = proposal.solver_nodes;
-  for (ItemId f : proposal.fetch) {
-    if (std::find(committed.begin(), committed.end(), f) == committed.end())
-      continue;
-    plan.fetch.push_back(f);
-    const auto it = std::find_if(
-        victim_of.begin(), victim_of.end(),
-        [f](const auto& pr) { return pr.first == f; });
-    if (it != victim_of.end()) plan.evict.push_back(it->second);
+  emit_committed(scratch, out);
+  if (out.fetch.empty()) {
+    out.predicted_g = 0.0;
+    out.stretch = 0.0;
+    return;
   }
-  if (plan.fetch.empty()) return plan;
-  plan.stretch = stretch_time(inst, plan.fetch);
-  plan.predicted_g = access_improvement_cached(inst, plan.fetch, plan.evict,
-                                               cache.contents());
-  return plan;
+  out.stretch = stretch_time(inst, out.fetch);
+  out.predicted_g =
+      predicted_g_cached(inst, out, cache.contents(), scratch);
 }
 
-PrefetchPlan PrefetchEngine::plan_with_sized_cache(
-    const Instance& inst, const SizedCache& cache, const FreqTracker* freq,
+PrefetchPlan PrefetchEngine::plan_with_cache(
+    InstanceView inst, const SlotCache& cache, const FreqTracker* freq,
     std::optional<ItemId> oracle_next) const {
   inst.validate();
-  const auto candidates = viable_candidates_if(
+  PlanScratch scratch;
+  PrefetchPlan out;
+  plan_with_cache(inst, cache, freq, scratch, out, oracle_next);
+  return out;
+}
+
+void PrefetchEngine::plan_with_sized_cache(
+    InstanceView inst, const SizedCache& cache, const FreqTracker* freq,
+    PlanScratch& scratch, PrefetchPlan& out,
+    std::optional<ItemId> oracle_next) const {
+  inst.validate_shape();
+  // Same catalog contract as the slot planner: cached ids index P/r and
+  // the scratch mark array (sized to inst.n()) below.
+  SKP_REQUIRE(inst.n() == cache.catalog_size(),
+              "catalog of " << inst.n() << " items vs cache catalog of "
+                            << cache.catalog_size());
+  viable_candidates_into(
       inst,
       [&cache](ItemId id) {
         return cache.contains(id) || !cache.cacheable(id);
       },
-      config_.min_profit_threshold);
-  PrefetchPlan proposal = select(inst, candidates, oracle_next);
-  if (proposal.fetch.empty()) return {};
+      config_.min_profit_threshold, scratch.candidates);
+  select_into(inst, scratch.candidates, oracle_next, scratch, out);
+  if (out.fetch.empty()) {
+    out.clear();
+    return;
+  }
 
-  std::vector<ItemId> by_profit = proposal.fetch;
-  std::sort(by_profit.begin(), by_profit.end(), [&](ItemId a, ItemId b) {
-    const double pa = inst.profit(a), pb = inst.profit(b);
-    if (pa != pb) return pa > pb;
-    return canonical_before(inst, a, b);
-  });
+  profit_order_into(inst, out.fetch, scratch.by_profit);
 
   // Victim searches run on a scratch copy from which victims are removed
-  // as they are claimed; committed prefetches are accounted as *reserved*
-  // space rather than inserted, so a later candidate can never evict an
-  // earlier one.
-  SizedCache scratch = cache;
+  // as they are claimed (copy-assignment reuses the scratch cache's
+  // storage); committed prefetches are accounted as *reserved* space
+  // rather than inserted, so a later candidate can never evict an earlier
+  // one.
+  if (scratch.sized.has_value()) {
+    *scratch.sized = cache;
+  } else {
+    scratch.sized.emplace(cache);
+  }
+  SizedCache& working = *scratch.sized;
   double reserved = 0.0;
-  std::vector<ItemId> committed;
-  std::vector<ItemId> victims_all;
-  for (const ItemId f : by_profit) {
-    const VictimSet vs = gather_victims_by_density(
-        inst, scratch, freq, config_.arbitration,
-        reserved + scratch.size_of(f));
-    if (!vs.ok) break;  // cannot make room even evicting everything
+  scratch.begin_epoch(inst.n());  // marks = committed membership
+  out.evict.clear();
+  for (const ItemId f : scratch.by_profit) {
+    gather_victims_by_density_into(inst, working, freq, config_.arbitration,
+                                   reserved + working.size_of(f),
+                                   scratch.pool, scratch.victims);
+    if (!scratch.victims.ok) break;  // cannot make room evicting everything
     // Generalized Pr admission: the candidate must beat the combined Pr
     // of everything it displaces (Figure-6 tie semantics).
     const bool admit =
         config_.policy == PrefetchPolicy::Perfect ||
         (config_.arbitration.strict_ties
-             ? inst.profit(f) > vs.total_pr
-             : inst.profit(f) >= vs.total_pr);
+             ? inst.profit(f) > scratch.victims.total_pr
+             : inst.profit(f) >= scratch.victims.total_pr);
     if (!admit) break;
-    for (const ItemId d : vs.victims) {
-      scratch.erase(d);
-      victims_all.push_back(d);
+    for (const ItemId d : scratch.victims.victims) {
+      working.erase(d);
+      out.evict.push_back(d);
     }
-    reserved += scratch.size_of(f);
-    committed.push_back(f);
+    reserved += working.size_of(f);
+    scratch.set_mark(f);
   }
 
-  PrefetchPlan plan;
-  plan.solver_nodes = proposal.solver_nodes;
-  for (const ItemId f : proposal.fetch) {
-    if (std::find(committed.begin(), committed.end(), f) !=
-        committed.end()) {
-      plan.fetch.push_back(f);
-    }
+  // Keep committed items in the selector's fetch order; `evict` stays the
+  // flat victim list accumulated above (|evict| != |fetch| in general).
+  std::size_t w = 0;
+  for (std::size_t k = 0; k < out.fetch.size(); ++k) {
+    const ItemId f = out.fetch[k];
+    if (scratch.marked(f)) out.fetch[w++] = f;
   }
-  plan.evict = std::move(victims_all);
-  if (plan.fetch.empty()) return plan;
-  plan.stretch = stretch_time(inst, plan.fetch);
-  plan.predicted_g = access_improvement_cached(inst, plan.fetch, plan.evict,
-                                               cache.contents());
-  return plan;
+  out.fetch.resize(w);
+  if (out.fetch.empty()) {
+    out.predicted_g = 0.0;
+    out.stretch = 0.0;
+    return;
+  }
+  out.stretch = stretch_time(inst, out.fetch);
+  out.predicted_g =
+      predicted_g_cached(inst, out, cache.contents(), scratch);
+}
+
+PrefetchPlan PrefetchEngine::plan_with_sized_cache(
+    InstanceView inst, const SizedCache& cache, const FreqTracker* freq,
+    std::optional<ItemId> oracle_next) const {
+  inst.validate();
+  PlanScratch scratch;
+  PrefetchPlan out;
+  plan_with_sized_cache(inst, cache, freq, scratch, out, oracle_next);
+  return out;
 }
 
 }  // namespace skp

@@ -1,8 +1,10 @@
 // The prefetch engine: policy selection + cache-aware planning (Figure 6).
 //
-// A PrefetchEngine turns an Instance (the current P, r, v) plus the cache
-// state into a PrefetchPlan: an ordered list of items to fetch and the
-// victims they displace. Supported selection policies:
+// A PrefetchEngine turns an InstanceView (the current P, r, v — typically
+// borrowed straight from a MarkovSource row or a predictor's output
+// buffer) plus the cache state into a PrefetchPlan: an ordered list of
+// items to fetch and the victims they displace. Supported selection
+// policies:
 //   * None    — never prefetch (the "no prefetch" baseline).
 //   * KP      — classic 0/1 knapsack selection (never stretches).
 //   * SKP     — the paper's stretch-knapsack selection.
@@ -13,6 +15,12 @@
 // solve the (S)KP over N \ C, then admit candidates in descending
 // P_f r_f order against minimal-Pr victims (Pr-arbitration), optionally
 // tie-breaking victims by LFU or delay-saving profit (sub-arbitration).
+//
+// Each planner comes in two forms: a convenience overload returning a
+// fresh PrefetchPlan, and an allocation-free overload taking a PlanScratch
+// (every working buffer) plus an output plan to refill. The two are
+// bit-identical; sim hot loops use the scratch form so paper-scale sweeps
+// (25M planning rounds for Figure 7) never touch the allocator.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,7 @@
 #include "cache/freq_tracker.hpp"
 #include "cache/sized_cache.hpp"
 #include "core/arbitration.hpp"
+#include "core/plan_scratch.hpp"
 #include "core/skp_solver.hpp"
 
 namespace skp {
@@ -57,6 +66,9 @@ struct PrefetchPlan {
   double stretch = 0.0;
   // Solver statistics (SKP/KP searches).
   std::uint64_t solver_nodes = 0;
+
+  // Resets to the empty plan, keeping vector capacities (hot-path reuse).
+  void clear();
 };
 
 class PrefetchEngine {
@@ -67,17 +79,30 @@ class PrefetchEngine {
 
   // Empty-cache planning (Section 3): selects F from the full catalog.
   // `oracle_next` feeds the Perfect policy and is ignored otherwise.
-  PrefetchPlan plan(const Instance& inst,
+  PrefetchPlan plan(InstanceView inst,
                     std::optional<ItemId> oracle_next = std::nullopt) const;
+  void plan(InstanceView inst, PlanScratch& scratch, PrefetchPlan& out,
+            std::optional<ItemId> oracle_next = std::nullopt) const;
 
   // Cache-aware planning (Section 5, Figure 6). When the cache has free
   // slots, candidates fill them without arbitration (nothing contests);
   // once full, Pr-arbitration decides. `freq` is required for LFU/DS
   // sub-arbitration.
-  PrefetchPlan plan_with_cache(const Instance& inst, const SlotCache& cache,
+  // `positive_hint`, when non-empty, must list (in ascending id order)
+  // every item with P_i > 0 — e.g. a Markov source's successor list. The
+  // candidate filter then scans those entries instead of the whole
+  // catalog; entries with P_i == 0 are permitted and skipped, so any
+  // ascending superset of the support is valid. The result is identical
+  // to the unhinted call.
+  PrefetchPlan plan_with_cache(InstanceView inst, const SlotCache& cache,
                                const FreqTracker* freq,
                                std::optional<ItemId> oracle_next
                                = std::nullopt) const;
+  void plan_with_cache(InstanceView inst, const SlotCache& cache,
+                       const FreqTracker* freq, PlanScratch& scratch,
+                       PrefetchPlan& out,
+                       std::optional<ItemId> oracle_next = std::nullopt,
+                       std::span<const ItemId> positive_hint = {}) const;
 
   // Size-aware planning (extension; DESIGN.md D6 / paper Section 6): the
   // Figure-6 loop generalized to heterogeneous item sizes. Each candidate
@@ -86,17 +111,23 @@ class PrefetchEngine {
   // displaces (Figure-6 tie semantics apply). Unlike the slot planner,
   // `evict` here is the flat victim set — |evict| generally differs from
   // |fetch|.
-  PrefetchPlan plan_with_sized_cache(const Instance& inst,
+  PrefetchPlan plan_with_sized_cache(InstanceView inst,
                                      const SizedCache& cache,
                                      const FreqTracker* freq,
                                      std::optional<ItemId> oracle_next
                                      = std::nullopt) const;
+  void plan_with_sized_cache(InstanceView inst, const SizedCache& cache,
+                             const FreqTracker* freq, PlanScratch& scratch,
+                             PrefetchPlan& out,
+                             std::optional<ItemId> oracle_next
+                             = std::nullopt) const;
 
  private:
-  // Runs the configured selector over `candidates`; returns the ordered F.
-  PrefetchPlan select(const Instance& inst,
-                      std::span<const ItemId> candidates,
-                      std::optional<ItemId> oracle_next) const;
+  // Runs the configured selector over `candidates`, refilling `out` with
+  // the ordered F (solver buffers from `scratch`).
+  void select_into(InstanceView inst, std::span<const ItemId> candidates,
+                   std::optional<ItemId> oracle_next, PlanScratch& scratch,
+                   PrefetchPlan& out) const;
 
   EngineConfig config_;
 };

@@ -14,25 +14,28 @@ namespace {
 // (2: bound, 3: forward, 5: backtrack) become phases of one loop; the
 // selection stack records (index, delta) so backtracking reverses g-hat
 // exactly (the paper recomputes delta, which is identical in real
-// arithmetic; storing it avoids floating-point drift).
+// arithmetic; storing it avoids floating-point drift). All working memory
+// is borrowed from an SkpWorkspace so repeated solves never allocate.
 class SkpSearch {
  public:
-  SkpSearch(const Instance& inst, std::vector<ItemId> order,
-            const SkpOptions& opts)
-      : inst_(inst), order_(std::move(order)), opts_(opts) {
+  SkpSearch(InstanceView inst, std::span<const ItemId> order,
+            const SkpOptions& opts, SkpWorkspace& ws, SkpSolution& sol)
+      : inst_(inst), order_(order), opts_(opts), ws_(ws), sol_(sol) {
     const std::size_t m = order_.size();
-    // suffix_prob_[j] = sum of P over order_[j..m-1]  (Figure 3's tail sum;
+    // suffix_prob[j] = sum of P over order_[j..m-1]  (Figure 3's tail sum;
     // the P_{n+1} = 0 sentinel is the final 0 entry).
-    suffix_prob_.assign(m + 1, 0.0);
+    ws_.suffix_prob.assign(m + 1, 0.0);
     for (std::size_t j = m; j-- > 0;) {
-      suffix_prob_[j] =
-          suffix_prob_[j + 1] + inst_.P[Instance::idx(order_[j])];
+      ws_.suffix_prob[j] =
+          ws_.suffix_prob[j + 1] +
+          inst_.P[static_cast<std::size_t>(order_[j])];
     }
-    selected_.assign(m, false);
-    best_selected_ = selected_;
+    ws_.selected.assign(m, 0);
+    ws_.best_selected.assign(m, 0);
+    ws_.stack.clear();
   }
 
-  SkpSolution run() {
+  void run() {
     const std::size_t m = order_.size();
     std::size_t j = 0;
     double residual = inst_.v;     // v-hat
@@ -62,15 +65,16 @@ class SkpSearch {
         case Phase::Forward: {  // Figure 3, step 3 (+ step 4 at the end)
           bool rebound = false;
           while (j < m && residual > 0.0) {
-            const ItemId id = order_[j];
-            const double rj = inst_.r[Instance::idx(id)];
+            // Ids come from the validated canonical order; index
+            // unchecked (this is the innermost loop of the search).
+            const auto id_i = static_cast<std::size_t>(order_[j]);
+            const double rj = inst_.r[id_i];
             const double st = std::max(0.0, rj - residual);
             const double penalty = penalty_mass(j, prob_selected);
-            const double delta =
-                inst_.profit(id) - penalty * st;
+            const double delta = inst_.P[id_i] * rj - penalty * st;
             ++sol_.forward_steps;
             if (delta <= 0.0) {
-              selected_[j] = false;
+              ws_.selected[j] = 0;
               ++j;
               // Figure 3: "if j < n then goto 2" — refresh the bound
               // unless the *last* item is next.
@@ -81,9 +85,9 @@ class SkpSearch {
             } else {
               residual -= rj;
               g_cur += delta;
-              selected_[j] = true;
-              prob_selected += inst_.P[Instance::idx(id)];
-              stack_.push_back({j, delta, rj, inst_.P[Instance::idx(id)]});
+              ws_.selected[j] = 1;
+              prob_selected += inst_.P[id_i];
+              ws_.stack.push_back({j, delta, rj, inst_.P[id_i]});
               ++j;
             }
           }
@@ -94,20 +98,21 @@ class SkpSearch {
           // Step 4: solution complete (stretched, exact fit, or exhausted).
           if (g_cur > best_g_) {
             best_g_ = g_cur;
-            best_selected_ = selected_;
+            std::copy(ws_.selected.begin(), ws_.selected.end(),
+                      ws_.best_selected.begin());
           }
           phase = Phase::Backtrack;
           break;
         }
         case Phase::Backtrack: {  // Figure 3, step 5
-          if (stack_.empty()) {
+          if (ws_.stack.empty()) {
             finish();
-            return sol_;
+            return;
           }
           ++sol_.backtracks;
-          const Move mv = stack_.back();
-          stack_.pop_back();
-          selected_[mv.index] = false;
+          const SkpMove mv = ws_.stack.back();
+          ws_.stack.pop_back();
+          ws_.selected[mv.index] = 0;
           residual += mv.r;
           prob_selected -= mv.P;
           g_cur -= mv.delta;
@@ -118,21 +123,13 @@ class SkpSearch {
       }
     }
     finish();  // node-limit exit: report the incumbent
-    return sol_;
   }
 
  private:
-  struct Move {
-    std::size_t index;
-    double delta;
-    double r;
-    double P;
-  };
-
   double penalty_mass(std::size_t j, double prob_selected) const {
     switch (opts_.delta_rule) {
       case DeltaRule::PaperTail:
-        return suffix_prob_[j];
+        return ws_.suffix_prob[j];
       case DeltaRule::ExactComplement:
         return opts_.total_prob_mass - prob_selected;
     }
@@ -142,48 +139,65 @@ class SkpSearch {
   void finish() {
     sol_.g = best_g_;
     for (std::size_t i = 0; i < order_.size(); ++i) {
-      if (best_selected_[i]) sol_.F.push_back(order_[i]);
+      if (ws_.best_selected[i]) sol_.F.push_back(order_[i]);
     }
     sol_.stretch = stretch_time(inst_, sol_.F);
   }
 
-  const Instance& inst_;
-  std::vector<ItemId> order_;
+  InstanceView inst_;
+  std::span<const ItemId> order_;
   SkpOptions opts_;
-  std::vector<double> suffix_prob_;
-  std::vector<char> selected_;
-  std::vector<char> best_selected_;
-  std::vector<Move> stack_;
+  SkpWorkspace& ws_;
+  SkpSolution& sol_;
   double best_g_ = 0.0;
-  SkpSolution sol_;
 };
 
 }  // namespace
 
-SkpSolution solve_skp(const Instance& inst,
-                      std::span<const ItemId> candidates,
-                      const SkpOptions& opts) {
-  inst.validate();
-  SKP_REQUIRE(opts.total_prob_mass > 0.0,
-              "total_prob_mass = " << opts.total_prob_mass);
-  SkpSearch search(inst, canonical_order(inst, candidates), opts);
-  return search.run();
+void SkpSolution::clear() {
+  F.clear();
+  g = 0.0;
+  stretch = 0.0;
+  forward_steps = 0;
+  backtracks = 0;
+  bound_prunes = 0;
+  node_limit_hit = false;
 }
 
-SkpSolution solve_skp(const Instance& inst, const SkpOptions& opts) {
+void solve_skp_into(InstanceView inst, std::span<const ItemId> candidates,
+                    const SkpOptions& opts, SkpWorkspace& ws,
+                    SkpSolution& sol) {
+  SKP_REQUIRE(opts.total_prob_mass > 0.0,
+              "total_prob_mass = " << opts.total_prob_mass);
+  sol.clear();
+  canonical_order_into(inst, candidates, ws.order_keys, ws.order);
+  SkpSearch search(inst, ws.order, opts, ws, sol);
+  search.run();
+}
+
+SkpSolution solve_skp(InstanceView inst, std::span<const ItemId> candidates,
+                      const SkpOptions& opts) {
+  inst.validate();
+  SkpWorkspace ws;
+  SkpSolution sol;
+  solve_skp_into(inst, candidates, opts, ws, sol);
+  return sol;
+}
+
+SkpSolution solve_skp(InstanceView inst, const SkpOptions& opts) {
   std::vector<ItemId> ids(inst.n());
   std::iota(ids.begin(), ids.end(), ItemId{0});
   return solve_skp(inst, ids, opts);
 }
 
-double skp_upper_bound(const Instance& inst,
+double skp_upper_bound(InstanceView inst,
                        std::span<const ItemId> candidates) {
   inst.validate();
   const auto order = canonical_order(inst, candidates);
   return dantzig_bound(inst, order, 0, inst.v);
 }
 
-double skp_upper_bound(const Instance& inst) {
+double skp_upper_bound(InstanceView inst) {
   std::vector<ItemId> ids(inst.n());
   std::iota(ids.begin(), ids.end(), ItemId{0});
   return skp_upper_bound(inst, ids);

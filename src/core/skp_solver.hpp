@@ -56,22 +56,52 @@ struct SkpSolution {
   std::uint64_t backtracks = 0;      // step-5 moves
   std::uint64_t bound_prunes = 0;    // subtrees cut by Eq. (7)
   bool node_limit_hit = false;
+
+  // Resets to the empty solution, keeping `F`'s capacity (hot-path reuse).
+  void clear();
+};
+
+// One backtracking move of the Figure-3 search: storing delta (instead of
+// recomputing it, which the paper does) reverses g-hat without
+// floating-point drift.
+struct SkpMove {
+  std::size_t index;
+  double delta;
+  double r;
+  double P;
+};
+
+// Reusable buffers for solve_skp_into: one per sim loop / thread,
+// allocated once and grown on demand.
+struct SkpWorkspace {
+  std::vector<ItemId> order;
+  std::vector<CanonKey> order_keys;
+  std::vector<double> suffix_prob;
+  std::vector<char> selected;
+  std::vector<char> best_selected;
+  std::vector<SkpMove> stack;
 };
 
 // Solves the SKP over `candidates` (item ids into `inst`). Items with
 // P_i == 0 can never enter an optimal list and may be pre-filtered by the
 // caller; the solver handles them correctly either way.
-SkpSolution solve_skp(const Instance& inst,
-                      std::span<const ItemId> candidates,
+SkpSolution solve_skp(InstanceView inst, std::span<const ItemId> candidates,
                       const SkpOptions& opts = {});
 
 // Convenience: solve over the full catalog.
-SkpSolution solve_skp(const Instance& inst, const SkpOptions& opts = {});
+SkpSolution solve_skp(InstanceView inst, const SkpOptions& opts = {});
+
+// Allocation-free solve: working memory comes from `ws`, the result is
+// written into `sol` (cleared first, capacity reused). The caller must
+// have validated `inst`. Bit-identical to solve_skp.
+void solve_skp_into(InstanceView inst, std::span<const ItemId> candidates,
+                    const SkpOptions& opts, SkpWorkspace& ws,
+                    SkpSolution& sol);
 
 // The root upper bound U_g* of Eq. (7): Dantzig bound of the LP relaxation
 // (Theorem 2). Every feasible g*(F) is <= this value.
-double skp_upper_bound(const Instance& inst);
-double skp_upper_bound(const Instance& inst,
+double skp_upper_bound(InstanceView inst);
+double skp_upper_bound(InstanceView inst,
                        std::span<const ItemId> candidates);
 
 }  // namespace skp

@@ -30,23 +30,23 @@ void DependencyGraph::observe(ItemId item) {
   last_ = item;
 }
 
-std::vector<double> DependencyGraph::predict() const {
-  std::vector<double> p(n_, 0.0);
+void DependencyGraph::predict_into(std::vector<double>& out) const {
+  std::vector<double>& p = out;
+  p.resize(n_);
   if (last_ == kNoItem || accesses_[static_cast<std::size_t>(last_)] == 0) {
     std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
-    return p;
+    return;
   }
   const auto row = static_cast<std::size_t>(last_);
-  std::uint64_t out = 0;
-  for (std::size_t j = 0; j < n_; ++j) out += weight_[row][j];
-  if (out == 0) {
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < n_; ++j) total += weight_[row][j];
+  if (total == 0) {
     std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
-    return p;
+    return;
   }
   for (std::size_t j = 0; j < n_; ++j) {
-    p[j] = static_cast<double>(weight_[row][j]) / static_cast<double>(out);
+    p[j] = static_cast<double>(weight_[row][j]) / static_cast<double>(total);
   }
-  return p;
 }
 
 void DependencyGraph::reset() {

@@ -21,7 +21,7 @@ class DependencyGraph final : public Predictor {
   DependencyGraph(std::size_t n, std::size_t window = 4);
 
   void observe(ItemId item) override;
-  std::vector<double> predict() const override;
+  void predict_into(std::vector<double>& out) const override;
   std::size_t n_items() const override { return n_; }
   void reset() override;
 

@@ -36,14 +36,16 @@ void Lz78Predictor::observe(ItemId item) {
   }
 }
 
-std::vector<double> Lz78Predictor::predict() const {
-  std::vector<double> p(n_, 0.0);
+void Lz78Predictor::predict_into(std::vector<double>& out) const {
+  std::vector<double>& p = out;
+  p.assign(n_, 0.0);
   if (total_ == 0) {
     std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
-    return p;
+    return;
   }
   // Order-0 backstop: smoothed marginal.
-  std::vector<double> base(n_);
+  std::vector<double>& base = base_;
+  base.resize(n_);
   const double denom =
       static_cast<double>(total_) + static_cast<double>(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -51,7 +53,10 @@ std::vector<double> Lz78Predictor::predict() const {
   }
 
   const Node& cur = nodes_[current_];
-  if (cur.total == 0) return base;
+  if (cur.total == 0) {
+    p.assign(base.begin(), base.end());
+    return;
+  }
 
   // PPM-C escape: distinct successors / (total + distinct).
   const double distinct = static_cast<double>(cur.count.size());
@@ -68,7 +73,6 @@ std::vector<double> Lz78Predictor::predict() const {
   double sum = 0.0;
   for (const double x : p) sum += x;
   for (double& x : p) x /= sum;
-  return p;
 }
 
 void Lz78Predictor::reset() {

@@ -23,7 +23,7 @@ class Lz78Predictor final : public Predictor {
   explicit Lz78Predictor(std::size_t n);
 
   void observe(ItemId item) override;
-  std::vector<double> predict() const override;
+  void predict_into(std::vector<double>& out) const override;
   std::size_t n_items() const override { return n_; }
   void reset() override;
 
@@ -47,6 +47,8 @@ class Lz78Predictor final : public Predictor {
   std::size_t phrases_ = 0;
   std::vector<std::uint64_t> marginal_;
   std::uint64_t total_ = 0;
+  // Order-0 backstop distribution, reused so predict_into never allocates.
+  mutable std::vector<double> base_;
 };
 
 }  // namespace skp

@@ -27,24 +27,23 @@ void MarkovPredictor::observe(ItemId item) {
   last_ = item;
 }
 
-std::vector<double> MarkovPredictor::predict() const {
-  std::vector<double> p(n_, 0.0);
+void MarkovPredictor::predict_into(std::vector<double>& out) const {
+  out.resize(n_);
   if (last_ == kNoItem || row_total_[static_cast<std::size_t>(last_)] == 0) {
     // No context yet: fall back to the (smoothed) marginal distribution.
     const double denom =
         static_cast<double>(total_) + laplace_ * static_cast<double>(n_);
     for (std::size_t i = 0; i < n_; ++i) {
-      p[i] = (static_cast<double>(marginal_[i]) + laplace_) / denom;
+      out[i] = (static_cast<double>(marginal_[i]) + laplace_) / denom;
     }
-    return p;
+    return;
   }
   const auto row = static_cast<std::size_t>(last_);
   const double denom = static_cast<double>(row_total_[row]) +
                        laplace_ * static_cast<double>(n_);
   for (std::size_t i = 0; i < n_; ++i) {
-    p[i] = (static_cast<double>(counts_[row][i]) + laplace_) / denom;
+    out[i] = (static_cast<double>(counts_[row][i]) + laplace_) / denom;
   }
-  return p;
 }
 
 void MarkovPredictor::reset() {

@@ -14,7 +14,7 @@ class MarkovPredictor final : public Predictor {
   explicit MarkovPredictor(std::size_t n, double laplace = 0.1);
 
   void observe(ItemId item) override;
-  std::vector<double> predict() const override;
+  void predict_into(std::vector<double>& out) const override;
   std::size_t n_items() const override { return n_; }
   void reset() override;
 

@@ -12,6 +12,7 @@ PpmPredictor::PpmPredictor(std::size_t n, std::size_t order)
   SKP_REQUIRE(order >= 1 && order <= 8, "order must be in [1, 8]");
   tables_.resize(order);
   marginal_.assign(n, 0);
+  excluded_.assign(n, 0);
 }
 
 std::uint64_t PpmPredictor::context_key(const std::deque<ItemId>& hist,
@@ -45,10 +46,12 @@ void PpmPredictor::observe(ItemId item) {
   if (history_.size() > order_) history_.pop_front();
 }
 
-std::vector<double> PpmPredictor::predict() const {
-  std::vector<double> p(n_, 0.0);
+void PpmPredictor::predict_into(std::vector<double>& out) const {
+  std::vector<double>& p = out;
+  p.assign(n_, 0.0);
   double remaining = 1.0;  // probability mass not yet claimed (escapes)
-  std::vector<char> excluded(n_, 0);
+  std::vector<char>& excluded = excluded_;
+  std::fill(excluded.begin(), excluded.end(), 0);
 
   for (std::size_t len = std::min(order_, history_.size()); len >= 1;
        --len) {
@@ -107,10 +110,9 @@ std::vector<double> PpmPredictor::predict() const {
   for (double x : p) sum += x;
   if (sum <= 0.0) {
     std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n_));
-    return p;
+    return;
   }
   for (double& x : p) x /= sum;
-  return p;
 }
 
 void PpmPredictor::reset() {

@@ -22,7 +22,7 @@ class PpmPredictor final : public Predictor {
   PpmPredictor(std::size_t n, std::size_t order = 2);
 
   void observe(ItemId item) override;
-  std::vector<double> predict() const override;
+  void predict_into(std::vector<double>& out) const override;
   std::size_t n_items() const override { return n_; }
   void reset() override;
 
@@ -44,6 +44,9 @@ class PpmPredictor final : public Predictor {
   std::vector<std::uint64_t> marginal_;
   std::uint64_t total_ = 0;
   std::deque<ItemId> history_;  // most recent at back, length <= order_
+  // Per-predict escape-exclusion flags, reused so predict_into never
+  // allocates.
+  mutable std::vector<char> excluded_;
 };
 
 }  // namespace skp

@@ -27,9 +27,19 @@ class Predictor {
   // Observes one request (in stream order).
   virtual void observe(ItemId item) = 0;
 
-  // Returns the predicted next-access distribution over the catalog given
-  // everything observed so far. Always a proper distribution (sums to 1).
-  virtual std::vector<double> predict() const = 0;
+  // Writes the predicted next-access distribution over the catalog (given
+  // everything observed so far) into `out`, resized to n_items(). Always a
+  // proper distribution (sums to 1). This is the primitive: it reuses the
+  // caller's buffer, so the sim hot loops predict once per request without
+  // touching the allocator.
+  virtual void predict_into(std::vector<double>& out) const = 0;
+
+  // Convenience wrapper returning a fresh vector.
+  std::vector<double> predict() const {
+    std::vector<double> out;
+    predict_into(out);
+    return out;
+  }
 
   // Catalog size.
   virtual std::size_t n_items() const = 0;

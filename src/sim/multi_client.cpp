@@ -25,6 +25,10 @@ struct Client {
   SimMetrics metrics;
   std::vector<double> completion;      // per-item transfer completion time
   std::vector<char> unused_prefetch;
+  // Per-client planning buffers (clients are stepped by one DES thread,
+  // but each keeps its own scratch so cycles never allocate).
+  PlanScratch scratch;
+  PrefetchPlan plan;
 };
 
 }  // namespace
@@ -73,15 +77,14 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       return;
     }
     const double t0 = clock.now();
-    const Instance inst = cl.chain->instance_at(cl.state);
+    const InstanceView inst = cl.chain->view_at(cl.state);
     const auto next = static_cast<ItemId>(cl.chain->step(cl.walk));
     std::optional<ItemId> oracle;
     if (cfg.engine.policy == PrefetchPolicy::Perfect) oracle = next;
 
-    const auto cache_before = std::vector<ItemId>(
-        cl.cache->contents().begin(), cl.cache->contents().end());
-    const PrefetchPlan plan =
-        engine.plan_with_cache(inst, *cl.cache, cl.freq.get(), oracle);
+    engine.plan_with_cache(inst, *cl.cache, cl.freq.get(), cl.scratch,
+                           cl.plan, oracle);
+    const PrefetchPlan& plan = cl.plan;
     std::size_t victim_idx = 0;
     for (const ItemId f : plan.fetch) {
       if (cl.cache->full()) {
@@ -112,7 +115,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         // Demand fetch queues behind every committed transfer — the
         // paper's no-abort assumption, now spanning all clients.
         if (me.cache->full()) {
-          const Instance now_inst = me.chain->instance_at(
+          const InstanceView now_inst = me.chain->view_at(
               static_cast<std::size_t>(next));
           const ItemId d =
               choose_victim(now_inst, me.cache->contents(),

@@ -65,6 +65,12 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
   // wasted prefetches can be charged when they are evicted unused.
   std::vector<char> unused_prefetch(n, 0);
 
+  // The whole request loop runs allocation-free: the instance is a
+  // borrowed view (source row / predictor buffer), and `scratch`/`plan`
+  // recycle every planning buffer across the cfg.requests iterations.
+  PlanScratch scratch;
+  PrefetchPlan plan;
+
   PrefetchCacheResult result;
   auto& m = result.metrics;
 
@@ -74,16 +80,24 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
   for (std::size_t req = 0; req < cfg.requests; ++req) {
     const bool counted = req >= cfg.warmup;
 
-    // What the prefetcher knows in the current state.
-    Instance inst = source.instance_at(state);
+    // What the prefetcher knows in the current state. In plain oracle
+    // mode P is the sparse transition row, and the source's successor
+    // list (ascending, exactly the positive entries) doubles as the
+    // engine's candidate-support hint.
+    InstanceView inst = source.view_at(state);
+    std::span<const ItemId> positive_hint = source.successors(state);
     if (predictor) {
-      inst.P = predictor->predict();
-      for (double& p : inst.P) {
+      predictor->predict_into(scratch.P);
+      for (double& p : scratch.P) {
         if (p < cfg.predictor_min_prob) p = 0.0;
       }
+      inst.P = scratch.P;
+      positive_hint = {};  // dense support
     } else if (cfg.lookahead_horizon > 1) {
-      inst.P = horizon_probabilities(source, state, cfg.lookahead_horizon,
-                                     cfg.lookahead_decay);
+      horizon_probabilities_into(source, state, cfg.lookahead_horizon,
+                                 cfg.lookahead_decay, scratch.P);
+      inst.P = scratch.P;
+      positive_hint = {};  // blended rows widen the support
     }
 
     // The source decides the next request now; only the Perfect oracle may
@@ -92,12 +106,17 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
     std::optional<ItemId> oracle;
     if (cfg.policy == PrefetchPolicy::Perfect) oracle = next;
 
-    // Plan and execute the prefetch against the current cache.
-    const auto cache_before =
-        std::vector<ItemId>(cache.contents().begin(),
-                            cache.contents().end());
-    const PrefetchPlan plan =
-        engine.plan_with_cache(inst, cache, &freq, oracle);
+    // Plan against the current cache.
+    engine.plan_with_cache(inst, cache, &freq, scratch, plan, oracle,
+                           positive_hint);
+
+    // Realized access time (Section 5 cases) against the pre-plan cache:
+    // computed before the plan mutates the cache, which is exactly the
+    // "cache before" snapshot the model asks for — no copy needed.
+    const double T = realized_access_time_cached(
+        inst, plan.fetch, plan.evict, cache.contents(), next);
+
+    // Execute the prefetch.
     {
       std::size_t victim_idx = 0;
       for (std::size_t k = 0; k < plan.fetch.size(); ++k) {
@@ -105,26 +124,23 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
         if (cache.full()) {
           SKP_ASSERT(victim_idx < plan.evict.size());
           const ItemId d = plan.evict[victim_idx++];
-          if (unused_prefetch[Instance::idx(d)]) {
+          if (unused_prefetch[InstanceView::idx(d)]) {
             if (counted) ++m.wasted_prefetches;
-            unused_prefetch[Instance::idx(d)] = 0;
+            unused_prefetch[InstanceView::idx(d)] = 0;
           }
           cache.replace(d, f);
         } else {
           cache.insert(f);
         }
-        unused_prefetch[Instance::idx(f)] = 1;
+        unused_prefetch[InstanceView::idx(f)] = 1;
         if (counted) {
           ++m.prefetch_fetches;
-          m.network_time += inst.r[Instance::idx(f)];
+          m.network_time += inst.r[InstanceView::idx(f)];
         }
       }
     }
     if (counted) m.solver_nodes += plan.solver_nodes;
 
-    // Realized access time (Section 5 cases) against the pre-plan cache.
-    const double T = realized_access_time_cached(
-        inst, plan.fetch, plan.evict, cache_before, next);
     if (counted) {
       m.access_time.add(T);
       ++m.requests;
@@ -135,7 +151,7 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
     // Serve the request: record frequency, learn, demand-fetch on miss.
     freq.record(next);
     if (predictor) predictor->observe(next);
-    unused_prefetch[Instance::idx(next)] = 0;
+    unused_prefetch[InstanceView::idx(next)] = 0;
 
     if (!cache.contains(next)) {
       if (counted) {
@@ -145,14 +161,19 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
       if (cache.full()) {
         // "Demand-fetched item, however, must have a victim": minimal-Pr
         // with the probabilities now in force (the new state's row).
-        Instance next_inst = source.instance_at(
-            static_cast<std::size_t>(next));
-        if (predictor) next_inst.P = predictor->predict();
+        // `inst` is not read past this point, so its P buffer is free to
+        // be overwritten by the new prediction.
+        InstanceView next_inst =
+            source.view_at(static_cast<std::size_t>(next));
+        if (predictor) {
+          predictor->predict_into(scratch.P);
+          next_inst.P = scratch.P;
+        }
         const ItemId d = choose_victim(next_inst, cache.contents(), &freq,
                                        ecfg.arbitration);
-        if (unused_prefetch[Instance::idx(d)]) {
+        if (unused_prefetch[InstanceView::idx(d)]) {
           if (counted) ++m.wasted_prefetches;
-          unused_prefetch[Instance::idx(d)] = 0;
+          unused_prefetch[InstanceView::idx(d)] = 0;
         }
         cache.replace(d, next);
       } else {
@@ -202,40 +223,46 @@ PrefetchCacheResult run_prefetch_cache_sized(
   FreqTracker freq(n);
   std::vector<char> unused_prefetch(n, 0);
 
+  // Allocation-free request loop: borrowed views + recycled buffers, as in
+  // the slot-cache loop above.
+  PlanScratch scratch;
+  PrefetchPlan plan;
+
   PrefetchCacheResult result;
   auto& m = result.metrics;
   std::size_t state = source.current_state();
 
   for (std::size_t req = 0; req < cfg.requests; ++req) {
     const bool counted = req >= cfg.warmup;
-    const Instance inst = source.instance_at(state);
+    const InstanceView inst = source.view_at(state);
     const auto next = static_cast<ItemId>(source.step(walk_rng));
     std::optional<ItemId> oracle;
     if (cfg.policy == PrefetchPolicy::Perfect) oracle = next;
 
-    const auto cache_before = std::vector<ItemId>(
-        cache.contents().begin(), cache.contents().end());
-    const PrefetchPlan plan =
-        engine.plan_with_sized_cache(inst, cache, &freq, oracle);
+    engine.plan_with_sized_cache(inst, cache, &freq, scratch, plan, oracle);
+
+    // Realized access time against the pre-plan cache (computed before the
+    // plan executes; see the slot loop).
+    const double T = realized_access_time_cached(
+        inst, plan.fetch, plan.evict, cache.contents(), next);
+
     for (const ItemId d : plan.evict) {
-      if (unused_prefetch[Instance::idx(d)]) {
+      if (unused_prefetch[InstanceView::idx(d)]) {
         if (counted) ++m.wasted_prefetches;
-        unused_prefetch[Instance::idx(d)] = 0;
+        unused_prefetch[InstanceView::idx(d)] = 0;
       }
       cache.erase(d);
     }
     for (const ItemId f : plan.fetch) {
       cache.insert(f);
-      unused_prefetch[Instance::idx(f)] = 1;
+      unused_prefetch[InstanceView::idx(f)] = 1;
       if (counted) {
         ++m.prefetch_fetches;
-        m.network_time += inst.r[Instance::idx(f)];
+        m.network_time += inst.r[InstanceView::idx(f)];
       }
     }
     if (counted) m.solver_nodes += plan.solver_nodes;
 
-    const double T = realized_access_time_cached(
-        inst, plan.fetch, plan.evict, cache_before, next);
     if (counted) {
       m.access_time.add(T);
       ++m.requests;
@@ -244,23 +271,23 @@ PrefetchCacheResult run_prefetch_cache_sized(
     }
 
     freq.record(next);
-    unused_prefetch[Instance::idx(next)] = 0;
+    unused_prefetch[InstanceView::idx(next)] = 0;
     if (!cache.contains(next)) {
       if (counted) {
         ++m.demand_fetches;
         m.network_time += source.retrieval_time(next);
       }
       if (cache.cacheable(next)) {
-        const Instance next_inst =
-            source.instance_at(static_cast<std::size_t>(next));
-        const VictimSet vs = gather_victims_by_density(
-            next_inst, cache, &freq, ecfg.arbitration,
-            cache.size_of(next));
-        SKP_ASSERT(vs.ok);
-        for (const ItemId d : vs.victims) {
-          if (unused_prefetch[Instance::idx(d)]) {
+        const InstanceView next_inst =
+            source.view_at(static_cast<std::size_t>(next));
+        gather_victims_by_density_into(next_inst, cache, &freq,
+                                       ecfg.arbitration, cache.size_of(next),
+                                       scratch.pool, scratch.victims);
+        SKP_ASSERT(scratch.victims.ok);
+        for (const ItemId d : scratch.victims.victims) {
+          if (unused_prefetch[InstanceView::idx(d)]) {
             if (counted) ++m.wasted_prefetches;
-            unused_prefetch[Instance::idx(d)] = 0;
+            unused_prefetch[InstanceView::idx(d)] = 0;
           }
           cache.erase(d);
         }

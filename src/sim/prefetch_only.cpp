@@ -28,9 +28,14 @@ void run_block(const PrefetchOnlyConfig& cfg, std::size_t count, Rng& rng,
   ecfg.delta_rule = cfg.delta_rule;
   const PrefetchEngine engine(ecfg);
 
+  // Every iteration redraws (P, r, v) into the same storage and plans
+  // through the same scratch buffers — the block never allocates after
+  // the first iteration.
   Instance inst;
   inst.P.resize(cfg.n_items);
   inst.r.resize(cfg.n_items);
+  PlanScratch scratch;
+  PrefetchPlan plan;
 
   // Residual transfer time intruding into the next viewing window
   // (stretch_intrudes extension only; stays 0 under the paper protocol).
@@ -38,8 +43,8 @@ void run_block(const PrefetchOnlyConfig& cfg, std::size_t count, Rng& rng,
 
   for (std::size_t it = 0; it < count; ++it) {
     // Step 1: generate P, r, v.
-    inst.P = generate_probabilities(cfg.n_items, cfg.method, rng,
-                                    cfg.skew_exponent);
+    generate_probabilities_into(cfg.n_items, cfg.method, rng, inst.P,
+                                cfg.skew_exponent);
     for (auto& x : inst.r) {
       x = draw_time(cfg.r_lo, cfg.r_hi, cfg.integer_times, rng);
     }
@@ -53,7 +58,7 @@ void run_block(const PrefetchOnlyConfig& cfg, std::size_t count, Rng& rng,
     const ItemId requested = sample_categorical(inst.P, rng);
 
     // Step 2: prefetch.
-    const PrefetchPlan plan = engine.plan(inst, requested);
+    engine.plan(inst, scratch, plan, requested);
 
     // Step 4: access time per Figure 2.
     const double T = realized_access_time(inst, plan.fetch, requested);

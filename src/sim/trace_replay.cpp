@@ -51,44 +51,49 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
   SimMetrics m;
   std::vector<char> unused_prefetch(n, 0);
 
+  // Allocation-free replay loop: the instance borrows the trace's
+  // retrieval-time catalog and the recycled predictor buffer.
+  PlanScratch scratch;
+  PrefetchPlan plan;
+
   for (std::size_t idx = 0; idx < trace.size(); ++idx) {
     const TraceRecord& rec = trace.records()[idx];
     const bool counted = idx >= cfg.warmup;
 
-    Instance inst;
-    inst.P = predictor->predict();
-    for (double& p : inst.P) {
+    predictor->predict_into(scratch.P);
+    for (double& p : scratch.P) {
       if (p < cfg.predictor_min_prob) p = 0.0;
     }
-    inst.r = trace.retrieval_times();
-    inst.v = rec.viewing_time;
+    const InstanceView inst(scratch.P, trace.retrieval_times(),
+                            rec.viewing_time);
 
-    const auto cache_before = std::vector<ItemId>(
-        cache.contents().begin(), cache.contents().end());
-    const PrefetchPlan plan =
-        engine.plan_with_cache(inst, cache, &freq);
+    engine.plan_with_cache(inst, cache, &freq, scratch, plan);
+
+    // Realized access time against the pre-plan cache (computed before the
+    // plan executes — no snapshot copy needed).
+    const double T = realized_access_time_cached(
+        inst, plan.fetch, plan.evict, cache.contents(), rec.item);
+
     std::size_t victim_idx = 0;
     for (const ItemId f : plan.fetch) {
       if (cache.full()) {
         const ItemId d = plan.evict[victim_idx++];
-        if (unused_prefetch[Instance::idx(d)]) {
+        if (unused_prefetch[InstanceView::idx(d)]) {
           if (counted) ++m.wasted_prefetches;
-          unused_prefetch[Instance::idx(d)] = 0;
+          unused_prefetch[InstanceView::idx(d)] = 0;
         }
         cache.replace(d, f);
       } else {
         cache.insert(f);
       }
-      unused_prefetch[Instance::idx(f)] = 1;
+      unused_prefetch[InstanceView::idx(f)] = 1;
       if (counted) {
         ++m.prefetch_fetches;
-        m.network_time += inst.r[Instance::idx(f)];
+        m.network_time += inst.r[InstanceView::idx(f)];
       }
     }
     if (counted) m.solver_nodes += plan.solver_nodes;
 
-    const double T = realized_access_time_cached(
-        inst, plan.fetch, plan.evict, cache_before, rec.item);
     if (counted) {
       m.access_time.add(T);
       ++m.requests;
@@ -97,21 +102,24 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
 
     freq.record(rec.item);
     predictor->observe(rec.item);
-    unused_prefetch[Instance::idx(rec.item)] = 0;
+    unused_prefetch[InstanceView::idx(rec.item)] = 0;
     if (!cache.contains(rec.item)) {
       if (counted) {
         ++m.demand_fetches;
-        m.network_time += inst.r[Instance::idx(rec.item)];
+        m.network_time += inst.r[InstanceView::idx(rec.item)];
       }
       if (cache.full()) {
-        // Victim chosen with the *post-observation* belief.
-        Instance after = inst;
-        after.P = predictor->predict();
+        // Victim chosen with the *post-observation* belief. `inst` is not
+        // read past this point, so its P buffer can take the new
+        // prediction in place.
+        predictor->predict_into(scratch.P);
+        const InstanceView after(scratch.P, trace.retrieval_times(),
+                                 rec.viewing_time);
         const ItemId d = choose_victim(after, cache.contents(), &freq,
                                        ecfg.arbitration);
-        if (unused_prefetch[Instance::idx(d)]) {
+        if (unused_prefetch[InstanceView::idx(d)]) {
           if (counted) ++m.wasted_prefetches;
-          unused_prefetch[Instance::idx(d)] = 0;
+          unused_prefetch[InstanceView::idx(d)] = 0;
         }
         cache.replace(d, rec.item);
       } else {

@@ -135,4 +135,9 @@ Instance MarkovSource::instance_at(std::size_t state) const {
   return inst;
 }
 
+InstanceView MarkovSource::view_at(std::size_t state) const {
+  SKP_REQUIRE(state < v_.size(), "state out of range");
+  return InstanceView(dense_row_[state], r_, v_[state]);
+}
+
 }  // namespace skp

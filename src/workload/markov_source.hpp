@@ -68,6 +68,12 @@ class MarkovSource {
   // v = viewing_time(state)) the prefetch engine consumes in that state.
   Instance instance_at(std::size_t state) const;
 
+  // Borrowed-view counterpart of instance_at: spans over the source-owned
+  // dense row and retrieval-time catalog, copying nothing. This is what
+  // the sim hot loops call once per request; the view is invalidated only
+  // by destroying the source.
+  InstanceView view_at(std::size_t state) const;
+
  private:
   std::vector<double> v_;                       // per-state viewing time
   std::vector<double> r_;                       // per-item retrieval time

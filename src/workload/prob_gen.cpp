@@ -9,34 +9,63 @@
 
 namespace skp {
 
+namespace {
+
+// In-place normalization with the same checks and arithmetic as
+// normalize_probabilities (each entry is divided by the plain left-to-
+// right sum, so results are bit-identical).
+void normalize_in_place(std::vector<double>& w) {
+  SKP_REQUIRE(!w.empty(), "normalize_in_place: empty input");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    SKP_REQUIRE(w[i] >= 0.0 && std::isfinite(w[i]),
+                "weight[" << i << "] = " << w[i]);
+    sum += w[i];
+  }
+  SKP_REQUIRE(sum > 0.0, "normalize_in_place: all weights zero");
+  for (double& x : w) x /= sum;
+}
+
+}  // namespace
+
+void generate_probabilities_into(std::size_t n, ProbMethod method, Rng& rng,
+                                 std::vector<double>& out,
+                                 double skew_exponent) {
+  SKP_REQUIRE(n > 0, "generate_probabilities_into(n=0)");
+  out.resize(n);
+  switch (method) {
+    case ProbMethod::Skewy:
+      SKP_REQUIRE(skew_exponent > 0.0, "skew exponent must be positive");
+      for (auto& x : out) {
+        const double u = rng.next_double();
+        x = std::pow(u, skew_exponent) + 1e-12;  // keep strictly positive
+      }
+      break;
+    case ProbMethod::Flat:
+      for (auto& x : out) x = rng.exponential(1.0);
+      break;
+  }
+  normalize_in_place(out);
+}
+
 std::vector<double> flat_probabilities(std::size_t n, Rng& rng) {
-  SKP_REQUIRE(n > 0, "flat_probabilities(n=0)");
-  std::vector<double> w(n);
-  for (auto& x : w) x = rng.exponential(1.0);
-  return normalize_probabilities(w);
+  std::vector<double> p;
+  generate_probabilities_into(n, ProbMethod::Flat, rng, p);
+  return p;
 }
 
 std::vector<double> skewy_probabilities(std::size_t n, Rng& rng,
                                         double exponent) {
-  SKP_REQUIRE(n > 0, "skewy_probabilities(n=0)");
-  SKP_REQUIRE(exponent > 0.0, "skew exponent must be positive");
-  std::vector<double> w(n);
-  for (auto& x : w) {
-    const double u = rng.next_double();
-    x = std::pow(u, exponent) + 1e-12;  // keep strictly positive
-  }
-  return normalize_probabilities(w);
+  std::vector<double> p;
+  generate_probabilities_into(n, ProbMethod::Skewy, rng, p, exponent);
+  return p;
 }
 
 std::vector<double> generate_probabilities(std::size_t n, ProbMethod method,
                                            Rng& rng, double skew_exponent) {
-  switch (method) {
-    case ProbMethod::Skewy:
-      return skewy_probabilities(n, rng, skew_exponent);
-    case ProbMethod::Flat:
-      return flat_probabilities(n, rng);
-  }
-  return flat_probabilities(n, rng);  // unreachable
+  std::vector<double> p;
+  generate_probabilities_into(n, method, rng, p, skew_exponent);
+  return p;
 }
 
 std::vector<double> zipf_probabilities(std::size_t n, double s, Rng& rng,

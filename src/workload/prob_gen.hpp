@@ -27,6 +27,14 @@ std::vector<double> generate_probabilities(std::size_t n, ProbMethod method,
                                            Rng& rng,
                                            double skew_exponent = 8.0);
 
+// Allocation-free variant: draws into `out` (resized to n, capacity
+// reused) and normalizes in place. Bit-identical to
+// generate_probabilities; the Monte-Carlo loops that redraw P every
+// iteration use this form.
+void generate_probabilities_into(std::size_t n, ProbMethod method, Rng& rng,
+                                 std::vector<double>& out,
+                                 double skew_exponent = 8.0);
+
 std::vector<double> flat_probabilities(std::size_t n, Rng& rng);
 std::vector<double> skewy_probabilities(std::size_t n, Rng& rng,
                                         double exponent = 8.0);

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Regenerates the scenario-matrix golden table (DISABLED_PrintGoldenTable)
+# and diffs it against the kGolden rows committed in
+# tests/test_scenario_matrix.cpp — the manual workflow the file header
+# documents, scripted (ROADMAP "Golden-file refresh workflow").
+#
+# Usage:
+#   tests/refresh_goldens.sh [--apply] [BUILD_DIR]
+#
+#   (no flag)   print a unified diff; exit 0 when the committed goldens
+#               are current, 1 when they drifted (CI-friendly)
+#   --apply     additionally splice the regenerated rows into the source
+#               file in place
+#
+# BUILD_DIR defaults to "build" (must contain tests/test_scenario_matrix).
+set -euo pipefail
+
+apply=0
+if [[ "${1:-}" == "--apply" ]]; then
+  apply=1
+  shift
+fi
+build_dir="${1:-build}"
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+bin="$root/$build_dir/tests/test_scenario_matrix"
+src="$root/tests/test_scenario_matrix.cpp"
+
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 2
+fi
+
+tmp_new="$(mktemp)"
+tmp_old="$(mktemp)"
+trap 'rm -f "$tmp_new" "$tmp_old"' EXIT
+
+# The disabled test prints exactly the initializer rows (two lines per
+# row, first starting with "    {PredictorKind::").
+"$bin" --gtest_also_run_disabled_tests \
+       --gtest_filter='*PrintGoldenTable*' 2>/dev/null |
+  grep -E '^\s+\{PredictorKind::|^\s+ScenarioWorkload::' > "$tmp_new"
+
+if [[ ! -s "$tmp_new" ]]; then
+  echo "error: PrintGoldenTable produced no rows" >&2
+  exit 2
+fi
+
+# Extract the committed rows: everything between the kGolden opening brace
+# and the closing "};", minus the clang-format guard comments.
+sed -n '/^const std::vector<GoldenRow> kGolden = {$/,/^};$/p' "$src" |
+  grep -E '^\s+\{PredictorKind::|^\s+ScenarioWorkload::' > "$tmp_old"
+
+if diff -u "$tmp_old" "$tmp_new" > /dev/null; then
+  echo "goldens are current ($(grep -c 'PredictorKind' "$tmp_new") rows)"
+  exit 0
+fi
+
+echo "golden table drifted:"
+diff -u --label committed "$tmp_old" --label regenerated "$tmp_new" || true
+
+if [[ "$apply" == 1 ]]; then
+  python3 - "$src" "$tmp_new" <<'EOF'
+import re
+import sys
+
+src_path, rows_path = sys.argv[1], sys.argv[2]
+with open(rows_path) as f:
+    rows = f.read().rstrip("\n")
+with open(src_path) as f:
+    src = f.read()
+
+pattern = re.compile(
+    r"(const std::vector<GoldenRow> kGolden = \{\n"
+    r"    // clang-format off\n)(.*?)(\n    // clang-format on\n\};)",
+    re.S)
+new_src, n = pattern.subn(lambda m: m.group(1) + rows + m.group(3), src)
+if n != 1:
+    sys.exit("error: kGolden block not found in " + src_path)
+with open(src_path, "w") as f:
+    f.write(new_src)
+print(f"updated {src_path}")
+EOF
+  echo "re-run the suite to confirm: ctest --test-dir build -R Scenario"
+  exit 0
+fi
+
+echo
+echo "run with --apply to splice the regenerated rows into $src"
+exit 1

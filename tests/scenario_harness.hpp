@@ -254,27 +254,29 @@ inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
 
   ScenarioResult res;
   constexpr double kEps = 1e-9;
+  // Borrowed-view planning (allocation-free across cycles): P lives in the
+  // scratch buffer, r in the catalog vector above.
+  PlanScratch scratch;
+  PrefetchPlan plan;
   for (std::size_t i = 0; i < cycles.size(); ++i) {
     const ItemId item = cycles[i].item;
     const double v = cycles[i].viewing_time;
 
     if (i >= cfg.predictor_warmup) {
-      Instance inst;
-      inst.P = predictor->predict();
-      inst.r = r;
-      inst.v = v;
+      predictor->predict_into(scratch.P);
       double mass = 0.0;
-      for (std::size_t j = 0; j < inst.P.size(); ++j) {
+      for (std::size_t j = 0; j < scratch.P.size(); ++j) {
         // Shortlist: drop sliver mass and items already cached (planning
         // over N \ C, Section 5).
-        if (inst.P[j] < cfg.min_prob ||
+        if (scratch.P[j] < cfg.min_prob ||
             cache.contains(static_cast<ItemId>(j))) {
-          inst.P[j] = 0.0;
+          scratch.P[j] = 0.0;
         }
-        mass += inst.P[j];
+        mass += scratch.P[j];
       }
       if (mass > 0.0) {
-        const PrefetchPlan plan = engine.plan(inst);
+        const InstanceView inst(scratch.P, r, v);
+        engine.plan(inst, scratch, plan);
         // Bandwidth budget (Eq. 1): every fetch but the last must finish
         // within v; plain KP may not stretch at all.
         double prefix = 0.0;

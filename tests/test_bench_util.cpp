@@ -52,11 +52,22 @@ TEST(BenchUtil, CsvCapturesDirectory) {
   EXPECT_EQ(*args.csv_dir, "out/dir");
 }
 
+TEST(BenchUtil, ThreadsDefaultsToHardware) {
+  Argv a({});
+  EXPECT_EQ(parse_args(a.argc(), a.argv()).threads, 0u);  // 0 = hw threads
+}
+
+TEST(BenchUtil, ThreadsParsesCount) {
+  Argv a({"--threads", "7"});
+  EXPECT_EQ(parse_args(a.argc(), a.argv()).threads, 7u);
+}
+
 TEST(BenchUtil, AllFlagsCombineInAnyOrder) {
-  Argv a({"--csv", "plots", "--full", "--seed", "42"});
+  Argv a({"--csv", "plots", "--threads", "3", "--full", "--seed", "42"});
   const BenchArgs args = parse_args(a.argc(), a.argv());
   EXPECT_TRUE(args.full);
   EXPECT_EQ(args.seed, 42u);
+  EXPECT_EQ(args.threads, 3u);
   ASSERT_TRUE(args.csv_dir.has_value());
   EXPECT_EQ(*args.csv_dir, "plots");
 }
@@ -79,6 +90,12 @@ TEST(BenchUtilDeathTest, CsvMissingValueIsRejected) {
   Argv a({"--csv"});
   EXPECT_EXIT(parse_args(a.argc(), a.argv()),
               ::testing::ExitedWithCode(2), "unknown argument: --csv");
+}
+
+TEST(BenchUtilDeathTest, ThreadsMissingValueIsRejected) {
+  Argv a({"--threads"});
+  EXPECT_EXIT(parse_args(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(2), "unknown argument: --threads");
 }
 
 TEST(BenchUtilDeathTest, HelpPrintsUsageAndExits0) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <iterator>
+
 namespace skp {
 namespace {
 
@@ -161,6 +164,145 @@ TEST(PredictorKindNames, Stable) {
   EXPECT_STREQ(to_string(PredictorKind::Markov1), "markov1");
   EXPECT_STREQ(to_string(PredictorKind::Ppm), "ppm");
   EXPECT_STREQ(to_string(PredictorKind::DependencyWindow), "depgraph");
+}
+
+// ---- Fixed-seed equivalence lock ----------------------------------------
+//
+// Pins every simulator counter bit-for-bit at a fixed seed, across all
+// policies, predictors, and both cache kinds. This is the safety net for
+// hot-path refactors (borrowed instance views, scratch-buffer reuse, loop
+// reordering): such changes must not move a single metric, so any drift
+// here is a real behavior change, not noise. The doubles are written with
+// 17 significant digits (round-trip exact for IEEE doubles).
+//
+// Refresh after an INTENTIONAL behavior change:
+//   ./build/tests/test_prefetch_cache_sim --gtest_also_run_disabled_tests
+//       --gtest_filter='*PrintEquivalenceTable*'   (one command line)
+// and paste the emitted rows over kEquivalence below.
+
+struct EquivCase {
+  const char* name;
+  bool sized;  // false = SlotCache protocol, true = SizedCache protocol
+  PrefetchPolicy policy;
+  SubArbitration sub;
+  PredictorKind predictor;
+  std::size_t lookahead;
+  double min_profit;
+  double size_per_r;  // sized only: 0 = uniform 15.5-unit items
+  bool strict_ties;
+};
+
+const EquivCase kEquivCases[] = {
+    // clang-format off
+    {"slot_none",      false, PrefetchPolicy::None,    SubArbitration::None, PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"slot_kp",        false, PrefetchPolicy::KP,      SubArbitration::None, PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"slot_skp",       false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"slot_skp_lfu",   false, PrefetchPolicy::SKP,     SubArbitration::LFU,  PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"slot_skp_ds",    false, PrefetchPolicy::SKP,     SubArbitration::DS,   PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"slot_perfect",   false, PrefetchPolicy::Perfect, SubArbitration::None, PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"slot_strict",    false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Oracle, 1, 0.0, 1.0, true},
+    {"slot_markov1",   false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Markov1, 1, 0.0, 1.0, false},
+    {"slot_ppm",       false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Ppm, 1, 0.0, 1.0, false},
+    {"slot_lz78",      false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Lz78, 1, 0.0, 1.0, false},
+    {"slot_depgraph",  false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::DependencyWindow, 1, 0.0, 1.0, false},
+    {"slot_lookahead", false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Oracle, 3, 0.0, 1.0, false},
+    {"slot_threshold", false, PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Oracle, 1, 2.0, 1.0, false},
+    {"sized_skp_ds",   true,  PrefetchPolicy::SKP,     SubArbitration::DS,   PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"sized_uniform",  true,  PrefetchPolicy::SKP,     SubArbitration::None, PredictorKind::Oracle, 1, 0.0, 0.0, false},
+    {"sized_kp_lfu",   true,  PrefetchPolicy::KP,      SubArbitration::LFU,  PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    {"sized_perfect",  true,  PrefetchPolicy::Perfect, SubArbitration::None, PredictorKind::Oracle, 1, 0.0, 1.0, false},
+    // clang-format on
+};
+
+PrefetchCacheResult run_equiv_case(const EquivCase& c) {
+  if (c.sized) {
+    SizedExperimentConfig cfg;
+    cfg.source.n_states = 30;
+    cfg.source.out_degree_lo = 4;
+    cfg.source.out_degree_hi = 8;
+    cfg.capacity = 90.0;
+    cfg.size_per_r = c.size_per_r;
+    cfg.size_lo = cfg.size_hi = 15.5;
+    cfg.policy = c.policy;
+    cfg.sub = c.sub;
+    cfg.strict_ties = c.strict_ties;
+    cfg.requests = 1500;
+    cfg.seed = 11;
+    return run_prefetch_cache_sized(cfg);
+  }
+  auto cfg = quick(c.policy, c.sub);
+  cfg.predictor = c.predictor;
+  cfg.lookahead_horizon = c.lookahead;
+  cfg.min_profit_threshold = c.min_profit;
+  cfg.strict_ties = c.strict_ties;
+  cfg.requests = 2000;
+  return run_prefetch_cache(cfg);
+}
+
+struct EquivRow {
+  const char* name;
+  std::uint64_t hits, demand, prefetch, wasted, nodes, over;
+  double mean_T, net_time;
+};
+
+const EquivRow kEquivalence[] = {
+    // clang-format off
+    {"slot_none", 483, 1517, 0, 0, 0, 313, 11.218500000000015, 22437},
+    {"slot_kp", 1540, 460, 6059, 4581, 18155, 312, 4.2899999999999956, 86056},
+    {"slot_skp", 1492, 388, 6257, 4679, 8878, 222, 3.6070000000000024, 90990},
+    {"slot_skp_lfu", 1497, 387, 6165, 4624, 8946, 229, 3.6485000000000043, 89485},
+    {"slot_skp_ds", 1523, 372, 6418, 4864, 9107, 227, 3.3630000000000004, 89163},
+    {"slot_perfect", 1686, 0, 1597, 0, 0, 122, 1.2900000000000005, 22851},
+    {"slot_strict", 1492, 388, 6257, 4679, 8878, 222, 3.6070000000000024, 90990},
+    {"slot_markov1", 1411, 471, 5547, 4128, 19699, 218, 4.1320000000000006, 81233},
+    {"slot_ppm", 1412, 527, 5646, 4285, 18818, 256, 4.1510000000000096, 83471},
+    {"slot_lz78", 923, 1053, 3563, 2856, 51142, 252, 6.5534999999999988, 63943},
+    {"slot_depgraph", 1331, 660, 5773, 4452, 40848, 233, 4.3340000000000076, 95159},
+    {"slot_lookahead", 1451, 543, 5130, 3837, 52517, 232, 3.160499999999999, 85238},
+    {"slot_threshold", 1042, 816, 2476, 1574, 2898, 188, 4.5220000000000038, 57113},
+    {"sized_skp_ds", 1121, 297, 4590, 3451, 6821, 169, 3.7333333333333316, 65096},
+    {"sized_uniform", 1090, 322, 4721, 3558, 7078, 175, 3.859333333333332, 69992},
+    {"sized_kp_lfu", 1154, 346, 4081, 3117, 12737, 233, 4.3813333333333331, 60095},
+    {"sized_perfect", 1260, 0, 1183, 0, 0, 84, 1.2866666666666653, 17486},
+    // clang-format on
+};
+
+TEST(PrefetchCacheEquivalence, MetricsBitIdenticalAtFixedSeed) {
+  ASSERT_EQ(std::size(kEquivalence), std::size(kEquivCases))
+      << "equivalence table out of date — rerun PrintEquivalenceTable";
+  for (std::size_t i = 0; i < std::size(kEquivCases); ++i) {
+    const EquivCase& c = kEquivCases[i];
+    const EquivRow& g = kEquivalence[i];
+    ASSERT_STREQ(c.name, g.name);
+    const PrefetchCacheResult res = run_equiv_case(c);
+    const auto& m = res.metrics;
+    EXPECT_EQ(m.hits, g.hits) << c.name;
+    EXPECT_EQ(m.demand_fetches, g.demand) << c.name;
+    EXPECT_EQ(m.prefetch_fetches, g.prefetch) << c.name;
+    EXPECT_EQ(m.wasted_prefetches, g.wasted) << c.name;
+    EXPECT_EQ(m.solver_nodes, g.nodes) << c.name;
+    EXPECT_EQ(res.over_viewing_time, g.over) << c.name;
+    EXPECT_DOUBLE_EQ(m.mean_access_time(), g.mean_T) << c.name;
+    EXPECT_DOUBLE_EQ(m.network_time, g.net_time) << c.name;
+  }
+}
+
+// Manual refresh: prints the kEquivalence initializer rows (17 significant
+// digits, round-trip exact). Disabled so ctest never depends on it.
+TEST(PrefetchCacheEquivalence, DISABLED_PrintEquivalenceTable) {
+  for (const EquivCase& c : kEquivCases) {
+    const PrefetchCacheResult res = run_equiv_case(c);
+    const auto& m = res.metrics;
+    std::printf("    {\"%s\", %llu, %llu, %llu, %llu, %llu, %llu, %.17g, "
+                "%.17g},\n",
+                c.name, static_cast<unsigned long long>(m.hits),
+                static_cast<unsigned long long>(m.demand_fetches),
+                static_cast<unsigned long long>(m.prefetch_fetches),
+                static_cast<unsigned long long>(m.wasted_prefetches),
+                static_cast<unsigned long long>(m.solver_nodes),
+                static_cast<unsigned long long>(res.over_viewing_time),
+                m.mean_access_time(), m.network_time);
+  }
 }
 
 }  // namespace
