@@ -10,6 +10,9 @@
 //                   results are bit-identical for every thread count —
 //                   each sim point is independently seeded — so this only
 //                   changes wall-clock.
+//   --no-plan-cache disable cross-request plan memoization in sims that
+//                   support it (A/B switch; results are bit-identical
+//                   either way, only wall-clock changes)
 #pragma once
 
 #include <cstdint>
@@ -25,6 +28,7 @@ struct BenchArgs {
   std::uint64_t seed = 1;
   std::optional<std::string> csv_dir;
   std::size_t threads = 0;  // 0 = hardware concurrency
+  bool no_plan_cache = false;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -40,10 +44,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if (a == "--threads" && i + 1 < argc) {
       args.threads = static_cast<std::size_t>(
           std::strtoull(argv[++i], nullptr, 10));
+    } else if (a == "--no-plan-cache") {
+      args.no_plan_cache = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--full] [--seed <u64>] [--csv <dir>]"
-                   " [--threads <n>]\n";
+                   " [--threads <n>] [--no-plan-cache]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << a << "\n";

@@ -15,6 +15,13 @@ Subcommands:
                             drift is an algorithmic change, not noise
                             (pass --allow-node-drift while intentionally
                             landing one).
+        * *_hit_rate counters (plan-memoization hit rates, emitted by
+                            sim_throughput) — fail when CURRENT drops
+                            more than --hit-rate-drop (absolute, default
+                            0.02) below BASELINE: the rates are
+                            deterministic per machine-independent seed,
+                            so a real drop means stored plans stopped
+                            being reusable.
       Benchmarks present on only one side are reported but do not fail
       the gate (new benchmarks must be able to land).
 
@@ -31,6 +38,7 @@ import json
 import sys
 
 COUNTER_EXACT = ("nodes", "solver_nodes")
+HIT_RATE_SUFFIX = "_hit_rate"
 
 
 def load(path):
@@ -120,6 +128,33 @@ def cmd_compare(args):
                     print(f"  [FAIL] {msg}")
                     failures.append(msg)
 
+        for counter in sorted(set(b) | set(c)):
+            if not counter.endswith(HIT_RATE_SUFFIX):
+                continue
+            bh, ch = b.get(counter), c.get(counter)
+            if not isinstance(bh, (int, float)):
+                if isinstance(ch, (int, float)):
+                    print(f"  [new ] {name}: {counter} appeared ({ch:.3f})")
+                continue
+            if not isinstance(ch, (int, float)):
+                # The emitter only writes the counter when the tier was
+                # consulted at all, so a vanished counter IS the
+                # regression this gate exists for — do not fail open.
+                msg = (f"{name}: {counter} disappeared "
+                       f"(baseline {bh:.3f}; memoization no longer "
+                       f"consulted?)")
+                print(f"  [FAIL] {msg}")
+                failures.append(msg)
+                continue
+            drop = bh - ch
+            status = "FAIL" if drop > args.hit_rate_drop else "ok"
+            print(f"  [{status:4}] {name}: {counter} {bh:.3f} -> {ch:.3f} "
+                  f"({-drop:+.3f})")
+            if status == "FAIL":
+                failures.append(
+                    f"{name}: {counter} dropped {drop:.3f} "
+                    f"(> {args.hit_rate_drop})")
+
     print(f"\nchecked {checked} benchmark(s), "
           f"{len(failures)} regression(s) "
           f"(threshold {args.threshold:.0%})")
@@ -147,6 +182,9 @@ def main():
     p_cmp.add_argument("--allow-node-drift", action="store_true",
                        help="downgrade deterministic-counter mismatches "
                             "to warnings")
+    p_cmp.add_argument("--hit-rate-drop", type=float, default=0.02,
+                       help="max absolute drop tolerated on *_hit_rate "
+                            "counters (default 0.02)")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_merge = sub.add_parser("merge", help="concatenate snapshots")

@@ -57,10 +57,15 @@ int main(int argc, char** argv) {
   for (std::size_t c = step; c <= 100; c += step) sizes.push_back(c);
 
   // Every (policy, cache size) cell is an independently seeded sim, so the
-  // parallel fan-out reproduces the serial numbers bit-for-bit.
+  // parallel fan-out reproduces the serial numbers bit-for-bit (each point
+  // owns its PlanCache, so memoization does not couple points either).
+  struct PointResult {
+    double mean_T;
+    PlanMemoStats plan_cache;
+  };
   const std::size_t n_points = std::size(kPolicies) * sizes.size();
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<double> mean_T =
+  const std::vector<PointResult> points =
       sweep_points(pool, n_points, [&](std::size_t idx) {
         const Policy& pol = kPolicies[idx / sizes.size()];
         PrefetchCacheConfig cfg;  // paper-default Markov source
@@ -73,11 +78,20 @@ int main(int argc, char** argv) {
         cfg.delta_rule = DeltaRule::ExactComplement;
         cfg.requests = requests;
         cfg.seed = args.seed;  // same chain + walk for every policy
-        return run_prefetch_cache(cfg).metrics.mean_access_time();
+        cfg.use_plan_cache = !args.no_plan_cache;
+        const auto res = run_prefetch_cache(cfg);
+        return PointResult{res.metrics.mean_access_time(), res.plan_cache};
       });
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  std::vector<double> mean_T;
+  mean_T.reserve(points.size());
+  PlanMemoStats plan_cache_total;
+  for (const auto& p : points) {
+    mean_T.push_back(p.mean_T);
+    plan_cache_total.merge(p.plan_cache);
+  }
 
   std::vector<PlotSeries> series;
   for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
@@ -98,7 +112,18 @@ int main(int argc, char** argv) {
             << static_cast<std::uint64_t>(total_requests) << " requests in "
             << elapsed << " s  ("
             << static_cast<std::uint64_t>(total_requests / elapsed)
-            << " requests/s)\n\n";
+            << " requests/s)\n";
+  if (plan_cache_total.plans.lookups() > 0) {
+    std::cout << "  plan cache: plans "
+              << plan_cache_total.plans.hit_rate() * 100.0 << "% of "
+              << plan_cache_total.plans.lookups() << " lookups hit"
+              << ", selections "
+              << plan_cache_total.selections.hit_rate() * 100.0 << "% of "
+              << plan_cache_total.selections.lookups() << "\n";
+  } else if (args.no_plan_cache) {
+    std::cout << "  plan cache: disabled (--no-plan-cache)\n";
+  }
+  std::cout << "\n";
 
   PlotOptions opts;
   opts.title = "Fig 7  access time per request vs cache size";

@@ -7,7 +7,10 @@
 // the ROADMAP "Perf baseline" item asks to track next to the solver
 // micro-benches — and the `solver_nodes` counter is deterministic, which
 // gives bench/compare_bench.py a machine-independent regression signal on
-// top of the timing.
+// top of the timing. Memoizable rows additionally report their
+// `plan_hit_rate` (also deterministic), which compare_bench.py gates
+// against absolute regressions, and carry a _NoPlanCache twin so the
+// snapshot records the on/off delta.
 #include <benchmark/benchmark.h>
 
 #include "sim/prefetch_cache.hpp"
@@ -19,22 +22,29 @@ using namespace skp;
 constexpr std::size_t kRequests = 2'000;
 
 void run_point(benchmark::State& state, PrefetchPolicy policy,
-               SubArbitration sub) {
+               SubArbitration sub, bool use_plan_cache = true) {
   PrefetchCacheConfig cfg;  // paper-default Markov source
   cfg.cache_size = 20;
   cfg.policy = policy;
   cfg.sub = sub;
   cfg.requests = kRequests;
   cfg.seed = 1;
+  cfg.use_plan_cache = use_plan_cache;
   std::uint64_t nodes = 0;
+  PlanMemoStats pc;
   for (auto _ : state) {
     const auto res = run_prefetch_cache(cfg);
     nodes = res.metrics.solver_nodes;
+    pc = res.plan_cache;
     benchmark::DoNotOptimize(res.metrics.hits);
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * kRequests));
   state.counters["solver_nodes"] = static_cast<double>(nodes);
+  if (use_plan_cache && pc.plans.lookups() > 0) {
+    state.counters["plan_hit_rate"] = pc.plans.hit_rate();
+    state.counters["select_hit_rate"] = pc.selections.hit_rate();
+  }
 }
 
 void BM_Fig7Point_NoPr(benchmark::State& state) {
@@ -51,6 +61,56 @@ void BM_Fig7Point_SkpPr(benchmark::State& state) {
   run_point(state, PrefetchPolicy::SKP, SubArbitration::None);
 }
 BENCHMARK(BM_Fig7Point_SkpPr);
+
+// On/off twins: the same point with memoization disabled, so the
+// committed snapshot records the plan-cache delta on this machine.
+void BM_Fig7Point_KpPr_NoPlanCache(benchmark::State& state) {
+  run_point(state, PrefetchPolicy::KP, SubArbitration::None, false);
+}
+BENCHMARK(BM_Fig7Point_KpPr_NoPlanCache);
+
+void BM_Fig7Point_SkpPr_NoPlanCache(benchmark::State& state) {
+  run_point(state, PrefetchPolicy::SKP, SubArbitration::None, false);
+}
+BENCHMARK(BM_Fig7Point_SkpPr_NoPlanCache);
+
+// Paper-scale points (the Fig.-7 per-point request count): recurring
+// (state, cache) pairs are warm here, so this pair records the
+// steady-state plan-cache speedup and hit rate the reduced points
+// understate.
+void run_full_point(benchmark::State& state, bool use_plan_cache) {
+  PrefetchCacheConfig cfg;
+  cfg.cache_size = 20;
+  cfg.policy = PrefetchPolicy::SKP;
+  cfg.requests = 50'000;
+  cfg.seed = 1;
+  cfg.use_plan_cache = use_plan_cache;
+  PlanMemoStats pc;
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const auto res = run_prefetch_cache(cfg);
+    nodes = res.metrics.solver_nodes;
+    pc = res.plan_cache;
+    benchmark::DoNotOptimize(res.metrics.hits);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * cfg.requests));
+  state.counters["solver_nodes"] = static_cast<double>(nodes);
+  if (use_plan_cache) {
+    state.counters["plan_hit_rate"] = pc.plans.hit_rate();
+    state.counters["select_hit_rate"] = pc.selections.hit_rate();
+  }
+}
+
+void BM_Fig7FullPoint_SkpPr(benchmark::State& state) {
+  run_full_point(state, true);
+}
+BENCHMARK(BM_Fig7FullPoint_SkpPr);
+
+void BM_Fig7FullPoint_SkpPr_NoPlanCache(benchmark::State& state) {
+  run_full_point(state, false);
+}
+BENCHMARK(BM_Fig7FullPoint_SkpPr_NoPlanCache);
 
 void BM_Fig7Point_SkpPrLfu(benchmark::State& state) {
   run_point(state, PrefetchPolicy::SKP, SubArbitration::LFU);

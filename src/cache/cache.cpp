@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cache/zobrist.hpp"
+
 namespace skp {
 
 SlotCache::SlotCache(std::size_t catalog_size, std::size_t capacity)
@@ -9,6 +11,7 @@ SlotCache::SlotCache(std::size_t catalog_size, std::size_t capacity)
   SKP_REQUIRE(catalog_size > 0, "catalog_size must be positive");
   SKP_REQUIRE(capacity >= 1, "capacity must be >= 1");
   contents_.reserve(capacity);
+  sorted_.reserve(capacity);
 }
 
 void SlotCache::insert(ItemId item) {
@@ -19,7 +22,10 @@ void SlotCache::insert(ItemId item) {
   pos_[static_cast<std::size_t>(item)] =
       static_cast<std::uint32_t>(contents_.size());
   contents_.push_back(item);
+  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), item),
+                 item);
   present_[static_cast<std::size_t>(item)] = 1;
+  fingerprint_ ^= zobrist_item_key(item);
 }
 
 void SlotCache::erase(ItemId item) {
@@ -33,7 +39,9 @@ void SlotCache::erase(ItemId item) {
     pos_[static_cast<std::size_t>(contents_[k])] =
         static_cast<std::uint32_t>(k);
   }
+  sorted_.erase(std::lower_bound(sorted_.begin(), sorted_.end(), item));
   present_[static_cast<std::size_t>(item)] = 0;
+  fingerprint_ ^= zobrist_item_key(item);
 }
 
 void SlotCache::replace(ItemId victim, ItemId incoming) {
@@ -43,7 +51,9 @@ void SlotCache::replace(ItemId victim, ItemId incoming) {
 
 void SlotCache::clear() {
   contents_.clear();
+  sorted_.clear();
   std::fill(present_.begin(), present_.end(), 0);
+  fingerprint_ = 0;
 }
 
 }  // namespace skp

@@ -36,6 +36,12 @@ class SlotCache {
   // bulk membership scans that bounds-check once instead of per probe.
   std::span<const char> presence() const noexcept { return present_; }
 
+  // Zobrist fingerprint of the current content set (cache/zobrist.hpp):
+  // XOR of the per-item keys, maintained in O(1) per mutation, equal for
+  // equal sets regardless of insertion order (0 when empty). Keys the
+  // cross-request plan memoization.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
   // Inserts an item that must not already be cached; throws when full
   // (evict first) or duplicated.
   void insert(ItemId item);
@@ -50,6 +56,13 @@ class SlotCache {
   // compaction — order of survivors is preserved).
   std::span<const ItemId> contents() const noexcept { return contents_; }
 
+  // Current contents in ascending id order (maintained incrementally;
+  // O(size) memmove per mutation). The Figure-6 victim fast path walks
+  // this to yield zero-Pr victims in their exact arbitration order.
+  std::span<const ItemId> sorted_contents() const noexcept {
+    return sorted_;
+  }
+
   void clear();
 
  private:
@@ -61,7 +74,9 @@ class SlotCache {
 
   std::size_t capacity_;
   std::vector<ItemId> contents_;
+  std::vector<ItemId> sorted_;  // same set, ascending id
   std::vector<char> present_;
+  std::uint64_t fingerprint_ = 0;
   // item -> index in contents_ (meaningful only while present_); turns
   // erase's membership scan into an O(1) lookup.
   std::vector<std::uint32_t> pos_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cache/zobrist.hpp"
+
 namespace skp {
 
 SizedCache::SizedCache(std::vector<double> sizes, double capacity)
@@ -39,6 +41,7 @@ void SizedCache::insert(ItemId item) {
   contents_.push_back(item);
   present_[static_cast<std::size_t>(item)] = 1;
   used_ += size_of(item);
+  fingerprint_ ^= zobrist_item_key(item);
 }
 
 void SizedCache::erase(ItemId item) {
@@ -48,12 +51,14 @@ void SizedCache::erase(ItemId item) {
   present_[static_cast<std::size_t>(item)] = 0;
   used_ -= size_of(item);
   if (used_ < 0.0) used_ = 0.0;  // fp dust
+  fingerprint_ ^= zobrist_item_key(item);
 }
 
 void SizedCache::clear() {
   contents_.clear();
   std::fill(present_.begin(), present_.end(), 0);
   used_ = 0.0;
+  fingerprint_ = 0;
 }
 
 }  // namespace skp

@@ -9,6 +9,7 @@
 // displaces.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -47,6 +48,14 @@ class SizedCache {
 
   std::span<const ItemId> contents() const noexcept { return contents_; }
 
+  // Raw presence bitmap over the catalog, as SlotCache::presence().
+  std::span<const char> presence() const noexcept { return present_; }
+
+  // Zobrist fingerprint of the current content set (cache/zobrist.hpp):
+  // same contract as SlotCache::fingerprint — O(1) per mutation,
+  // order-independent, 0 when empty.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
  private:
   void check_id(ItemId item) const;
 
@@ -55,6 +64,7 @@ class SizedCache {
   double used_ = 0.0;
   std::vector<ItemId> contents_;
   std::vector<char> present_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace skp

@@ -1,0 +1,37 @@
+// Zobrist fingerprinting of cache contents.
+//
+// Each item id owns a fixed pseudo-random 64-bit key; a cache's
+// fingerprint is the XOR of the keys of its current contents. XOR is its
+// own inverse and commutes, so the fingerprint is maintained in O(1) per
+// insert/erase and depends only on the content *set*, never on insertion
+// order. Two caches over the same catalog holding the same set therefore
+// compare equal by a single 64-bit comparison — this is what keys the
+// cross-request plan memoization (core/plan_cache.hpp): "same cache
+// contents" becomes part of a hash-map key instead of a set comparison.
+//
+// Keys come from SplitMix64 over the item id (a counter through a
+// bijective 64-bit mixer — the construction SplitMix64 was designed
+// for), so they are deterministic across runs, platforms, and cache
+// instances; no per-cache key table is stored. Distinct content sets
+// collide with probability ~2^-64 per pair (the standard Zobrist
+// argument); tests/test_cache_fuzz.cpp smoke-checks this over thousands
+// of random sets.
+#pragma once
+
+#include <cstdint>
+
+#include "core/item.hpp"
+#include "util/rng.hpp"
+
+namespace skp {
+
+// The per-item Zobrist key. Pure function of the id: every cache over a
+// catalog shares the same keys, so fingerprints are comparable across
+// cache instances (e.g. a scratch copy and the live cache).
+inline std::uint64_t zobrist_item_key(ItemId item) noexcept {
+  SplitMix64 sm(0x5a0bc0ffee5eed00ULL ^
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(item)));
+  return sm.next();
+}
+
+}  // namespace skp

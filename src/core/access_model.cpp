@@ -138,4 +138,25 @@ double realized_access_time_cached(InstanceView inst,
   return st + inst.r[InstanceView::idx(requested)];
 }
 
+double realized_access_time_cached(InstanceView inst,
+                                   std::span<const ItemId> F,
+                                   std::span<const ItemId> D,
+                                   std::span<const char> cache_presence,
+                                   ItemId requested) {
+  SKP_REQUIRE(requested >= 0 &&
+                  static_cast<std::size_t>(requested) < inst.n(),
+              "requested item out of range");
+  const double st = stretch_time(inst, F);
+  if (!F.empty()) {
+    const ItemId z = F.back();
+    if (requested == z) return st;
+    if (contains(F.subspan(0, F.size() - 1), requested)) return 0.0;
+  }
+  if (cache_presence[static_cast<std::size_t>(requested)] != 0 &&
+      !contains(D, requested)) {
+    return 0.0;
+  }
+  return st + inst.r[InstanceView::idx(requested)];
+}
+
 }  // namespace skp

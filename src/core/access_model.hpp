@@ -78,4 +78,13 @@ double realized_access_time_cached(InstanceView inst,
                                    std::span<const ItemId> C,
                                    ItemId requested);
 
+// O(1)-membership variant for per-request hot loops: identical result,
+// with C supplied as a presence bitmap over the catalog (e.g.
+// SlotCache::presence()) so the cost no longer scans the cache contents.
+double realized_access_time_cached(InstanceView inst,
+                                   std::span<const ItemId> F,
+                                   std::span<const ItemId> D,
+                                   std::span<const char> cache_presence,
+                                   ItemId requested);
+
 }  // namespace skp

@@ -109,9 +109,15 @@ double dantzig_bound(InstanceView inst, std::span<const ItemId> order,
 
 void solve_kp_bb_into(InstanceView inst, std::span<const ItemId> candidates,
                       KpWorkspace& ws, KpSolution& sol) {
-  sol.clear();
   canonical_order_into(inst, candidates, ws.order_keys, ws.order);
-  KpSearch search(inst, ws.order, ws);
+  solve_kp_bb_sorted_into(inst, ws.order, ws, sol);
+}
+
+void solve_kp_bb_sorted_into(InstanceView inst,
+                             std::span<const ItemId> order, KpWorkspace& ws,
+                             KpSolution& sol) {
+  sol.clear();
+  KpSearch search(inst, order, ws);
   search.run(inst.v, sol);
 }
 

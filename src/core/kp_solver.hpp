@@ -58,6 +58,13 @@ KpSolution solve_kp_bb(InstanceView inst);
 void solve_kp_bb_into(InstanceView inst, std::span<const ItemId> candidates,
                       KpWorkspace& ws, KpSolution& sol);
 
+// Presorted B&B: `order` must already be the canonical order of the
+// candidate set (skips the per-solve sort). Bit-identical to
+// solve_kp_bb_into over the same candidate set.
+void solve_kp_bb_sorted_into(InstanceView inst,
+                             std::span<const ItemId> order, KpWorkspace& ws,
+                             KpSolution& sol);
+
 // Exact DP. Requires every r_i (over candidates) and v to be integral;
 // throws std::invalid_argument otherwise. O(n * floor(v)) time/space.
 KpSolution solve_kp_dp(InstanceView inst,

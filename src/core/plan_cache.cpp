@@ -1,0 +1,131 @@
+#include "core/plan_cache.hpp"
+
+#include <algorithm>
+
+#include "cache/zobrist.hpp"
+#include "util/rng.hpp"
+
+namespace skp {
+
+void PlanCacheStats::merge(const PlanCacheStats& other) noexcept {
+  hits += other.hits;
+  misses += other.misses;
+  inserts += other.inserts;
+  evictions += other.evictions;
+  door_rejects += other.door_rejects;
+}
+
+std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
+  // SplitMix64 finalization over the XOR-folded words: the fingerprint
+  // is already uniform, but state/generation are small counters — one
+  // mixer pass spreads them across the table.
+  SplitMix64 sm(k.state ^ (k.fingerprint * 0x9e3779b97f4a7c15ULL) ^
+                (k.generation << 32));
+  return static_cast<std::size_t>(sm.next());
+}
+
+namespace {
+// Doorkeeper sketch size: power of two, sized so phase-local key sets
+// (hundreds to a few thousand live keys) rarely collide.
+constexpr std::size_t kDoorSlots = 4096;
+}  // namespace
+
+PlanCache::PlanCache(std::uint64_t config_digest, std::size_t capacity,
+                     bool doorkeeper)
+    : config_digest_(config_digest), capacity_(capacity) {
+  SKP_REQUIRE(capacity_ >= 1, "PlanCache capacity must be >= 1");
+  index_.reserve(capacity_ + 1);
+  if (doorkeeper) door_.assign(kDoorSlots, 0);
+}
+
+const StoredPlan* PlanCache::find(std::uint64_t state_key,
+                                  std::uint64_t fingerprint) {
+  const Key key{state_key, fingerprint, generation_};
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
+  return &it->second->plan;
+}
+
+StoredPlan* PlanCache::insert(std::uint64_t state_key,
+                              std::uint64_t fingerprint) {
+  const Key key{state_key, fingerprint, generation_};
+  if (!door_.empty()) {
+    // Admission: the first sighting of a key parks its tag in the sketch
+    // and is not stored; a matching tag means the key recurred and has
+    // earned a real slot. Index with the raw hash but tag with hash|1
+    // (0 marks empty slots) so forcing the tag's low bit does not halve
+    // the addressable slots.
+    const std::uint64_t h = KeyHash{}(key);
+    const std::uint64_t tag = h | 1;
+    std::uint64_t& slot = door_[h & (door_.size() - 1)];
+    if (slot != tag) {
+      slot = tag;
+      ++stats_.door_rejects;
+      return nullptr;
+    }
+  }
+  ++stats_.inserts;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->plan;  // overwrite in place
+  }
+  if (index_.size() >= capacity_) {
+    // Recycle the LRU node: unlink its key, keep its plan's vector
+    // capacity for the incoming entry.
+    auto victim = std::prev(lru_.end());
+    index_.erase(victim->key);
+    ++stats_.evictions;
+    lru_.splice(lru_.begin(), lru_, victim);
+    victim->key = key;
+    index_.emplace(key, victim);
+    return &victim->plan;
+  }
+  lru_.push_front(Node{key, {}});
+  index_.emplace(key, lru_.begin());
+  return &lru_.front().plan;
+}
+
+void PlanCache::clear() {
+  lru_.clear();
+  index_.clear();
+  if (!door_.empty()) std::fill(door_.begin(), door_.end(), 0);
+}
+
+CanonicalOrderTable::CanonicalOrderTable(std::size_t n_states)
+    : entries_(n_states) {
+  SKP_REQUIRE(n_states >= 1, "CanonicalOrderTable over empty state space");
+}
+
+CanonicalOrderTable::Row CanonicalOrderTable::row(
+    std::size_t state, InstanceView inst, std::span<const ItemId> positive) {
+  SKP_REQUIRE(state < entries_.size(),
+              "state " << state << " outside table of " << entries_.size());
+  Entry& e = entries_[state];
+  if (e.generation != generation_) {
+    // Rebuild: canonical order of the positive support, then the
+    // Figure-3 tail sums sum_{j..m-1} P (with the P_{m+1} = 0 sentinel)
+    // that the SKP search's PaperTail rule and bound setup consume.
+    stage_.clear();
+    for (const ItemId id : positive) {
+      if (inst.P[InstanceView::idx(id)] > 0.0) stage_.push_back(id);
+    }
+    canonical_order_into(inst, stage_, keys_, e.order);
+    const std::size_t m = e.order.size();
+    e.suffix.assign(m + 1, 0.0);
+    e.fp = 0;
+    for (std::size_t j = m; j-- > 0;) {
+      e.suffix[j] =
+          e.suffix[j + 1] + inst.P[static_cast<std::size_t>(e.order[j])];
+      e.fp ^= zobrist_item_key(e.order[j]);
+    }
+    e.generation = generation_;
+  }
+  return Row{e.order, e.suffix, e.fp};
+}
+
+}  // namespace skp

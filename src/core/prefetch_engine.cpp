@@ -1,11 +1,29 @@
 #include "core/prefetch_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "cache/zobrist.hpp"
 #include "core/access_model.hpp"
 #include "core/kp_solver.hpp"
+#include "util/rng.hpp"
 
 namespace skp {
+
+std::uint64_t engine_config_digest(const EngineConfig& config) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, as good a seed as any
+  const auto fold = [&h](std::uint64_t x) {
+    h = SplitMix64(h ^ x).next();
+  };
+  fold(static_cast<std::uint64_t>(config.policy));
+  fold(static_cast<std::uint64_t>(config.delta_rule));
+  fold(static_cast<std::uint64_t>(config.arbitration.sub));
+  fold(config.arbitration.strict_ties ? 1 : 0);
+  fold(std::bit_cast<std::uint64_t>(config.min_profit_threshold));
+  fold(config.max_solver_nodes);
+  fold(config.evaluate_plan_g ? 1 : 0);
+  return h;
+}
 
 std::string to_string(PrefetchPolicy policy) {
   switch (policy) {
@@ -178,6 +196,42 @@ void emit_committed(PlanScratch& scratch, PrefetchPlan& out) {
   out.fetch.resize(w);
 }
 
+// Builds the candidate list by filtering a precomputed canonical row —
+// a subsequence of a canonically sorted list is canonically sorted, so
+// the per-solve sort disappears. `skip(id)` is the cached/uncacheable
+// predicate; the min-profit threshold applies as in
+// viable_candidates_into. The candidate fingerprint is derived from the
+// row fingerprint by XORing away the (few) skipped items, and `suffix`
+// borrows the precomputed Figure-3 tail sums when nothing was filtered.
+template <typename SkipFn>
+std::uint64_t filter_canonical_candidates(
+    InstanceView inst, const CanonicalOrderTable::Row& row, SkipFn skip,
+    double min_profit, std::vector<ItemId>& out,
+    std::span<const double>& suffix) {
+  out.clear();
+  std::uint64_t fp = row.support_fp;
+  for (const ItemId id : row.order) {
+    const std::size_t i = InstanceView::idx(id);
+    if (skip(id) ||
+        (min_profit > 0.0 && inst.P[i] * inst.r[i] < min_profit)) {
+      fp ^= zobrist_item_key(id);
+      continue;
+    }
+    out.push_back(id);
+  }
+  if (out.size() == row.order.size()) suffix = row.suffix_prob;
+  return fp;
+}
+
+// Memoized payload transfer: PrefetchPlan IS-A StoredPlan, so replay and
+// store are slicing assignments (vector operator= reuses the
+// destination's capacity on both sides).
+void copy_plan(const StoredPlan& from, PrefetchPlan& to) {
+  static_cast<StoredPlan&>(to) = from;
+}
+
+void copy_plan(const StoredPlan& from, StoredPlan& to) { to = from; }
+
 }  // namespace
 
 void PrefetchPlan::clear() {
@@ -191,8 +245,9 @@ void PrefetchPlan::clear() {
 void PrefetchEngine::select_into(InstanceView inst,
                                  std::span<const ItemId> candidates,
                                  std::optional<ItemId> oracle_next,
-                                 PlanScratch& scratch,
-                                 PrefetchPlan& out) const {
+                                 PlanScratch& scratch, PrefetchPlan& out,
+                                 bool candidates_canonical,
+                                 std::span<const double> suffix_prob) const {
   out.clear();
   switch (config_.policy) {
     case PrefetchPolicy::None:
@@ -216,7 +271,12 @@ void PrefetchEngine::select_into(InstanceView inst,
       break;
     }
     case PrefetchPolicy::KP: {
-      solve_kp_bb_into(inst, candidates, scratch.kp, scratch.kp_sol);
+      if (candidates_canonical) {
+        solve_kp_bb_sorted_into(inst, candidates, scratch.kp,
+                                scratch.kp_sol);
+      } else {
+        solve_kp_bb_into(inst, candidates, scratch.kp, scratch.kp_sol);
+      }
       out.fetch.assign(scratch.kp_sol.items.begin(),
                        scratch.kp_sol.items.end());
       out.predicted_g = scratch.kp_sol.value;
@@ -228,7 +288,13 @@ void PrefetchEngine::select_into(InstanceView inst,
       SkpOptions opts;
       opts.delta_rule = config_.delta_rule;
       opts.max_nodes = config_.max_solver_nodes;
-      solve_skp_into(inst, candidates, opts, scratch.skp, scratch.skp_sol);
+      if (candidates_canonical) {
+        solve_skp_sorted_into(inst, candidates, opts, scratch.skp,
+                              scratch.skp_sol, suffix_prob);
+      } else {
+        solve_skp_into(inst, candidates, opts, scratch.skp,
+                       scratch.skp_sol);
+      }
       out.fetch.assign(scratch.skp_sol.F.begin(), scratch.skp_sol.F.end());
       out.predicted_g = scratch.skp_sol.g;
       out.stretch = scratch.skp_sol.stretch;
@@ -257,6 +323,29 @@ PrefetchPlan PrefetchEngine::plan(InstanceView inst,
   return out;
 }
 
+void PrefetchEngine::plan_cached(InstanceView inst, const PlanMemo& memo,
+                                 PlanScratch& scratch, PrefetchPlan& out,
+                                 std::optional<ItemId> oracle_next) const {
+  // Empty-cache planning has no cache fingerprint; 0 stands in (the key
+  // space is per-PlanCache, and a cache-aware caller always has a
+  // non-degenerate fingerprint from its SlotCache/SizedCache). Only the
+  // plan tier applies: with no cache the selection IS the plan.
+  if (memo.plans != nullptr && memoizable_policy()) {
+    SKP_REQUIRE(memo.plans->config_digest() == digest_,
+                "PlanCache built for a different engine config");
+    if (const StoredPlan* stored = memo.plans->find(memo.state_key, 0)) {
+      copy_plan(*stored, out);
+      return;
+    }
+    plan(inst, scratch, out, oracle_next);
+    if (StoredPlan* slot = memo.plans->insert(memo.state_key, 0)) {
+      copy_plan(out, *slot);
+    }
+    return;
+  }
+  plan(inst, scratch, out, oracle_next);
+}
+
 void PrefetchEngine::plan_with_cache(
     InstanceView inst, const SlotCache& cache, const FreqTracker* freq,
     PlanScratch& scratch, PrefetchPlan& out,
@@ -278,6 +367,94 @@ void PrefetchEngine::plan_with_cache(
       },
       config_.min_profit_threshold, scratch.candidates, positive_hint);
   select_into(inst, scratch.candidates, oracle_next, scratch, out);
+  admit_slot_into(inst, cache, freq, scratch, out);
+}
+
+void PrefetchEngine::select_memoized(
+    InstanceView inst, const PlanMemo& memo,
+    std::optional<ItemId> oracle_next, PlanScratch& scratch,
+    PrefetchPlan& out, bool candidates_canonical,
+    std::span<const double> suffix_prob,
+    std::optional<std::uint64_t> candidates_fp) const {
+  if (memo.selections == nullptr || !memoizable_policy()) {
+    select_into(inst, scratch.candidates, oracle_next, scratch, out,
+                candidates_canonical, suffix_prob);
+    return;
+  }
+  SKP_REQUIRE(memo.selections->config_digest() == digest_,
+              "selection PlanCache built for a different engine config");
+  std::uint64_t fp = 0;
+  if (candidates_fp) {
+    fp = *candidates_fp;
+  } else {
+    for (const ItemId id : scratch.candidates) fp ^= zobrist_item_key(id);
+  }
+  if (const StoredPlan* stored = memo.selections->find(memo.state_key, fp)) {
+    copy_plan(*stored, out);
+    return;
+  }
+  select_into(inst, scratch.candidates, oracle_next, scratch, out,
+              candidates_canonical, suffix_prob);
+  if (StoredPlan* slot = memo.selections->insert(memo.state_key, fp)) {
+    copy_plan(out, *slot);
+  }
+}
+
+void PrefetchEngine::plan_with_cache_cached(
+    InstanceView inst, const SlotCache& cache, const FreqTracker* freq,
+    const PlanMemo& memo, PlanScratch& scratch, PrefetchPlan& out,
+    std::optional<ItemId> oracle_next,
+    std::span<const ItemId> positive_hint) const {
+  inst.validate_shape();
+  const std::span<const char> present = cache.presence();
+  SKP_REQUIRE(inst.n() == present.size(),
+              "catalog of " << inst.n() << " items vs cache catalog of "
+                            << present.size());
+  const bool memoized = memo.plans != nullptr && memoizable_policy();
+  if (memoized) {
+    SKP_REQUIRE(memo.plans->config_digest() == digest_,
+                "PlanCache built for a different engine config");
+    if (const StoredPlan* stored =
+            memo.plans->find(memo.state_key, cache.fingerprint())) {
+      copy_plan(*stored, out);
+      return;
+    }
+  }
+  bool canonical = false;
+  std::span<const double> suffix;
+  std::optional<std::uint64_t> candidates_fp;
+  if (memo.canon != nullptr && !positive_hint.empty()) {
+    canonical = true;
+    candidates_fp = filter_canonical_candidates(
+        inst, memo.canon->row(memo.state_key, inst, positive_hint),
+        [present](ItemId id) {
+          return present[static_cast<std::size_t>(id)] != 0;
+        },
+        config_.min_profit_threshold, scratch.candidates, suffix);
+  } else {
+    viable_candidates_into(
+        inst,
+        [present](ItemId id) {
+          return present[static_cast<std::size_t>(id)] != 0;
+        },
+        config_.min_profit_threshold, scratch.candidates, positive_hint);
+  }
+  select_memoized(inst, memo, oracle_next, scratch, out, canonical, suffix,
+                  candidates_fp);
+  admit_slot_into(inst, cache, freq, scratch, out);
+  if (memoized) {
+    if (StoredPlan* slot =
+            memo.plans->insert(memo.state_key, cache.fingerprint())) {
+      copy_plan(out, *slot);
+    }
+  }
+}
+
+void PrefetchEngine::admit_slot_into(InstanceView inst,
+                                     const SlotCache& cache,
+                                     const FreqTracker* freq,
+                                     PlanScratch& scratch,
+                                     PrefetchPlan& out) const {
   if (out.fetch.empty()) {
     out.clear();  // an empty proposal reports no solver stats (pre-refactor
                   // behaviour, kept for bit-identical metrics)
@@ -288,8 +465,21 @@ void PrefetchEngine::plan_with_cache(
   // minimal-Pr victim that Pr-arbitration lets it displace. Free slots are
   // uncontested. The Perfect oracle bypasses the admission test (it knows
   // its item is the next access) but still evicts the minimal-Pr victim.
+  //
+  // Victim extraction: the eviction order is ascending (Pr, sub, id) with
+  // Pr = P_d r_d == 0 exactly when P_d == 0 (r is positive). Without
+  // sub-arbitration that order is "cached items with P == 0 by ascending
+  // id, then positive-Pr items by rank" — the zero-Pr group falls
+  // straight out of the cache's id-sorted index, so the common case
+  // (sparse P rows, few victims) never builds the O(|C|) ranking; only
+  // the positive-Pr tail ranks, and only if reached. LFU/DS tie-breaks
+  // depend on frequencies, so sub-arbitration keeps the full ranking.
   profit_order_into(inst, out.fetch, scratch.by_profit);
-  bool ranked_built = false;  // rank lazily: uncontested rounds skip it
+  const bool fast_victims =
+      config_.arbitration.sub == SubArbitration::None;
+  const std::span<const ItemId> sorted = cache.sorted_contents();
+  std::size_t zero_cursor = 0;  // cursor over the id-sorted cached items
+  bool ranked_built = false;    // rank lazily: uncontested rounds skip it
   std::size_t next_victim = 0;
   std::size_t free_slots = cache.capacity() - cache.size();
   scratch.begin_epoch(inst.n());  // marks = committed membership
@@ -300,25 +490,55 @@ void PrefetchEngine::plan_with_cache(
       scratch.set_mark(f);
       continue;
     }
-    if (!ranked_built) {
-      rank_victims(inst, cache.contents(), freq, config_.arbitration,
-                   scratch.ranked);
-      ranked_built = true;
+    double victim_pr = 0.0;
+    ItemId victim_id = kNoItem;
+    if (fast_victims) {
+      while (zero_cursor < sorted.size() &&
+             inst.P[static_cast<std::size_t>(sorted[zero_cursor])] != 0.0) {
+        ++zero_cursor;
+      }
+      if (zero_cursor < sorted.size()) {
+        victim_id = sorted[zero_cursor++];  // Pr == 0, minimal id first
+      }
     }
-    if (next_victim >= scratch.ranked.size()) break;  // nothing to displace
-    const PlanScratch::VictimRank& vr =
-        extract_victim(scratch.ranked, next_victim);
+    if (victim_id == kNoItem) {
+      if (!ranked_built) {
+        if (fast_victims) {
+          // Zero-Pr pool exhausted: rank the remaining (positive-Pr)
+          // cached items. Every zero-Pr item was already consumed, so
+          // restricting the ranking to P > 0 reproduces the tail of the
+          // full ranking exactly.
+          scratch.ranked.clear();
+          for (const ItemId c : sorted) {
+            const auto ci = static_cast<std::size_t>(c);
+            if (inst.P[ci] == 0.0) continue;
+            scratch.ranked.push_back({inst.P[ci] * inst.r[ci], 0.0, c});
+          }
+        } else {
+          rank_victims(inst, cache.contents(), freq, config_.arbitration,
+                       scratch.ranked);
+        }
+        ranked_built = true;
+      }
+      if (next_victim >= scratch.ranked.size()) break;  // nothing to
+                                                        // displace
+      const PlanScratch::VictimRank& vr =
+          extract_victim(scratch.ranked, next_victim);
+      ++next_victim;
+      victim_pr = vr.pr;
+      victim_id = vr.id;
+    }
     if (config_.policy != PrefetchPolicy::Perfect) {
       // Pr-arbitration admission test (admits_prefetch, inlined on the
       // ranked Pr value).
       const double pf = inst.profit(f);
-      const bool admit =
-          config_.arbitration.strict_ties ? (pf > vr.pr) : (pf >= vr.pr);
+      const bool admit = config_.arbitration.strict_ties
+                             ? (pf > victim_pr)
+                             : (pf >= victim_pr);
       if (!admit) break;  // Figure 6 stops at the first rejected candidate
     }
     scratch.set_mark(f);
-    scratch.victim_of.emplace_back(f, vr.id);
-    ++next_victim;
+    scratch.victim_of.emplace_back(f, victim_id);
   }
 
   emit_committed(scratch, out);
@@ -329,7 +549,9 @@ void PrefetchEngine::plan_with_cache(
   }
   out.stretch = stretch_time(inst, out.fetch);
   out.predicted_g =
-      predicted_g_cached(inst, out, cache.contents(), scratch);
+      config_.evaluate_plan_g
+          ? predicted_g_cached(inst, out, cache.contents(), scratch)
+          : 0.0;
 }
 
 PrefetchPlan PrefetchEngine::plan_with_cache(
@@ -359,6 +581,63 @@ void PrefetchEngine::plan_with_sized_cache(
       },
       config_.min_profit_threshold, scratch.candidates);
   select_into(inst, scratch.candidates, oracle_next, scratch, out);
+  admit_sized_into(inst, cache, freq, scratch, out);
+}
+
+void PrefetchEngine::plan_with_sized_cache_cached(
+    InstanceView inst, const SizedCache& cache, const FreqTracker* freq,
+    const PlanMemo& memo, PlanScratch& scratch, PrefetchPlan& out,
+    std::optional<ItemId> oracle_next,
+    std::span<const ItemId> positive_hint) const {
+  inst.validate_shape();
+  SKP_REQUIRE(inst.n() == cache.catalog_size(),
+              "catalog of " << inst.n() << " items vs cache catalog of "
+                            << cache.catalog_size());
+  const bool memoized = memo.plans != nullptr && memoizable_policy();
+  if (memoized) {
+    SKP_REQUIRE(memo.plans->config_digest() == digest_,
+                "PlanCache built for a different engine config");
+    if (const StoredPlan* stored =
+            memo.plans->find(memo.state_key, cache.fingerprint())) {
+      copy_plan(*stored, out);
+      return;
+    }
+  }
+  bool canonical = false;
+  std::span<const double> suffix;
+  std::optional<std::uint64_t> candidates_fp;
+  if (memo.canon != nullptr && !positive_hint.empty()) {
+    canonical = true;
+    candidates_fp = filter_canonical_candidates(
+        inst, memo.canon->row(memo.state_key, inst, positive_hint),
+        [&cache](ItemId id) {
+          return cache.contains(id) || !cache.cacheable(id);
+        },
+        config_.min_profit_threshold, scratch.candidates, suffix);
+  } else {
+    viable_candidates_into(
+        inst,
+        [&cache](ItemId id) {
+          return cache.contains(id) || !cache.cacheable(id);
+        },
+        config_.min_profit_threshold, scratch.candidates, positive_hint);
+  }
+  select_memoized(inst, memo, oracle_next, scratch, out, canonical, suffix,
+                  candidates_fp);
+  admit_sized_into(inst, cache, freq, scratch, out);
+  if (memoized) {
+    if (StoredPlan* slot =
+            memo.plans->insert(memo.state_key, cache.fingerprint())) {
+      copy_plan(out, *slot);
+    }
+  }
+}
+
+void PrefetchEngine::admit_sized_into(InstanceView inst,
+                                      const SizedCache& cache,
+                                      const FreqTracker* freq,
+                                      PlanScratch& scratch,
+                                      PrefetchPlan& out) const {
   if (out.fetch.empty()) {
     out.clear();
     return;
@@ -416,7 +695,9 @@ void PrefetchEngine::plan_with_sized_cache(
   }
   out.stretch = stretch_time(inst, out.fetch);
   out.predicted_g =
-      predicted_g_cached(inst, out, cache.contents(), scratch);
+      config_.evaluate_plan_g
+          ? predicted_g_cached(inst, out, cache.contents(), scratch)
+          : 0.0;
 }
 
 PrefetchPlan PrefetchEngine::plan_with_sized_cache(

@@ -16,11 +16,15 @@
 // P_f r_f order against minimal-Pr victims (Pr-arbitration), optionally
 // tie-breaking victims by LFU or delay-saving profit (sub-arbitration).
 //
-// Each planner comes in two forms: a convenience overload returning a
-// fresh PrefetchPlan, and an allocation-free overload taking a PlanScratch
-// (every working buffer) plus an output plan to refill. The two are
-// bit-identical; sim hot loops use the scratch form so paper-scale sweeps
-// (25M planning rounds for Figure 7) never touch the allocator.
+// Each planner comes in three forms: a convenience overload returning a
+// fresh PrefetchPlan, an allocation-free overload taking a PlanScratch
+// (every working buffer) plus an output plan to refill, and a *_cached
+// overload that additionally consults a PlanMemo (core/plan_cache.hpp)
+// for cross-request memoization and per-state canonical solve orders.
+// All three are bit-identical; sim hot loops use the memoized scratch
+// form so paper-scale sweeps (25M planning rounds for Figure 7) never
+// touch the allocator and never re-solve a recurring (state, cache)
+// pair.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +36,7 @@
 #include "cache/freq_tracker.hpp"
 #include "cache/sized_cache.hpp"
 #include "core/arbitration.hpp"
+#include "core/plan_cache.hpp"
 #include "core/plan_scratch.hpp"
 #include "core/skp_solver.hpp"
 
@@ -52,30 +57,36 @@ struct EngineConfig {
   double min_profit_threshold = 0.0;
   // Node budget forwarded to the SKP search (0 = unlimited).
   std::uint64_t max_solver_nodes = 0;
+  // Evaluate the cache-aware plan's Eq.-(9) improvement into
+  // PrefetchPlan::predicted_g (an O(|cache|) diagnostic per planning
+  // round that no decision in the pipeline consumes — Figure 6 commits
+  // on local Pr-arbitration tests). Monte-Carlo hot loops turn it off;
+  // with false, predicted_g is reported as 0 on cache-aware plans.
+  bool evaluate_plan_g = true;
 };
 
-struct PrefetchPlan {
-  // Items to fetch, in fetch order (the last element may stretch).
-  PrefetchList fetch;
-  // Victims to evict, aligned with `fetch` (evict[k] makes room for
-  // fetch[k]). Empty when the cache has free slots or is absent.
-  std::vector<ItemId> evict;
-  // Predicted access improvement of the plan (solver's objective; for SKP
-  // with ExactComplement this is Eq. 3 / Eq. 9 consistent).
-  double predicted_g = 0.0;
-  double stretch = 0.0;
-  // Solver statistics (SKP/KP searches).
-  std::uint64_t solver_nodes = 0;
-
+// A prefetch plan: exactly the memoized payload fields (see
+// core/plan_cache.hpp's StoredPlan for the field semantics — fetch
+// order, evictions, the Eq.-9 diagnostic, solver stats). Deriving from
+// the stored form keeps the plan cache structurally in sync with the
+// plan type by construction.
+struct PrefetchPlan : StoredPlan {
   // Resets to the empty plan, keeping vector capacities (hot-path reuse).
   void clear();
 };
 
+// 64-bit digest of every EngineConfig field that influences planning.
+// A PlanCache is pinned to the digest of the engine that fills it; the
+// *_cached planners refuse to consult a cache built for another config.
+std::uint64_t engine_config_digest(const EngineConfig& config);
+
 class PrefetchEngine {
  public:
-  explicit PrefetchEngine(EngineConfig config) : config_(config) {}
+  explicit PrefetchEngine(EngineConfig config)
+      : config_(config), digest_(engine_config_digest(config)) {}
 
   const EngineConfig& config() const noexcept { return config_; }
+  std::uint64_t config_digest() const noexcept { return digest_; }
 
   // Empty-cache planning (Section 3): selects F from the full catalog.
   // `oracle_next` feeds the Perfect policy and is ignored otherwise.
@@ -122,14 +133,92 @@ class PrefetchEngine {
                              std::optional<ItemId> oracle_next
                              = std::nullopt) const;
 
+  // ---- Memoized planning (core/plan_cache.hpp) --------------------------
+  // Each *_cached overload consults memo.plans (completed plans, keyed by
+  // state + cache fingerprint) before running the pipeline above — a hit
+  // copies the stored plan into `out` and solves nothing. On a plan-tier
+  // miss, memo.selections (keyed by state + candidate-set fingerprint)
+  // can still replay the solver stage, so only the cheap Figure-6
+  // admission runs; the selection tier is deliberately blind to the full
+  // cache set and to LFU/DS frequencies, which the solve does not read.
+  // When memo.canon is set (and, for the cache-aware planners, a
+  // positive hint identifies the support) even a full miss skips the
+  // per-solve Eq.-5 sort by filtering the precomputed per-state
+  // canonical order against the cache. With a default PlanMemo these are
+  // exactly the scratch overloads above. Results are bit-identical
+  // either way.
+  //
+  // Memoization requires the stored value to be a pure function of its
+  // key: the caller must bump memo.plans' generation whenever planning
+  // context outside (state_key, cache contents) changes — a learned
+  // predictor observing, or (under LFU/DS sub-arbitration) a frequency
+  // being recorded — and memo.selections' whenever (P, r, v) for a
+  // state_key changes (predictor observation only; frequencies never
+  // reach the solver). None-policy plans are trivially empty and
+  // Perfect-policy plans depend on the oracle item, so both bypass
+  // memoization entirely (consulting it would cost more than planning).
+  void plan_cached(InstanceView inst, const PlanMemo& memo,
+                   PlanScratch& scratch, PrefetchPlan& out,
+                   std::optional<ItemId> oracle_next = std::nullopt) const;
+  void plan_with_cache_cached(InstanceView inst, const SlotCache& cache,
+                              const FreqTracker* freq, const PlanMemo& memo,
+                              PlanScratch& scratch, PrefetchPlan& out,
+                              std::optional<ItemId> oracle_next
+                              = std::nullopt,
+                              std::span<const ItemId> positive_hint
+                              = {}) const;
+  void plan_with_sized_cache_cached(InstanceView inst,
+                                    const SizedCache& cache,
+                                    const FreqTracker* freq,
+                                    const PlanMemo& memo,
+                                    PlanScratch& scratch, PrefetchPlan& out,
+                                    std::optional<ItemId> oracle_next
+                                    = std::nullopt,
+                                    std::span<const ItemId> positive_hint
+                                    = {}) const;
+
  private:
   // Runs the configured selector over `candidates`, refilling `out` with
-  // the ordered F (solver buffers from `scratch`).
+  // the ordered F (solver buffers from `scratch`). `candidates_canonical`
+  // promises the candidates are already in canonical (Eq. 5) order, so
+  // the solvers skip their sort; `suffix_prob`, when non-empty, is the
+  // matching precomputed Figure-3 tail-sum row.
   void select_into(InstanceView inst, std::span<const ItemId> candidates,
                    std::optional<ItemId> oracle_next, PlanScratch& scratch,
-                   PrefetchPlan& out) const;
+                   PrefetchPlan& out, bool candidates_canonical = false,
+                   std::span<const double> suffix_prob = {}) const;
+
+  // Selector stage over the staged candidates, replaying memo.selections
+  // when it can (see the *_cached contract above). `candidates_fp`, when
+  // engaged, is the caller-precomputed Zobrist XOR of scratch.candidates
+  // (e.g. derived from a CanonicalOrderTable row); otherwise it is
+  // computed here.
+  void select_memoized(InstanceView inst, const PlanMemo& memo,
+                       std::optional<ItemId> oracle_next,
+                       PlanScratch& scratch, PrefetchPlan& out,
+                       bool candidates_canonical,
+                       std::span<const double> suffix_prob,
+                       std::optional<std::uint64_t> candidates_fp
+                       = std::nullopt) const;
+
+  // The Figure-6 admission pipelines, consuming the selector's proposal
+  // in `out` (select_into / select_memoized must have run).
+  void admit_slot_into(InstanceView inst, const SlotCache& cache,
+                       const FreqTracker* freq, PlanScratch& scratch,
+                       PrefetchPlan& out) const;
+  void admit_sized_into(InstanceView inst, const SizedCache& cache,
+                        const FreqTracker* freq, PlanScratch& scratch,
+                        PrefetchPlan& out) const;
+
+  // True when memoization applies under the current policy (None plans
+  // trivially, Perfect depends on the oracle item).
+  bool memoizable_policy() const noexcept {
+    return config_.policy != PrefetchPolicy::None &&
+           config_.policy != PrefetchPolicy::Perfect;
+  }
 
   EngineConfig config_;
+  std::uint64_t digest_;
 };
 
 }  // namespace skp

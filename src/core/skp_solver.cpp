@@ -18,17 +18,29 @@ namespace {
 // is borrowed from an SkpWorkspace so repeated solves never allocate.
 class SkpSearch {
  public:
+  // `suffix_prob`, when non-empty, is a caller-precomputed Figure-3 tail
+  // sum over `order` (size m + 1, trailing 0 sentinel — e.g. a
+  // CanonicalOrderTable row) and is borrowed instead of rebuilt. It is
+  // only consulted by the PaperTail delta rule, so with ExactComplement
+  // and no precomputed span the setup is skipped entirely.
   SkpSearch(InstanceView inst, std::span<const ItemId> order,
-            const SkpOptions& opts, SkpWorkspace& ws, SkpSolution& sol)
+            const SkpOptions& opts, SkpWorkspace& ws, SkpSolution& sol,
+            std::span<const double> suffix_prob)
       : inst_(inst), order_(order), opts_(opts), ws_(ws), sol_(sol) {
     const std::size_t m = order_.size();
-    // suffix_prob[j] = sum of P over order_[j..m-1]  (Figure 3's tail sum;
-    // the P_{n+1} = 0 sentinel is the final 0 entry).
-    ws_.suffix_prob.assign(m + 1, 0.0);
-    for (std::size_t j = m; j-- > 0;) {
-      ws_.suffix_prob[j] =
-          ws_.suffix_prob[j + 1] +
-          inst_.P[static_cast<std::size_t>(order_[j])];
+    if (!suffix_prob.empty()) {
+      SKP_ASSERT(suffix_prob.size() == m + 1);
+      suffix_ = suffix_prob;
+    } else if (opts_.delta_rule == DeltaRule::PaperTail) {
+      // suffix_prob[j] = sum of P over order_[j..m-1]  (Figure 3's tail
+      // sum; the P_{n+1} = 0 sentinel is the final 0 entry).
+      ws_.suffix_prob.assign(m + 1, 0.0);
+      for (std::size_t j = m; j-- > 0;) {
+        ws_.suffix_prob[j] =
+            ws_.suffix_prob[j + 1] +
+            inst_.P[static_cast<std::size_t>(order_[j])];
+      }
+      suffix_ = ws_.suffix_prob;
     }
     ws_.selected.assign(m, 0);
     ws_.best_selected.assign(m, 0);
@@ -129,7 +141,7 @@ class SkpSearch {
   double penalty_mass(std::size_t j, double prob_selected) const {
     switch (opts_.delta_rule) {
       case DeltaRule::PaperTail:
-        return ws_.suffix_prob[j];
+        return suffix_[j];
       case DeltaRule::ExactComplement:
         return opts_.total_prob_mass - prob_selected;
     }
@@ -149,6 +161,7 @@ class SkpSearch {
   SkpOptions opts_;
   SkpWorkspace& ws_;
   SkpSolution& sol_;
+  std::span<const double> suffix_;  // PaperTail tail sums (may be empty)
   double best_g_ = 0.0;
 };
 
@@ -167,11 +180,18 @@ void SkpSolution::clear() {
 void solve_skp_into(InstanceView inst, std::span<const ItemId> candidates,
                     const SkpOptions& opts, SkpWorkspace& ws,
                     SkpSolution& sol) {
+  canonical_order_into(inst, candidates, ws.order_keys, ws.order);
+  solve_skp_sorted_into(inst, ws.order, opts, ws, sol);
+}
+
+void solve_skp_sorted_into(InstanceView inst, std::span<const ItemId> order,
+                           const SkpOptions& opts, SkpWorkspace& ws,
+                           SkpSolution& sol,
+                           std::span<const double> suffix_prob) {
   SKP_REQUIRE(opts.total_prob_mass > 0.0,
               "total_prob_mass = " << opts.total_prob_mass);
   sol.clear();
-  canonical_order_into(inst, candidates, ws.order_keys, ws.order);
-  SkpSearch search(inst, ws.order, opts, ws, sol);
+  SkpSearch search(inst, order, opts, ws, sol, suffix_prob);
   search.run();
 }
 

@@ -98,6 +98,18 @@ void solve_skp_into(InstanceView inst, std::span<const ItemId> candidates,
                     const SkpOptions& opts, SkpWorkspace& ws,
                     SkpSolution& sol);
 
+// Presorted solve: `order` must already be the canonical (Eq. 5) order
+// of the candidate set — e.g. a precomputed CanonicalOrderTable row
+// filtered against the cache — so the per-solve sort is skipped.
+// `suffix_prob`, when non-empty, must hold the Figure-3 tail sums over
+// `order` (size order.size() + 1, trailing 0 sentinel) and is borrowed
+// instead of rebuilt; it is only consulted by DeltaRule::PaperTail.
+// Bit-identical to solve_skp_into over the same candidate set.
+void solve_skp_sorted_into(InstanceView inst, std::span<const ItemId> order,
+                           const SkpOptions& opts, SkpWorkspace& ws,
+                           SkpSolution& sol,
+                           std::span<const double> suffix_prob = {});
+
 // The root upper bound U_g* of Eq. (7): Dantzig bound of the LP relaxation
 // (Theorem 2). Every feasible g*(F) is <= this value.
 double skp_upper_bound(InstanceView inst);

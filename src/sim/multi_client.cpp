@@ -29,6 +29,10 @@ struct Client {
   // but each keeps its own scratch so cycles never allocate).
   PlanScratch scratch;
   PrefetchPlan plan;
+  // Per-client memoization: chains (and so states/orders) are private.
+  std::optional<PlanCache> plans;
+  std::optional<PlanCache> selections;
+  std::optional<CanonicalOrderTable> canon;
 };
 
 }  // namespace
@@ -52,7 +56,19 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
     cl.walk = build.split(1000 + c);
     cl.completion.assign(n, 0.0);
     cl.unused_prefetch.assign(n, 0);
+    if (cfg.use_plan_cache) {
+      cl.plans.emplace(engine.config_digest(), cfg.plan_cache_capacity,
+                       /*doorkeeper=*/true);
+      cl.selections.emplace(engine.config_digest(),
+                            cfg.plan_cache_capacity);
+      cl.canon.emplace(n);
+    }
   }
+  // Oracle rows are static, so completed plans depend on evolving context
+  // only through LFU/DS victim scores (see the generation bump below);
+  // solver selections never do.
+  const bool volatile_plans =
+      cfg.engine.arbitration.sub != SubArbitration::None;
 
   EventQueue clock;
   double link_free_at = 0.0;
@@ -82,8 +98,16 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
     std::optional<ItemId> oracle;
     if (cfg.engine.policy == PrefetchPolicy::Perfect) oracle = next;
 
-    engine.plan_with_cache(inst, *cl.cache, cl.freq.get(), cl.scratch,
-                           cl.plan, oracle);
+    PlanMemo memo;
+    if (cl.plans) {
+      memo.plans = &*cl.plans;
+      memo.selections = &*cl.selections;
+      memo.canon = &*cl.canon;
+      memo.state_key = cl.state;
+    }
+    engine.plan_with_cache_cached(inst, *cl.cache, cl.freq.get(), memo,
+                                  cl.scratch, cl.plan, oracle,
+                                  cl.chain->successors(cl.state));
     const PrefetchPlan& plan = cl.plan;
     std::size_t victim_idx = 0;
     for (const ItemId f : plan.fetch) {
@@ -136,6 +160,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         T = finish - t_req;
       }
       me.freq->record(next);
+      if (me.plans && volatile_plans) me.plans->bump_generation();
       me.unused_prefetch[Instance::idx(next)] = 0;
       me.metrics.access_time.add(T);
       ++me.metrics.requests;
@@ -157,6 +182,10 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   for (auto& cl : clients) {
     result.per_client.push_back(cl.metrics);
     result.aggregate.merge(cl.metrics);
+    if (cl.plans) {
+      result.plan_cache.plans.merge(cl.plans->stats());
+      result.plan_cache.selections.merge(cl.selections->stats());
+    }
   }
   return result;
 }

@@ -36,11 +36,17 @@ struct MultiClientConfig {
   EngineConfig engine;
   std::size_t requests_per_client = 2'000;
   std::uint64_t seed = 1;
+  // Per-client plan memoization (core/plan_cache.hpp): each client owns
+  // its PlanCache + CanonicalOrderTable (chains are per-client), so the
+  // single-threaded DES stays deterministic. Bit-identical on or off.
+  bool use_plan_cache = true;
+  std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };
 
 struct MultiClientResult {
   SimMetrics aggregate;                  // across all clients
   std::vector<SimMetrics> per_client;
+  PlanMemoStats plan_cache;              // merged across clients
   double makespan = 0.0;                 // time when the last client ended
   double link_busy_time = 0.0;
   double link_utilization() const {

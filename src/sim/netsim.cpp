@@ -30,6 +30,13 @@ ClientSession::ClientSession(ServerCatalog catalog, NetConfig net,
     SKP_REQUIRE(catalog_.sizes[i] > 0.0, "size[" << i << "] must be > 0");
   }
   completion_.assign(catalog_.n(), 0.0);
+  r_ = catalog_.retrieval_times(net_);
+}
+
+void ClientSession::enable_plan_cache(std::size_t capacity) {
+  plan_cache_.emplace(engine_.config_digest(), capacity,
+                      /*doorkeeper=*/true);
+  selection_cache_.emplace(engine_.config_digest(), capacity);
 }
 
 double ClientSession::link_utilization() const {
@@ -55,7 +62,8 @@ double ClientSession::enqueue_transfer(ItemId item, bool is_prefetch) {
 
 double ClientSession::request(ItemId item, double viewing_time,
                               std::span<const double> next_probs,
-                              std::optional<ItemId> oracle_next) {
+                              std::optional<ItemId> oracle_next,
+                              std::optional<std::uint64_t> context_key) {
   SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < catalog_.n(),
               "item out of range");
   SKP_REQUIRE(viewing_time >= 0.0, "negative viewing time");
@@ -63,16 +71,22 @@ double ClientSession::request(ItemId item, double viewing_time,
               "probability vector size mismatch");
 
   const double t0 = clock_.now();
-  Instance inst;
-  inst.P.assign(next_probs.begin(), next_probs.end());
-  inst.r = catalog_.retrieval_times(net_);
-  inst.v = viewing_time;
+  P_.assign(next_probs.begin(), next_probs.end());
+  const InstanceView inst(P_, r_, viewing_time);
+  inst.validate();
 
   // Plan and commit prefetches (slots are reserved at enqueue time so the
   // planner never double-fetches an in-flight item; a request for such an
   // item waits for its completion).
-  const PrefetchPlan plan =
-      engine_.plan_with_cache(inst, cache_, &freq_, oracle_next);
+  PlanMemo memo;
+  if (plan_cache_ && context_key) {
+    memo.plans = &*plan_cache_;
+    memo.selections = &*selection_cache_;
+    memo.state_key = *context_key;
+  }
+  engine_.plan_with_cache_cached(inst, cache_, &freq_, memo, scratch_,
+                                 plan_, oracle_next);
+  const PrefetchPlan& plan = plan_;
   metrics_.solver_nodes += plan.solver_nodes;
   {
     std::size_t victim_idx = 0;
@@ -145,6 +159,12 @@ double ClientSession::request(ItemId item, double viewing_time,
   clock_.run_until(t_req + T);
 
   freq_.record(item);
+  // Under LFU/DS sub-arbitration the record above changes victim scores,
+  // invalidating every stored plan that consulted them.
+  if (plan_cache_ &&
+      engine_.config().arbitration.sub != SubArbitration::None) {
+    plan_cache_->bump_generation();
+  }
   unused_prefetch_[Instance::idx(item)] = 0;
   metrics_.access_time.add(T);
   ++metrics_.requests;

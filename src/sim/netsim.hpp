@@ -60,11 +60,35 @@ class ClientSession {
   ClientSession(ServerCatalog catalog, NetConfig net, EngineConfig engine,
                 std::size_t cache_capacity);
 
+  // Opts this session into cross-request plan memoization
+  // (core/plan_cache.hpp). Cycles then planning under a `context_key`
+  // replay stored plans when the same (key, cache contents) pair recurs;
+  // the session bumps the generation itself whenever its frequency
+  // tracker invalidates LFU/DS-dependent plans. Results are bit-identical
+  // with or without (the memo key only ever stands in for identical
+  // planning inputs).
+  void enable_plan_cache(std::size_t capacity = PlanCache::kDefaultCapacity);
+  bool plan_cache_enabled() const noexcept { return plan_cache_.has_value(); }
+  // Both tiers' counters (zeros when the plan cache is disabled).
+  PlanMemoStats plan_cache_stats() const noexcept {
+    PlanMemoStats stats;
+    if (plan_cache_) {
+      stats.plans = plan_cache_->stats();
+      stats.selections = selection_cache_->stats();
+    }
+    return stats;
+  }
+
   // Runs one cycle: think for `viewing_time` (prefetching meanwhile), then
   // request `item`. Returns the access time the user experienced.
+  // `context_key`, when engaged and the plan cache is enabled, keys plan
+  // memoization: the caller promises it uniquely determines
+  // (next_probs, viewing_time) for the session's lifetime — e.g. a Markov
+  // state id. Pass std::nullopt (the default) to plan unmemoized.
   double request(ItemId item, double viewing_time,
                  std::span<const double> next_probs,
-                 std::optional<ItemId> oracle_next = std::nullopt);
+                 std::optional<ItemId> oracle_next = std::nullopt,
+                 std::optional<std::uint64_t> context_key = std::nullopt);
 
   const SimMetrics& metrics() const noexcept { return metrics_; }
   const SlotCache& cache() const noexcept { return cache_; }
@@ -96,6 +120,15 @@ class ClientSession {
   std::vector<Transfer> in_flight_;  // committed, not yet completed
   std::vector<char> unused_prefetch_;
   std::vector<double> completion_;   // per-item transfer completion time
+  // Per-cycle planning state, reused so request() never allocates after
+  // the first cycle: the retrieval-time catalog is fixed by (catalog,
+  // net), P is refilled from the caller's next_probs.
+  std::vector<double> r_;
+  std::vector<double> P_;
+  PlanScratch scratch_;
+  PrefetchPlan plan_;
+  std::optional<PlanCache> plan_cache_;
+  std::optional<PlanCache> selection_cache_;
 };
 
 }  // namespace skp

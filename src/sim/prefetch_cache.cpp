@@ -55,6 +55,9 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
   ecfg.arbitration.sub = cfg.sub;
   ecfg.arbitration.strict_ties = cfg.strict_ties;
   ecfg.min_profit_threshold = cfg.min_profit_threshold;
+  // Monte-Carlo hot loop: skip the per-round Eq.-(9) diagnostic no
+  // counter consumes.
+  ecfg.evaluate_plan_g = false;
   const PrefetchEngine engine(ecfg);
 
   SlotCache cache(n, cfg.cache_size);
@@ -70,6 +73,34 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
   // recycle every planning buffer across the cfg.requests iterations.
   PlanScratch scratch;
   PrefetchPlan plan;
+
+  // Cross-request memoization, two tiers (core/plan_cache.hpp): completed
+  // plans keyed by (state, cache set), solver selections keyed by
+  // (state, candidate set) — the latter hits constantly even while the
+  // cache churns, and is valid under LFU/DS (the solve never reads
+  // frequencies). The canonical-order table additionally requires P to be
+  // the raw transition row (lookahead blends widen the support), so it is
+  // oracle-mode-only. Context the keys cannot see is handled by
+  // generation bumps below, which degrade the affected tier to a
+  // correctness-preserving no-op.
+  std::optional<PlanCache> plans;
+  std::optional<PlanCache> selections;
+  std::optional<CanonicalOrderTable> canon;
+  if (cfg.use_plan_cache) {
+    plans.emplace(engine.config_digest(), cfg.plan_cache_capacity,
+                  /*doorkeeper=*/true);
+    // Selections depend only on the per-state probability row, which a
+    // learned predictor rewrites every observation — the tier could then
+    // never hit, so it is not consulted at all in predictor mode.
+    if (!predictor) {
+      selections.emplace(engine.config_digest(), cfg.plan_cache_capacity);
+    }
+    if (!predictor && cfg.lookahead_horizon <= 1) canon.emplace(n);
+  }
+  // Plans additionally depend on frequency state under LFU/DS
+  // sub-arbitration and on the predictor's evolving row.
+  const bool volatile_plans =
+      predictor != nullptr || cfg.sub != SubArbitration::None;
 
   PrefetchCacheResult result;
   auto& m = result.metrics;
@@ -106,15 +137,24 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
     std::optional<ItemId> oracle;
     if (cfg.policy == PrefetchPolicy::Perfect) oracle = next;
 
-    // Plan against the current cache.
-    engine.plan_with_cache(inst, cache, &freq, scratch, plan, oracle,
-                           positive_hint);
+    // Plan against the current cache (memoized when configured; a
+    // default PlanMemo makes this exactly plan_with_cache).
+    PlanMemo memo;
+    if (plans) {
+      memo.plans = &*plans;
+      memo.selections = selections ? &*selections : nullptr;
+      memo.canon = canon ? &*canon : nullptr;
+      memo.state_key = state;
+    }
+    engine.plan_with_cache_cached(inst, cache, &freq, memo, scratch, plan,
+                                  oracle, positive_hint);
 
     // Realized access time (Section 5 cases) against the pre-plan cache:
     // computed before the plan mutates the cache, which is exactly the
-    // "cache before" snapshot the model asks for — no copy needed.
+    // "cache before" snapshot the model asks for — no copy needed, and
+    // membership via the presence bitmap instead of a contents scan.
     const double T = realized_access_time_cached(
-        inst, plan.fetch, plan.evict, cache.contents(), next);
+        inst, plan.fetch, plan.evict, cache.presence(), next);
 
     // Execute the prefetch.
     {
@@ -151,6 +191,11 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
     // Serve the request: record frequency, learn, demand-fetch on miss.
     freq.record(next);
     if (predictor) predictor->observe(next);
+    // The observation/record just invalidated every stored plan that
+    // depended on predictor or frequency state; retire the tier before
+    // the next lookup (selections are simply not consulted in predictor
+    // mode, see above).
+    if (plans && volatile_plans) plans->bump_generation();
     unused_prefetch[InstanceView::idx(next)] = 0;
 
     if (!cache.contains(next)) {
@@ -182,6 +227,10 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
     }
 
     state = static_cast<std::size_t>(next);
+  }
+  if (plans) {
+    result.plan_cache.plans = plans->stats();
+    if (selections) result.plan_cache.selections = selections->stats();
   }
   return result;
 }
@@ -217,6 +266,7 @@ PrefetchCacheResult run_prefetch_cache_sized(
   ecfg.delta_rule = cfg.delta_rule;
   ecfg.arbitration.sub = cfg.sub;
   ecfg.arbitration.strict_ties = cfg.strict_ties;
+  ecfg.evaluate_plan_g = false;  // as in the slot loop
   const PrefetchEngine engine(ecfg);
 
   SizedCache cache(sizes, cfg.capacity);
@@ -224,9 +274,21 @@ PrefetchCacheResult run_prefetch_cache_sized(
   std::vector<char> unused_prefetch(n, 0);
 
   // Allocation-free request loop: borrowed views + recycled buffers, as in
-  // the slot-cache loop above.
+  // the slot-cache loop above; memoization keyed by the SizedCache
+  // fingerprint (oracle rows, so the canonical table always applies —
+  // LFU/DS frequency context is generation-bumped as in the slot loop).
   PlanScratch scratch;
   PrefetchPlan plan;
+  std::optional<PlanCache> plans;
+  std::optional<PlanCache> selections;
+  std::optional<CanonicalOrderTable> canon;
+  if (cfg.use_plan_cache) {
+    plans.emplace(engine.config_digest(), cfg.plan_cache_capacity,
+                  /*doorkeeper=*/true);
+    selections.emplace(engine.config_digest(), cfg.plan_cache_capacity);
+    canon.emplace(n);
+  }
+  const bool volatile_plans = cfg.sub != SubArbitration::None;
 
   PrefetchCacheResult result;
   auto& m = result.metrics;
@@ -239,12 +301,21 @@ PrefetchCacheResult run_prefetch_cache_sized(
     std::optional<ItemId> oracle;
     if (cfg.policy == PrefetchPolicy::Perfect) oracle = next;
 
-    engine.plan_with_sized_cache(inst, cache, &freq, scratch, plan, oracle);
+    PlanMemo memo;
+    if (plans) {
+      memo.plans = &*plans;
+      memo.selections = &*selections;
+      memo.canon = &*canon;
+      memo.state_key = state;
+    }
+    engine.plan_with_sized_cache_cached(inst, cache, &freq, memo, scratch,
+                                        plan, oracle,
+                                        source.successors(state));
 
     // Realized access time against the pre-plan cache (computed before the
     // plan executes; see the slot loop).
     const double T = realized_access_time_cached(
-        inst, plan.fetch, plan.evict, cache.contents(), next);
+        inst, plan.fetch, plan.evict, cache.presence(), next);
 
     for (const ItemId d : plan.evict) {
       if (unused_prefetch[InstanceView::idx(d)]) {
@@ -271,6 +342,7 @@ PrefetchCacheResult run_prefetch_cache_sized(
     }
 
     freq.record(next);
+    if (plans && volatile_plans) plans->bump_generation();
     unused_prefetch[InstanceView::idx(next)] = 0;
     if (!cache.contains(next)) {
       if (counted) {
@@ -296,6 +368,10 @@ PrefetchCacheResult run_prefetch_cache_sized(
       // Items larger than the whole cache are served uncached.
     }
     state = static_cast<std::size_t>(next);
+  }
+  if (plans) {
+    result.plan_cache.plans = plans->stats();
+    result.plan_cache.selections = selections->stats();
   }
   return result;
 }

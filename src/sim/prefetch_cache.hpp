@@ -52,6 +52,13 @@ struct PrefetchCacheConfig {
   // 1 = the paper's one-access lookahead). See core/lookahead.hpp.
   std::size_t lookahead_horizon = 1;
   double lookahead_decay = 0.5;
+  // Cross-request plan memoization (core/plan_cache.hpp): reuse completed
+  // plans whenever the same (state, cache contents) pair recurs, and
+  // precompute the per-state canonical solve order in oracle mode. The
+  // fixed-seed equivalence suite pins on == off bit-for-bit on every
+  // counter; off exists for A/B benchmarking, not correctness.
+  bool use_plan_cache = true;
+  std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };
 
 struct PrefetchCacheResult {
@@ -59,6 +66,9 @@ struct PrefetchCacheResult {
   // Requests whose access time exceeded the state's viewing time (stretch
   // intrusion diagnostics, cf. Section 4.4).
   std::uint64_t over_viewing_time = 0;
+  // Plan-memoization counters, both tiers (all zero when use_plan_cache
+  // is off).
+  PlanMemoStats plan_cache;
 };
 
 // Runs the full experiment; deterministic in config.seed. The Markov chain
@@ -89,6 +99,10 @@ struct SizedExperimentConfig {
   std::size_t requests = 20'000;
   std::size_t warmup = 0;
   std::uint64_t seed = 1;
+  // Plan memoization, as in PrefetchCacheConfig (keyed by the SizedCache
+  // fingerprint instead of the slot cache's).
+  bool use_plan_cache = true;
+  std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };
 
 // Runs the Fig.-7 protocol against a byte-addressed cache with density

@@ -32,7 +32,8 @@ std::unique_ptr<Predictor> make_trace_predictor(PredictorKind kind,
 
 }  // namespace
 
-SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
+SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg,
+                        PlanMemoStats* plan_cache_stats) {
   SKP_REQUIRE(!trace.empty(), "cannot replay an empty trace");
   SKP_REQUIRE(cfg.cache_size >= 1, "cache_size must be >= 1");
   const std::size_t n = trace.n_items();
@@ -56,6 +57,19 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
   PlanScratch scratch;
   PrefetchPlan plan;
 
+  // Memoization wiring (see TraceReplayConfig): the plan tier is keyed
+  // by the predictor context (the previously replayed item) and
+  // generation-bumped on every observation, so no stored plan can
+  // outlive the predictor state it was computed under. The selection
+  // tier is not consulted at all — its key would change every request
+  // for the same reason, so lookups could never hit.
+  std::optional<PlanCache> plans;
+  if (cfg.use_plan_cache) {
+    plans.emplace(engine.config_digest(), cfg.plan_cache_capacity,
+                  /*doorkeeper=*/true);
+  }
+  ItemId context = kNoItem;
+
   for (std::size_t idx = 0; idx < trace.size(); ++idx) {
     const TraceRecord& rec = trace.records()[idx];
     const bool counted = idx >= cfg.warmup;
@@ -67,12 +81,19 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
     const InstanceView inst(scratch.P, trace.retrieval_times(),
                             rec.viewing_time);
 
-    engine.plan_with_cache(inst, cache, &freq, scratch, plan);
+    PlanMemo memo;
+    if (plans) {
+      memo.plans = &*plans;
+      memo.state_key =
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(context));
+    }
+    engine.plan_with_cache_cached(inst, cache, &freq, memo, scratch, plan);
 
     // Realized access time against the pre-plan cache (computed before the
-    // plan executes — no snapshot copy needed).
+    // plan executes — no snapshot copy needed; presence bitmap for O(1)
+    // membership).
     const double T = realized_access_time_cached(
-        inst, plan.fetch, plan.evict, cache.contents(), rec.item);
+        inst, plan.fetch, plan.evict, cache.presence(), rec.item);
 
     std::size_t victim_idx = 0;
     for (const ItemId f : plan.fetch) {
@@ -102,6 +123,8 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
 
     freq.record(rec.item);
     predictor->observe(rec.item);
+    if (plans) plans->bump_generation();
+    context = rec.item;
     unused_prefetch[InstanceView::idx(rec.item)] = 0;
     if (!cache.contains(rec.item)) {
       if (counted) {
@@ -127,6 +150,7 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg) {
       }
     }
   }
+  if (plans && plan_cache_stats) plan_cache_stats->plans = plans->stats();
   return m;
 }
 

@@ -47,6 +47,17 @@ namespace skp::testing {
 enum class CachePolicyKind { LRU, FIFO, LFU, Random };
 enum class ScenarioWorkload { MarkovChain, IidSkewy, TraceReplay };
 
+// How prefetches contend for cache space:
+//   * EmptyCache    — plan over N \ C with PrefetchEngine::plan; the
+//                     ReplacementPolicy evicts for both prefetches and
+//                     demand misses (the original harness mode).
+//   * PrArbitration — the Figure-6 path: PrefetchEngine::plan_with_cache
+//                     runs Pr-arbitration against the live cache and
+//                     names its own victims; the ReplacementPolicy still
+//                     governs demand misses (and has its bookkeeping
+//                     maintained for Pr-evicted victims).
+enum class PlanMode { EmptyCache, PrArbitration };
+
 inline const char* to_string(CachePolicyKind k) {
   switch (k) {
     case CachePolicyKind::LRU: return "lru";
@@ -62,6 +73,14 @@ inline const char* to_string(ScenarioWorkload w) {
     case ScenarioWorkload::MarkovChain: return "markov";
     case ScenarioWorkload::IidSkewy: return "iid";
     case ScenarioWorkload::TraceReplay: return "trace";
+  }
+  return "?";
+}
+
+inline const char* to_string(PlanMode m) {
+  switch (m) {
+    case PlanMode::EmptyCache: return "empty";
+    case PlanMode::PrArbitration: return "pr";
   }
   return "?";
 }
@@ -85,6 +104,7 @@ struct ScenarioConfig {
   CachePolicyKind cache_policy = CachePolicyKind::LRU;
   NetProfile net = kLan;
   ScenarioWorkload workload = ScenarioWorkload::MarkovChain;
+  PlanMode plan_mode = PlanMode::EmptyCache;
 
   std::size_t n_items = 24;
   std::size_t cache_capacity = 6;
@@ -132,6 +152,9 @@ inline std::string scenario_name(const ScenarioConfig& cfg) {
   name += cfg.net.name;
   name += '_';
   name += to_string(cfg.workload);
+  if (cfg.plan_mode == PlanMode::PrArbitration) {
+    name += "_pr";
+  }
   return name;
 }
 
@@ -246,6 +269,7 @@ inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   auto policy =
       make_scenario_policy(cfg.cache_policy, root.split(4).next_u64());
   SlotCache cache(cfg.n_items, cfg.cache_capacity);
+  FreqTracker freq(cfg.n_items);  // Pr-arbitration sub-score substrate
 
   EngineConfig ecfg;
   ecfg.policy = cfg.policy;
@@ -266,17 +290,23 @@ inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       predictor->predict_into(scratch.P);
       double mass = 0.0;
       for (std::size_t j = 0; j < scratch.P.size(); ++j) {
-        // Shortlist: drop sliver mass and items already cached (planning
-        // over N \ C, Section 5).
+        // Shortlist: drop sliver mass; in EmptyCache mode additionally
+        // zero cached items (planning over N \ C, Section 5 — the
+        // Figure-6 planner does its own N \ C filtering).
         if (scratch.P[j] < cfg.min_prob ||
-            cache.contains(static_cast<ItemId>(j))) {
+            (cfg.plan_mode == PlanMode::EmptyCache &&
+             cache.contains(static_cast<ItemId>(j)))) {
           scratch.P[j] = 0.0;
         }
         mass += scratch.P[j];
       }
       if (mass > 0.0) {
         const InstanceView inst(scratch.P, r, v);
-        engine.plan(inst, scratch, plan);
+        if (cfg.plan_mode == PlanMode::PrArbitration) {
+          engine.plan_with_cache(inst, cache, &freq, scratch, plan);
+        } else {
+          engine.plan(inst, scratch, plan);
+        }
         // Bandwidth budget (Eq. 1): every fetch but the last must finish
         // within v; plain KP may not stretch at all.
         double prefix = 0.0;
@@ -293,17 +323,36 @@ inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
               std::max(res.worst_budget_overrun, budget_used - v);
         }
         if (!plan.fetch.empty()) ++res.plans;
-        for (const ItemId f : plan.fetch) {
-          if (cache.contains(f)) continue;  // zero-profit filler
-          if (cache.full()) {
-            const ItemId victim = policy->choose_victim(cache);
-            cache.erase(victim);
-            policy->on_evict(victim);
+        if (cfg.plan_mode == PlanMode::PrArbitration) {
+          // Figure-6 execution: each admitted fetch claims its
+          // Pr-arbitrated victim once the cache is full; the replacement
+          // policy's books are kept consistent so demand misses still
+          // work on accurate state.
+          std::size_t victim_idx = 0;
+          for (const ItemId f : plan.fetch) {
+            if (cache.full()) {
+              const ItemId victim = plan.evict[victim_idx++];
+              cache.erase(victim);
+              policy->on_evict(victim);
+            }
+            cache.insert(f);
+            policy->on_insert(f);
+            ++res.prefetch_fetches;
+            res.prefetch_network_time += r[Instance::idx(f)];
           }
-          cache.insert(f);
-          policy->on_insert(f);
-          ++res.prefetch_fetches;
-          res.prefetch_network_time += r[Instance::idx(f)];
+        } else {
+          for (const ItemId f : plan.fetch) {
+            if (cache.contains(f)) continue;  // zero-profit filler
+            if (cache.full()) {
+              const ItemId victim = policy->choose_victim(cache);
+              cache.erase(victim);
+              policy->on_evict(victim);
+            }
+            cache.insert(f);
+            policy->on_insert(f);
+            ++res.prefetch_fetches;
+            res.prefetch_network_time += r[Instance::idx(f)];
+          }
         }
       }
     }
@@ -317,6 +366,7 @@ inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       access_with_policy(cache, *policy, item);
     }
     ++res.requests;
+    freq.record(item);
     predictor->observe(item);
   }
   res.network_time = res.prefetch_network_time + res.demand_network_time;

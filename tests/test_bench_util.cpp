@@ -62,12 +62,21 @@ TEST(BenchUtil, ThreadsParsesCount) {
   EXPECT_EQ(parse_args(a.argc(), a.argv()).threads, 7u);
 }
 
+TEST(BenchUtil, PlanCacheOnByDefaultAndSwitchable) {
+  Argv on({});
+  EXPECT_FALSE(parse_args(on.argc(), on.argv()).no_plan_cache);
+  Argv off({"--no-plan-cache"});
+  EXPECT_TRUE(parse_args(off.argc(), off.argv()).no_plan_cache);
+}
+
 TEST(BenchUtil, AllFlagsCombineInAnyOrder) {
-  Argv a({"--csv", "plots", "--threads", "3", "--full", "--seed", "42"});
+  Argv a({"--csv", "plots", "--threads", "3", "--full", "--seed", "42",
+          "--no-plan-cache"});
   const BenchArgs args = parse_args(a.argc(), a.argv());
   EXPECT_TRUE(args.full);
   EXPECT_EQ(args.seed, 42u);
   EXPECT_EQ(args.threads, 3u);
+  EXPECT_TRUE(args.no_plan_cache);
   ASSERT_TRUE(args.csv_dir.has_value());
   EXPECT_EQ(*args.csv_dir, "plots");
 }

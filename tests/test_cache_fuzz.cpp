@@ -1,15 +1,34 @@
 // Randomized differential tests: the cache substrates against trivially
-// correct reference models, thousands of random operations each.
+// correct reference models, thousands of random operations each. The
+// Zobrist content fingerprints ride along — every step checks them
+// against a recompute-from-scratch model, and a fingerprint -> set map
+// smoke-checks for collisions across all states the fuzz visits.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "cache/cache.hpp"
 #include "cache/sized_cache.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 
 namespace skp {
 namespace {
+
+using testing::model_fingerprint;
+
+// Asserts fp(cache) matches the model and records the state in the
+// collision map (distinct sets must never share a fingerprint).
+void check_fingerprint(std::uint64_t cache_fp, const std::set<ItemId>& model,
+                       std::map<std::uint64_t, std::set<ItemId>>& seen) {
+  ASSERT_EQ(cache_fp, model_fingerprint(model));
+  const auto [it, inserted] = seen.emplace(cache_fp, model);
+  if (!inserted) {
+    ASSERT_EQ(it->second, model)
+        << "distinct content sets collided on fingerprint " << cache_fp;
+  }
+}
 
 TEST(CacheFuzz, SlotCacheMatchesSetModel) {
   Rng rng(111);
@@ -17,6 +36,7 @@ TEST(CacheFuzz, SlotCacheMatchesSetModel) {
   const std::size_t capacity = 7;
   SlotCache cache(catalog, capacity);
   std::set<ItemId> model;
+  std::map<std::uint64_t, std::set<ItemId>> fp_seen;
   for (int op = 0; op < 20000; ++op) {
     const auto item = static_cast<ItemId>(rng.next_below(catalog));
     switch (rng.next_below(3)) {
@@ -42,6 +62,7 @@ TEST(CacheFuzz, SlotCacheMatchesSetModel) {
     }
     ASSERT_EQ(cache.size(), model.size());
     ASSERT_EQ(cache.full(), model.size() == capacity);
+    check_fingerprint(cache.fingerprint(), model, fp_seen);
   }
   // Final contents agree as sets.
   std::set<ItemId> final_contents(cache.contents().begin(),
@@ -75,6 +96,7 @@ TEST(CacheFuzz, SlotCacheReplacePreservesInvariants) {
     ASSERT_EQ(cache.size(), 5u);
     ASSERT_TRUE(cache.contains(incoming));
     ASSERT_FALSE(cache.contains(victim));
+    ASSERT_EQ(cache.fingerprint(), model_fingerprint(model));
   }
 }
 
@@ -86,6 +108,7 @@ TEST(CacheFuzz, SizedCacheMatchesAccountingModel) {
   const double capacity = 40.0;
   SizedCache cache(sizes, capacity);
   std::set<ItemId> model;
+  std::map<std::uint64_t, std::set<ItemId>> fp_seen;
   double used = 0.0;
   for (int op = 0; op < 20000; ++op) {
     const auto item = static_cast<ItemId>(rng.next_below(catalog));
@@ -111,6 +134,7 @@ TEST(CacheFuzz, SizedCacheMatchesAccountingModel) {
     }
     ASSERT_NEAR(cache.used(), used, 1e-6);
     ASSERT_EQ(cache.count(), model.size());
+    check_fingerprint(cache.fingerprint(), model, fp_seen);
   }
 }
 

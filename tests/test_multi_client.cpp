@@ -98,5 +98,28 @@ TEST(MultiClient, FasterLinkNeverHurts) {
             run_multi_client(slow).aggregate.mean_access_time() + 1e-9);
 }
 
+TEST(MultiClient, PlanCacheOnOffBitIdentical) {
+  auto on = quick(3);
+  on.requests_per_client = 800;
+  auto off = on;
+  off.use_plan_cache = false;
+  const auto a = run_multi_client(on);
+  const auto b = run_multi_client(off);
+  EXPECT_EQ(a.aggregate.hits, b.aggregate.hits);
+  EXPECT_EQ(a.aggregate.demand_fetches, b.aggregate.demand_fetches);
+  EXPECT_EQ(a.aggregate.prefetch_fetches, b.aggregate.prefetch_fetches);
+  EXPECT_EQ(a.aggregate.solver_nodes, b.aggregate.solver_nodes);
+  EXPECT_DOUBLE_EQ(a.aggregate.mean_access_time(),
+                   b.aggregate.mean_access_time());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.link_busy_time, b.link_busy_time);
+  // Oracle rows + default sub-arbitration: recurring states must replay
+  // stored solver selections (and some full plans).
+  EXPECT_GT(a.plan_cache.selections.hits, 0u);
+  EXPECT_GT(a.plan_cache.plans.hits, 0u);
+  EXPECT_EQ(b.plan_cache.plans.lookups(), 0u);
+  EXPECT_EQ(b.plan_cache.selections.lookups(), 0u);
+}
+
 }  // namespace
 }  // namespace skp

@@ -4,6 +4,7 @@
 
 #include "core/access_model.hpp"
 #include "test_util.hpp"
+#include "workload/markov_source.hpp"
 
 namespace skp {
 namespace {
@@ -189,6 +190,51 @@ TEST(ClientSession, MetricsAccumulate) {
   }
   EXPECT_EQ(s.metrics().requests, 5u);
   EXPECT_GT(s.metrics().network_time, 0.0);
+}
+
+TEST(ClientSession, PlanCacheOnOffBitIdentical) {
+  // Drive two identical sessions through one Markov walk: the memoized
+  // session (context key = source state) must report the same per-cycle
+  // access times and final metrics as the plain one, and must actually
+  // replay stored plans for recurring (state, cache) pairs.
+  MarkovSourceConfig mcfg;
+  mcfg.n_states = 12;
+  mcfg.out_degree_lo = 3;
+  mcfg.out_degree_hi = 6;
+  Rng build(31);
+  MarkovSource source(mcfg, build);
+  Rng walk = build.split(5);
+  source.teleport(0);
+
+  ServerCatalog cat;
+  cat.sizes.assign(12, 0.0);
+  for (std::size_t i = 0; i < 12; ++i) {
+    cat.sizes[i] = source.retrieval_time(static_cast<ItemId>(i));
+  }
+  ClientSession plain(cat, NetConfig{}, skp_engine(), 4);
+  ClientSession memoized(cat, NetConfig{}, skp_engine(), 4);
+  memoized.enable_plan_cache();
+
+  std::size_t state = source.current_state();
+  for (int i = 0; i < 600; ++i) {
+    const double v = source.viewing_time(state);
+    const std::span<const double> row = source.transition_row(state);
+    const auto next = static_cast<ItemId>(source.step(walk));
+    const double t_plain = plain.request(next, v, row);
+    const double t_memo = memoized.request(next, v, row, std::nullopt,
+                                           state);
+    ASSERT_DOUBLE_EQ(t_plain, t_memo) << "cycle " << i;
+    state = static_cast<std::size_t>(next);
+  }
+  EXPECT_EQ(plain.metrics().hits, memoized.metrics().hits);
+  EXPECT_EQ(plain.metrics().solver_nodes, memoized.metrics().solver_nodes);
+  EXPECT_DOUBLE_EQ(plain.metrics().network_time,
+                   memoized.metrics().network_time);
+  EXPECT_TRUE(memoized.plan_cache_enabled());
+  EXPECT_GT(memoized.plan_cache_stats().selections.hits, 0u);
+  EXPECT_GT(memoized.plan_cache_stats().plans.hits, 0u);
+  EXPECT_FALSE(plain.plan_cache_enabled());
+  EXPECT_EQ(plain.plan_cache_stats().plans.lookups(), 0u);
 }
 
 }  // namespace

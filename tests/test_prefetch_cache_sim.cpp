@@ -267,6 +267,89 @@ const EquivRow kEquivalence[] = {
     // clang-format on
 };
 
+// The tentpole claim of the plan-memoization subsystem: with the plan
+// cache on (the default used by every kEquivCase above) each simulator
+// counter is bit-identical to the uncached run, across every policy,
+// predictor, sub-arbitration, and both cache kinds. Also asserts the
+// cache is actually exercised where it can be: oracle mode without
+// sub-arbitration must produce cross-request hits, while volatile
+// contexts (predictors, LFU/DS) must be all-miss by generation design.
+TEST(PrefetchCacheEquivalence, PlanCacheOnOffBitIdentical) {
+  for (const EquivCase& c : kEquivCases) {
+    const PrefetchCacheResult on = run_equiv_case(c);
+
+    PrefetchCacheResult off;
+    if (c.sized) {
+      SizedExperimentConfig cfg;
+      cfg.source.n_states = 30;
+      cfg.source.out_degree_lo = 4;
+      cfg.source.out_degree_hi = 8;
+      cfg.capacity = 90.0;
+      cfg.size_per_r = c.size_per_r;
+      cfg.size_lo = cfg.size_hi = 15.5;
+      cfg.policy = c.policy;
+      cfg.sub = c.sub;
+      cfg.strict_ties = c.strict_ties;
+      cfg.requests = 1500;
+      cfg.seed = 11;
+      cfg.use_plan_cache = false;
+      off = run_prefetch_cache_sized(cfg);
+    } else {
+      auto cfg = quick(c.policy, c.sub);
+      cfg.predictor = c.predictor;
+      cfg.lookahead_horizon = c.lookahead;
+      cfg.min_profit_threshold = c.min_profit;
+      cfg.strict_ties = c.strict_ties;
+      cfg.requests = 2000;
+      cfg.use_plan_cache = false;
+      off = run_prefetch_cache(cfg);
+    }
+
+    EXPECT_EQ(on.metrics.hits, off.metrics.hits) << c.name;
+    EXPECT_EQ(on.metrics.demand_fetches, off.metrics.demand_fetches)
+        << c.name;
+    EXPECT_EQ(on.metrics.prefetch_fetches, off.metrics.prefetch_fetches)
+        << c.name;
+    EXPECT_EQ(on.metrics.wasted_prefetches, off.metrics.wasted_prefetches)
+        << c.name;
+    EXPECT_EQ(on.metrics.solver_nodes, off.metrics.solver_nodes) << c.name;
+    EXPECT_EQ(on.over_viewing_time, off.over_viewing_time) << c.name;
+    EXPECT_DOUBLE_EQ(on.metrics.mean_access_time(),
+                     off.metrics.mean_access_time())
+        << c.name;
+    EXPECT_DOUBLE_EQ(on.metrics.network_time, off.metrics.network_time)
+        << c.name;
+
+    EXPECT_EQ(off.plan_cache.plans.lookups(), 0u) << c.name;
+    EXPECT_EQ(off.plan_cache.selections.lookups(), 0u) << c.name;
+    const bool memoizable_policy = c.policy != PrefetchPolicy::None &&
+                                   c.policy != PrefetchPolicy::Perfect;
+    // Completed plans replay only when context beyond (state, cache set)
+    // is static: oracle rows, no sub-arbitration.
+    const bool plans_can_hit = memoizable_policy &&
+                               c.predictor == PredictorKind::Oracle &&
+                               c.sub == SubArbitration::None;
+    if (plans_can_hit) {
+      EXPECT_GT(on.plan_cache.plans.hits, 0u) << c.name;
+    } else {
+      EXPECT_EQ(on.plan_cache.plans.hits, 0u) << c.name;
+    }
+    // Solver selections never read frequencies, so they replay under any
+    // sub-arbitration — only learned predictors retire them. Lookahead
+    // blends widen the support to nearly the whole catalog, where the
+    // candidate set determines the cache set and the plan tier absorbs
+    // every recurrence first, so no extra selection hits are guaranteed.
+    const bool selections_can_hit = memoizable_policy &&
+                                    c.predictor == PredictorKind::Oracle &&
+                                    c.lookahead <= 1;
+    if (selections_can_hit) {
+      EXPECT_GT(on.plan_cache.selections.hits, 0u) << c.name;
+    } else if (c.predictor != PredictorKind::Oracle) {
+      EXPECT_EQ(on.plan_cache.selections.hits, 0u) << c.name;
+    }
+  }
+}
+
 TEST(PrefetchCacheEquivalence, MetricsBitIdenticalAtFixedSeed) {
   ASSERT_EQ(std::size(kEquivalence), std::size(kEquivCases))
       << "equivalence table out of date — rerun PrintEquivalenceTable";

@@ -40,12 +40,14 @@ const ScenarioWorkload kWorkloads[] = {ScenarioWorkload::MarkovChain,
                                        ScenarioWorkload::TraceReplay};
 
 ScenarioConfig make_config(PredictorKind p, CachePolicyKind c,
-                           const NetProfile& n, ScenarioWorkload w) {
+                           const NetProfile& n, ScenarioWorkload w,
+                           PlanMode m = PlanMode::EmptyCache) {
   ScenarioConfig cfg;
   cfg.predictor = p;
   cfg.cache_policy = c;
   cfg.net = n;
   cfg.workload = w;
+  cfg.plan_mode = m;
   return cfg;
 }
 
@@ -56,6 +58,19 @@ std::vector<ScenarioConfig> full_matrix() {
       for (const auto& n : kNets)
         for (const auto w : kWorkloads)
           all.push_back(make_config(p, c, n, w));
+  return all;
+}
+
+// Pr-arbitration (Figure-6) variant: predictors x nets x workloads under
+// LRU demand eviction — the deployment shape the ROADMAP asks to lock
+// (plan_with_cache under learned predictors).
+std::vector<ScenarioConfig> pr_arbitration_matrix() {
+  std::vector<ScenarioConfig> all;
+  for (const auto p : kPredictors)
+    for (const auto& n : kNets)
+      for (const auto w : kWorkloads)
+        all.push_back(make_config(p, CachePolicyKind::LRU, n, w,
+                                  PlanMode::PrArbitration));
   return all;
 }
 
@@ -93,6 +108,13 @@ TEST_P(ScenarioMatrixTest, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(
     Full, ScenarioMatrixTest, ::testing::ValuesIn(full_matrix()),
+    [](const ::testing::TestParamInfo<ScenarioConfig>& info) {
+      return scenario_name(info.param);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    PrArbitration, ScenarioMatrixTest,
+    ::testing::ValuesIn(pr_arbitration_matrix()),
     [](const ::testing::TestParamInfo<ScenarioConfig>& info) {
       return scenario_name(info.param);
     });
@@ -146,71 +168,295 @@ struct GoldenRow {
   CachePolicyKind c;
   NetProfile n;
   ScenarioWorkload w;
+  PlanMode m;
   double hit_rate;
 };
 
-// 3 predictors x {LRU, LFU} x {lan, wan} x {markov, trace} = 24 rows, all
-// four dimensions varying. Values produced by PrintGoldenTable (below) at
-// seed 2026, 1200 requests; tolerance documented in the file header.
+// The full 108-combination EmptyCache matrix plus the 27-combination
+// Pr-arbitration variant (135 rows). Values produced by PrintGoldenTable
+// (below) at seed 2026, 1200 requests; tolerance documented in the file
+// header. Refresh with tests/refresh_goldens.sh --apply.
 constexpr double kGoldenTol = 0.03;
 
 const std::vector<GoldenRow> kGolden = {
     // clang-format off
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
-     ScenarioWorkload::MarkovChain, 0.750833},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.750833},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
-     ScenarioWorkload::TraceReplay, 0.822500},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.830000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.822500},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
-     ScenarioWorkload::MarkovChain, 0.601667},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.601667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
-     ScenarioWorkload::TraceReplay, 0.530833},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.835833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.530833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.398333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.897500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.316667},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.770000},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.813333},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.847500},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.601667},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.818333},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.545000},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.401667},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.875833},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.312500},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
-     ScenarioWorkload::MarkovChain, 0.530000},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.530000},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
-     ScenarioWorkload::TraceReplay, 0.569167},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.953333},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.569167},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
-     ScenarioWorkload::MarkovChain, 0.583333},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.583333},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
-     ScenarioWorkload::TraceReplay, 0.647500},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.952500},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.647500},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.534167},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.944167},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.450000},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.619167},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.785833},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.730000},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.587500},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.826667},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.567500},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.403333},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.859167},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.310833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
-     ScenarioWorkload::MarkovChain, 0.404167},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.404167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
-     ScenarioWorkload::TraceReplay, 0.505833},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.879167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.505833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
-     ScenarioWorkload::MarkovChain, 0.439167},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.439167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
-     ScenarioWorkload::TraceReplay, 0.380833},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.894167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.380833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.348333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.910833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.265833},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.407500},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.853333},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.515000},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.450000},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.873333},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.389167},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.330833},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.880833},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.263333},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
-     ScenarioWorkload::MarkovChain, 0.490833},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.490833},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
-     ScenarioWorkload::TraceReplay, 0.464167},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.954167},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.464167},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
-     ScenarioWorkload::MarkovChain, 0.516667},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.516667},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
-     ScenarioWorkload::TraceReplay, 0.519167},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.955000},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.519167},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.486667},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.940000},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.403333},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.370833},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.870000},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.465000},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.430833},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.870000},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.415000},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.346667},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.877500},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.265833},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
-     ScenarioWorkload::MarkovChain, 0.686667},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.686667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
-     ScenarioWorkload::TraceReplay, 0.782500},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.615000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.782500},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
-     ScenarioWorkload::MarkovChain, 0.574167},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.574167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
-     ScenarioWorkload::TraceReplay, 0.546667},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.766667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.546667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.390833},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.879167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.325000},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.718333},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.588333},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.801667},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.570833},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.719167},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.556667},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.386667},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.858333},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.315000},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
-     ScenarioWorkload::MarkovChain, 0.535000},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.535000},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
-     ScenarioWorkload::TraceReplay, 0.555000},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.933333},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.555000},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
-     ScenarioWorkload::MarkovChain, 0.579167},
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.579167},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
-     ScenarioWorkload::TraceReplay, 0.647500},
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.943333},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.647500},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.523333},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.933333},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.441667},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.583333},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.600000},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.680000},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.556667},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.730000},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.568333},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.396667},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.840000},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.333333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.878333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.945833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.910000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.698333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.949167},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.605000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.455000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.934167},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.340833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.554167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.950833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.630000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.536667},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.950000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.494167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.405833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.931667},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.295000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.865833},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.884167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.909167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.690000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.905000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.607500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.444167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.927500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.347500},
     // clang-format on
 };
 
 TEST(ScenarioGolden, HitRatesWithinTolerance) {
   ASSERT_GT(kGolden.size(), 0u) << "golden table not populated";
   for (const auto& g : kGolden) {
-    const ScenarioConfig cfg = make_config(g.p, g.c, g.n, g.w);
+    const ScenarioConfig cfg = make_config(g.p, g.c, g.n, g.w, g.m);
     const ScenarioResult res = run_scenario(cfg);
     EXPECT_NEAR(res.hit_rate(), g.hit_rate, kGoldenTol)
         << scenario_name(cfg) << " drifted: golden " << g.hit_rate
@@ -238,26 +484,28 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
     }
     return "?";
   };
-  const CachePolicyKind caches[] = {CachePolicyKind::LRU,
-                                    CachePolicyKind::LFU};
-  const NetProfile nets[] = {kLan, kWan};
-  const ScenarioWorkload loads[] = {ScenarioWorkload::MarkovChain,
-                                    ScenarioWorkload::TraceReplay};
-  for (const auto p : kPredictors)
-    for (const auto c : caches)
-      for (const auto& n : nets)
-        for (const auto w : loads) {
-          const ScenarioResult res =
-              run_scenario(make_config(p, c, n, w));
-          std::printf(
-              "    {PredictorKind::%s, CachePolicyKind::%s, k%c%s,\n"
-              "     ScenarioWorkload::%s, %.6f},\n",
-              enum_name(p), cache_name(c),
-              static_cast<char>(std::toupper(n.name[0])), n.name + 1,
-              w == ScenarioWorkload::MarkovChain ? "MarkovChain"
-                                                 : "TraceReplay",
-              res.hit_rate());
-        }
+  auto workload_name = [](ScenarioWorkload w) {
+    switch (w) {
+      case ScenarioWorkload::MarkovChain: return "MarkovChain";
+      case ScenarioWorkload::IidSkewy: return "IidSkewy";
+      case ScenarioWorkload::TraceReplay: return "TraceReplay";
+    }
+    return "?";
+  };
+  auto print_row = [&](const ScenarioConfig& cfg) {
+    const ScenarioResult res = run_scenario(cfg);
+    std::printf(
+        "    {PredictorKind::%s, CachePolicyKind::%s, k%c%s,\n"
+        "     ScenarioWorkload::%s, PlanMode::%s, %.6f},\n",
+        enum_name(cfg.predictor), cache_name(cfg.cache_policy),
+        static_cast<char>(std::toupper(cfg.net.name[0])), cfg.net.name + 1,
+        workload_name(cfg.workload),
+        cfg.plan_mode == PlanMode::PrArbitration ? "PrArbitration"
+                                                 : "EmptyCache",
+        res.hit_rate());
+  };
+  for (const auto& cfg : full_matrix()) print_row(cfg);
+  for (const auto& cfg : pr_arbitration_matrix()) print_row(cfg);
 }
 
 }  // namespace

@@ -94,6 +94,32 @@ TEST(TraceReplay, PredictorKindsAllRun) {
   }
 }
 
+TEST(TraceReplay, PlanCacheOnOffBitIdentical) {
+  // An always-learning predictor bumps the memo generation every request,
+  // so the wired plan cache must be all-miss — and exactly a no-op on
+  // every counter.
+  const Trace t = markov_trace(20, 1200, 9);
+  TraceReplayConfig on;
+  TraceReplayConfig off = on;
+  off.use_plan_cache = false;
+  PlanMemoStats stats_on, stats_off;
+  const SimMetrics a = replay_trace(t, on, &stats_on);
+  const SimMetrics b = replay_trace(t, off, &stats_off);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.demand_fetches, b.demand_fetches);
+  EXPECT_EQ(a.prefetch_fetches, b.prefetch_fetches);
+  EXPECT_EQ(a.wasted_prefetches, b.wasted_prefetches);
+  EXPECT_EQ(a.solver_nodes, b.solver_nodes);
+  EXPECT_DOUBLE_EQ(a.mean_access_time(), b.mean_access_time());
+  EXPECT_DOUBLE_EQ(a.network_time, b.network_time);
+  EXPECT_EQ(stats_on.plans.hits, 0u);
+  EXPECT_GT(stats_on.plans.lookups(), 0u);
+  // The selection tier is never consulted here: its key would change
+  // with every observation.
+  EXPECT_EQ(stats_on.selections.lookups(), 0u);
+  EXPECT_EQ(stats_off.plans.lookups(), 0u);
+}
+
 TEST(TraceReplay, BiggerCacheHelps) {
   const Trace t = markov_trace(25, 3000, 8);
   TraceReplayConfig small;

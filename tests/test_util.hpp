@@ -4,13 +4,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <vector>
 
+#include "cache/zobrist.hpp"
 #include "core/item.hpp"
 #include "util/rng.hpp"
 #include "workload/prob_gen.hpp"
 
 namespace skp::testing {
+
+// Reference Zobrist fingerprint of a content set, recomputed from
+// scratch — the model the caches' incrementally maintained fingerprints
+// are checked against (test_cache_fuzz, test_plan_cache).
+inline std::uint64_t model_fingerprint(const std::set<ItemId>& s) {
+  std::uint64_t fp = 0;
+  for (const ItemId i : s) fp ^= zobrist_item_key(i);
+  return fp;
+}
 
 struct RandomInstanceOptions {
   std::size_t n = 8;
