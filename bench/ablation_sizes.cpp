@@ -13,7 +13,7 @@
 #include <iterator>
 
 #include "bench_util.hpp"
-#include "sim/prefetch_cache.hpp"
+#include "sim/runtime.hpp"
 #include "sim/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
@@ -42,31 +42,29 @@ int main(int argc, char** argv) {
                "coupled waste\n";
   const std::size_t slot_counts[] = {5, 10, 20, 40, 80};
   constexpr std::size_t kCells = 3;  // slot model / uniform / coupled
-  // Fan the 5x3 grid out as independent sims (cell kind = idx % 3).
-  const auto results = sweep_points(
-      pool, std::size(slot_counts) * kCells, [&](std::size_t idx) {
-        const std::size_t slots = slot_counts[idx / kCells];
-        const std::size_t cell = idx % kCells;
-        if (cell == 0) {
-          PrefetchCacheConfig slot_cfg;
-          slot_cfg.cache_size = slots;
-          slot_cfg.policy = PrefetchPolicy::SKP;
-          slot_cfg.sub = SubArbitration::DS;
-          slot_cfg.requests = requests;
-          slot_cfg.seed = args.seed;
-          return run_prefetch_cache(slot_cfg);
-        }
+  // Enumerate the 5x3 grid as SimSpecs (cell kind = idx % 3: slot model,
+  // sized uniform, sized coupled) and fan them out as independent sims.
+  std::vector<SimSpec> specs;
+  for (const std::size_t slots : slot_counts) {
+    for (std::size_t cell = 0; cell < kCells; ++cell) {
+      SimSpec spec;  // prefetch_cache driver, paper-default source
+      spec.policy = PrefetchPolicy::SKP;
+      spec.sub = SubArbitration::DS;
+      spec.requests = requests;
+      spec.seed = args.seed;
+      if (cell == 0) {
+        spec.cache_size = slots;
+      } else {
         const double mean_size = 15.5;  // E[U{1..30}]
-        SizedExperimentConfig cfg;
-        cfg.capacity = static_cast<double>(slots) * mean_size;
-        cfg.size_per_r = cell == 1 ? 0.0 : 1.0;  // uniform vs coupled
-        cfg.size_lo = cfg.size_hi = mean_size;
-        cfg.policy = PrefetchPolicy::SKP;
-        cfg.sub = SubArbitration::DS;
-        cfg.requests = requests;
-        cfg.seed = args.seed;
-        return run_prefetch_cache_sized(cfg);
-      });
+        spec.sized_capacity = static_cast<double>(slots) * mean_size;
+        spec.size_per_r = cell == 1 ? 0.0 : 1.0;  // uniform vs coupled
+        spec.size_lo = spec.size_hi = mean_size;
+      }
+      specs.push_back(spec);
+    }
+  }
+  const auto results = sweep_configs(
+      pool, specs, [&](const SimSpec& spec) { return run_sim(spec); });
 
   for (std::size_t s = 0; s < std::size(slot_counts); ++s) {
     const std::size_t slots = slot_counts[s];

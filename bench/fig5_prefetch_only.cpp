@@ -21,7 +21,8 @@
 #include <span>
 
 #include "bench_util.hpp"
-#include "sim/prefetch_only.hpp"
+#include "sim/prefetch_only.hpp"  // PrefetchOnlyResult curve type
+#include "sim/runtime.hpp"
 #include "sim/sweep.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
@@ -52,7 +53,7 @@ const Policy kPolicies[] = {
 // One panel's five policy runs, already simulated by the sweep below.
 void run_panel(const char* label, std::size_t n, ProbMethod method,
                const bench::BenchArgs& args,
-               std::span<const PrefetchOnlyResult> results) {
+               std::span<const SimResult> results) {
   std::vector<PlotSeries> series;
   std::vector<std::vector<std::pair<double, double>>> raw;
   for (std::size_t k = 0; k < std::size(kPolicies); ++k) {
@@ -60,7 +61,7 @@ void run_panel(const char* label, std::size_t n, ProbMethod method,
     PlotSeries s;
     s.name = kPolicies[k].name;
     s.glyph = kPolicies[k].glyph;
-    for (const auto& [v, t] : res.avg_T_by_v.series()) {
+    for (const auto& [v, t] : res.avg_T_by_v->series()) {
       if (v <= 50.0) s.points.emplace_back(v, t);  // paper clips at 50
     }
     raw.push_back(s.points);
@@ -131,27 +132,32 @@ int main(int argc, char** argv) {
       {"d", 25, ProbMethod::Flat},
   };
 
-  // All 4 panels x 5 policies fan out as one sweep of independently
-  // seeded serial sims; results are therefore identical for any thread
-  // count (and machine-independent, unlike a chunk-split run).
+  // All 4 panels x 5 policies enumerate as one SimSpec sweep of
+  // independently seeded serial sims dispatched through the driver
+  // registry; results are therefore identical for any thread count (and
+  // machine-independent, unlike a chunk-split run).
   const std::size_t per_panel = std::size(kPolicies);
-  const std::vector<PrefetchOnlyResult> results = sweep_points(
-      pool, std::size(panels) * per_panel, [&](std::size_t idx) {
-        const Panel& panel = panels[idx / per_panel];
-        const Policy& pol = kPolicies[idx % per_panel];
-        PrefetchOnlyConfig cfg;
-        cfg.n_items = panel.n;
-        cfg.method = panel.method;
-        cfg.policy = pol.policy;
-        cfg.delta_rule = pol.rule;
-        cfg.iterations = args.full ? 50'000 : 10'000;
-        cfg.seed = args.seed;
-        return run_prefetch_only(cfg);
-      });
+  std::vector<SimSpec> specs;
+  for (const Panel& panel : panels) {
+    for (const Policy& pol : kPolicies) {
+      SimSpec spec;
+      spec.driver = SimDriverKind::PrefetchOnly;
+      spec.workload.kind = SimWorkloadKind::Iid;
+      spec.workload.n_items = panel.n;
+      spec.workload.method = panel.method;
+      spec.policy = pol.policy;
+      spec.delta_rule = pol.rule;
+      spec.requests = args.full ? 50'000 : 10'000;
+      spec.seed = args.seed;
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<SimResult> results = sweep_configs(
+      pool, specs, [&](const SimSpec& spec) { return run_sim(spec); });
 
   for (std::size_t p = 0; p < std::size(panels); ++p) {
     run_panel(panels[p].label, panels[p].n, panels[p].method, args,
-              std::span<const PrefetchOnlyResult>(results)
+              std::span<const SimResult>(results)
                   .subspan(p * per_panel, per_panel));
   }
   return 0;

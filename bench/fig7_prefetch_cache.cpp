@@ -14,7 +14,7 @@
 #include <iterator>
 
 #include "bench_util.hpp"
-#include "sim/prefetch_cache.hpp"
+#include "sim/runtime.hpp"
 #include "sim/sweep.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
@@ -56,30 +56,36 @@ int main(int argc, char** argv) {
   sizes.push_back(1);
   for (std::size_t c = step; c <= 100; c += step) sizes.push_back(c);
 
-  // Every (policy, cache size) cell is an independently seeded sim, so the
-  // parallel fan-out reproduces the serial numbers bit-for-bit (each point
-  // owns its PlanCache, so memoization does not couple points either).
+  // Every (policy, cache size) cell is one SimSpec — an independently
+  // seeded sim — so the registry-dispatched parallel fan-out reproduces
+  // the serial numbers bit-for-bit (each point owns its PlanCache, so
+  // memoization does not couple points either).
+  std::vector<SimSpec> specs;
+  for (const Policy& pol : kPolicies) {
+    for (const std::size_t cache_size : sizes) {
+      SimSpec spec;  // prefetch_cache driver, paper-default Markov source
+      spec.cache_size = cache_size;
+      spec.policy = pol.policy;
+      spec.sub = pol.sub;
+      // ExactComplement reproduces the paper's "SKP prefetch performs
+      // better than KP prefetch"; the verbatim Figure-3 tail-sum delta
+      // inverts that ordering (see EXPERIMENTS.md / ablation_delta).
+      spec.delta_rule = DeltaRule::ExactComplement;
+      spec.requests = requests;
+      spec.seed = args.seed;  // same chain + walk for every policy
+      spec.use_plan_cache = !args.no_plan_cache;
+      specs.push_back(spec);
+    }
+  }
   struct PointResult {
     double mean_T;
     PlanMemoStats plan_cache;
   };
-  const std::size_t n_points = std::size(kPolicies) * sizes.size();
+  const std::size_t n_points = specs.size();
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<PointResult> points =
-      sweep_points(pool, n_points, [&](std::size_t idx) {
-        const Policy& pol = kPolicies[idx / sizes.size()];
-        PrefetchCacheConfig cfg;  // paper-default Markov source
-        cfg.cache_size = sizes[idx % sizes.size()];
-        cfg.policy = pol.policy;
-        cfg.sub = pol.sub;
-        // ExactComplement reproduces the paper's "SKP prefetch performs
-        // better than KP prefetch"; the verbatim Figure-3 tail-sum delta
-        // inverts that ordering (see EXPERIMENTS.md / ablation_delta).
-        cfg.delta_rule = DeltaRule::ExactComplement;
-        cfg.requests = requests;
-        cfg.seed = args.seed;  // same chain + walk for every policy
-        cfg.use_plan_cache = !args.no_plan_cache;
-        const auto res = run_prefetch_cache(cfg);
+      sweep_configs(pool, specs, [&](const SimSpec& spec) {
+        const SimResult res = run_sim(spec);
         return PointResult{res.metrics.mean_access_time(), res.plan_cache};
       });
   const double elapsed =

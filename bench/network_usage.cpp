@@ -13,7 +13,7 @@
 #include <iterator>
 
 #include "bench_util.hpp"
-#include "sim/prefetch_cache.hpp"
+#include "sim/runtime.hpp"
 #include "sim/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
@@ -39,18 +39,21 @@ int main(int argc, char** argv) {
   std::cout << "  threshold  mean T    net time/req  prefetches  "
                "waste rate\n";
   const double thresholds[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 1e9};
-  // Independent sim per threshold: fan out, report in order.
-  const auto results = sweep_points(
-      pool, std::size(thresholds), [&](std::size_t i) {
-        PrefetchCacheConfig cfg;
-        cfg.cache_size = 20;
-        cfg.policy = PrefetchPolicy::SKP;
-        cfg.sub = SubArbitration::DS;
-        cfg.requests = requests;
-        cfg.seed = args.seed;
-        cfg.min_profit_threshold = thresholds[i];
-        return run_prefetch_cache(cfg);
-      });
+  // One SimSpec per threshold — independent sims: fan out, report in
+  // order.
+  std::vector<SimSpec> specs;
+  for (const double threshold : thresholds) {
+    SimSpec spec;  // prefetch_cache driver, paper-default source
+    spec.cache_size = 20;
+    spec.policy = PrefetchPolicy::SKP;
+    spec.sub = SubArbitration::DS;
+    spec.requests = requests;
+    spec.seed = args.seed;
+    spec.min_profit_threshold = threshold;
+    specs.push_back(spec);
+  }
+  const auto results = sweep_configs(
+      pool, specs, [&](const SimSpec& spec) { return run_sim(spec); });
   for (std::size_t i = 0; i < std::size(thresholds); ++i) {
     const double th = thresholds[i];
     const auto& res = results[i];

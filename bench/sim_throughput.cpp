@@ -11,9 +11,18 @@
 // `plan_hit_rate` (also deterministic), which compare_bench.py gates
 // against absolute regressions, and carry a _NoPlanCache twin so the
 // snapshot records the on/off delta.
+//
+// On top of the per-policy points, one `BM_Driver_<name>` row per entry
+// in the unified runtime's driver registry (sim/runtime.hpp) tracks
+// requests/sec of every simulator surface — including the netsim DES
+// path the per-policy rows never touched — so a regression in any driver
+// shows up in the snapshot regardless of which figure exercises it.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "sim/prefetch_cache.hpp"
+#include "sim/runtime.hpp"
 
 namespace {
 
@@ -121,6 +130,78 @@ void BM_Fig7Point_SkpPrDs(benchmark::State& state) {
   run_point(state, PrefetchPolicy::SKP, SubArbitration::DS);
 }
 BENCHMARK(BM_Fig7Point_SkpPrDs);
+
+// One representative SimSpec per registered driver, dispatched through
+// run_sim. Reduced scale (kRequests cycles each); the scenario/netsim
+// points use the scenario-matrix shape (24 items, cache 6, learned or
+// oracle prediction as each pipeline requires).
+SimSpec driver_spec(SimDriverKind kind) {
+  SimSpec spec;
+  spec.driver = kind;
+  spec.requests = kRequests;
+  spec.seed = 1;
+  switch (kind) {
+    case SimDriverKind::PrefetchOnly:
+      spec.workload.kind = SimWorkloadKind::Iid;
+      spec.workload.n_items = 10;
+      break;
+    case SimDriverKind::PrefetchCache:
+      spec.cache_size = 20;  // paper-default Markov source
+      break;
+    case SimDriverKind::TraceReplay:
+      spec.predictor = PredictorKind::Markov1;
+      spec.cache_size = 20;
+      break;
+    case SimDriverKind::NetsimDes:
+      spec.cache_size = 20;  // oracle rows over a unit link: r_i = size_i
+      break;
+    case SimDriverKind::Scenario:
+      spec.workload.n_items = 24;
+      spec.workload.out_degree_lo = 4;
+      spec.workload.out_degree_hi = 8;
+      spec.workload.v_lo = 10.0;
+      spec.workload.v_hi = 60.0;
+      spec.predictor = PredictorKind::Markov1;
+      spec.predictor_min_prob = 0.02;
+      spec.predictor_warmup = 64;
+      spec.cache_size = 6;
+      break;
+  }
+  return spec;
+}
+
+void run_driver_point(benchmark::State& state, const SimSpec& spec) {
+  std::uint64_t nodes = 0;
+  PlanMemoStats pc;
+  for (auto _ : state) {
+    const SimResult res = run_sim(spec);
+    nodes = res.metrics.solver_nodes;
+    pc = res.plan_cache;
+    benchmark::DoNotOptimize(res.metrics.hits);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * spec.requests));
+  state.counters["solver_nodes"] = static_cast<double>(nodes);
+  if (pc.plans.lookups() > 0) {
+    state.counters["plan_hit_rate"] = pc.plans.hit_rate();
+  }
+  if (pc.selections.lookups() > 0) {
+    state.counters["select_hit_rate"] = pc.selections.hit_rate();
+  }
+}
+
+// Registered at static-init time by walking the registry, so a driver
+// added to the runtime is tracked in the snapshot without touching this
+// file (benchmark names follow the registry's stable tokens).
+const int kRegisterDriverPoints = [] {
+  for (const SimDriver& driver : driver_registry()) {
+    const SimSpec spec = driver_spec(driver.kind);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Driver_") + driver.name).c_str(),
+        [spec](benchmark::State& state) { run_driver_point(state, spec); });
+  }
+  return 0;
+}();
 
 // The learned-predictor variant exercises predict_into + the dense-row
 // candidate filter, the other per-request hot path.

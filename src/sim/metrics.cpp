@@ -12,6 +12,8 @@ void SimMetrics::merge(const SimMetrics& other) {
   prefetch_fetches += other.prefetch_fetches;
   wasted_prefetches += other.wasted_prefetches;
   network_time += other.network_time;
+  prefetch_network_time += other.prefetch_network_time;
+  demand_network_time += other.demand_network_time;
   solver_nodes += other.solver_nodes;
 }
 

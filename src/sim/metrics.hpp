@@ -22,6 +22,10 @@ struct SimMetrics {
   std::uint64_t prefetch_fetches = 0;
   std::uint64_t wasted_prefetches = 0;
   double network_time = 0.0;      // total retrieval time on the wire
+  // Wire-time split by cause (network_time = prefetch + demand; kept as
+  // separate accumulators so the speculative share is reportable).
+  double prefetch_network_time = 0.0;
+  double demand_network_time = 0.0;
   std::uint64_t solver_nodes = 0; // cumulative planner search effort
 
   double hit_rate() const {

@@ -125,7 +125,9 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       cl.completion[Instance::idx(f)] =
           enqueue(inst.r[Instance::idx(f)]);
       ++cl.metrics.prefetch_fetches;
-      cl.metrics.network_time += inst.r[Instance::idx(f)];
+      const double rt = inst.r[Instance::idx(f)];
+      cl.metrics.network_time += rt;
+      cl.metrics.prefetch_network_time += rt;
     }
     cl.metrics.solver_nodes += plan.solver_nodes;
 
@@ -156,7 +158,9 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
             enqueue(me.chain->retrieval_time(next));
         me.completion[Instance::idx(next)] = finish;
         ++me.metrics.demand_fetches;
-        me.metrics.network_time += me.chain->retrieval_time(next);
+        const double rt = me.chain->retrieval_time(next);
+        me.metrics.network_time += rt;
+        me.metrics.demand_network_time += rt;
         T = finish - t_req;
       }
       me.freq->record(next);

@@ -105,7 +105,9 @@ double ClientSession::request(ItemId item, double viewing_time,
       unused_prefetch_[Instance::idx(f)] = 1;
       completion_[Instance::idx(f)] = enqueue_transfer(f, true);
       ++metrics_.prefetch_fetches;
-      metrics_.network_time += catalog_.retrieval_time(f, net_);
+      const double rt = catalog_.retrieval_time(f, net_);
+      metrics_.network_time += rt;
+      metrics_.prefetch_network_time += rt;
     }
   }
 
@@ -127,7 +129,9 @@ double ClientSession::request(ItemId item, double viewing_time,
           cache_.erase(t.item);
           unused_prefetch_[Instance::idx(t.item)] = 0;
           ++metrics_.wasted_prefetches;
-          metrics_.network_time -= catalog_.retrieval_time(t.item, net_);
+          const double rt = catalog_.retrieval_time(t.item, net_);
+          metrics_.network_time -= rt;
+          metrics_.prefetch_network_time -= rt;
           --metrics_.prefetch_fetches;
         } else {
           kept.push_back(t);
@@ -153,7 +157,9 @@ double ClientSession::request(ItemId item, double viewing_time,
     const double finish = enqueue_transfer(item, false);
     completion_[Instance::idx(item)] = finish;
     ++metrics_.demand_fetches;
-    metrics_.network_time += catalog_.retrieval_time(item, net_);
+    const double rt = catalog_.retrieval_time(item, net_);
+    metrics_.network_time += rt;
+    metrics_.demand_network_time += rt;
     T = finish - t_req;
   }
   clock_.run_until(t_req + T);

@@ -69,6 +69,16 @@ class ClientSession {
   // planning inputs).
   void enable_plan_cache(std::size_t capacity = PlanCache::kDefaultCapacity);
   bool plan_cache_enabled() const noexcept { return plan_cache_.has_value(); }
+  // Retires every stored plan and selection (generation bump on both
+  // tiers). Callers whose context-key promise breaks — e.g. a drifting
+  // workload redrawing the rows behind its state keys — invoke this at
+  // the changepoint; a no-op when the plan cache is disabled.
+  void invalidate_plan_cache() noexcept {
+    if (plan_cache_) {
+      plan_cache_->bump_generation();
+      selection_cache_->bump_generation();
+    }
+  }
   // Both tiers' counters (zeros when the plan cache is disabled).
   PlanMemoStats plan_cache_stats() const noexcept {
     PlanMemoStats stats;

@@ -105,11 +105,24 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
   PrefetchCacheResult result;
   auto& m = result.metrics;
 
+  // Phase-shift stream, derived from the config seed (not from walk_rng,
+  // so drifting and static runs share the walk stream between
+  // changepoints and the caller-supplied-source overload stays usable).
+  Rng drift_rng = Rng(cfg.seed).split(kPrefetchCacheDriftSalt);
+
   std::size_t state = source.current_state();
   if (predictor) predictor->observe(static_cast<ItemId>(state));
 
   for (std::size_t req = 0; req < cfg.requests; ++req) {
     const bool counted = req >= cfg.warmup;
+    if (cfg.drift_period != 0 && req != 0 && req % cfg.drift_period == 0) {
+      // Changepoint: the transition rows every memoized plan, solver
+      // selection and canonical order was computed from are gone.
+      source.redraw_transitions(cfg.source, drift_rng);
+      if (plans) plans->bump_generation();
+      if (selections) selections->bump_generation();
+      if (canon) canon->invalidate_all();
+    }
 
     // What the prefetcher knows in the current state. In plain oracle
     // mode P is the sparse transition row, and the source's successor
@@ -176,6 +189,7 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
         if (counted) {
           ++m.prefetch_fetches;
           m.network_time += inst.r[InstanceView::idx(f)];
+          m.prefetch_network_time += inst.r[InstanceView::idx(f)];
         }
       }
     }
@@ -202,6 +216,7 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
       if (counted) {
         ++m.demand_fetches;
         m.network_time += source.retrieval_time(next);
+        m.demand_network_time += source.retrieval_time(next);
       }
       if (cache.full()) {
         // "Demand-fetched item, however, must have a victim": minimal-Pr
@@ -238,7 +253,7 @@ PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg,
 PrefetchCacheResult run_prefetch_cache(const PrefetchCacheConfig& cfg) {
   Rng build_rng(cfg.seed);
   MarkovSource source(cfg.source, build_rng);
-  Rng walk_rng = build_rng.split(0x57a1f);
+  Rng walk_rng = build_rng.split(kPrefetchCacheWalkSalt);
   // Deterministic initial state.
   source.teleport(0);
   return run_prefetch_cache(cfg, source, walk_rng);
@@ -249,7 +264,7 @@ PrefetchCacheResult run_prefetch_cache_sized(
   SKP_REQUIRE(cfg.capacity > 0.0, "capacity must be positive");
   Rng build_rng(cfg.seed);
   MarkovSource source(cfg.source, build_rng);
-  Rng walk_rng = build_rng.split(0x57a1f);
+  Rng walk_rng = build_rng.split(kPrefetchCacheWalkSalt);
   source.teleport(0);
   const std::size_t n = source.n_states();
 
@@ -330,6 +345,7 @@ PrefetchCacheResult run_prefetch_cache_sized(
       if (counted) {
         ++m.prefetch_fetches;
         m.network_time += inst.r[InstanceView::idx(f)];
+        m.prefetch_network_time += inst.r[InstanceView::idx(f)];
       }
     }
     if (counted) m.solver_nodes += plan.solver_nodes;
@@ -348,6 +364,7 @@ PrefetchCacheResult run_prefetch_cache_sized(
       if (counted) {
         ++m.demand_fetches;
         m.network_time += source.retrieval_time(next);
+        m.demand_network_time += source.retrieval_time(next);
       }
       if (cache.cacheable(next)) {
         const InstanceView next_inst =

@@ -30,6 +30,15 @@ enum class PredictorKind { Oracle, Markov1, Ppm, DependencyWindow, Lz78 };
 
 const char* to_string(PredictorKind kind);
 
+// Stream-derivation salts of run_prefetch_cache's seed layout: the
+// default entry point builds the source from Rng(seed), derives the walk
+// with kPrefetchCacheWalkSalt, and the drift stream (phase-shifting
+// workloads) with kPrefetchCacheDriftSalt. Every entry point that must
+// reproduce that layout bit for bit (sim/runtime.cpp's Zipf and drift
+// paths) shares these constants instead of re-hardcoding them.
+inline constexpr std::uint64_t kPrefetchCacheWalkSalt = 0x57a1f;
+inline constexpr std::uint64_t kPrefetchCacheDriftSalt = 0xd21f7;
+
 struct PrefetchCacheConfig {
   MarkovSourceConfig source;  // defaults match the Fig. 7 caption
   std::size_t cache_size = 10;
@@ -59,6 +68,14 @@ struct PrefetchCacheConfig {
   // counter; off exists for A/B benchmarking, not correctness.
   bool use_plan_cache = true;
   std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+  // Phase-shifting workload drift (extension): every `drift_period`
+  // requests the source redraws its transition structure from a
+  // dedicated seed-derived stream (workload/markov_source.hpp
+  // redraw_transitions — the v/r catalogs and the current state
+  // persist). Changepoints invalidate every memoization tier whose keys
+  // assumed the old rows, so results stay bit-identical with the plan
+  // cache on or off. 0 = static chain (the paper's protocol).
+  std::size_t drift_period = 0;
 };
 
 struct PrefetchCacheResult {

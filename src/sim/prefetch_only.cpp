@@ -12,15 +12,6 @@ namespace skp {
 
 namespace {
 
-double draw_time(double lo, double hi, bool integer, Rng& rng) {
-  if (integer) {
-    return static_cast<double>(
-        rng.uniform_int(static_cast<std::int64_t>(lo),
-                        static_cast<std::int64_t>(hi)));
-  }
-  return rng.uniform(lo, hi);
-}
-
 // Runs `count` iterations into `result` using `rng`.
 void run_block(const PrefetchOnlyConfig& cfg, std::size_t count, Rng& rng,
                PrefetchOnlyResult& result) {
@@ -55,10 +46,10 @@ void run_block(const PrefetchOnlyConfig& cfg, std::size_t count, Rng& rng,
     generate_probabilities_into(cfg.n_items, cfg.method, rng, inst.P,
                                 cfg.skew_exponent);
     for (auto& x : inst.r) {
-      x = draw_time(cfg.r_lo, cfg.r_hi, cfg.integer_times, rng);
+      x = rng.uniform_time(cfg.r_lo, cfg.r_hi, cfg.integer_times);
     }
     const double v_drawn =
-        draw_time(cfg.v_lo, cfg.v_hi, cfg.integer_times, rng);
+        rng.uniform_time(cfg.v_lo, cfg.v_hi, cfg.integer_times);
     inst.v = cfg.stretch_intrudes ? std::max(0.0, v_drawn - carry)
                                   : v_drawn;
 
@@ -97,12 +88,14 @@ void run_block(const PrefetchOnlyConfig& cfg, std::size_t count, Rng& rng,
     result.metrics.prefetch_fetches += plan.fetch.size();
     for (ItemId f : plan.fetch) {
       result.metrics.network_time += inst.r[Instance::idx(f)];
+      result.metrics.prefetch_network_time += inst.r[Instance::idx(f)];
       if (f != requested) ++result.metrics.wasted_prefetches;
     }
     if (std::find(plan.fetch.begin(), plan.fetch.end(), requested) ==
         plan.fetch.end()) {
       ++result.metrics.demand_fetches;
       result.metrics.network_time += inst.r[Instance::idx(requested)];
+      result.metrics.demand_network_time += inst.r[Instance::idx(requested)];
     }
     if (result.scatter.size() < cfg.scatter_limit) {
       result.scatter.emplace_back(v_drawn, T);

@@ -1,0 +1,905 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "cache/cache.hpp"
+#include "cache/freq_tracker.hpp"
+#include "cache/replacement.hpp"
+#include "predict/dependency_graph.hpp"
+#include "predict/lz78_predictor.hpp"
+#include "predict/markov_predictor.hpp"
+#include "predict/ppm_predictor.hpp"
+#include "sim/netsim.hpp"
+#include "sim/prefetch_only.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/require.hpp"
+#include "workload/markov_source.hpp"
+#include "workload/request_stream.hpp"
+#include "workload/zipf_source.hpp"
+
+namespace skp {
+
+namespace {
+
+MarkovSourceConfig to_markov_config(const SimWorkload& w) {
+  MarkovSourceConfig cfg;
+  cfg.n_states = w.n_items;
+  cfg.out_degree_lo = w.out_degree_lo;
+  cfg.out_degree_hi = w.out_degree_hi;
+  cfg.v_lo = w.v_lo;
+  cfg.v_hi = w.v_hi;
+  cfg.r_lo = w.r_lo;
+  cfg.r_hi = w.r_hi;
+  cfg.integer_times = w.integer_times;
+  return cfg;
+}
+
+ZipfSourceConfig to_zipf_config(const SimWorkload& w) {
+  ZipfSourceConfig cfg;
+  cfg.n_items = w.n_items;
+  cfg.exponent = w.zipf_exponent;
+  cfg.shuffle = w.zipf_shuffle;
+  cfg.v_lo = w.v_lo;
+  cfg.v_hi = w.v_hi;
+  cfg.r_lo = w.r_lo;
+  cfg.r_hi = w.r_hi;
+  cfg.integer_times = w.integer_times;
+  return cfg;
+}
+
+// The learned predictors of the scenario pipelines (same construction the
+// scenario matrix has always used; trace_replay keeps its own factory).
+std::unique_ptr<Predictor> make_runtime_predictor(PredictorKind kind,
+                                                  std::size_t n) {
+  switch (kind) {
+    case PredictorKind::Markov1:
+      return std::make_unique<MarkovPredictor>(n);
+    case PredictorKind::Lz78:
+      return std::make_unique<Lz78Predictor>(n);
+    case PredictorKind::Ppm:
+      return std::make_unique<PpmPredictor>(n, 2);
+    case PredictorKind::DependencyWindow:
+      return std::make_unique<DependencyGraph>(n, /*window=*/2);
+    default:
+      SKP_REQUIRE(false,
+                  "this pipeline needs a learned predictor "
+                  "(markov1 | lz78 | ppm | depgraph)");
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ReplacementPolicy> make_runtime_policy(ReplacementKind kind,
+                                                       std::uint64_t seed) {
+  switch (kind) {
+    case ReplacementKind::LRU: return make_lru();
+    case ReplacementKind::FIFO: return make_fifo();
+    case ReplacementKind::LFU: return make_lfu();
+    case ReplacementKind::Random: return make_random(seed);
+  }
+  return make_lru();
+}
+
+// Reject-don't-drop: a spec field a driver cannot honor must fail the
+// run, not silently fall back to a default the CSV then records as if it
+// had been applied.
+void require_default_net(const SimSpec& spec, const char* driver) {
+  SKP_REQUIRE(spec.bandwidth == 1.0 && spec.latency == 0.0,
+              driver << " does not model the network link; "
+                        "bandwidth/latency apply to netsim_des/scenario");
+}
+
+void require_no_scenario_fields(const SimSpec& spec, const char* driver) {
+  SKP_REQUIRE(!spec.pr_planning && spec.replacement == ReplacementKind::LRU,
+              driver << " has no replacement-policy pipeline; "
+                        "replacement/pr apply to the scenario driver");
+}
+
+void require_unsized(const SimSpec& spec, const char* driver) {
+  SKP_REQUIRE(spec.sized_capacity == 0.0,
+              driver << " has no byte-addressed cache; sized_capacity "
+                        "applies to the prefetch_cache driver");
+}
+
+// ---- Drivers ------------------------------------------------------------
+
+SimResult run_prefetch_only_driver(const SimSpec& spec) {
+  const SimWorkload& w = spec.workload;
+  SKP_REQUIRE(w.kind == SimWorkloadKind::Iid,
+              "prefetch_only redraws P each iteration — use an iid "
+              "workload");
+  SKP_REQUIRE(spec.predictor == PredictorKind::Oracle,
+              "prefetch_only has no predictor pipeline");
+  SKP_REQUIRE(spec.warmup == 0 && spec.predictor_warmup == 0,
+              "prefetch_only has no warmup phase");
+  // Reject rather than silently drop fields this protocol cannot honor:
+  // the cache is flushed per iteration, so there is no sub-arbitration
+  // and no profit thresholding to apply.
+  SKP_REQUIRE(spec.sub == SubArbitration::None,
+              "prefetch_only has no cache to sub-arbitrate");
+  SKP_REQUIRE(spec.min_profit_threshold == 0.0,
+              "prefetch_only does not support min_profit_threshold");
+  require_default_net(spec, "prefetch_only");
+  require_no_scenario_fields(spec, "prefetch_only");
+  require_unsized(spec, "prefetch_only");
+  PrefetchOnlyConfig cfg;
+  cfg.n_items = w.n_items;
+  cfg.method = w.method;
+  cfg.skew_exponent = w.skew_exponent;
+  cfg.r_lo = w.r_lo;
+  cfg.r_hi = w.r_hi;
+  cfg.v_lo = w.v_lo;
+  cfg.v_hi = w.v_hi;
+  cfg.integer_times = w.integer_times;
+  cfg.policy = spec.policy;
+  cfg.delta_rule = spec.delta_rule;
+  cfg.iterations = spec.requests;
+  cfg.seed = spec.seed;
+  cfg.use_plan_cache = spec.use_plan_cache;
+  cfg.plan_cache_capacity = spec.plan_cache_capacity;
+
+  PrefetchOnlyResult res = run_prefetch_only(cfg);
+  SimResult out;
+  out.metrics = res.metrics;
+  out.plan_cache.plans = res.plan_cache;
+  out.avg_T_by_v.emplace(std::move(res.avg_T_by_v));
+  return out;
+}
+
+SimResult from_prefetch_cache_result(const PrefetchCacheResult& res) {
+  SimResult out;
+  out.metrics = res.metrics;
+  out.plan_cache = res.plan_cache;
+  out.over_viewing_time = res.over_viewing_time;
+  return out;
+}
+
+SimResult run_prefetch_cache_driver(const SimSpec& spec) {
+  const SimWorkload& w = spec.workload;
+  SKP_REQUIRE(spec.predictor_warmup == 0,
+              "prefetch_cache has no observe-only prefix; use warmup to "
+              "exclude leading requests from metrics");
+  require_default_net(spec, "prefetch_cache");
+  require_no_scenario_fields(spec, "prefetch_cache");
+  if (spec.sized_capacity > 0.0) {
+    SKP_REQUIRE(w.kind == SimWorkloadKind::Markov,
+                "the sized-cache experiment runs the Markov workload");
+    SKP_REQUIRE(spec.predictor == PredictorKind::Oracle,
+                "the sized-cache experiment is oracle-mode only");
+    SKP_REQUIRE(spec.min_profit_threshold == 0.0,
+                "the sized-cache experiment does not support "
+                "min_profit_threshold");
+    SizedExperimentConfig cfg;
+    cfg.source = to_markov_config(w);
+    cfg.capacity = spec.sized_capacity;
+    cfg.size_per_r = spec.size_per_r;
+    cfg.size_lo = spec.size_lo;
+    cfg.size_hi = spec.size_hi;
+    cfg.policy = spec.policy;
+    cfg.sub = spec.sub;
+    cfg.delta_rule = spec.delta_rule;
+    cfg.requests = spec.requests;
+    cfg.warmup = spec.warmup;
+    cfg.seed = spec.seed;
+    cfg.use_plan_cache = spec.use_plan_cache;
+    cfg.plan_cache_capacity = spec.plan_cache_capacity;
+    return from_prefetch_cache_result(run_prefetch_cache_sized(cfg));
+  }
+
+  PrefetchCacheConfig cfg;
+  cfg.cache_size = spec.cache_size;
+  cfg.policy = spec.policy;
+  cfg.sub = spec.sub;
+  cfg.delta_rule = spec.delta_rule;
+  cfg.requests = spec.requests;
+  cfg.warmup = spec.warmup;
+  cfg.seed = spec.seed;
+  cfg.predictor = spec.predictor;
+  cfg.predictor_min_prob = spec.predictor_min_prob;
+  cfg.min_profit_threshold = spec.min_profit_threshold;
+  cfg.use_plan_cache = spec.use_plan_cache;
+  cfg.plan_cache_capacity = spec.plan_cache_capacity;
+  switch (w.kind) {
+    case SimWorkloadKind::Markov:
+      cfg.source = to_markov_config(w);
+      return from_prefetch_cache_result(run_prefetch_cache(cfg));
+    case SimWorkloadKind::MarkovDrift:
+      cfg.source = to_markov_config(w);
+      cfg.drift_period = w.drift_period;
+      return from_prefetch_cache_result(run_prefetch_cache(cfg));
+    case SimWorkloadKind::Zipf: {
+      // Mirror the default entry point's stream split: the source is
+      // built from Rng(seed), the walk from its kPrefetchCacheWalkSalt child.
+      Rng build(spec.seed);
+      MarkovSource source = make_zipf_source(to_zipf_config(w), build);
+      Rng walk = build.split(kPrefetchCacheWalkSalt);
+      source.teleport(0);
+      return from_prefetch_cache_result(
+          run_prefetch_cache(cfg, source, walk));
+    }
+    default:
+      SKP_REQUIRE(false,
+                  "prefetch_cache supports markov | markov_drift | zipf "
+                  "workloads");
+  }
+  return {};
+}
+
+SimResult run_trace_replay_driver(const SimSpec& spec) {
+  SKP_REQUIRE(spec.predictor != PredictorKind::Oracle,
+              "trace replay has no oracle probabilities");
+  SKP_REQUIRE(spec.predictor_warmup == 0,
+              "trace replay has no observe-only prefix; use warmup to "
+              "exclude leading requests from metrics");
+  require_default_net(spec, "trace_replay");
+  require_no_scenario_fields(spec, "trace_replay");
+  require_unsized(spec, "trace_replay");
+  Rng root(spec.seed);
+  Rng build = root.split(1);
+  Rng walk = root.split(2);
+  const MaterializedWorkload w =
+      materialize_workload(spec.workload, spec.requests, build, walk);
+
+  Trace trace(w.n_items, w.retrieval_times);
+  for (const TraceRecord& rec : w.cycles) {
+    trace.append(rec.item, rec.viewing_time);
+  }
+
+  TraceReplayConfig cfg;
+  cfg.cache_size = spec.cache_size;
+  cfg.policy = spec.policy;
+  cfg.sub = spec.sub;
+  cfg.delta_rule = spec.delta_rule;
+  cfg.predictor = spec.predictor;
+  cfg.predictor_min_prob = spec.predictor_min_prob;
+  cfg.min_profit_threshold = spec.min_profit_threshold;
+  cfg.warmup = spec.warmup;
+  cfg.use_plan_cache = spec.use_plan_cache;
+  cfg.plan_cache_capacity = spec.plan_cache_capacity;
+
+  SimResult out;
+  out.metrics = replay_trace(trace, cfg, &out.plan_cache);
+  return out;
+}
+
+// Shared stream layout of the net-grounded pipelines (netsim_des and
+// scenario): structure/trajectory/catalog streams ride fixed children of
+// the spec seed, and retrieval times come from a catalog of sizes drawn
+// U{1..30} through r_i = latency + size_i / bandwidth. The two drivers
+// MUST agree byte for byte here — that is what makes a NetsimDes golden
+// row comparable to the Scenario row of the same config — so the layout
+// lives in one place. `root` is returned so callers can derive further
+// sibling streams (the scenario driver's split(4) policy seed).
+struct GroundedStreams {
+  Rng root, build, walk;
+  ServerCatalog catalog;
+  NetConfig net;
+};
+
+GroundedStreams ground_streams(const SimSpec& spec) {
+  GroundedStreams g{Rng(spec.seed), Rng(0), Rng(0), {}, {}};
+  g.build = g.root.split(1);
+  g.walk = g.root.split(2);
+  Rng sizes_rng = g.root.split(3);
+  g.catalog.sizes.resize(spec.workload.n_items);
+  for (auto& s : g.catalog.sizes) {
+    s = static_cast<double>(sizes_rng.uniform_int(1, 30));
+  }
+  g.net.bandwidth = spec.bandwidth;
+  g.net.latency = spec.latency;
+  return g;
+}
+
+SimResult run_netsim_des_driver(const SimSpec& spec) {
+  const SimWorkload& w = spec.workload;
+  SKP_REQUIRE(spec.warmup == 0,
+              "netsim_des counts every request; use predictor_warmup for "
+              "an observe-only prefix");
+  // The session arbitrates its own victims (Figure-6 Pr-arbitration).
+  require_no_scenario_fields(spec, "netsim_des");
+  require_unsized(spec, "netsim_des");
+  const std::size_t n = w.n_items;
+
+  GroundedStreams g = ground_streams(spec);
+  Rng& build = g.build;
+  Rng& walk = g.walk;
+
+  EngineConfig ecfg;
+  ecfg.policy = spec.policy;
+  ecfg.delta_rule = spec.delta_rule;
+  ecfg.arbitration.sub = spec.sub;
+  ecfg.min_profit_threshold = spec.min_profit_threshold;
+  ecfg.evaluate_plan_g = false;
+  ClientSession session(std::move(g.catalog), g.net, ecfg,
+                        spec.cache_size);
+  if (spec.use_plan_cache) {
+    session.enable_plan_cache(spec.plan_cache_capacity);
+  }
+
+  SimResult out;
+  std::uint64_t prev_prefetches = 0;
+  const auto count_plan = [&] {
+    const std::uint64_t now = session.metrics().prefetch_fetches;
+    if (now > prev_prefetches) ++out.plans;
+    prev_prefetches = now;
+  };
+
+  if (spec.predictor == PredictorKind::Oracle) {
+    // Oracle mode: the DES rendition of the Fig.-7 protocol — ground-
+    // truth transition rows, context keys enabling plan memoization.
+    SKP_REQUIRE(w.kind == SimWorkloadKind::Markov ||
+                    w.kind == SimWorkloadKind::MarkovDrift ||
+                    w.kind == SimWorkloadKind::Zipf,
+                "oracle netsim_des needs a generative workload "
+                "(markov | markov_drift | zipf)");
+    const MarkovSourceConfig mcfg = to_markov_config(w);
+    MarkovSource source = w.kind == SimWorkloadKind::Zipf
+                              ? make_zipf_source(to_zipf_config(w), build)
+                              : MarkovSource(mcfg, build);
+    Rng drift_rng = build.split(kPrefetchCacheDriftSalt);
+    const std::size_t period =
+        w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
+    const std::vector<double> zeros(n, 0.0);
+    std::size_t state = source.current_state();
+    for (std::size_t req = 0; req < spec.requests; ++req) {
+      if (period != 0 && req != 0 && req % period == 0) {
+        source.redraw_transitions(mcfg, drift_rng);
+        // The context keys' promise (state -> row) just broke.
+        session.invalidate_plan_cache();
+      }
+      const double v = source.viewing_time(state);
+      // An observe-only warmup prefix plans against a zero row (fetches
+      // nothing), mirroring the learned branch's semantics.
+      const bool planning = req >= spec.predictor_warmup;
+      const std::span<const double> row =
+          planning ? source.transition_row(state)
+                   : std::span<const double>(zeros);
+      const auto next = static_cast<ItemId>(source.step(walk));
+      std::optional<ItemId> oracle_next;
+      if (planning && spec.policy == PrefetchPolicy::Perfect) {
+        oracle_next = next;
+      }
+      session.request(next, v, row, oracle_next,
+                      planning && spec.use_plan_cache
+                          ? std::optional<std::uint64_t>(state)
+                          : std::nullopt);
+      count_plan();
+      state = static_cast<std::size_t>(next);
+    }
+  } else {
+    // Learned mode: materialized cycles drive an external predictor; an
+    // observe-only warmup plans against a zero row (the planner then
+    // fetches nothing). No context key — the predictor's state is
+    // outside the session's invalidation scope.
+    const MaterializedWorkload mat =
+        materialize_workload(w, spec.requests, build, walk);
+    auto predictor = make_runtime_predictor(spec.predictor, n);
+    std::vector<double> P(n, 0.0);
+    const std::vector<double> zeros(n, 0.0);
+    for (std::size_t i = 0; i < mat.cycles.size(); ++i) {
+      const TraceRecord& rec = mat.cycles[i];
+      std::span<const double> row = zeros;
+      if (i >= spec.predictor_warmup) {
+        predictor->predict_into(P);
+        for (double& p : P) {
+          if (p < spec.predictor_min_prob) p = 0.0;
+        }
+        row = P;
+      }
+      std::optional<ItemId> oracle_next;
+      if (spec.policy == PrefetchPolicy::Perfect) oracle_next = rec.item;
+      session.request(rec.item, rec.viewing_time, row, oracle_next);
+      count_plan();
+      predictor->observe(rec.item);
+    }
+  }
+
+  out.metrics = session.metrics();
+  out.plan_cache = session.plan_cache_stats();
+  out.link_utilization = session.link_utilization();
+  return out;
+}
+
+SimResult run_scenario_driver(const SimSpec& spec) {
+  SKP_REQUIRE(spec.warmup == 0,
+              "the scenario pipeline counts every request; use "
+              "predictor_warmup for the observe-only prefix");
+  require_unsized(spec, "scenario");
+  const std::size_t n = spec.workload.n_items;
+  GroundedStreams g = ground_streams(spec);
+  const std::vector<double> r = g.catalog.retrieval_times(g.net);
+
+  const MaterializedWorkload mat =
+      materialize_workload(spec.workload, spec.requests, g.build, g.walk);
+
+  auto predictor = make_runtime_predictor(spec.predictor, n);
+  auto policy =
+      make_runtime_policy(spec.replacement, g.root.split(4).next_u64());
+  SlotCache cache(n, spec.cache_size);
+  FreqTracker freq(n);  // Pr-arbitration sub-score substrate
+
+  EngineConfig ecfg;
+  ecfg.policy = spec.policy;
+  ecfg.delta_rule = spec.delta_rule;
+  ecfg.arbitration.sub = spec.sub;
+  ecfg.min_profit_threshold = spec.min_profit_threshold;
+  const PrefetchEngine engine(ecfg);
+
+  SimResult res;
+  SimMetrics& m = res.metrics;
+  constexpr double kEps = 1e-9;
+  // Borrowed-view planning (allocation-free across cycles): P lives in
+  // the scratch buffer, r in the catalog vector above.
+  PlanScratch scratch;
+  PrefetchPlan plan;
+  for (std::size_t i = 0; i < mat.cycles.size(); ++i) {
+    const ItemId item = mat.cycles[i].item;
+    const double v = mat.cycles[i].viewing_time;
+
+    if (i >= spec.predictor_warmup) {
+      predictor->predict_into(scratch.P);
+      double mass = 0.0;
+      for (std::size_t j = 0; j < scratch.P.size(); ++j) {
+        // Shortlist: drop sliver mass; without Pr-arbitration planning
+        // additionally zero cached items (planning over N \ C,
+        // Section 5 — the Figure-6 planner does its own N \ C
+        // filtering).
+        if (scratch.P[j] < spec.predictor_min_prob ||
+            (!spec.pr_planning &&
+             cache.contains(static_cast<ItemId>(j)))) {
+          scratch.P[j] = 0.0;
+        }
+        mass += scratch.P[j];
+      }
+      if (mass > 0.0) {
+        const InstanceView inst(scratch.P, r, v);
+        if (spec.pr_planning) {
+          engine.plan_with_cache(inst, cache, &freq, scratch, plan);
+        } else {
+          engine.plan(inst, scratch, plan);
+        }
+        m.solver_nodes += plan.solver_nodes;
+        // Bandwidth budget (Eq. 1): every fetch but the last must finish
+        // within v; plain KP may not stretch at all.
+        double prefix = 0.0;
+        for (std::size_t k = 0; k + 1 < plan.fetch.size(); ++k) {
+          prefix += r[Instance::idx(plan.fetch[k])];
+        }
+        double budget_used = prefix;
+        if (spec.policy == PrefetchPolicy::KP && !plan.fetch.empty()) {
+          budget_used += r[Instance::idx(plan.fetch.back())];
+        }
+        if (budget_used > v + kEps) {
+          ++res.budget_violations;
+          res.worst_budget_overrun =
+              std::max(res.worst_budget_overrun, budget_used - v);
+        }
+        if (!plan.fetch.empty()) ++res.plans;
+        if (spec.pr_planning) {
+          // Figure-6 execution: each admitted fetch claims its
+          // Pr-arbitrated victim once the cache is full; the replacement
+          // policy's books are kept consistent so demand misses still
+          // work on accurate state.
+          std::size_t victim_idx = 0;
+          for (const ItemId f : plan.fetch) {
+            if (cache.full()) {
+              const ItemId victim = plan.evict[victim_idx++];
+              cache.erase(victim);
+              policy->on_evict(victim);
+            }
+            cache.insert(f);
+            policy->on_insert(f);
+            ++m.prefetch_fetches;
+            m.prefetch_network_time += r[Instance::idx(f)];
+          }
+        } else {
+          for (const ItemId f : plan.fetch) {
+            if (cache.contains(f)) continue;  // zero-profit filler
+            if (cache.full()) {
+              const ItemId victim = policy->choose_victim(cache);
+              cache.erase(victim);
+              policy->on_evict(victim);
+            }
+            cache.insert(f);
+            policy->on_insert(f);
+            ++m.prefetch_fetches;
+            m.prefetch_network_time += r[Instance::idx(f)];
+          }
+        }
+      }
+    }
+
+    if (cache.contains(item)) {
+      ++m.hits;
+      policy->on_access(item);
+    } else {
+      ++m.demand_fetches;
+      m.demand_network_time += r[Instance::idx(item)];
+      access_with_policy(cache, *policy, item);
+    }
+    ++m.requests;
+    freq.record(item);
+    predictor->observe(item);
+  }
+  m.network_time = m.prefetch_network_time + m.demand_network_time;
+  return res;
+}
+
+constexpr SimDriver kDrivers[] = {
+    {SimDriverKind::PrefetchOnly, "prefetch_only",
+     &run_prefetch_only_driver},
+    {SimDriverKind::PrefetchCache, "prefetch_cache",
+     &run_prefetch_cache_driver},
+    {SimDriverKind::TraceReplay, "trace_replay",
+     &run_trace_replay_driver},
+    {SimDriverKind::NetsimDes, "netsim_des", &run_netsim_des_driver},
+    {SimDriverKind::Scenario, "scenario", &run_scenario_driver},
+};
+
+}  // namespace
+
+// ---- Registry -----------------------------------------------------------
+
+std::span<const SimDriver> driver_registry() { return kDrivers; }
+
+const SimDriver& find_driver(SimDriverKind kind) {
+  for (const SimDriver& d : kDrivers) {
+    if (d.kind == kind) return d;
+  }
+  SKP_REQUIRE(false, "unregistered driver kind");
+  return kDrivers[0];
+}
+
+const SimDriver* find_driver(std::string_view name) {
+  for (const SimDriver& d : kDrivers) {
+    if (name == d.name) return &d;
+  }
+  return nullptr;
+}
+
+SimResult run_sim(const SimSpec& spec) {
+  SKP_REQUIRE(spec.workload.n_items >= 2, "n_items must be >= 2");
+  SKP_REQUIRE(spec.requests >= 1, "requests must be >= 1");
+  return find_driver(spec.driver).run(spec);
+}
+
+// ---- String forms -------------------------------------------------------
+
+const char* to_string(SimDriverKind kind) {
+  return find_driver(kind).name;
+}
+
+const char* to_string(SimWorkloadKind kind) {
+  switch (kind) {
+    case SimWorkloadKind::Markov: return "markov";
+    case SimWorkloadKind::Iid: return "iid";
+    case SimWorkloadKind::Zipf: return "zipf";
+    case SimWorkloadKind::MarkovDrift: return "markov_drift";
+    case SimWorkloadKind::TraceText: return "trace_text";
+  }
+  return "?";
+}
+
+const char* to_string(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::LRU: return "lru";
+    case ReplacementKind::FIFO: return "fifo";
+    case ReplacementKind::LFU: return "lfu";
+    case ReplacementKind::Random: return "random";
+  }
+  return "?";
+}
+
+const char* policy_token(PrefetchPolicy policy) {
+  switch (policy) {
+    case PrefetchPolicy::None: return "none";
+    case PrefetchPolicy::KP: return "kp";
+    case PrefetchPolicy::SKP: return "skp";
+    case PrefetchPolicy::Perfect: return "perfect";
+  }
+  return "?";
+}
+
+const char* sub_token(SubArbitration sub) {
+  switch (sub) {
+    case SubArbitration::None: return "none";
+    case SubArbitration::LFU: return "lfu";
+    case SubArbitration::DS: return "ds";
+  }
+  return "?";
+}
+
+const char* delta_token(DeltaRule rule) {
+  switch (rule) {
+    case DeltaRule::ExactComplement: return "exact";
+    case DeltaRule::PaperTail: return "paper";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Enum, std::size_t N>
+std::optional<Enum> parse_token(
+    std::string_view name, const std::pair<const char*, Enum> (&table)[N]) {
+  for (const auto& [token, value] : table) {
+    if (name == token) return value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<SimDriverKind> parse_driver_kind(std::string_view name) {
+  if (const SimDriver* d = find_driver(name)) return d->kind;
+  return std::nullopt;
+}
+
+std::optional<SimWorkloadKind> parse_workload_kind(std::string_view name) {
+  static constexpr std::pair<const char*, SimWorkloadKind> table[] = {
+      {"markov", SimWorkloadKind::Markov},
+      {"iid", SimWorkloadKind::Iid},
+      {"zipf", SimWorkloadKind::Zipf},
+      {"markov_drift", SimWorkloadKind::MarkovDrift},
+      {"trace_text", SimWorkloadKind::TraceText},
+  };
+  return parse_token(name, table);
+}
+
+std::optional<ReplacementKind> parse_replacement_kind(
+    std::string_view name) {
+  static constexpr std::pair<const char*, ReplacementKind> table[] = {
+      {"lru", ReplacementKind::LRU},
+      {"fifo", ReplacementKind::FIFO},
+      {"lfu", ReplacementKind::LFU},
+      {"random", ReplacementKind::Random},
+  };
+  return parse_token(name, table);
+}
+
+std::optional<PrefetchPolicy> parse_policy(std::string_view name) {
+  static constexpr std::pair<const char*, PrefetchPolicy> table[] = {
+      {"none", PrefetchPolicy::None},
+      {"kp", PrefetchPolicy::KP},
+      {"skp", PrefetchPolicy::SKP},
+      {"perfect", PrefetchPolicy::Perfect},
+  };
+  return parse_token(name, table);
+}
+
+std::optional<SubArbitration> parse_sub_arbitration(std::string_view name) {
+  static constexpr std::pair<const char*, SubArbitration> table[] = {
+      {"none", SubArbitration::None},
+      {"lfu", SubArbitration::LFU},
+      {"ds", SubArbitration::DS},
+  };
+  return parse_token(name, table);
+}
+
+std::optional<DeltaRule> parse_delta_rule(std::string_view name) {
+  static constexpr std::pair<const char*, DeltaRule> table[] = {
+      {"exact", DeltaRule::ExactComplement},
+      {"paper", DeltaRule::PaperTail},
+  };
+  return parse_token(name, table);
+}
+
+std::optional<PredictorKind> parse_predictor_kind(std::string_view name) {
+  static constexpr std::pair<const char*, PredictorKind> table[] = {
+      {"oracle", PredictorKind::Oracle},
+      {"markov1", PredictorKind::Markov1},
+      {"ppm", PredictorKind::Ppm},
+      {"depgraph", PredictorKind::DependencyWindow},
+      {"lz78", PredictorKind::Lz78},
+  };
+  return parse_token(name, table);
+}
+
+std::optional<ProbMethod> parse_prob_method(std::string_view name) {
+  static constexpr std::pair<const char*, ProbMethod> table[] = {
+      {"skewy", ProbMethod::Skewy},
+      {"flat", ProbMethod::Flat},
+  };
+  return parse_token(name, table);
+}
+
+// ---- Workload materialization -------------------------------------------
+
+MaterializedWorkload materialize_workload(const SimWorkload& w,
+                                          std::size_t requests, Rng& build,
+                                          Rng& walk) {
+  SKP_REQUIRE(w.n_items >= 2, "n_items must be >= 2");
+  MaterializedWorkload out;
+  out.n_items = w.n_items;
+  out.cycles.reserve(requests);
+  switch (w.kind) {
+    case SimWorkloadKind::Markov:
+    case SimWorkloadKind::MarkovDrift:
+    case SimWorkloadKind::Zipf: {
+      const MarkovSourceConfig mcfg = to_markov_config(w);
+      MarkovSource src = w.kind == SimWorkloadKind::Zipf
+                             ? make_zipf_source(to_zipf_config(w), build)
+                             : MarkovSource(mcfg, build);
+      Rng drift_rng = build.split(kPrefetchCacheDriftSalt);
+      const std::size_t period =
+          w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
+      for (std::size_t i = 0; i < requests; ++i) {
+        if (period != 0 && i != 0 && i % period == 0) {
+          src.redraw_transitions(mcfg, drift_rng);
+        }
+        const double v = src.viewing_time(src.current_state());
+        const auto item = static_cast<ItemId>(src.step(walk));
+        out.cycles.push_back({item, v});
+      }
+      out.retrieval_times.assign(src.retrieval_times().begin(),
+                                 src.retrieval_times().end());
+      break;
+    }
+    case SimWorkloadKind::Iid: {
+      Instance inst;
+      inst.P = w.method == ProbMethod::Skewy
+                   ? skewy_probabilities(w.n_items, build, w.skew_exponent)
+                   : flat_probabilities(w.n_items, build);
+      inst.r.assign(w.n_items, 1.0);  // placeholder; re-drawn below
+      inst.v = w.iid_viewing_time;
+      IidStream stream(std::move(inst));
+      for (std::size_t i = 0; i < requests; ++i) {
+        const RequestEvent e = stream.next(walk);
+        out.cycles.push_back({e.item, e.instance.v});
+      }
+      // Catalog retrieval times drawn after the row so consumers that
+      // re-ground r elsewhere (scenario/netsim catalogs) see the same P.
+      out.retrieval_times.resize(w.n_items);
+      for (auto& r : out.retrieval_times) {
+        r = build.uniform_time(w.r_lo, w.r_hi, w.integer_times);
+      }
+      break;
+    }
+    case SimWorkloadKind::TraceText: {
+      const MarkovSourceConfig mcfg = to_markov_config(w);
+      MarkovSource src(mcfg, build);
+      Trace recorded(w.n_items,
+                     std::vector<double>(src.retrieval_times().begin(),
+                                         src.retrieval_times().end()));
+      for (std::size_t i = 0; i < requests; ++i) {
+        const double v = src.viewing_time(src.current_state());
+        recorded.append(static_cast<ItemId>(src.step(walk)), v);
+      }
+      std::stringstream io;
+      recorded.save(io);
+      const Trace replayed = Trace::load(io);
+      out.cycles.assign(replayed.records().begin(),
+                        replayed.records().end());
+      out.retrieval_times = replayed.retrieval_times();
+      break;
+    }
+  }
+  return out;
+}
+
+// ---- simctl substrate ---------------------------------------------------
+
+bool shard_owns(std::size_t index, std::size_t shard_index,
+                std::size_t shard_count) {
+  SKP_REQUIRE(shard_count >= 1, "shard count must be >= 1");
+  SKP_REQUIRE(shard_index < shard_count,
+              "shard index " << shard_index << " out of range 0.."
+                             << shard_count - 1);
+  return index % shard_count == shard_index;
+}
+
+std::vector<std::string> sim_csv_header() {
+  return {
+      "index",          "driver",
+      "workload",       "n_items",
+      "policy",         "sub",
+      "delta",          "predictor",
+      "min_prob",       "predictor_warmup",
+      "replacement",    "pr_planning",
+      "cache_size",     "sized_capacity",
+      "size_per_r",     "requests",
+      "warmup",         "seed",
+      "bandwidth",      "latency",
+      "threshold",      "drift_period",
+      "plan_cache",
+      "hit_rate",       "mean_T",
+      "net_per_req",    "prefetch_net",
+      "demand_net",     "hits",
+      "resident_hits",  "demand",
+      "prefetched",
+      "wasted",         "solver_nodes",
+      "plan_hit_rate",  "select_hit_rate",
+      "plans",          "budget_violations",
+      "link_util",      "over_viewing",
+  };
+}
+
+void append_sim_csv_row(CsvWriter& writer, std::size_t index,
+                        const SimSpec& spec, const SimResult& result) {
+  const SimMetrics& m = result.metrics;
+  // Spec cells record the values actually in force, not inert struct
+  // defaults: a field no simulator consulted (the slot size of a sized
+  // or flush-per-request run, the shortlist floor of an oracle run, the
+  // drift period of a static workload) prints as its zero so the sweep
+  // document never claims a parameter study that did not happen.
+  const bool slot_cache = spec.driver != SimDriverKind::PrefetchOnly &&
+                          spec.sized_capacity == 0.0;
+  const bool learned = spec.predictor != PredictorKind::Oracle;
+  const std::size_t drift_period =
+      spec.workload.kind == SimWorkloadKind::MarkovDrift
+          ? spec.workload.drift_period
+          : 0;
+  writer.row_of(
+      index, to_string(spec.driver), to_string(spec.workload.kind),
+      spec.workload.n_items, policy_token(spec.policy),
+      sub_token(spec.sub), delta_token(spec.delta_rule),
+      to_string(spec.predictor),
+      learned ? spec.predictor_min_prob : 0.0,
+      spec.predictor_warmup, to_string(spec.replacement),
+      spec.pr_planning ? 1 : 0, slot_cache ? spec.cache_size : 0,
+      spec.sized_capacity,
+      spec.size_per_r, spec.requests, spec.warmup, spec.seed,
+      spec.bandwidth, spec.latency,
+      spec.min_profit_threshold, drift_period,
+      spec.use_plan_cache ? 1 : 0, m.hit_rate(), m.mean_access_time(),
+      m.network_time_per_request(), m.prefetch_network_time,
+      m.demand_network_time, m.hits, result.resident_hits(),
+      m.demand_fetches, m.prefetch_fetches,
+      m.wasted_prefetches, m.solver_nodes,
+      result.plan_cache.plans.hit_rate(),
+      result.plan_cache.selections.hit_rate(), result.plans,
+      result.budget_violations, result.link_utilization,
+      result.over_viewing_time);
+}
+
+std::string merge_sharded_csv(const std::vector<std::string>& shards) {
+  SKP_REQUIRE(!shards.empty(), "no shard documents to merge");
+  std::string header;
+  std::map<std::size_t, std::string> rows;
+  for (const std::string& doc : shards) {
+    std::istringstream is(doc);
+    std::string line;
+    SKP_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                "empty shard document");
+    if (header.empty()) {
+      header = line;
+    } else {
+      SKP_REQUIRE(line == header, "shard header mismatch: " << line);
+    }
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      const std::size_t comma = line.find(',');
+      SKP_REQUIRE(comma != std::string::npos && comma > 0,
+                  "malformed shard row: " << line);
+      const std::string key = line.substr(0, comma);
+      std::size_t pos = 0;
+      std::size_t index = 0;
+      try {
+        index = std::stoull(key, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      SKP_REQUIRE(pos == key.size() && pos > 0,
+                  "non-numeric row index: " << key);
+      SKP_REQUIRE(rows.emplace(index, line).second,
+                  "duplicate row index " << index);
+    }
+  }
+  std::string out = header;
+  out += '\n';
+  std::size_t expect = 0;
+  for (const auto& [index, line] : rows) {
+    SKP_REQUIRE(index == expect,
+                "missing row index " << expect << " (next present: "
+                                     << index << ")");
+    ++expect;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace skp

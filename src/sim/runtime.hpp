@@ -1,0 +1,238 @@
+// Unified simulation runtime: SimSpec descriptors + driver registry.
+//
+// The paper's evaluation is a matrix of simulators (prefetch-only,
+// prefetch+cache, trace replay, network DES) crossed with predictors,
+// replacement policies and workloads. Before this layer existed every
+// bench, test and the scenario harness wired each driver by hand; now a
+// single value type — SimSpec — names any cell of that matrix, a driver
+// registry dispatches it to the existing engines, and every run reports
+// through one SimResult. The figure benches are thin SimSpec
+// enumerations over sim/sweep.hpp, the scenario-matrix harness is a
+// SimSpec mapping, and the `simctl` CLI (tools/simctl.cpp) turns flags
+// into spec sweeps that shard across processes/machines with
+// byte-identical merged CSV output.
+//
+// Workloads are first-class spec fields too: the paper's Markov chain
+// and i.i.d. draws, plus the Zipf catalog (workload/zipf_source.hpp),
+// phase-shifting Markov drift (MarkovSource::redraw_transitions) and a
+// text-round-tripped trace. Determinism contract: a SimSpec fully
+// determines its SimResult (every random stream derives from spec.seed),
+// so any sharding/threading of a spec sweep is result-equivalent to a
+// serial loop.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/prefetch_engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/prefetch_cache.hpp"  // PredictorKind + PrefetchCacheConfig
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "workload/prob_gen.hpp"
+#include "workload/trace.hpp"
+
+namespace skp {
+
+// ---- Spec vocabulary ----------------------------------------------------
+
+enum class SimDriverKind {
+  PrefetchOnly,   // Section 4.4 flush-per-request Monte Carlo (Figs. 4/5)
+  PrefetchCache,  // Section 5.3 Markov prefetch+cache Monte Carlo (Fig. 7)
+  TraceReplay,    // recorded trace through the learned-predictor pipeline
+  NetsimDes,      // discrete-event ClientSession over a serial link
+  Scenario,       // deployment pipeline: predictor + replacement policy +
+                  // net-grounded retrieval times (the scenario matrix)
+};
+
+enum class SimWorkloadKind {
+  Markov,       // the paper's sparse Markov chain
+  Iid,          // i.i.d. draws from one skewy/flat row
+  Zipf,         // i.i.d. Zipf catalog (rank-1 chain)
+  MarkovDrift,  // Markov chain with phase-shift changepoints
+  TraceText,    // Markov walk round-tripped through the skptrace format
+};
+
+// Demand-miss eviction policy for the Scenario driver (prefetch victims
+// come from the ReplacementPolicy too unless `pr_planning` engages the
+// Figure-6 Pr-arbitration path).
+enum class ReplacementKind { LRU, FIFO, LFU, Random };
+
+struct SimWorkload {
+  SimWorkloadKind kind = SimWorkloadKind::Markov;
+  std::size_t n_items = 100;
+  // Chain shape (Markov / MarkovDrift / TraceText); defaults are the
+  // Fig. 7 caption.
+  std::size_t out_degree_lo = 10, out_degree_hi = 20;
+  double v_lo = 1.0, v_hi = 100.0;
+  double r_lo = 1.0, r_hi = 30.0;
+  bool integer_times = true;
+  // Iid parameters. `iid_viewing_time` is the constant v of each cycle
+  // in the cycle-driven drivers (prefetch_only draws v per iteration
+  // from v_lo..v_hi instead, per the paper's protocol).
+  ProbMethod method = ProbMethod::Skewy;
+  double skew_exponent = 8.0;
+  double iid_viewing_time = 30.0;
+  // Zipf parameters (workload/zipf_source.hpp).
+  double zipf_exponent = 1.1;
+  bool zipf_shuffle = true;
+  // MarkovDrift: requests between transition-structure changepoints.
+  std::size_t drift_period = 2'000;
+};
+
+struct SimSpec {
+  SimDriverKind driver = SimDriverKind::PrefetchCache;
+  SimWorkload workload;
+
+  // Planning.
+  PrefetchPolicy policy = PrefetchPolicy::SKP;
+  SubArbitration sub = SubArbitration::None;
+  DeltaRule delta_rule = DeltaRule::ExactComplement;
+  double min_profit_threshold = 0.0;
+
+  // Prediction. Oracle uses the workload's ground-truth rows (invalid
+  // for TraceReplay/Scenario, which are learned-predictor pipelines).
+  PredictorKind predictor = PredictorKind::Oracle;
+  double predictor_min_prob = 0.01;
+  // Observe-only prefix before planning starts (Scenario/NetsimDes).
+  std::size_t predictor_warmup = 0;
+
+  // Cache sizing. `sized_capacity` > 0 switches the PrefetchCache driver
+  // to the byte-addressed SizedCache (capacity in size units; item sizes
+  // are size_per_r * r_i when size_per_r > 0, else U[size_lo, size_hi]).
+  std::size_t cache_size = 10;
+  double sized_capacity = 0.0;
+  double size_per_r = 1.0;
+  double size_lo = 1.0, size_hi = 30.0;
+  // Scenario driver: demand-miss eviction policy, and whether prefetch
+  // victims come from Figure-6 Pr-arbitration instead of the policy.
+  ReplacementKind replacement = ReplacementKind::LRU;
+  bool pr_planning = false;
+
+  // Network grounding (NetsimDes + Scenario): r_i = latency + size_i /
+  // bandwidth over a catalog of sizes drawn U{1..30} from the seed.
+  double bandwidth = 1.0;
+  double latency = 0.0;
+
+  // Run shape.
+  std::size_t requests = 5'000;
+  std::size_t warmup = 0;  // leading requests excluded from metrics
+  std::uint64_t seed = 1;
+  bool use_plan_cache = true;
+  std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+};
+
+// ---- Unified result -----------------------------------------------------
+
+struct SimResult {
+  SimMetrics metrics;        // merged counters, every driver
+  PlanMemoStats plan_cache;  // memoization tiers (zero when unused)
+  // PrefetchCache driver: requests whose T exceeded the viewing time.
+  std::uint64_t over_viewing_time = 0;
+  // Scenario/NetsimDes: planning rounds that fetched anything.
+  std::uint64_t plans = 0;
+  // Scenario driver: stretch-knapsack bandwidth-budget violations.
+  std::uint64_t budget_violations = 0;
+  double worst_budget_overrun = 0.0;
+  // NetsimDes driver: fraction of elapsed time the link transferred.
+  double link_utilization = 0.0;
+  // PrefetchOnly driver: the Fig.-5 average-T-by-v curve.
+  std::optional<BinnedMeans> avg_T_by_v;
+
+  // Requests served without a demand fetch (cache-resident or covered by
+  // a prefetch). In the Monte-Carlo drivers this bounds metrics.hits
+  // from above (equal whenever every covering prefetch completed inside
+  // the viewing time); the DES counts metrics.hits only at T == 0, so a
+  // resident item whose transfer is still in flight lands here and not
+  // there. This is the one place that semantic lives — the scenario
+  // matrix's NetsimDes golden rows pin this rate.
+  std::uint64_t resident_hits() const noexcept {
+    return metrics.requests - metrics.demand_fetches;
+  }
+  double resident_hit_rate() const noexcept {
+    return metrics.requests ? static_cast<double>(resident_hits()) /
+                                  static_cast<double>(metrics.requests)
+                            : 0.0;
+  }
+};
+
+// ---- Driver registry ----------------------------------------------------
+
+struct SimDriver {
+  SimDriverKind kind;
+  const char* name;  // stable CLI/CSV token, e.g. "prefetch_cache"
+  SimResult (*run)(const SimSpec&);
+};
+
+// All registered drivers, in a fixed order.
+std::span<const SimDriver> driver_registry();
+const SimDriver& find_driver(SimDriverKind kind);
+const SimDriver* find_driver(std::string_view name);
+
+// Dispatches `spec` to its driver. Throws std::invalid_argument when the
+// spec names a combination the driver does not support (e.g. an oracle
+// trace replay).
+SimResult run_sim(const SimSpec& spec);
+
+// ---- Stable string forms (CLI flags and CSV cells) ----------------------
+
+const char* to_string(SimDriverKind kind);
+const char* to_string(SimWorkloadKind kind);
+const char* to_string(ReplacementKind kind);
+std::optional<SimDriverKind> parse_driver_kind(std::string_view name);
+std::optional<SimWorkloadKind> parse_workload_kind(std::string_view name);
+std::optional<ReplacementKind> parse_replacement_kind(std::string_view name);
+std::optional<PrefetchPolicy> parse_policy(std::string_view name);
+std::optional<SubArbitration> parse_sub_arbitration(std::string_view name);
+std::optional<DeltaRule> parse_delta_rule(std::string_view name);
+std::optional<PredictorKind> parse_predictor_kind(std::string_view name);
+std::optional<ProbMethod> parse_prob_method(std::string_view name);
+const char* policy_token(PrefetchPolicy policy);
+const char* sub_token(SubArbitration sub);
+const char* delta_token(DeltaRule rule);
+
+// ---- Workload materialization -------------------------------------------
+
+// Flat request cycles plus the generating catalog, for the cycle-driven
+// drivers (TraceReplay, NetsimDes learned mode, Scenario). `build` seeds
+// the structure, `walk` the trajectory — the same split every simulator
+// uses, so a workload is reproducible independently of what consumes it.
+struct MaterializedWorkload {
+  std::size_t n_items = 0;
+  std::vector<TraceRecord> cycles;        // (item, viewing time) per cycle
+  std::vector<double> retrieval_times;    // generator's r catalog
+};
+
+MaterializedWorkload materialize_workload(const SimWorkload& workload,
+                                          std::size_t requests, Rng& build,
+                                          Rng& walk);
+
+// ---- simctl substrate (sharding + CSV) ----------------------------------
+//
+// A sweep is an ordered std::vector<SimSpec>; each spec's position is its
+// stable index. A shard i/N owns the indices with index % N == i, so any
+// partition of the sweep covers each index exactly once and the merged
+// output is byte-identical to a single-process run.
+
+bool shard_owns(std::size_t index, std::size_t shard_index,
+                std::size_t shard_count);
+
+// One header + one row per run; the leading `index` column is the merge
+// key. Doubles format via operator<< (6 significant digits), so equal
+// results produce equal text.
+std::vector<std::string> sim_csv_header();
+void append_sim_csv_row(CsvWriter& writer, std::size_t index,
+                        const SimSpec& spec, const SimResult& result);
+
+// Merges shard CSV outputs (each: header + index-prefixed rows) back into
+// the single-run document: rows sorted by index, exactly the indices
+// 0..total-1 present once each. Throws std::invalid_argument on header
+// mismatch, duplicate or missing indices, or malformed rows.
+std::string merge_sharded_csv(const std::vector<std::string>& shards);
+
+}  // namespace skp

@@ -111,6 +111,7 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg,
       if (counted) {
         ++m.prefetch_fetches;
         m.network_time += inst.r[InstanceView::idx(f)];
+        m.prefetch_network_time += inst.r[InstanceView::idx(f)];
       }
     }
     if (counted) m.solver_nodes += plan.solver_nodes;
@@ -130,6 +131,7 @@ SimMetrics replay_trace(const Trace& trace, const TraceReplayConfig& cfg,
       if (counted) {
         ++m.demand_fetches;
         m.network_time += inst.r[InstanceView::idx(rec.item)];
+        m.demand_network_time += inst.r[InstanceView::idx(rec.item)];
       }
       if (cache.full()) {
         // Victim chosen with the *post-observation* belief. `inst` is not

@@ -126,6 +126,18 @@ class Rng {
     return child;
   }
 
+  // Uniform time draw on [lo, hi]: integer-valued (the paper draws its
+  // viewing/retrieval times as integers) or real. One definition shared
+  // by every workload generator so the drawing semantics cannot diverge.
+  double uniform_time(double lo, double hi, bool integer_times) noexcept {
+    if (integer_times) {
+      return static_cast<double>(
+          uniform_int(static_cast<std::int64_t>(lo),
+                      static_cast<std::int64_t>(hi)));
+    }
+    return uniform(lo, hi);
+  }
+
   // Fisher–Yates shuffle of a random-access container.
   template <typename Container>
   void shuffle(Container& c) noexcept {

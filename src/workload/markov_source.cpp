@@ -7,25 +7,9 @@
 
 namespace skp {
 
-namespace {
-
-double draw_time(double lo, double hi, bool integer, Rng& rng) {
-  if (integer) {
-    return static_cast<double>(
-        rng.uniform_int(static_cast<std::int64_t>(lo),
-                        static_cast<std::int64_t>(hi)));
-  }
-  return rng.uniform(lo, hi);
-}
-
-}  // namespace
-
 MarkovSource::MarkovSource(const MarkovSourceConfig& config, Rng& rng) {
   const std::size_t n = config.n_states;
   SKP_REQUIRE(n >= 2, "MarkovSource needs at least 2 states");
-  SKP_REQUIRE(config.out_degree_lo >= 1, "out-degree lower bound");
-  SKP_REQUIRE(config.out_degree_lo <= config.out_degree_hi,
-              "out-degree bounds inverted");
   SKP_REQUIRE(config.v_lo >= 1.0 && config.v_lo <= config.v_hi,
               "viewing time range");
   SKP_REQUIRE(config.r_lo > 0.0 && config.r_lo <= config.r_hi,
@@ -34,9 +18,61 @@ MarkovSource::MarkovSource(const MarkovSourceConfig& config, Rng& rng) {
   v_.resize(n);
   r_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    v_[i] = draw_time(config.v_lo, config.v_hi, config.integer_times, rng);
-    r_[i] = draw_time(config.r_lo, config.r_hi, config.integer_times, rng);
+    v_[i] = rng.uniform_time(config.v_lo, config.v_hi,
+                             config.integer_times);
+    r_[i] = rng.uniform_time(config.r_lo, config.r_hi,
+                             config.integer_times);
   }
+  redraw_transitions(config, rng);
+}
+
+MarkovSource::MarkovSource(std::vector<double> v, std::vector<double> r,
+                           std::vector<std::vector<ItemId>> successors,
+                           std::vector<std::vector<double>> probabilities)
+    : v_(std::move(v)),
+      r_(std::move(r)),
+      succ_(std::move(successors)),
+      succ_prob_(std::move(probabilities)) {
+  const std::size_t n = v_.size();
+  SKP_REQUIRE(n >= 2, "MarkovSource needs at least 2 states");
+  SKP_REQUIRE(r_.size() == n, "v/r size mismatch");
+  SKP_REQUIRE(succ_.size() == n && succ_prob_.size() == n,
+              "successor structure size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    SKP_REQUIRE(v_[i] > 0.0, "viewing time of state " << i);
+    SKP_REQUIRE(r_[i] > 0.0, "retrieval time of item " << i);
+  }
+  dense_row_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    SKP_REQUIRE(!succ_[s].empty(), "state " << s << " has no successors");
+    SKP_REQUIRE(succ_[s].size() == succ_prob_[s].size(),
+                "successor/probability size mismatch at state " << s);
+    dense_row_[s].assign(n, 0.0);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < succ_[s].size(); ++k) {
+      const ItemId t = succ_[s][k];
+      SKP_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < n,
+                  "successor out of range at state " << s);
+      SKP_REQUIRE(k == 0 || succ_[s][k - 1] < t,
+                  "successors of state " << s << " not ascending");
+      SKP_REQUIRE(succ_prob_[s][k] > 0.0,
+                  "non-positive transition probability at state " << s);
+      dense_row_[s][static_cast<std::size_t>(t)] = succ_prob_[s][k];
+      sum += succ_prob_[s][k];
+    }
+    SKP_REQUIRE(std::abs(sum - 1.0) <= 1e-9,
+                "row of state " << s << " sums to " << sum);
+  }
+}
+
+void MarkovSource::redraw_transitions(const MarkovSourceConfig& config,
+                                      Rng& rng) {
+  const std::size_t n = v_.size();
+  SKP_REQUIRE(config.n_states == n,
+              "redraw_transitions: state count mismatch");
+  SKP_REQUIRE(config.out_degree_lo >= 1, "out-degree lower bound");
+  SKP_REQUIRE(config.out_degree_lo <= config.out_degree_hi,
+              "out-degree bounds inverted");
 
   // The pool of possible successors per state excludes the state itself
   // unless self-loops are allowed.

@@ -42,6 +42,24 @@ class MarkovSource {
   // independently reproducible.
   MarkovSource(const MarkovSourceConfig& config, Rng& rng);
 
+  // Explicit-chain constructor: per-state viewing times, per-item
+  // retrieval times, and per-state successor lists (ascending ids) with
+  // aligned probabilities (each row sums to 1). This is how synthetic
+  // sources with a prescribed structure — e.g. workload/zipf_source's
+  // rank-1 chain — drop into every simulator that consumes a
+  // MarkovSource.
+  MarkovSource(std::vector<double> v, std::vector<double> r,
+               std::vector<std::vector<ItemId>> successors,
+               std::vector<std::vector<double>> probabilities);
+
+  // Redraws the transition structure (successor sets + probabilities)
+  // from `rng`, keeping the v/r catalogs and the current state. This is
+  // the phase-shift primitive behind drifting workloads: at a
+  // changepoint the access pattern changes while the items themselves do
+  // not. `config` supplies the out-degree bounds and must describe the
+  // same state count.
+  void redraw_transitions(const MarkovSourceConfig& config, Rng& rng);
+
   std::size_t n_states() const noexcept { return v_.size(); }
   std::size_t current_state() const noexcept { return state_; }
 

@@ -26,9 +26,16 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 bin="$root/$build_dir/tests/test_scenario_matrix"
 src="$root/tests/test_scenario_matrix.cpp"
 
-if [[ ! -x "$bin" ]]; then
-  echo "error: $bin not found — build first:" >&2
+# Distinguish "never configured" from "configured but not built" so the
+# failure mode is never a bare pipeline abort under `set -o pipefail`.
+if [[ ! -d "$root/$build_dir" ]]; then
+  echo "error: build dir '$root/$build_dir' does not exist — configure and build first:" >&2
   echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 2
+fi
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found — build the test_scenario_matrix target:" >&2
+  echo "  cmake --build $build_dir -j --target test_scenario_matrix" >&2
   exit 2
 fi
 
@@ -37,13 +44,21 @@ tmp_old="$(mktemp)"
 trap 'rm -f "$tmp_new" "$tmp_old"' EXIT
 
 # The disabled test prints exactly the initializer rows (two lines per
-# row, first starting with "    {PredictorKind::").
-"$bin" --gtest_also_run_disabled_tests \
-       --gtest_filter='*PrintGoldenTable*' 2>/dev/null |
-  grep -E '^\s+\{PredictorKind::|^\s+ScenarioWorkload::' > "$tmp_new"
+# row, first starting with "    {PredictorKind::"). Capture the run
+# separately from the row filter: a crashing binary must surface its
+# output, not die silently inside the pipeline.
+if ! table_out="$("$bin" --gtest_also_run_disabled_tests \
+                        --gtest_filter='*PrintGoldenTable*' 2>&1)"; then
+  echo "error: PrintGoldenTable run failed; output was:" >&2
+  printf '%s\n' "$table_out" >&2
+  exit 2
+fi
+printf '%s\n' "$table_out" |
+  grep -E '^\s+\{PredictorKind::|^\s+ScenarioWorkload::' > "$tmp_new" || true
 
 if [[ ! -s "$tmp_new" ]]; then
-  echo "error: PrintGoldenTable produced no rows" >&2
+  echo "error: PrintGoldenTable produced no rows; output was:" >&2
+  printf '%s\n' "$table_out" >&2
   exit 2
 fi
 

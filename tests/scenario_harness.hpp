@@ -7,66 +7,44 @@
 // with every random stream derived from one fixed seed, so a scenario's
 // counters are bit-reproducible. test_scenario_matrix.cpp asserts
 // structural invariants over the whole matrix (metrics conservation,
-// prefetch bandwidth budget) and pins golden hit-rates on a slice, giving
-// future sharding/async/perf refactors a behavioral safety net.
+// prefetch bandwidth budget) and pins golden hit-rates on every combo,
+// giving future sharding/async/perf refactors a behavioral safety net.
 //
-// Unlike sim/prefetch_cache.cpp (oracle transition rows, Pr-arbitration
-// victims) this harness runs the deployment configuration the paper's
-// Section 6 sketches: probabilities come only from a learned predictor,
-// and eviction is delegated to a pluggable ReplacementPolicy. Retrieval
-// times are grounded through sim/netsim's ServerCatalog + NetConfig
-// (r_i = latency + size_i / bandwidth) instead of being drawn directly.
+// Since the unified simulation runtime landed (src/sim/runtime.hpp) this
+// harness is a thin mapping: a ScenarioConfig names a SimSpec and
+// run_scenario dispatches it through the driver registry. PlanMode picks
+// the execution substrate:
+//   * EmptyCache    — Scenario driver, plan over N \ C with
+//                     PrefetchEngine::plan; the ReplacementPolicy evicts
+//                     for both prefetches and demand misses.
+//   * PrArbitration — Scenario driver, the Figure-6 path:
+//                     plan_with_cache runs Pr-arbitration against the
+//                     live cache and names its own victims; the
+//                     ReplacementPolicy still governs demand misses.
+//   * NetsimDes     — NetsimDes driver: the same workload/predictor/net
+//                     point executed on sim/netsim's ClientSession DES
+//                     (prefetches and demand fetches serialized over the
+//                     modeled link), locking the netsim path into the
+//                     golden matrix.
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cctype>
 #include <cstdint>
-#include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "cache/cache.hpp"
-#include "cache/replacement.hpp"
-#include "core/prefetch_engine.hpp"
-#include "predict/lz78_predictor.hpp"
-#include "predict/markov_predictor.hpp"
-#include "predict/ppm_predictor.hpp"
-#include "sim/netsim.hpp"
 #include "sim/prefetch_cache.hpp"  // PredictorKind + to_string
-#include "util/rng.hpp"
-#include "workload/markov_source.hpp"
-#include "workload/prob_gen.hpp"
-#include "workload/request_stream.hpp"
-#include "workload/trace.hpp"
+#include "sim/runtime.hpp"
 
 namespace skp::testing {
 
-enum class CachePolicyKind { LRU, FIFO, LFU, Random };
+// The harness's cache-policy vocabulary IS the runtime's (same four
+// policies, same lowercase tokens) — an alias, so a policy added to the
+// runtime is immediately sweepable here and the two can never diverge.
+using CachePolicyKind = ReplacementKind;
 enum class ScenarioWorkload { MarkovChain, IidSkewy, TraceReplay };
-
-// How prefetches contend for cache space:
-//   * EmptyCache    — plan over N \ C with PrefetchEngine::plan; the
-//                     ReplacementPolicy evicts for both prefetches and
-//                     demand misses (the original harness mode).
-//   * PrArbitration — the Figure-6 path: PrefetchEngine::plan_with_cache
-//                     runs Pr-arbitration against the live cache and
-//                     names its own victims; the ReplacementPolicy still
-//                     governs demand misses (and has its bookkeeping
-//                     maintained for Pr-evicted victims).
-enum class PlanMode { EmptyCache, PrArbitration };
-
-inline const char* to_string(CachePolicyKind k) {
-  switch (k) {
-    case CachePolicyKind::LRU: return "lru";
-    case CachePolicyKind::FIFO: return "fifo";
-    case CachePolicyKind::LFU: return "lfu";
-    case CachePolicyKind::Random: return "random";
-  }
-  return "?";
-}
+enum class PlanMode { EmptyCache, PrArbitration, NetsimDes };
 
 inline const char* to_string(ScenarioWorkload w) {
   switch (w) {
@@ -81,6 +59,7 @@ inline const char* to_string(PlanMode m) {
   switch (m) {
     case PlanMode::EmptyCache: return "empty";
     case PlanMode::PrArbitration: return "pr";
+    case PlanMode::NetsimDes: return "des";
   }
   return "?";
 }
@@ -121,7 +100,9 @@ struct ScenarioConfig {
 
 struct ScenarioResult {
   std::uint64_t requests = 0;
-  std::uint64_t hits = 0;            // served from cache, zero access time
+  std::uint64_t hits = 0;            // served from cache (in NetsimDes
+                                     // mode: cache-resident at request
+                                     // time, even if still in flight)
   std::uint64_t demand_fetches = 0;  // misses, fetched on demand
   std::uint64_t prefetch_fetches = 0;
   std::uint64_t plans = 0;           // planning rounds that fetched anything
@@ -130,7 +111,8 @@ struct ScenarioResult {
   double network_time = 0.0;  // prefetch + demand, accumulated separately
   // Plans violating the stretch-knapsack bandwidth budget (all fetches but
   // the last must complete within the viewing time v; for KP the whole
-  // plan must). The matrix asserts this stays 0.
+  // plan must). The matrix asserts this stays 0. (Not evaluated by the
+  // NetsimDes driver, whose link model enforces serialization itself.)
   std::uint64_t budget_violations = 0;
   double worst_budget_overrun = 0.0;
 
@@ -144,7 +126,7 @@ struct ScenarioResult {
 };
 
 inline std::string scenario_name(const ScenarioConfig& cfg) {
-  std::string name = to_string(cfg.predictor);
+  std::string name = skp::to_string(cfg.predictor);
   for (auto& c : name) c = static_cast<char>(std::tolower(c));
   name += '_';
   name += to_string(cfg.cache_policy);
@@ -154,222 +136,76 @@ inline std::string scenario_name(const ScenarioConfig& cfg) {
   name += to_string(cfg.workload);
   if (cfg.plan_mode == PlanMode::PrArbitration) {
     name += "_pr";
+  } else if (cfg.plan_mode == PlanMode::NetsimDes) {
+    name += "_des";
   }
   return name;
 }
 
-inline std::unique_ptr<Predictor> make_scenario_predictor(
-    PredictorKind kind, std::size_t n) {
-  switch (kind) {
-    case PredictorKind::Markov1:
-      return std::make_unique<MarkovPredictor>(n);
-    case PredictorKind::Lz78:
-      return std::make_unique<Lz78Predictor>(n);
-    case PredictorKind::Ppm:
-      return std::make_unique<PpmPredictor>(n, 2);
-    default:
-      ADD_FAILURE() << "unsupported predictor kind in scenario harness";
-      return std::make_unique<MarkovPredictor>(n);
-  }
-}
+// Maps a scenario onto the unified runtime's descriptor. The workload
+// parameters are the harness's historical ones, so the registry-backed
+// runs reproduce the pre-runtime golden values bit for bit.
+inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
+  SimSpec spec;
+  spec.driver = cfg.plan_mode == PlanMode::NetsimDes
+                    ? SimDriverKind::NetsimDes
+                    : SimDriverKind::Scenario;
 
-inline std::unique_ptr<ReplacementPolicy> make_scenario_policy(
-    CachePolicyKind kind, std::uint64_t seed) {
-  switch (kind) {
-    case CachePolicyKind::LRU: return make_lru();
-    case CachePolicyKind::FIFO: return make_fifo();
-    case CachePolicyKind::LFU: return make_lfu();
-    case CachePolicyKind::Random: return make_random(seed);
-  }
-  return make_lru();
-}
-
-// Materializes the request cycles (item, viewing_time) for a scenario.
-// All three workloads are reduced to a flat record list so the simulation
-// loop below is identical across them; the TraceReplay workload
-// additionally round-trips through the skptrace text format, exercising
-// workload/trace.hpp serialization end to end.
-inline std::vector<TraceRecord> make_scenario_cycles(
-    const ScenarioConfig& cfg, Rng& build, Rng& walk) {
-  std::vector<TraceRecord> cycles;
-  cycles.reserve(cfg.requests);
+  spec.workload.n_items = cfg.n_items;
   switch (cfg.workload) {
-    case ScenarioWorkload::MarkovChain: {
-      MarkovSourceConfig mcfg;
-      mcfg.n_states = cfg.n_items;
-      mcfg.out_degree_lo = 4;
-      mcfg.out_degree_hi = 8;
-      mcfg.v_lo = 10.0;
-      mcfg.v_hi = 60.0;
-      MarkovSource src(mcfg, build);
-      for (std::size_t i = 0; i < cfg.requests; ++i) {
-        const double v = src.viewing_time(src.current_state());
-        const auto item = static_cast<ItemId>(src.step(walk));
-        cycles.push_back({item, v});
-      }
+    case ScenarioWorkload::MarkovChain:
+      spec.workload.kind = SimWorkloadKind::Markov;
+      spec.workload.out_degree_lo = 4;
+      spec.workload.out_degree_hi = 8;
+      spec.workload.v_lo = 10.0;
+      spec.workload.v_hi = 60.0;
       break;
-    }
-    case ScenarioWorkload::IidSkewy: {
-      Instance inst;
-      inst.P = skewy_probabilities(cfg.n_items, build);
-      inst.r.assign(cfg.n_items, 1.0);  // placeholder; harness re-derives r
-      inst.v = 30.0;
-      IidStream stream(std::move(inst));
-      for (std::size_t i = 0; i < cfg.requests; ++i) {
-        const RequestEvent e = stream.next(walk);
-        cycles.push_back({e.item, e.instance.v});
-      }
+    case ScenarioWorkload::IidSkewy:
+      spec.workload.kind = SimWorkloadKind::Iid;
+      spec.workload.method = ProbMethod::Skewy;
+      spec.workload.iid_viewing_time = 30.0;
       break;
-    }
-    case ScenarioWorkload::TraceReplay: {
-      MarkovSourceConfig mcfg;
-      mcfg.n_states = cfg.n_items;
-      mcfg.out_degree_lo = 2;
-      mcfg.out_degree_hi = 6;
-      mcfg.v_lo = 5.0;
-      mcfg.v_hi = 40.0;
-      MarkovSource src(mcfg, build);
-      Trace recorded(cfg.n_items,
-                     std::vector<double>(src.retrieval_times().begin(),
-                                         src.retrieval_times().end()));
-      for (std::size_t i = 0; i < cfg.requests; ++i) {
-        const double v = src.viewing_time(src.current_state());
-        recorded.append(static_cast<ItemId>(src.step(walk)), v);
-      }
-      std::stringstream io;
-      recorded.save(io);
-      const Trace replayed = Trace::load(io);
-      cycles.assign(replayed.records().begin(), replayed.records().end());
+    case ScenarioWorkload::TraceReplay:
+      spec.workload.kind = SimWorkloadKind::TraceText;
+      spec.workload.out_degree_lo = 2;
+      spec.workload.out_degree_hi = 6;
+      spec.workload.v_lo = 5.0;
+      spec.workload.v_hi = 40.0;
       break;
-    }
   }
-  return cycles;
+
+  spec.policy = cfg.policy;
+  spec.predictor = cfg.predictor;
+  spec.predictor_min_prob = cfg.min_prob;
+  spec.predictor_warmup = cfg.predictor_warmup;
+  spec.cache_size = cfg.cache_capacity;
+  spec.replacement = cfg.cache_policy;
+  spec.pr_planning = cfg.plan_mode == PlanMode::PrArbitration;
+  spec.bandwidth = cfg.net.bandwidth;
+  spec.latency = cfg.net.latency;
+  spec.requests = cfg.requests;
+  spec.seed = cfg.seed;
+  return spec;
 }
 
 inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
-  Rng root(cfg.seed);
-  Rng build = root.split(1);
-  Rng walk = root.split(2);
-  Rng sizes_rng = root.split(3);
-
-  // Ground retrieval times through the DES catalog: size_i in [1, 30]
-  // size units, r_i = latency + size_i / bandwidth.
-  ServerCatalog catalog;
-  catalog.sizes.resize(cfg.n_items);
-  for (auto& s : catalog.sizes) {
-    s = static_cast<double>(sizes_rng.uniform_int(1, 30));
-  }
-  const NetConfig net{cfg.net.bandwidth, cfg.net.latency, false};
-  const std::vector<double> r = catalog.retrieval_times(net);
-
-  const std::vector<TraceRecord> cycles =
-      make_scenario_cycles(cfg, build, walk);
-
-  auto predictor = make_scenario_predictor(cfg.predictor, cfg.n_items);
-  auto policy =
-      make_scenario_policy(cfg.cache_policy, root.split(4).next_u64());
-  SlotCache cache(cfg.n_items, cfg.cache_capacity);
-  FreqTracker freq(cfg.n_items);  // Pr-arbitration sub-score substrate
-
-  EngineConfig ecfg;
-  ecfg.policy = cfg.policy;
-  ecfg.delta_rule = DeltaRule::ExactComplement;
-  const PrefetchEngine engine(ecfg);
-
+  const SimResult sim = run_sim(to_sim_spec(cfg));
   ScenarioResult res;
-  constexpr double kEps = 1e-9;
-  // Borrowed-view planning (allocation-free across cycles): P lives in the
-  // scratch buffer, r in the catalog vector above.
-  PlanScratch scratch;
-  PrefetchPlan plan;
-  for (std::size_t i = 0; i < cycles.size(); ++i) {
-    const ItemId item = cycles[i].item;
-    const double v = cycles[i].viewing_time;
-
-    if (i >= cfg.predictor_warmup) {
-      predictor->predict_into(scratch.P);
-      double mass = 0.0;
-      for (std::size_t j = 0; j < scratch.P.size(); ++j) {
-        // Shortlist: drop sliver mass; in EmptyCache mode additionally
-        // zero cached items (planning over N \ C, Section 5 — the
-        // Figure-6 planner does its own N \ C filtering).
-        if (scratch.P[j] < cfg.min_prob ||
-            (cfg.plan_mode == PlanMode::EmptyCache &&
-             cache.contains(static_cast<ItemId>(j)))) {
-          scratch.P[j] = 0.0;
-        }
-        mass += scratch.P[j];
-      }
-      if (mass > 0.0) {
-        const InstanceView inst(scratch.P, r, v);
-        if (cfg.plan_mode == PlanMode::PrArbitration) {
-          engine.plan_with_cache(inst, cache, &freq, scratch, plan);
-        } else {
-          engine.plan(inst, scratch, plan);
-        }
-        // Bandwidth budget (Eq. 1): every fetch but the last must finish
-        // within v; plain KP may not stretch at all.
-        double prefix = 0.0;
-        for (std::size_t k = 0; k + 1 < plan.fetch.size(); ++k) {
-          prefix += r[Instance::idx(plan.fetch[k])];
-        }
-        double budget_used = prefix;
-        if (cfg.policy == PrefetchPolicy::KP && !plan.fetch.empty()) {
-          budget_used += r[Instance::idx(plan.fetch.back())];
-        }
-        if (budget_used > v + kEps) {
-          ++res.budget_violations;
-          res.worst_budget_overrun =
-              std::max(res.worst_budget_overrun, budget_used - v);
-        }
-        if (!plan.fetch.empty()) ++res.plans;
-        if (cfg.plan_mode == PlanMode::PrArbitration) {
-          // Figure-6 execution: each admitted fetch claims its
-          // Pr-arbitrated victim once the cache is full; the replacement
-          // policy's books are kept consistent so demand misses still
-          // work on accurate state.
-          std::size_t victim_idx = 0;
-          for (const ItemId f : plan.fetch) {
-            if (cache.full()) {
-              const ItemId victim = plan.evict[victim_idx++];
-              cache.erase(victim);
-              policy->on_evict(victim);
-            }
-            cache.insert(f);
-            policy->on_insert(f);
-            ++res.prefetch_fetches;
-            res.prefetch_network_time += r[Instance::idx(f)];
-          }
-        } else {
-          for (const ItemId f : plan.fetch) {
-            if (cache.contains(f)) continue;  // zero-profit filler
-            if (cache.full()) {
-              const ItemId victim = policy->choose_victim(cache);
-              cache.erase(victim);
-              policy->on_evict(victim);
-            }
-            cache.insert(f);
-            policy->on_insert(f);
-            ++res.prefetch_fetches;
-            res.prefetch_network_time += r[Instance::idx(f)];
-          }
-        }
-      }
-    }
-
-    if (cache.contains(item)) {
-      ++res.hits;
-      policy->on_access(item);
-    } else {
-      ++res.demand_fetches;
-      res.demand_network_time += r[Instance::idx(item)];
-      access_with_policy(cache, *policy, item);
-    }
-    ++res.requests;
-    freq.record(item);
-    predictor->observe(item);
-  }
-  res.network_time = res.prefetch_network_time + res.demand_network_time;
+  res.requests = sim.metrics.requests;
+  // The DES serves a request from the cache whenever the item is
+  // resident, even if its transfer is still completing (T > 0 then);
+  // SimResult::resident_hits keeps the conservation invariant uniform
+  // across modes (in the other modes it coincides with metrics.hits).
+  res.hits = cfg.plan_mode == PlanMode::NetsimDes ? sim.resident_hits()
+                                                  : sim.metrics.hits;
+  res.demand_fetches = sim.metrics.demand_fetches;
+  res.prefetch_fetches = sim.metrics.prefetch_fetches;
+  res.plans = sim.plans;
+  res.prefetch_network_time = sim.metrics.prefetch_network_time;
+  res.demand_network_time = sim.metrics.demand_network_time;
+  res.network_time = sim.metrics.network_time;
+  res.budget_violations = sim.budget_violations;
+  res.worst_budget_overrun = sim.worst_budget_overrun;
   return res;
 }
 

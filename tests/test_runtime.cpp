@@ -1,0 +1,334 @@
+// Tests for the unified simulation runtime (sim/runtime.hpp): registry
+// dispatch, SimSpec equivalence with the legacy driver entry points, the
+// netsim DES driver, and the simctl sharding/merge substrate.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/prefetch_cache.hpp"
+#include "sim/prefetch_only.hpp"
+#include "sim/runtime.hpp"
+#include "sim/trace_replay.hpp"
+
+namespace skp {
+namespace {
+
+// ---- Registry -----------------------------------------------------------
+
+TEST(SimRegistry, AllDriversRegisteredWithStableNames) {
+  const auto registry = driver_registry();
+  ASSERT_EQ(registry.size(), 5u);
+  const char* expected[] = {"prefetch_only", "prefetch_cache",
+                            "trace_replay", "netsim_des", "scenario"};
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_STREQ(registry[i].name, expected[i]);
+    EXPECT_EQ(find_driver(registry[i].kind).name, registry[i].name);
+    EXPECT_EQ(find_driver(registry[i].name), &registry[i]);
+    EXPECT_EQ(parse_driver_kind(registry[i].name), registry[i].kind);
+  }
+  EXPECT_EQ(find_driver("no_such_driver"), nullptr);
+}
+
+TEST(SimRegistry, EnumTokensRoundTrip) {
+  for (const auto kind :
+       {SimWorkloadKind::Markov, SimWorkloadKind::Iid, SimWorkloadKind::Zipf,
+        SimWorkloadKind::MarkovDrift, SimWorkloadKind::TraceText}) {
+    EXPECT_EQ(parse_workload_kind(to_string(kind)), kind);
+  }
+  for (const auto kind : {ReplacementKind::LRU, ReplacementKind::FIFO,
+                          ReplacementKind::LFU, ReplacementKind::Random}) {
+    EXPECT_EQ(parse_replacement_kind(to_string(kind)), kind);
+  }
+  for (const auto policy : {PrefetchPolicy::None, PrefetchPolicy::KP,
+                            PrefetchPolicy::SKP, PrefetchPolicy::Perfect}) {
+    EXPECT_EQ(parse_policy(policy_token(policy)), policy);
+  }
+  for (const auto sub :
+       {SubArbitration::None, SubArbitration::LFU, SubArbitration::DS}) {
+    EXPECT_EQ(parse_sub_arbitration(sub_token(sub)), sub);
+  }
+  for (const auto rule : {DeltaRule::ExactComplement, DeltaRule::PaperTail}) {
+    EXPECT_EQ(parse_delta_rule(delta_token(rule)), rule);
+  }
+  EXPECT_EQ(parse_workload_kind("bogus"), std::nullopt);
+  EXPECT_EQ(parse_policy("bogus"), std::nullopt);
+}
+
+// ---- Spec equivalence with the legacy entry points ----------------------
+
+TEST(SimSpecEquivalence, PrefetchCacheMatchesLegacyRun) {
+  SimSpec spec;  // prefetch_cache driver, paper-default Markov source
+  spec.cache_size = 20;
+  spec.sub = SubArbitration::DS;
+  spec.requests = 2'000;
+  spec.seed = 5;
+  const SimResult via_registry = run_sim(spec);
+
+  PrefetchCacheConfig cfg;
+  cfg.cache_size = 20;
+  cfg.sub = SubArbitration::DS;
+  cfg.requests = 2'000;
+  cfg.seed = 5;
+  const PrefetchCacheResult direct = run_prefetch_cache(cfg);
+
+  EXPECT_EQ(via_registry.metrics.hits, direct.metrics.hits);
+  EXPECT_EQ(via_registry.metrics.demand_fetches,
+            direct.metrics.demand_fetches);
+  EXPECT_EQ(via_registry.metrics.prefetch_fetches,
+            direct.metrics.prefetch_fetches);
+  EXPECT_EQ(via_registry.metrics.network_time, direct.metrics.network_time);
+  EXPECT_EQ(via_registry.metrics.solver_nodes, direct.metrics.solver_nodes);
+  EXPECT_EQ(via_registry.metrics.mean_access_time(),
+            direct.metrics.mean_access_time());
+  EXPECT_EQ(via_registry.over_viewing_time, direct.over_viewing_time);
+}
+
+TEST(SimSpecEquivalence, SizedPrefetchCacheMatchesLegacyRun) {
+  SimSpec spec;
+  spec.sized_capacity = 155.0;
+  spec.size_per_r = 1.0;
+  spec.sub = SubArbitration::DS;
+  spec.requests = 1'500;
+  spec.seed = 3;
+  const SimResult via_registry = run_sim(spec);
+
+  SizedExperimentConfig cfg;
+  cfg.capacity = 155.0;
+  cfg.size_per_r = 1.0;
+  cfg.sub = SubArbitration::DS;
+  cfg.requests = 1'500;
+  cfg.seed = 3;
+  const PrefetchCacheResult direct = run_prefetch_cache_sized(cfg);
+
+  EXPECT_EQ(via_registry.metrics.hits, direct.metrics.hits);
+  EXPECT_EQ(via_registry.metrics.network_time, direct.metrics.network_time);
+  EXPECT_EQ(via_registry.metrics.solver_nodes, direct.metrics.solver_nodes);
+}
+
+TEST(SimSpecEquivalence, PrefetchOnlyMatchesLegacyRun) {
+  SimSpec spec;
+  spec.driver = SimDriverKind::PrefetchOnly;
+  spec.workload.kind = SimWorkloadKind::Iid;
+  spec.workload.n_items = 10;
+  spec.requests = 3'000;
+  spec.seed = 9;
+  const SimResult via_registry = run_sim(spec);
+
+  PrefetchOnlyConfig cfg;
+  cfg.n_items = 10;
+  cfg.iterations = 3'000;
+  cfg.seed = 9;
+  const PrefetchOnlyResult direct = run_prefetch_only(cfg);
+
+  EXPECT_EQ(via_registry.metrics.hits, direct.metrics.hits);
+  EXPECT_EQ(via_registry.metrics.network_time, direct.metrics.network_time);
+  EXPECT_EQ(via_registry.metrics.mean_access_time(),
+            direct.metrics.mean_access_time());
+  ASSERT_TRUE(via_registry.avg_T_by_v.has_value());
+  const auto curve = via_registry.avg_T_by_v->series();
+  const auto direct_curve = direct.avg_T_by_v.series();
+  ASSERT_EQ(curve.size(), direct_curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i], direct_curve[i]);
+  }
+}
+
+// ---- Driver-specific contracts ------------------------------------------
+
+TEST(SimRuntime, TraceReplayIsDeterministicAndRejectsOracle) {
+  SimSpec spec;
+  spec.driver = SimDriverKind::TraceReplay;
+  spec.predictor = PredictorKind::Markov1;
+  spec.requests = 1'200;
+  spec.seed = 4;
+  const SimResult a = run_sim(spec);
+  const SimResult b = run_sim(spec);
+  EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+  EXPECT_EQ(a.metrics.network_time, b.metrics.network_time);
+  EXPECT_GT(a.metrics.hits, 0u);
+
+  spec.predictor = PredictorKind::Oracle;
+  EXPECT_THROW(run_sim(spec), std::invalid_argument);
+}
+
+TEST(SimRuntime, NetsimDesOracleDeterministicAndMemoSafe) {
+  SimSpec spec;
+  spec.driver = SimDriverKind::NetsimDes;
+  spec.cache_size = 20;
+  spec.requests = 1'500;
+  spec.seed = 8;
+  const SimResult a = run_sim(spec);
+  const SimResult b = run_sim(spec);
+  EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+  EXPECT_EQ(a.metrics.network_time, b.metrics.network_time);
+  EXPECT_EQ(a.metrics.mean_access_time(), b.metrics.mean_access_time());
+  EXPECT_GT(a.plans, 0u);
+  EXPECT_GT(a.link_utilization, 0.0);
+  EXPECT_LE(a.link_utilization, 1.0);
+
+  // Plan memoization must not change DES outcomes (the context key only
+  // ever stands in for identical planning inputs).
+  spec.use_plan_cache = false;
+  const SimResult off = run_sim(spec);
+  EXPECT_EQ(a.metrics.hits, off.metrics.hits);
+  EXPECT_EQ(a.metrics.network_time, off.metrics.network_time);
+  EXPECT_EQ(a.metrics.solver_nodes, off.metrics.solver_nodes);
+  EXPECT_EQ(a.metrics.mean_access_time(), off.metrics.mean_access_time());
+  EXPECT_GT(a.plan_cache.plans.lookups(), 0u);
+  EXPECT_EQ(off.plan_cache.plans.lookups(), 0u);
+}
+
+TEST(SimRuntime, NetsimDesDriftingOracleOnOffBitIdentical) {
+  // The drift changepoint invalidates the session's context-keyed plans;
+  // a stale replay would break the on/off equality below.
+  SimSpec spec;
+  spec.driver = SimDriverKind::NetsimDes;
+  spec.workload.kind = SimWorkloadKind::MarkovDrift;
+  spec.workload.drift_period = 300;
+  spec.cache_size = 15;
+  spec.requests = 1'500;
+  spec.seed = 6;
+  const SimResult on = run_sim(spec);
+  spec.use_plan_cache = false;
+  const SimResult off = run_sim(spec);
+  EXPECT_EQ(on.metrics.hits, off.metrics.hits);
+  EXPECT_EQ(on.metrics.network_time, off.metrics.network_time);
+  EXPECT_EQ(on.metrics.solver_nodes, off.metrics.solver_nodes);
+  EXPECT_EQ(on.metrics.mean_access_time(), off.metrics.mean_access_time());
+}
+
+TEST(SimRuntime, MaterializedWorkloadsAreDeterministic) {
+  for (const auto kind :
+       {SimWorkloadKind::Markov, SimWorkloadKind::Iid, SimWorkloadKind::Zipf,
+        SimWorkloadKind::MarkovDrift, SimWorkloadKind::TraceText}) {
+    SimWorkload w;
+    w.kind = kind;
+    w.n_items = 24;
+    w.out_degree_lo = 2;
+    w.out_degree_hi = 6;
+    w.v_lo = 5.0;
+    w.v_hi = 40.0;
+    w.drift_period = 100;
+    Rng b1(17), w1(18), b2(17), w2(18);
+    const MaterializedWorkload m1 = materialize_workload(w, 400, b1, w1);
+    const MaterializedWorkload m2 = materialize_workload(w, 400, b2, w2);
+    ASSERT_EQ(m1.cycles.size(), 400u);
+    ASSERT_EQ(m1.n_items, 24u);
+    ASSERT_EQ(m1.retrieval_times.size(), 24u);
+    ASSERT_EQ(m2.cycles.size(), m1.cycles.size());
+    for (std::size_t i = 0; i < m1.cycles.size(); ++i) {
+      EXPECT_EQ(m1.cycles[i].item, m2.cycles[i].item);
+      EXPECT_EQ(m1.cycles[i].viewing_time, m2.cycles[i].viewing_time);
+      EXPECT_GE(m1.cycles[i].item, 0);
+      EXPECT_LT(static_cast<std::size_t>(m1.cycles[i].item), 24u);
+    }
+    for (std::size_t i = 0; i < m1.retrieval_times.size(); ++i) {
+      EXPECT_EQ(m1.retrieval_times[i], m2.retrieval_times[i]);
+      EXPECT_GT(m1.retrieval_times[i], 0.0);
+    }
+  }
+}
+
+TEST(SimRuntime, InvalidSpecsAreRejected) {
+  SimSpec spec;
+  spec.driver = SimDriverKind::PrefetchOnly;
+  spec.workload.kind = SimWorkloadKind::Markov;  // not iid
+  EXPECT_THROW(run_sim(spec), std::invalid_argument);
+
+  SimSpec trace_iid;
+  trace_iid.driver = SimDriverKind::PrefetchCache;
+  trace_iid.workload.kind = SimWorkloadKind::TraceText;
+  EXPECT_THROW(run_sim(trace_iid), std::invalid_argument);
+
+  SimSpec scenario_oracle;
+  scenario_oracle.driver = SimDriverKind::Scenario;
+  scenario_oracle.predictor = PredictorKind::Oracle;
+  scenario_oracle.workload.n_items = 24;
+  EXPECT_THROW(run_sim(scenario_oracle), std::invalid_argument);
+}
+
+// ---- simctl substrate ---------------------------------------------------
+
+TEST(SimShard, OwnershipPartitionsEveryIndexExactlyOnce) {
+  for (const std::size_t shards : {1UL, 2UL, 3UL, 7UL}) {
+    for (std::size_t index = 0; index < 40; ++index) {
+      std::size_t owners = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (shard_owns(index, s, shards)) ++owners;
+      }
+      EXPECT_EQ(owners, 1u) << "index " << index << " shards " << shards;
+    }
+  }
+  EXPECT_THROW(shard_owns(0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(shard_owns(0, 0, 0), std::invalid_argument);
+}
+
+// Emits the CSV document for the indices a shard owns (header + rows).
+std::string emit_shard(const std::vector<SimSpec>& sweep,
+                       const std::vector<SimResult>& results,
+                       std::size_t shard, std::size_t shards) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.row(sim_csv_header());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (shard_owns(i, shard, shards)) {
+      append_sim_csv_row(writer, i, sweep[i], results[i]);
+    }
+  }
+  return os.str();
+}
+
+TEST(SimShard, MergedShardCsvEqualsSingleRun) {
+  // A small sweep, every spec run once; shard documents are slices of the
+  // same results, so the merge must reproduce the single document byte
+  // for byte (this is the in-process version of the simctl_shard_merge
+  // ctest, which exercises the real binary).
+  std::vector<SimSpec> sweep;
+  for (const PrefetchPolicy policy : {PrefetchPolicy::KP,
+                                      PrefetchPolicy::SKP}) {
+    for (const std::size_t cache : {4UL, 8UL, 12UL}) {
+      SimSpec spec;
+      spec.policy = policy;
+      spec.cache_size = cache;
+      spec.requests = 300;
+      spec.seed = 2;
+      sweep.push_back(spec);
+    }
+  }
+  std::vector<SimResult> results;
+  results.reserve(sweep.size());
+  for (const SimSpec& spec : sweep) results.push_back(run_sim(spec));
+
+  const std::string single = emit_shard(sweep, results, 0, 1);
+  for (const std::size_t shards : {2UL, 3UL}) {
+    std::vector<std::string> docs;
+    for (std::size_t s = 0; s < shards; ++s) {
+      docs.push_back(emit_shard(sweep, results, s, shards));
+    }
+    EXPECT_EQ(merge_sharded_csv(docs), single) << shards << " shards";
+  }
+}
+
+TEST(SimShard, MergeRejectsBrokenDocuments) {
+  const std::string header = "index,x\n";
+  EXPECT_THROW(merge_sharded_csv({}), std::invalid_argument);
+  // Missing index 1.
+  EXPECT_THROW(merge_sharded_csv({header + "0,a\n", header + "2,c\n"}),
+               std::invalid_argument);
+  // Duplicate index.
+  EXPECT_THROW(merge_sharded_csv({header + "0,a\n", header + "0,b\n"}),
+               std::invalid_argument);
+  // Header mismatch.
+  EXPECT_THROW(merge_sharded_csv({header + "0,a\n", "index,y\n1,b\n"}),
+               std::invalid_argument);
+  // Non-numeric index.
+  EXPECT_THROW(merge_sharded_csv({header + "zero,a\n"}),
+               std::invalid_argument);
+  // Happy path, input order irrelevant.
+  EXPECT_EQ(merge_sharded_csv({header + "1,b\n", header + "0,a\n"}),
+            header + "0,a\n1,b\n");
+}
+
+}  // namespace
+}  // namespace skp

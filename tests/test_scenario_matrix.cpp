@@ -8,8 +8,9 @@
 //      single stretching tail fetch).
 //   2. Bit-level determinism: the same (scenario, seed) must reproduce the
 //      same counters run-to-run.
-//   3. Golden hit-rates on a 24-combination slice spanning all four
-//      dimensions. Tolerance: +/- 0.03 absolute. The runs are
+//   3. Golden hit-rates on the full matrix plus the Pr-arbitration and
+//      DES-backed (NetsimDes) variants. Tolerance: +/- 0.03 absolute. The
+//      runs are
 //      deterministic, so on one toolchain the match is exact; the slack
 //      absorbs standard-library differences (the predictors hold counts in
 //      unordered_maps, whose iteration order is implementation-defined and
@@ -74,6 +75,20 @@ std::vector<ScenarioConfig> pr_arbitration_matrix() {
   return all;
 }
 
+// DES-backed variant: the same predictor x net x workload points executed
+// on sim/netsim's ClientSession through the runtime's netsim_des driver —
+// prefetches and demand fetches serialize over the modeled link, locking
+// the netsim path into the golden matrix (ROADMAP "DES-backed variant").
+std::vector<ScenarioConfig> netsim_des_matrix() {
+  std::vector<ScenarioConfig> all;
+  for (const auto p : kPredictors)
+    for (const auto& n : kNets)
+      for (const auto w : kWorkloads)
+        all.push_back(make_config(p, CachePolicyKind::LRU, n, w,
+                                  PlanMode::NetsimDes));
+  return all;
+}
+
 class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioConfig> {};
 
 TEST_P(ScenarioMatrixTest, InvariantsHold) {
@@ -119,6 +134,12 @@ INSTANTIATE_TEST_SUITE_P(
       return scenario_name(info.param);
     });
 
+INSTANTIATE_TEST_SUITE_P(
+    NetsimDes, ScenarioMatrixTest, ::testing::ValuesIn(netsim_des_matrix()),
+    [](const ::testing::TestParamInfo<ScenarioConfig>& info) {
+      return scenario_name(info.param);
+    });
+
 TEST(ScenarioDeterminism, SameSeedSameCounters) {
   // One combo per workload x predictor pairing (cache/net varied too);
   // default-equality on ScenarioResult covers every counter incl. doubles.
@@ -129,6 +150,8 @@ TEST(ScenarioDeterminism, SameSeedSameCounters) {
                   ScenarioWorkload::IidSkewy),
       make_config(PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
                   ScenarioWorkload::TraceReplay),
+      make_config(PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+                  ScenarioWorkload::MarkovChain, PlanMode::NetsimDes),
   };
   for (const auto& cfg : picks) {
     const ScenarioResult a = run_scenario(cfg);
@@ -173,9 +196,10 @@ struct GoldenRow {
 };
 
 // The full 108-combination EmptyCache matrix plus the 27-combination
-// Pr-arbitration variant (135 rows). Values produced by PrintGoldenTable
-// (below) at seed 2026, 1200 requests; tolerance documented in the file
-// header. Refresh with tests/refresh_goldens.sh --apply.
+// Pr-arbitration and 27-combination NetsimDes variants (162 rows). Values
+// produced by PrintGoldenTable (below) at seed 2026, 1200 requests;
+// tolerance documented in the file header. Refresh with
+// tests/refresh_goldens.sh --apply.
 constexpr double kGoldenTol = 0.03;
 
 const std::vector<GoldenRow> kGolden = {
@@ -450,6 +474,60 @@ const std::vector<GoldenRow> kGolden = {
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.927500},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.347500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.880833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.946667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.905000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.688333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.950000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.579167},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.431667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.947500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.243333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.555000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.950833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.625000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.538333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.950833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.502500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.471667},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.947500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.354167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.866667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.884167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.905000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.682500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.905000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.592500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.473333},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.945000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.294167},
     // clang-format on
 };
 
@@ -492,6 +570,14 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
     }
     return "?";
   };
+  auto mode_name = [](PlanMode m) {
+    switch (m) {
+      case PlanMode::EmptyCache: return "EmptyCache";
+      case PlanMode::PrArbitration: return "PrArbitration";
+      case PlanMode::NetsimDes: return "NetsimDes";
+    }
+    return "?";
+  };
   auto print_row = [&](const ScenarioConfig& cfg) {
     const ScenarioResult res = run_scenario(cfg);
     std::printf(
@@ -499,13 +585,12 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
         "     ScenarioWorkload::%s, PlanMode::%s, %.6f},\n",
         enum_name(cfg.predictor), cache_name(cfg.cache_policy),
         static_cast<char>(std::toupper(cfg.net.name[0])), cfg.net.name + 1,
-        workload_name(cfg.workload),
-        cfg.plan_mode == PlanMode::PrArbitration ? "PrArbitration"
-                                                 : "EmptyCache",
+        workload_name(cfg.workload), mode_name(cfg.plan_mode),
         res.hit_rate());
   };
   for (const auto& cfg : full_matrix()) print_row(cfg);
   for (const auto& cfg : pr_arbitration_matrix()) print_row(cfg);
+  for (const auto& cfg : netsim_des_matrix()) print_row(cfg);
 }
 
 }  // namespace

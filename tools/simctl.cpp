@@ -1,0 +1,507 @@
+// simctl — one binary for any SimSpec the unified runtime can execute,
+// with multi-process sharding and byte-identical CSV merging.
+//
+//   simctl run [spec flags] [sweep flags] [--shard I/N] [--csv PATH]
+//   simctl merge OUT IN1 [IN2 ...]
+//   simctl drivers
+//
+// `run` enumerates the cross-product of every sweep flag (fixed nesting
+// order, so each spec has a stable index), keeps the indices owned by the
+// requested shard (index % N == I), fans them onto the thread pool via
+// sim/sweep.hpp, and emits one CSV row per spec. Because every spec is
+// fully determined by its fields — never by which process/thread ran
+// it — `merge` of any shard partition reproduces the single-process
+// document byte for byte; the CI shard check and
+// tools/simctl_shard_check.sh lock that down.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runtime.hpp"
+#include "sim/sweep.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace skp;
+
+[[noreturn]] void usage(int exit_code) {
+  std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
+  os << R"(usage:
+  simctl run [flags]         execute a spec sweep, emit CSV
+  simctl merge OUT IN...     merge shard CSVs into the single-run document
+  simctl drivers             list registered drivers and enum tokens
+
+run flags (single-value spec fields):
+  --driver NAME          prefetch_only | prefetch_cache | trace_replay |
+                         netsim_des | scenario        (default prefetch_cache)
+  --workload NAME        markov | iid | zipf | markov_drift | trace_text
+  --n-items N            catalog/state count
+  --policy P             none | kp | skp | perfect
+  --sub S                none | lfu | ds
+  --delta D              exact | paper
+  --predictor K          oracle | markov1 | ppm | lz78 | depgraph
+  --replacement R        lru | fifo | lfu | random     (scenario driver)
+  --pr                   scenario driver: Figure-6 Pr-arbitration planning
+  --cache-size N         slot-cache capacity
+  --sized-capacity X     byte-cache capacity (prefetch_cache driver)
+  --size-per-r X         sized-cache size coupling (0 = uniform draw)
+  --requests N           requests / iterations per spec
+  --warmup N             leading requests excluded from metrics
+  --seed N               root RNG seed
+  --bandwidth X          net grounding (netsim_des / scenario)
+  --latency X
+  --threshold X          min-profit prefetch suppression threshold
+  --min-prob X           predictor shortlist floor
+  --predictor-warmup N   observe-only prefix (scenario / netsim_des)
+  --method M             iid row: skewy | flat
+  --skew-exponent X      iid skewy exponent
+  --zipf-s X             Zipf tail exponent
+  --no-zipf-shuffle      keep item id == popularity rank
+  --drift-period N       markov_drift changepoint period
+  --out-degree LO:HI     chain out-degree bounds
+  --viewing LO:HI        viewing-time range
+  --retrieval LO:HI      retrieval-time range
+  --no-plan-cache        disable cross-request plan memoization
+
+run flags (sweep axes; comma lists, numeric axes accept LO:HI:STEP):
+  --cache-sizes LIST --policies LIST --subs LIST --predictors LIST
+  --seeds LIST --thresholds LIST
+
+run flags (execution):
+  --shard I/N            run only the specs with index % N == I
+  --csv PATH             write CSV to PATH instead of stdout
+  --threads N            sweep threads (0 = hardware concurrency)
+)";
+  std::exit(exit_code);
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "simctl: " << message << "\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& value, const char* flag) {
+  // Digits only: std::stoull would parse a leading '-' and wrap it into
+  // a huge value, turning a typo into a near-infinite sweep.
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    fail(std::string(flag) + " expects an unsigned integer, got '" + value +
+         "'");
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    fail(std::string(flag) + " expects an unsigned integer, got '" + value +
+         "'");
+  }
+}
+
+double parse_double(const std::string& value, const char* flag) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty()) {
+    fail(std::string(flag) + " expects a number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+std::vector<std::string> split(const std::string& value, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream is(value);
+  while (std::getline(is, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+// Numeric axis: "1,5,10" or "1:100:5" (inclusive bounds).
+std::vector<double> parse_numeric_axis(const std::string& value,
+                                       const char* flag) {
+  std::vector<double> axis;
+  for (const std::string& token : split(value, ',')) {
+    const std::vector<std::string> range = split(token, ':');
+    if (range.size() == 3) {
+      const double lo = parse_double(range[0], flag);
+      const double hi = parse_double(range[1], flag);
+      const double step = parse_double(range[2], flag);
+      if (step <= 0.0 || hi < lo) {
+        fail(std::string(flag) + ": bad range '" + token + "'");
+      }
+      for (double x = lo; x <= hi + 1e-12; x += step) axis.push_back(x);
+    } else if (range.size() == 1) {
+      axis.push_back(parse_double(token, flag));
+    } else {
+      fail(std::string(flag) + ": bad token '" + token + "'");
+    }
+  }
+  if (axis.empty()) fail(std::string(flag) + ": empty axis");
+  return axis;
+}
+
+// Integer axis: "1,5,10" or "1:9:2" (inclusive bounds). Seeds must not go
+// through the double-valued axis — values above 2^53 (or fractional ones)
+// would be silently corrupted by the round-trip.
+std::vector<std::uint64_t> parse_integer_axis(const std::string& value,
+                                              const char* flag) {
+  std::vector<std::uint64_t> axis;
+  for (const std::string& token : split(value, ',')) {
+    const std::vector<std::string> range = split(token, ':');
+    if (range.size() == 3) {
+      const std::uint64_t lo = parse_u64(range[0], flag);
+      const std::uint64_t hi = parse_u64(range[1], flag);
+      const std::uint64_t step = parse_u64(range[2], flag);
+      if (step == 0 || hi < lo) {
+        fail(std::string(flag) + ": bad range '" + token + "'");
+      }
+      for (std::uint64_t x = lo; x <= hi; x += step) {
+        axis.push_back(x);
+        if (x > hi - step) break;  // guard wrap-around at the top
+      }
+    } else if (range.size() == 1) {
+      axis.push_back(parse_u64(token, flag));
+    } else {
+      fail(std::string(flag) + ": bad token '" + token + "'");
+    }
+  }
+  if (axis.empty()) fail(std::string(flag) + ": empty axis");
+  return axis;
+}
+
+void parse_range_pair(const std::string& value, const char* flag,
+                      double& lo, double& hi) {
+  const std::vector<std::string> parts = split(value, ':');
+  if (parts.size() != 2) fail(std::string(flag) + " expects LO:HI");
+  lo = parse_double(parts[0], flag);
+  hi = parse_double(parts[1], flag);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot read " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+int run_command(int argc, char** argv) {
+  SimSpec base;
+  // Sweep axes (empty = use the base spec's single value).
+  std::vector<double> thresholds;
+  std::vector<std::uint64_t> cache_sizes, seeds;
+  std::vector<PrefetchPolicy> policies;
+  std::vector<SubArbitration> subs;
+  std::vector<PredictorKind> predictors;
+  std::size_t shard_index = 0, shard_count = 1;
+  std::optional<std::string> csv_path;
+  std::size_t threads = 0;
+  // Workload-kind-scoped flags: remember they were given so a flag the
+  // selected workload never consults fails the run instead of silently
+  // producing a sweep the CSV mislabels (reject-don't-drop, as in the
+  // runtime's drivers).
+  bool drift_flag = false, zipf_flag = false, iid_flag = false;
+
+  auto need_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) fail(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--driver") {
+      const std::string v = need_value(i, "--driver");
+      const auto kind = parse_driver_kind(v);
+      if (!kind) fail("unknown driver '" + v + "'");
+      base.driver = *kind;
+    } else if (flag == "--workload") {
+      const std::string v = need_value(i, "--workload");
+      const auto kind = parse_workload_kind(v);
+      if (!kind) fail("unknown workload '" + v + "'");
+      base.workload.kind = *kind;
+    } else if (flag == "--n-items") {
+      base.workload.n_items = parse_u64(need_value(i, flag.c_str()),
+                                        "--n-items");
+    } else if (flag == "--policy") {
+      const std::string v = need_value(i, "--policy");
+      const auto p = parse_policy(v);
+      if (!p) fail("unknown policy '" + v + "'");
+      base.policy = *p;
+    } else if (flag == "--sub") {
+      const std::string v = need_value(i, "--sub");
+      const auto s = parse_sub_arbitration(v);
+      if (!s) fail("unknown sub-arbitration '" + v + "'");
+      base.sub = *s;
+    } else if (flag == "--delta") {
+      const std::string v = need_value(i, "--delta");
+      const auto d = parse_delta_rule(v);
+      if (!d) fail("unknown delta rule '" + v + "'");
+      base.delta_rule = *d;
+    } else if (flag == "--predictor") {
+      const std::string v = need_value(i, "--predictor");
+      const auto p = parse_predictor_kind(v);
+      if (!p) fail("unknown predictor '" + v + "'");
+      base.predictor = *p;
+    } else if (flag == "--replacement") {
+      const std::string v = need_value(i, "--replacement");
+      const auto r = parse_replacement_kind(v);
+      if (!r) fail("unknown replacement policy '" + v + "'");
+      base.replacement = *r;
+    } else if (flag == "--pr") {
+      base.pr_planning = true;
+    } else if (flag == "--cache-size") {
+      base.cache_size = parse_u64(need_value(i, flag.c_str()),
+                                  "--cache-size");
+    } else if (flag == "--sized-capacity") {
+      base.sized_capacity = parse_double(need_value(i, flag.c_str()),
+                                         "--sized-capacity");
+    } else if (flag == "--size-per-r") {
+      base.size_per_r = parse_double(need_value(i, flag.c_str()),
+                                     "--size-per-r");
+    } else if (flag == "--requests") {
+      base.requests = parse_u64(need_value(i, flag.c_str()), "--requests");
+    } else if (flag == "--warmup") {
+      base.warmup = parse_u64(need_value(i, flag.c_str()), "--warmup");
+    } else if (flag == "--seed") {
+      base.seed = parse_u64(need_value(i, flag.c_str()), "--seed");
+    } else if (flag == "--bandwidth") {
+      base.bandwidth = parse_double(need_value(i, flag.c_str()),
+                                    "--bandwidth");
+    } else if (flag == "--latency") {
+      base.latency = parse_double(need_value(i, flag.c_str()), "--latency");
+    } else if (flag == "--threshold") {
+      base.min_profit_threshold =
+          parse_double(need_value(i, flag.c_str()), "--threshold");
+    } else if (flag == "--min-prob") {
+      base.predictor_min_prob =
+          parse_double(need_value(i, flag.c_str()), "--min-prob");
+    } else if (flag == "--predictor-warmup") {
+      base.predictor_warmup =
+          parse_u64(need_value(i, flag.c_str()), "--predictor-warmup");
+    } else if (flag == "--method") {
+      const std::string v = need_value(i, "--method");
+      const auto m = parse_prob_method(v);
+      if (!m) fail("unknown method '" + v + "'");
+      base.workload.method = *m;
+      iid_flag = true;
+    } else if (flag == "--skew-exponent") {
+      base.workload.skew_exponent =
+          parse_double(need_value(i, flag.c_str()), "--skew-exponent");
+      iid_flag = true;
+    } else if (flag == "--zipf-s") {
+      base.workload.zipf_exponent =
+          parse_double(need_value(i, flag.c_str()), "--zipf-s");
+      zipf_flag = true;
+    } else if (flag == "--no-zipf-shuffle") {
+      base.workload.zipf_shuffle = false;
+      zipf_flag = true;
+    } else if (flag == "--drift-period") {
+      base.workload.drift_period =
+          parse_u64(need_value(i, flag.c_str()), "--drift-period");
+      drift_flag = true;
+    } else if (flag == "--out-degree") {
+      // Integer bounds: the double-valued pair parser would truncate
+      // fractions and make a negative bound undefined behavior.
+      const std::vector<std::string> parts =
+          split(need_value(i, "--out-degree"), ':');
+      if (parts.size() != 2) fail("--out-degree expects LO:HI");
+      base.workload.out_degree_lo =
+          static_cast<std::size_t>(parse_u64(parts[0], "--out-degree"));
+      base.workload.out_degree_hi =
+          static_cast<std::size_t>(parse_u64(parts[1], "--out-degree"));
+    } else if (flag == "--viewing") {
+      parse_range_pair(need_value(i, flag.c_str()), "--viewing",
+                       base.workload.v_lo, base.workload.v_hi);
+    } else if (flag == "--retrieval") {
+      parse_range_pair(need_value(i, flag.c_str()), "--retrieval",
+                       base.workload.r_lo, base.workload.r_hi);
+    } else if (flag == "--no-plan-cache") {
+      base.use_plan_cache = false;
+    } else if (flag == "--cache-sizes") {
+      cache_sizes = parse_integer_axis(need_value(i, flag.c_str()),
+                                       "--cache-sizes");
+    } else if (flag == "--seeds") {
+      seeds = parse_integer_axis(need_value(i, flag.c_str()), "--seeds");
+    } else if (flag == "--thresholds") {
+      thresholds = parse_numeric_axis(need_value(i, flag.c_str()),
+                                      "--thresholds");
+    } else if (flag == "--policies") {
+      for (const std::string& token :
+           split(need_value(i, "--policies"), ',')) {
+        const auto p = parse_policy(token);
+        if (!p) fail("unknown policy '" + token + "'");
+        policies.push_back(*p);
+      }
+    } else if (flag == "--subs") {
+      for (const std::string& token : split(need_value(i, "--subs"), ',')) {
+        const auto s = parse_sub_arbitration(token);
+        if (!s) fail("unknown sub-arbitration '" + token + "'");
+        subs.push_back(*s);
+      }
+    } else if (flag == "--predictors") {
+      for (const std::string& token :
+           split(need_value(i, "--predictors"), ',')) {
+        const auto p = parse_predictor_kind(token);
+        if (!p) fail("unknown predictor '" + token + "'");
+        predictors.push_back(*p);
+      }
+    } else if (flag == "--shard") {
+      const std::vector<std::string> parts =
+          split(need_value(i, "--shard"), '/');
+      if (parts.size() != 2) fail("--shard expects I/N");
+      shard_index = parse_u64(parts[0], "--shard");
+      shard_count = parse_u64(parts[1], "--shard");
+      if (shard_count == 0 || shard_index >= shard_count) {
+        fail("--shard index out of range");
+      }
+    } else if (flag == "--csv") {
+      csv_path = need_value(i, "--csv");
+    } else if (flag == "--threads") {
+      threads = parse_u64(need_value(i, flag.c_str()), "--threads");
+    } else if (flag == "--help" || flag == "-h") {
+      usage(0);
+    } else {
+      fail("unknown flag '" + flag + "' (see simctl --help)");
+    }
+  }
+
+  if (drift_flag && base.workload.kind != SimWorkloadKind::MarkovDrift) {
+    fail("--drift-period applies to --workload markov_drift only");
+  }
+  if (zipf_flag && base.workload.kind != SimWorkloadKind::Zipf) {
+    fail("--zipf-s/--no-zipf-shuffle apply to --workload zipf only");
+  }
+  if (iid_flag && base.workload.kind != SimWorkloadKind::Iid) {
+    fail("--method/--skew-exponent apply to --workload iid only");
+  }
+
+  // Enumerate the cross-product in a fixed nesting order — the spec
+  // index this induces is the shard/merge key, so it must not depend on
+  // anything but the flags.
+  std::vector<SimSpec> sweep;
+  for (const std::uint64_t seed :
+       seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds) {
+    for (const PrefetchPolicy policy :
+         policies.empty() ? std::vector<PrefetchPolicy>{base.policy}
+                          : policies) {
+      for (const SubArbitration sub :
+           subs.empty() ? std::vector<SubArbitration>{base.sub} : subs) {
+        for (const PredictorKind predictor :
+             predictors.empty() ? std::vector<PredictorKind>{base.predictor}
+                                : predictors) {
+          for (const double threshold :
+               thresholds.empty()
+                   ? std::vector<double>{base.min_profit_threshold}
+                   : thresholds) {
+            for (const std::uint64_t cache_size :
+                 cache_sizes.empty()
+                     ? std::vector<std::uint64_t>{base.cache_size}
+                     : cache_sizes) {
+              SimSpec spec = base;
+              spec.seed = seed;
+              spec.policy = policy;
+              spec.sub = sub;
+              spec.predictor = predictor;
+              spec.min_profit_threshold = threshold;
+              spec.cache_size = static_cast<std::size_t>(cache_size);
+
+              sweep.push_back(spec);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Shard selection keeps (index, spec) pairs so rows carry their global
+  // index into the merge.
+  std::vector<std::pair<std::size_t, SimSpec>> owned;
+  for (std::size_t index = 0; index < sweep.size(); ++index) {
+    if (shard_owns(index, shard_index, shard_count)) {
+      owned.emplace_back(index, sweep[index]);
+    }
+  }
+
+  ThreadPool pool(threads);
+  const std::vector<SimResult> results = sweep_points(
+      pool, owned.size(),
+      [&](std::size_t i) { return run_sim(owned[i].second); });
+
+  std::ofstream file;
+  if (csv_path) {
+    file = open_csv(*csv_path);
+  }
+  std::ostream& os = csv_path ? static_cast<std::ostream&>(file)
+                              : std::cout;
+  CsvWriter writer(os);
+  writer.row(sim_csv_header());
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    append_sim_csv_row(writer, owned[i].first, owned[i].second, results[i]);
+  }
+  os.flush();
+  if (!os) fail("write failed: " + csv_path.value_or("stdout"));
+  if (shard_count > 1) {
+    std::cerr << "simctl: shard " << shard_index << "/" << shard_count
+              << " ran " << owned.size() << " of " << sweep.size()
+              << " specs\n";
+  }
+  return 0;
+}
+
+int merge_command(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  const std::string out_path = argv[0];
+  std::vector<std::string> shards;
+  for (int i = 1; i < argc; ++i) shards.push_back(read_file(argv[i]));
+  const std::string merged = merge_sharded_csv(shards);
+  if (out_path == "-") {
+    std::cout << merged;
+    std::cout.flush();
+    if (!std::cout) fail("write failed: stdout");
+  } else {
+    std::ofstream os(out_path);
+    if (!os) fail("cannot write " + out_path);
+    os << merged;
+    os.flush();
+    if (!os) fail("write failed: " + out_path);
+  }
+  return 0;
+}
+
+int drivers_command() {
+  std::cout << "registered drivers:\n";
+  for (const SimDriver& driver : driver_registry()) {
+    std::cout << "  " << driver.name << "\n";
+  }
+  std::cout << "workloads: markov iid zipf markov_drift trace_text\n"
+            << "policies: none kp skp perfect | subs: none lfu ds\n"
+            << "predictors: oracle markov1 ppm lz78 depgraph\n"
+            << "replacements: lru fifo lfu random\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  const std::string command = argv[1];
+  try {
+    if (command == "run") return run_command(argc - 2, argv + 2);
+    if (command == "merge") return merge_command(argc - 2, argv + 2);
+    if (command == "drivers") return drivers_command();
+    if (command == "--help" || command == "-h") usage(0);
+  } catch (const std::exception& e) {
+    std::cerr << "simctl: " << e.what() << "\n";
+    return 1;
+  }
+  usage(2);
+}
