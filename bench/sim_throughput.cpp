@@ -166,6 +166,13 @@ SimSpec driver_spec(SimDriverKind kind) {
       spec.predictor_warmup = 64;
       spec.cache_size = 6;
       break;
+    case SimDriverKind::MultiClientDes:
+      // Four oracle chains contending for one shared link; `requests`
+      // counts per client, so the point still serves kRequests cycles.
+      spec.multi_client.clients = 4;
+      spec.requests = kRequests / 4;
+      spec.cache_size = 10;
+      break;
   }
   return spec;
 }
@@ -179,8 +186,13 @@ void run_driver_point(benchmark::State& state, const SimSpec& spec) {
     pc = res.plan_cache;
     benchmark::DoNotOptimize(res.metrics.hits);
   }
+  // multi_client serves `requests` cycles on EACH client per run.
+  const std::size_t per_run =
+      spec.requests * (spec.driver == SimDriverKind::MultiClientDes
+                           ? spec.multi_client.clients
+                           : 1);
   state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * spec.requests));
+      static_cast<std::int64_t>(state.iterations() * per_run));
   state.counters["solver_nodes"] = static_cast<double>(nodes);
   if (pc.plans.lookups() > 0) {
     state.counters["plan_hit_rate"] = pc.plans.hit_rate();

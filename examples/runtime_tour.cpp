@@ -46,6 +46,11 @@ int main() {
         spec.predictor_warmup = 64;
         spec.cache_size = 6;
         break;
+      case SimDriverKind::MultiClientDes:
+        spec.multi_client.clients = 4;  // four chains, one shared link
+        spec.cache_size = 10;
+        spec.requests = 400;  // per client
+        break;
     }
     const SimResult res = run_sim(spec);
     std::cout << "  " << std::left << std::setw(15) << driver.name

@@ -1,22 +1,29 @@
 #include "sim/multi_client.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <optional>
 
 #include "cache/cache.hpp"
 #include "cache/freq_tracker.hpp"
 #include "core/access_model.hpp"
+#include "predict/predictor.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/runtime.hpp"  // make_runtime_predictor
 
 namespace skp {
 
 namespace {
 
-// Per-client simulation state. Caches and chains are private; only the
-// link is shared.
+// Per-client simulation state. Caches and request streams are private;
+// only the link is shared.
 struct Client {
-  std::unique_ptr<MarkovSource> chain;
+  std::unique_ptr<MarkovSource> chain;   // null for scripted clients
+  std::unique_ptr<Predictor> predictor;  // null for oracle clients
+  std::vector<TraceRecord> cycles;       // learned drive (scripted/walked)
+  std::vector<double> r;                 // effective retrieval catalog
+  std::vector<double> P;                 // learned planning row
   std::unique_ptr<SlotCache> cache;
   std::unique_ptr<FreqTracker> freq;
   Rng walk{0};
@@ -29,7 +36,9 @@ struct Client {
   // but each keeps its own scratch so cycles never allocate).
   PlanScratch scratch;
   PrefetchPlan plan;
-  // Per-client memoization: chains (and so states/orders) are private.
+  // Per-client memoization (oracle clients only: chains — and so
+  // states/orders — are private, and learned predictors change the
+  // planning row every observation, which no context key survives).
   std::optional<PlanCache> plans;
   std::optional<PlanCache> selections;
   std::optional<CanonicalOrderTable> canon;
@@ -41,6 +50,9 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   SKP_REQUIRE(cfg.n_clients >= 1, "need at least one client");
   SKP_REQUIRE(cfg.link_speedup > 0.0, "link_speedup must be positive");
   SKP_REQUIRE(cfg.cache_size >= 1, "cache_size must be >= 1");
+  SKP_REQUIRE(cfg.overrides.empty() ||
+                  cfg.overrides.size() == cfg.n_clients,
+              "override vector must have one entry per client (or none)");
 
   const PrefetchEngine engine(cfg.engine);
   Rng build(cfg.seed);
@@ -48,20 +60,92 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   std::vector<Client> clients(cfg.n_clients);
   for (std::size_t c = 0; c < cfg.n_clients; ++c) {
     Client& cl = clients[c];
-    cl.chain = std::make_unique<MarkovSource>(cfg.source, build);
-    cl.chain->teleport(0);
-    const std::size_t n = cl.chain->n_states();
+    const MultiClientConfig::ClientOverride* ov =
+        cfg.overrides.empty() ? nullptr : &cfg.overrides[c];
+    const PredictorKind kind =
+        ov && ov->predictor ? *ov->predictor : cfg.predictor;
+    const bool scripted = ov && !ov->cycles.empty();
+    SKP_REQUIRE(!scripted || kind != PredictorKind::Oracle,
+                "scripted cycles need a learned predictor (client "
+                    << c << " has no oracle rows to plan with)");
+
+    // Streams. With overrides in play EVERY client is privately seeded —
+    // from its explicit seed (position-independent, so the same seeded
+    // client reproduces its trajectory solo or in any fleet), else from
+    // (cfg.seed, client index) — so reseeding or reshaping one client
+    // never shifts another's trajectory. Without overrides, chains draw
+    // from the shared sequential stream and walks from its split(1000+c)
+    // children — the legacy scheme, kept bit-identical.
+    std::optional<Rng> private_build;
+    if (ov && ov->seed) {
+      Rng root(*ov->seed);
+      private_build.emplace(root.split(1));
+      cl.walk = root.split(2);
+    } else if (!cfg.overrides.empty()) {
+      Rng root = Rng(cfg.seed).split(1000 + c);
+      private_build.emplace(root.split(1));
+      cl.walk = root.split(2);
+    }
+    if (!scripted) {
+      const MarkovSourceConfig& scfg =
+          ov && ov->source ? *ov->source : cfg.source;
+      cl.chain = std::make_unique<MarkovSource>(
+          scfg, private_build ? *private_build : build);
+      cl.chain->teleport(0);
+    }
+    if (!private_build) cl.walk = build.split(1000 + c);
+
+    // Effective retrieval catalog: the grounding override, else the
+    // chain's drawn catalog.
+    if (!cfg.retrieval_times.empty()) {
+      SKP_REQUIRE(!cl.chain ||
+                      cl.chain->n_states() == cfg.retrieval_times.size(),
+                  "retrieval_times override must match the chain catalog");
+      cl.r = cfg.retrieval_times;
+    } else {
+      SKP_REQUIRE(cl.chain != nullptr,
+                  "scripted clients need a retrieval_times catalog");
+      cl.r.assign(cl.chain->retrieval_times().begin(),
+                  cl.chain->retrieval_times().end());
+    }
+    const std::size_t n = cl.r.size();
     cl.cache = std::make_unique<SlotCache>(n, cfg.cache_size);
     cl.freq = std::make_unique<FreqTracker>(n);
-    cl.walk = build.split(1000 + c);
     cl.completion.assign(n, 0.0);
     cl.unused_prefetch.assign(n, 0);
-    if (cfg.use_plan_cache) {
-      cl.plans.emplace(engine.config_digest(), cfg.plan_cache_capacity,
-                       /*doorkeeper=*/true);
-      cl.selections.emplace(engine.config_digest(),
-                            cfg.plan_cache_capacity);
-      cl.canon.emplace(n);
+
+    if (kind == PredictorKind::Oracle) {
+      if (cfg.use_plan_cache) {
+        cl.plans.emplace(engine.config_digest(), cfg.plan_cache_capacity,
+                         /*doorkeeper=*/true);
+        cl.selections.emplace(engine.config_digest(),
+                              cfg.plan_cache_capacity);
+        cl.canon.emplace(n);
+      }
+    } else {
+      cl.predictor = make_runtime_predictor(kind, n);
+      cl.P.assign(n, 0.0);
+      if (scripted) {
+        SKP_REQUIRE(ov->cycles.size() >= cfg.requests_per_client,
+                    "scripted cycles must cover requests_per_client");
+        for (const TraceRecord& rec : ov->cycles) {
+          SKP_REQUIRE(rec.item >= 0 &&
+                          static_cast<std::size_t>(rec.item) < n,
+                      "scripted cycle item out of catalog range");
+        }
+        cl.cycles = ov->cycles;
+      } else {
+        // Materialize the chain walk up front — the walk stream is
+        // consumed exactly as lazy stepping would, and learned planning
+        // needs the cycle script, not the chain rows.
+        cl.cycles.reserve(cfg.requests_per_client);
+        for (std::size_t i = 0; i < cfg.requests_per_client; ++i) {
+          const double v =
+              cl.chain->viewing_time(cl.chain->current_state());
+          const auto item = static_cast<ItemId>(cl.chain->step(cl.walk));
+          cl.cycles.push_back({item, v});
+        }
+      }
     }
   }
   // Oracle rows are static, so completed plans depend on evolving context
@@ -74,6 +158,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   double link_free_at = 0.0;
   double link_busy = 0.0;
   double makespan = 0.0;
+  std::uint64_t plans_fired = 0;
 
   // Serializes a transfer on the shared link; returns completion time.
   auto enqueue = [&](double r) {
@@ -93,22 +178,49 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       return;
     }
     const double t0 = clock.now();
-    const InstanceView inst = cl.chain->view_at(cl.state);
-    const auto next = static_cast<ItemId>(cl.chain->step(cl.walk));
-    std::optional<ItemId> oracle;
-    if (cfg.engine.policy == PrefetchPolicy::Perfect) oracle = next;
 
-    PlanMemo memo;
-    if (cl.plans) {
-      memo.plans = &*cl.plans;
-      memo.selections = &*cl.selections;
-      memo.canon = &*cl.canon;
-      memo.state_key = cl.state;
+    double v = 0.0;
+    ItemId next = 0;
+    if (cl.predictor) {
+      // Learned drive: replay the scripted cycle, plan against the
+      // predictor's row (zeros during the observe-only warmup prefix, so
+      // the planner fetches nothing), no memoization.
+      const TraceRecord& rec = cl.cycles[cl.served];
+      v = rec.viewing_time;
+      next = rec.item;
+      if (cl.served >= cfg.predictor_warmup) {
+        cl.predictor->predict_into(cl.P);
+        for (double& p : cl.P) {
+          if (p < cfg.predictor_min_prob) p = 0.0;
+        }
+      }
+      const InstanceView inst(cl.P, cl.r, v);
+      std::optional<ItemId> oracle;
+      if (cfg.engine.policy == PrefetchPolicy::Perfect) oracle = next;
+      engine.plan_with_cache(inst, *cl.cache, cl.freq.get(), cl.scratch,
+                             cl.plan, oracle);
+    } else {
+      // Oracle drive: plan against the chain's ground-truth row, then
+      // sample the next request.
+      v = cl.chain->viewing_time(cl.state);
+      const InstanceView inst(cl.chain->transition_row(cl.state), cl.r, v);
+      next = static_cast<ItemId>(cl.chain->step(cl.walk));
+      std::optional<ItemId> oracle;
+      if (cfg.engine.policy == PrefetchPolicy::Perfect) oracle = next;
+
+      PlanMemo memo;
+      if (cl.plans) {
+        memo.plans = &*cl.plans;
+        memo.selections = &*cl.selections;
+        memo.canon = &*cl.canon;
+        memo.state_key = cl.state;
+      }
+      engine.plan_with_cache_cached(inst, *cl.cache, cl.freq.get(), memo,
+                                    cl.scratch, cl.plan, oracle,
+                                    cl.chain->successors(cl.state));
     }
-    engine.plan_with_cache_cached(inst, *cl.cache, cl.freq.get(), memo,
-                                  cl.scratch, cl.plan, oracle,
-                                  cl.chain->successors(cl.state));
     const PrefetchPlan& plan = cl.plan;
+    if (!plan.fetch.empty()) ++plans_fired;
     std::size_t victim_idx = 0;
     for (const ItemId f : plan.fetch) {
       if (cl.cache->full()) {
@@ -122,17 +234,16 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         cl.cache->insert(f);
       }
       cl.unused_prefetch[Instance::idx(f)] = 1;
-      cl.completion[Instance::idx(f)] =
-          enqueue(inst.r[Instance::idx(f)]);
+      cl.completion[Instance::idx(f)] = enqueue(cl.r[Instance::idx(f)]);
       ++cl.metrics.prefetch_fetches;
-      const double rt = inst.r[Instance::idx(f)];
+      const double rt = cl.r[Instance::idx(f)];
       cl.metrics.network_time += rt;
       cl.metrics.prefetch_network_time += rt;
     }
     cl.metrics.solver_nodes += plan.solver_nodes;
 
-    const double t_req = t0 + cl.chain->viewing_time(cl.state);
-    clock.schedule_at(t_req, [&, c, next, t_req] {
+    const double t_req = t0 + v;
+    clock.schedule_at(t_req, [&, c, next, v, t_req] {
       Client& me = clients[c];
       double T = 0.0;
       if (me.cache->contains(next)) {
@@ -141,11 +252,20 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         // Demand fetch queues behind every committed transfer — the
         // paper's no-abort assumption, now spanning all clients.
         if (me.cache->full()) {
-          const InstanceView now_inst = me.chain->view_at(
-              static_cast<std::size_t>(next));
-          const ItemId d =
-              choose_victim(now_inst, me.cache->contents(),
-                            me.freq.get(), cfg.engine.arbitration);
+          ItemId d = kNoItem;
+          if (me.predictor) {
+            // The row in force this cycle arbitrates the demand victim —
+            // the chainless analogue of the oracle path's next-state row.
+            d = choose_victim(InstanceView(me.P, me.r, v),
+                              me.cache->contents(), me.freq.get(),
+                              cfg.engine.arbitration);
+          } else {
+            const auto s = static_cast<std::size_t>(next);
+            const InstanceView now_inst(me.chain->transition_row(s), me.r,
+                                        me.chain->viewing_time(s));
+            d = choose_victim(now_inst, me.cache->contents(),
+                              me.freq.get(), cfg.engine.arbitration);
+          }
           if (me.unused_prefetch[Instance::idx(d)]) {
             ++me.metrics.wasted_prefetches;
             me.unused_prefetch[Instance::idx(d)] = 0;
@@ -154,17 +274,17 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         } else {
           me.cache->insert(next);
         }
-        const double finish =
-            enqueue(me.chain->retrieval_time(next));
+        const double finish = enqueue(me.r[Instance::idx(next)]);
         me.completion[Instance::idx(next)] = finish;
         ++me.metrics.demand_fetches;
-        const double rt = me.chain->retrieval_time(next);
+        const double rt = me.r[Instance::idx(next)];
         me.metrics.network_time += rt;
         me.metrics.demand_network_time += rt;
         T = finish - t_req;
       }
       me.freq->record(next);
       if (me.plans && volatile_plans) me.plans->bump_generation();
+      if (me.predictor) me.predictor->observe(next);
       me.unused_prefetch[Instance::idx(next)] = 0;
       me.metrics.access_time.add(T);
       ++me.metrics.requests;
@@ -183,10 +303,14 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   MultiClientResult result;
   result.makespan = makespan;
   result.link_busy_time = link_busy;
+  result.plans = plans_fired;
   for (auto& cl : clients) {
     result.per_client.push_back(cl.metrics);
     result.aggregate.merge(cl.metrics);
     if (cl.plans) {
+      // Counter sums, never overwrites: the merged hit-rate must be
+      // recomputable from summed hits/misses (a mean of per-client rates
+      // is wrong under skewed client loads).
       result.plan_cache.plans.merge(cl.plans->stats());
       result.plan_cache.selections.merge(cl.selections->stats());
     }

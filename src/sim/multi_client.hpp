@@ -4,23 +4,39 @@
 // information systems — raises the obvious system-level question:
 // speculative traffic from one client occupies the shared server link and
 // delays everyone else's demand fetches. This simulator runs K clients,
-// each with its own cache, prefetch engine and Markov request chain,
-// over ONE shared FIFO link (the server bottleneck), using the event
-// queue substrate. Per the paper's Section-2 assumption, committed
-// transfers are never aborted or preempted — a demand fetch queues behind
+// each with its own cache, prefetch engine and request stream, over ONE
+// shared FIFO link (the server bottleneck), using the event queue
+// substrate. Per the paper's Section-2 assumption, committed transfers
+// are never aborted or preempted — a demand fetch queues behind
 // everything already on the wire, including other clients' speculation.
 //
-// bench/contention sweeps client count x prefetch threshold and shows the
-// congestion collapse of unthrottled speculation — the system-level
-// version of the Section-6 network-usage concern.
+// Clients come in two drive modes:
+//  * oracle (default)  — each client walks its own Markov chain and plans
+//    against the chain's ground-truth transition rows, with per-client
+//    plan memoization (core/plan_cache.hpp);
+//  * learned           — the client replays a scripted (item, viewing
+//    time) cycle list (or a chain walk materialized at setup) and plans
+//    against its own online predictor's rows, mirroring the netsim_des
+//    learned branch. Plan memoization is bypassed — the predictor's state
+//    changes on every observation, so no context key holds.
+//
+// The per-client override vector (chain shape / seed / predictor /
+// scripted cycles) is what the unified runtime's `multi_client` driver
+// (sim/runtime.hpp, SimSpec::multi_client) assembles; homogeneous clients
+// need no overrides. bench/contention sweeps client count x prefetch
+// threshold and shows the congestion collapse of unthrottled speculation
+// — the system-level version of the Section-6 network-usage concern.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/prefetch_engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/prefetch_cache.hpp"  // PredictorKind
 #include "workload/markov_source.hpp"
+#include "workload/trace.hpp"  // TraceRecord
 
 namespace skp {
 
@@ -36,17 +52,56 @@ struct MultiClientConfig {
   EngineConfig engine;
   std::size_t requests_per_client = 2'000;
   std::uint64_t seed = 1;
-  // Per-client plan memoization (core/plan_cache.hpp): each client owns
-  // its PlanCache + CanonicalOrderTable (chains are per-client), so the
-  // single-threaded DES stays deterministic. Bit-identical on or off.
+  // Per-client plan memoization (core/plan_cache.hpp): each oracle-mode
+  // client owns its PlanCache + CanonicalOrderTable (chains are
+  // per-client), so the single-threaded DES stays deterministic.
+  // Bit-identical on or off; a no-op for learned clients.
   bool use_plan_cache = true;
   std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+
+  // ---- Registry integration (SimSpec::multi_client) ---------------------
+
+  // Default predictor for every client. Oracle plans against the chain's
+  // ground-truth rows; anything else gives each client its own online
+  // predictor over its own history, with an observe-only warmup prefix
+  // and a shortlist floor (the netsim_des learned-branch semantics).
+  PredictorKind predictor = PredictorKind::Oracle;
+  double predictor_min_prob = 0.01;
+  std::size_t predictor_warmup = 0;  // observe-only cycles per client
+
+  // Net grounding: when non-empty, replaces every client's chain-drawn
+  // retrieval-time catalog (the runtime driver grounds r_i = latency +
+  // size_i / bandwidth here so multi_client rows are comparable with
+  // netsim_des/scenario rows of the same spec). Scripted clients require
+  // it — they have no chain to draw a catalog from.
+  std::vector<double> retrieval_times;
+
+  // Per-client drive overrides; empty = homogeneous clients from the
+  // fields above (the legacy shared sequential stream scheme), otherwise
+  // exactly one entry per client. With a non-empty vector EVERY client
+  // gets private build/walk streams — from its `seed` when given
+  // (position-independent: the same seeded client reproduces its
+  // trajectory solo or in any fleet), else derived from (config seed,
+  // client index) — so reseeding or reshaping one client can never
+  // shift another's trajectory.
+  struct ClientOverride {
+    std::optional<MarkovSourceConfig> source;  // chain shape
+    std::optional<std::uint64_t> seed;         // private stream root
+    std::optional<PredictorKind> predictor;
+    // Scripted drive (learned clients only): replay exactly this (item,
+    // viewing time) sequence instead of walking a chain — how the
+    // runtime drives iid / trace workloads that are not chains. Must
+    // cover requests_per_client cycles.
+    std::vector<TraceRecord> cycles;
+  };
+  std::vector<ClientOverride> overrides;
 };
 
 struct MultiClientResult {
   SimMetrics aggregate;                  // across all clients
   std::vector<SimMetrics> per_client;
-  PlanMemoStats plan_cache;              // merged across clients
+  PlanMemoStats plan_cache;              // counters summed across clients
+  std::uint64_t plans = 0;               // planning rounds that fetched
   double makespan = 0.0;                 // time when the last client ended
   double link_busy_time = 0.0;
   double link_utilization() const {

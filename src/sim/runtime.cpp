@@ -13,6 +13,7 @@
 #include "predict/lz78_predictor.hpp"
 #include "predict/markov_predictor.hpp"
 #include "predict/ppm_predictor.hpp"
+#include "sim/multi_client.hpp"
 #include "sim/netsim.hpp"
 #include "sim/prefetch_only.hpp"
 #include "sim/trace_replay.hpp"
@@ -22,6 +23,29 @@
 #include "workload/zipf_source.hpp"
 
 namespace skp {
+
+// The learned predictors of the scenario pipelines (same construction the
+// scenario matrix has always used; trace_replay keeps its own factory).
+// Shared with the multi_client driver so contention rows stay comparable
+// with scenario/netsim_des rows of the same config.
+std::unique_ptr<Predictor> make_runtime_predictor(PredictorKind kind,
+                                                  std::size_t n_items) {
+  switch (kind) {
+    case PredictorKind::Markov1:
+      return std::make_unique<MarkovPredictor>(n_items);
+    case PredictorKind::Lz78:
+      return std::make_unique<Lz78Predictor>(n_items);
+    case PredictorKind::Ppm:
+      return std::make_unique<PpmPredictor>(n_items, 2);
+    case PredictorKind::DependencyWindow:
+      return std::make_unique<DependencyGraph>(n_items, /*window=*/2);
+    default:
+      SKP_REQUIRE(false,
+                  "this pipeline needs a learned predictor "
+                  "(markov1 | lz78 | ppm | depgraph)");
+  }
+  return nullptr;
+}
 
 namespace {
 
@@ -49,27 +73,6 @@ ZipfSourceConfig to_zipf_config(const SimWorkload& w) {
   cfg.r_hi = w.r_hi;
   cfg.integer_times = w.integer_times;
   return cfg;
-}
-
-// The learned predictors of the scenario pipelines (same construction the
-// scenario matrix has always used; trace_replay keeps its own factory).
-std::unique_ptr<Predictor> make_runtime_predictor(PredictorKind kind,
-                                                  std::size_t n) {
-  switch (kind) {
-    case PredictorKind::Markov1:
-      return std::make_unique<MarkovPredictor>(n);
-    case PredictorKind::Lz78:
-      return std::make_unique<Lz78Predictor>(n);
-    case PredictorKind::Ppm:
-      return std::make_unique<PpmPredictor>(n, 2);
-    case PredictorKind::DependencyWindow:
-      return std::make_unique<DependencyGraph>(n, /*window=*/2);
-    default:
-      SKP_REQUIRE(false,
-                  "this pipeline needs a learned predictor "
-                  "(markov1 | lz78 | ppm | depgraph)");
-  }
-  return nullptr;
 }
 
 std::unique_ptr<ReplacementPolicy> make_runtime_policy(ReplacementKind kind,
@@ -104,6 +107,12 @@ void require_unsized(const SimSpec& spec, const char* driver) {
                         "applies to the prefetch_cache driver");
 }
 
+void require_single_client(const SimSpec& spec, const char* driver) {
+  SKP_REQUIRE(spec.multi_client == MultiClientSpec{},
+              driver << " is single-client; the multi_client section "
+                        "applies to the multi_client driver");
+}
+
 // ---- Drivers ------------------------------------------------------------
 
 SimResult run_prefetch_only_driver(const SimSpec& spec) {
@@ -125,6 +134,7 @@ SimResult run_prefetch_only_driver(const SimSpec& spec) {
   require_default_net(spec, "prefetch_only");
   require_no_scenario_fields(spec, "prefetch_only");
   require_unsized(spec, "prefetch_only");
+  require_single_client(spec, "prefetch_only");
   PrefetchOnlyConfig cfg;
   cfg.n_items = w.n_items;
   cfg.method = w.method;
@@ -164,6 +174,7 @@ SimResult run_prefetch_cache_driver(const SimSpec& spec) {
               "exclude leading requests from metrics");
   require_default_net(spec, "prefetch_cache");
   require_no_scenario_fields(spec, "prefetch_cache");
+  require_single_client(spec, "prefetch_cache");
   if (spec.sized_capacity > 0.0) {
     SKP_REQUIRE(w.kind == SimWorkloadKind::Markov,
                 "the sized-cache experiment runs the Markov workload");
@@ -237,6 +248,7 @@ SimResult run_trace_replay_driver(const SimSpec& spec) {
   require_default_net(spec, "trace_replay");
   require_no_scenario_fields(spec, "trace_replay");
   require_unsized(spec, "trace_replay");
+  require_single_client(spec, "trace_replay");
   Rng root(spec.seed);
   Rng build = root.split(1);
   Rng walk = root.split(2);
@@ -301,6 +313,7 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
   // The session arbitrates its own victims (Figure-6 Pr-arbitration).
   require_no_scenario_fields(spec, "netsim_des");
   require_unsized(spec, "netsim_des");
+  require_single_client(spec, "netsim_des");
   const std::size_t n = w.n_items;
 
   GroundedStreams g = ground_streams(spec);
@@ -408,6 +421,7 @@ SimResult run_scenario_driver(const SimSpec& spec) {
               "the scenario pipeline counts every request; use "
               "predictor_warmup for the observe-only prefix");
   require_unsized(spec, "scenario");
+  require_single_client(spec, "scenario");
   const std::size_t n = spec.workload.n_items;
   GroundedStreams g = ground_streams(spec);
   const std::vector<double> r = g.catalog.retrieval_times(g.net);
@@ -528,6 +542,94 @@ SimResult run_scenario_driver(const SimSpec& spec) {
   return res;
 }
 
+SimResult run_multi_client_des_driver(const SimSpec& spec) {
+  const MultiClientSpec& mc = spec.multi_client;
+  SKP_REQUIRE(mc.clients >= 1, "multi_client needs at least one client");
+  SKP_REQUIRE(mc.overrides.empty() || mc.overrides.size() == mc.clients,
+              "multi_client overrides must have one entry per client "
+              "(got " << mc.overrides.size() << " for " << mc.clients
+                      << " clients)");
+  SKP_REQUIRE(spec.warmup == 0,
+              "multi_client counts every request; use predictor_warmup "
+              "for an observe-only prefix");
+  require_no_scenario_fields(spec, "multi_client");
+  require_unsized(spec, "multi_client");
+  const std::size_t n = spec.workload.n_items;
+
+  // Shared grounded catalog: the netsim_des/scenario stream layout, so a
+  // multi_client row is comparable with the single-client rows of the
+  // same config (the clients' chains keep their own P/v draws; only the
+  // retrieval-time catalog is shared — items are per-client, the link
+  // and the server catalog are not).
+  GroundedStreams g = ground_streams(spec);
+
+  MultiClientConfig cfg;
+  cfg.n_clients = mc.clients;
+  cfg.source = to_markov_config(spec.workload);
+  cfg.link_speedup = mc.link_speedup;
+  cfg.cache_size = spec.cache_size;
+  cfg.engine.policy = spec.policy;
+  cfg.engine.delta_rule = spec.delta_rule;
+  cfg.engine.arbitration.sub = spec.sub;
+  cfg.engine.min_profit_threshold = spec.min_profit_threshold;
+  cfg.engine.evaluate_plan_g = false;
+  cfg.requests_per_client = spec.requests;
+  cfg.seed = spec.seed;
+  cfg.use_plan_cache = spec.use_plan_cache;
+  cfg.plan_cache_capacity = spec.plan_cache_capacity;
+  cfg.predictor = spec.predictor;
+  cfg.predictor_min_prob = spec.predictor_min_prob;
+  cfg.predictor_warmup = spec.predictor_warmup;
+  cfg.retrieval_times = g.catalog.retrieval_times(g.net);
+
+  cfg.overrides.resize(mc.clients);
+  for (std::size_t c = 0; c < mc.clients; ++c) {
+    const MultiClientOverride* ov =
+        mc.overrides.empty() ? nullptr : &mc.overrides[c];
+    const SimWorkload w = ov && ov->workload ? *ov->workload
+                                             : spec.workload;
+    SKP_REQUIRE(w.n_items == n,
+                "multi_client clients must share n_items (one grounded "
+                "catalog serves every client)");
+    const PredictorKind predictor =
+        ov && ov->predictor ? *ov->predictor : spec.predictor;
+    // Per-client private streams derived from (effective seed, client
+    // index): homogeneous clients walk distinct trajectories, and
+    // reseeding or reshaping one client never shifts another.
+    const std::uint64_t base_seed = ov && ov->seed ? *ov->seed : spec.seed;
+    Rng mix(base_seed);
+    const std::uint64_t client_seed = mix.split(1000 + c).next_u64();
+
+    MultiClientConfig::ClientOverride& out = cfg.overrides[c];
+    out.seed = client_seed;
+    out.predictor = predictor;
+    if (predictor == PredictorKind::Oracle) {
+      SKP_REQUIRE(w.kind == SimWorkloadKind::Markov,
+                  "oracle multi_client clients walk a markov chain; "
+                  "learned predictors unlock iid/zipf/drift/trace "
+                  "workloads");
+      out.source = to_markov_config(w);
+    } else {
+      // Scripted learned drive: materialize the client's cycle script
+      // with the same stream layout a private-seeded chain would use.
+      Rng root(client_seed);
+      Rng build = root.split(1);
+      Rng walk = root.split(2);
+      out.cycles =
+          materialize_workload(w, spec.requests, build, walk).cycles;
+    }
+  }
+
+  const MultiClientResult res = run_multi_client(cfg);
+  SimResult out;
+  out.metrics = res.aggregate;
+  out.per_client = res.per_client;
+  out.plan_cache = res.plan_cache;
+  out.plans = res.plans;
+  out.link_utilization = res.link_utilization();
+  return out;
+}
+
 constexpr SimDriver kDrivers[] = {
     {SimDriverKind::PrefetchOnly, "prefetch_only",
      &run_prefetch_only_driver},
@@ -537,6 +639,8 @@ constexpr SimDriver kDrivers[] = {
      &run_trace_replay_driver},
     {SimDriverKind::NetsimDes, "netsim_des", &run_netsim_des_driver},
     {SimDriverKind::Scenario, "scenario", &run_scenario_driver},
+    {SimDriverKind::MultiClientDes, "multi_client",
+     &run_multi_client_des_driver},
 };
 
 }  // namespace
@@ -804,7 +908,7 @@ std::vector<std::string> sim_csv_header() {
       "warmup",         "seed",
       "bandwidth",      "latency",
       "threshold",      "drift_period",
-      "plan_cache",
+      "clients",        "plan_cache",
       "hit_rate",       "mean_T",
       "net_per_req",    "prefetch_net",
       "demand_net",     "hits",
@@ -832,6 +936,9 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
       spec.workload.kind == SimWorkloadKind::MarkovDrift
           ? spec.workload.drift_period
           : 0;
+  const std::size_t clients = spec.driver == SimDriverKind::MultiClientDes
+                                  ? spec.multi_client.clients
+                                  : 0;
   writer.row_of(
       index, to_string(spec.driver), to_string(spec.workload.kind),
       spec.workload.n_items, policy_token(spec.policy),
@@ -844,7 +951,8 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
       spec.size_per_r, spec.requests, spec.warmup, spec.seed,
       spec.bandwidth, spec.latency,
       spec.min_profit_threshold, drift_period,
-      spec.use_plan_cache ? 1 : 0, m.hit_rate(), m.mean_access_time(),
+      clients, spec.use_plan_cache ? 1 : 0, m.hit_rate(),
+      m.mean_access_time(),
       m.network_time_per_request(), m.prefetch_network_time,
       m.demand_network_time, m.hits, result.resident_hits(),
       m.demand_fetches, m.prefetch_fetches,
@@ -855,19 +963,30 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
       result.over_viewing_time);
 }
 
-std::string merge_sharded_csv(const std::vector<std::string>& shards) {
+std::string merge_sharded_csv(const std::vector<std::string>& shards,
+                              const std::vector<std::string>& names) {
   SKP_REQUIRE(!shards.empty(), "no shard documents to merge");
+  SKP_REQUIRE(names.empty() || names.size() == shards.size(),
+              "shard name list must match the document list");
+  const auto shard_name = [&](std::size_t i) {
+    return names.empty() ? "shard document #" + std::to_string(i + 1)
+                         : names[i];
+  };
   std::string header;
-  std::map<std::size_t, std::string> rows;
-  for (const std::string& doc : shards) {
-    std::istringstream is(doc);
+  // index -> (row text, source document) — the source lets a collision
+  // diagnostic name both inputs, the usual symptom of merging the same
+  // shard file twice or mixing overlapping shard schemes.
+  std::map<std::size_t, std::pair<std::string, std::size_t>> rows;
+  for (std::size_t d = 0; d < shards.size(); ++d) {
+    std::istringstream is(shards[d]);
     std::string line;
     SKP_REQUIRE(static_cast<bool>(std::getline(is, line)),
-                "empty shard document");
+                "empty shard document: " << shard_name(d));
     if (header.empty()) {
       header = line;
     } else {
-      SKP_REQUIRE(line == header, "shard header mismatch: " << line);
+      SKP_REQUIRE(line == header, "shard header mismatch in "
+                                      << shard_name(d) << ": " << line);
     }
     while (std::getline(is, line)) {
       if (line.empty()) continue;
@@ -884,19 +1003,23 @@ std::string merge_sharded_csv(const std::vector<std::string>& shards) {
       }
       SKP_REQUIRE(pos == key.size() && pos > 0,
                   "non-numeric row index: " << key);
-      SKP_REQUIRE(rows.emplace(index, line).second,
-                  "duplicate row index " << index);
+      const auto [it, inserted] = rows.emplace(index, std::pair(line, d));
+      SKP_REQUIRE(inserted, "duplicate spec index "
+                                << index << " (in " << shard_name(d)
+                                << ", first seen in "
+                                << shard_name(it->second.second)
+                                << ") — overlapping shard inputs?");
     }
   }
   std::string out = header;
   out += '\n';
   std::size_t expect = 0;
-  for (const auto& [index, line] : rows) {
+  for (const auto& [index, row] : rows) {
     SKP_REQUIRE(index == expect,
                 "missing row index " << expect << " (next present: "
                                      << index << ")");
     ++expect;
-    out += line;
+    out += row.first;
     out += '\n';
   }
   return out;

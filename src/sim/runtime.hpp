@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "core/prefetch_engine.hpp"
+#include "predict/predictor.hpp"
 #include "sim/metrics.hpp"
 #include "sim/prefetch_cache.hpp"  // PredictorKind + PrefetchCacheConfig
 #include "util/csv.hpp"
@@ -48,6 +50,8 @@ enum class SimDriverKind {
   NetsimDes,      // discrete-event ClientSession over a serial link
   Scenario,       // deployment pipeline: predictor + replacement policy +
                   // net-grounded retrieval times (the scenario matrix)
+  MultiClientDes, // K clients contending for ONE shared link (multi-user
+                  // DES; see SimSpec::multi_client)
 };
 
 enum class SimWorkloadKind {
@@ -83,6 +87,39 @@ struct SimWorkload {
   bool zipf_shuffle = true;
   // MarkovDrift: requests between transition-structure changepoints.
   std::size_t drift_period = 2'000;
+
+  bool operator==(const SimWorkload&) const = default;
+};
+
+// Per-client override for the multi_client driver. Every field defaults
+// to "inherit from the base spec"; a client can reshape its workload,
+// swap its predictor, or reseed its private request stream. Each
+// client's streams are derived from (effective seed, client index), so
+// homogeneous clients walk distinct trajectories and overriding one
+// client never shifts another's.
+struct MultiClientOverride {
+  std::optional<SimWorkload> workload;
+  std::optional<PredictorKind> predictor;
+  std::optional<std::uint64_t> seed;
+
+  bool operator==(const MultiClientOverride&) const = default;
+};
+
+// The multi-user DES section (consulted by the multi_client driver
+// only; every other driver rejects a non-default section). Clients share
+// ONE serial link — r_i / link_speedup per transfer — and the grounded
+// retrieval catalog (r_i = latency + size_i / bandwidth, same stream
+// layout as netsim_des/scenario), but own their caches, engines,
+// predictors and request streams. `requests` in the base spec counts
+// per client, so the aggregate serves clients x requests cycles.
+struct MultiClientSpec {
+  std::size_t clients = 4;
+  double link_speedup = 1.0;
+  // Empty = homogeneous clients derived from the base spec; otherwise
+  // exactly `clients` entries.
+  std::vector<MultiClientOverride> overrides;
+
+  bool operator==(const MultiClientSpec&) const = default;
 };
 
 struct SimSpec {
@@ -125,6 +162,9 @@ struct SimSpec {
   std::uint64_t seed = 1;
   bool use_plan_cache = true;
   std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+
+  // Multi-user DES section (multi_client driver only).
+  MultiClientSpec multi_client;
 };
 
 // ---- Unified result -----------------------------------------------------
@@ -139,10 +179,14 @@ struct SimResult {
   // Scenario driver: stretch-knapsack bandwidth-budget violations.
   std::uint64_t budget_violations = 0;
   double worst_budget_overrun = 0.0;
-  // NetsimDes driver: fraction of elapsed time the link transferred.
+  // NetsimDes/MultiClientDes: fraction of elapsed time the link
+  // transferred.
   double link_utilization = 0.0;
   // PrefetchOnly driver: the Fig.-5 average-T-by-v curve.
   std::optional<BinnedMeans> avg_T_by_v;
+  // MultiClientDes driver: one row per client (metrics above are the
+  // merge); empty for the single-client drivers.
+  std::vector<SimMetrics> per_client;
 
   // Requests served without a demand fetch (cache-resident or covered by
   // a prefetch). In the Monte-Carlo drivers this bounds metrics.hits
@@ -212,6 +256,12 @@ MaterializedWorkload materialize_workload(const SimWorkload& workload,
                                           std::size_t requests, Rng& build,
                                           Rng& walk);
 
+// The learned predictors of the scenario pipelines, one construction
+// shared by the scenario / netsim_des / multi_client drivers so their
+// golden rows stay comparable. Throws on Oracle (no learned state).
+std::unique_ptr<Predictor> make_runtime_predictor(PredictorKind kind,
+                                                  std::size_t n_items);
+
 // ---- simctl substrate (sharding + CSV) ----------------------------------
 //
 // A sweep is an ordered std::vector<SimSpec>; each spec's position is its
@@ -232,7 +282,12 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
 // Merges shard CSV outputs (each: header + index-prefixed rows) back into
 // the single-run document: rows sorted by index, exactly the indices
 // 0..total-1 present once each. Throws std::invalid_argument on header
-// mismatch, duplicate or missing indices, or malformed rows.
-std::string merge_sharded_csv(const std::vector<std::string>& shards);
+// mismatch, duplicate or missing indices, or malformed rows — a spec
+// index appearing in two inputs (overlapping shards, or the same shard
+// merged twice) is an error, never a silent concatenation. `names`,
+// when given, labels each shard document in diagnostics (simctl passes
+// the input file paths); it must be empty or match `shards` in size.
+std::string merge_sharded_csv(const std::vector<std::string>& shards,
+                              const std::vector<std::string>& names = {});
 
 }  // namespace skp

@@ -26,6 +26,11 @@
 //                     (prefetches and demand fetches serialized over the
 //                     modeled link), locking the netsim path into the
 //                     golden matrix.
+//   * MultiClientDes — MultiClientDes driver: three clients with private
+//                     caches/predictors replaying the same workload shape
+//                     over ONE shared link (cfg.requests split across the
+//                     clients, so the aggregate serves the same cycle
+//                     count) — the golden rows are contention-grounded.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -44,7 +49,7 @@ namespace skp::testing {
 // runtime is immediately sweepable here and the two can never diverge.
 using CachePolicyKind = ReplacementKind;
 enum class ScenarioWorkload { MarkovChain, IidSkewy, TraceReplay };
-enum class PlanMode { EmptyCache, PrArbitration, NetsimDes };
+enum class PlanMode { EmptyCache, PrArbitration, NetsimDes, MultiClientDes };
 
 inline const char* to_string(ScenarioWorkload w) {
   switch (w) {
@@ -60,6 +65,7 @@ inline const char* to_string(PlanMode m) {
     case PlanMode::EmptyCache: return "empty";
     case PlanMode::PrArbitration: return "pr";
     case PlanMode::NetsimDes: return "des";
+    case PlanMode::MultiClientDes: return "mc";
   }
   return "?";
 }
@@ -138,6 +144,8 @@ inline std::string scenario_name(const ScenarioConfig& cfg) {
     name += "_pr";
   } else if (cfg.plan_mode == PlanMode::NetsimDes) {
     name += "_des";
+  } else if (cfg.plan_mode == PlanMode::MultiClientDes) {
+    name += "_mc";
   }
   return name;
 }
@@ -145,11 +153,25 @@ inline std::string scenario_name(const ScenarioConfig& cfg) {
 // Maps a scenario onto the unified runtime's descriptor. The workload
 // parameters are the harness's historical ones, so the registry-backed
 // runs reproduce the pre-runtime golden values bit for bit.
+// MultiClientDes scenarios split cfg.requests across this many clients,
+// so a contention row serves the same aggregate cycle count as the
+// single-client rows it sits next to.
+inline constexpr std::size_t kScenarioClients = 3;
+
 inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
   SimSpec spec;
-  spec.driver = cfg.plan_mode == PlanMode::NetsimDes
-                    ? SimDriverKind::NetsimDes
-                    : SimDriverKind::Scenario;
+  switch (cfg.plan_mode) {
+    case PlanMode::NetsimDes:
+      spec.driver = SimDriverKind::NetsimDes;
+      break;
+    case PlanMode::MultiClientDes:
+      spec.driver = SimDriverKind::MultiClientDes;
+      spec.multi_client.clients = kScenarioClients;
+      break;
+    default:
+      spec.driver = SimDriverKind::Scenario;
+      break;
+  }
 
   spec.workload.n_items = cfg.n_items;
   switch (cfg.workload) {
@@ -183,7 +205,9 @@ inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
   spec.pr_planning = cfg.plan_mode == PlanMode::PrArbitration;
   spec.bandwidth = cfg.net.bandwidth;
   spec.latency = cfg.net.latency;
-  spec.requests = cfg.requests;
+  spec.requests = cfg.plan_mode == PlanMode::MultiClientDes
+                      ? cfg.requests / kScenarioClients
+                      : cfg.requests;
   spec.seed = cfg.seed;
   return spec;
 }
@@ -192,12 +216,13 @@ inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   const SimResult sim = run_sim(to_sim_spec(cfg));
   ScenarioResult res;
   res.requests = sim.metrics.requests;
-  // The DES serves a request from the cache whenever the item is
+  // The DES modes serve a request from the cache whenever the item is
   // resident, even if its transfer is still completing (T > 0 then);
   // SimResult::resident_hits keeps the conservation invariant uniform
   // across modes (in the other modes it coincides with metrics.hits).
-  res.hits = cfg.plan_mode == PlanMode::NetsimDes ? sim.resident_hits()
-                                                  : sim.metrics.hits;
+  const bool des = cfg.plan_mode == PlanMode::NetsimDes ||
+                   cfg.plan_mode == PlanMode::MultiClientDes;
+  res.hits = des ? sim.resident_hits() : sim.metrics.hits;
   res.demand_fetches = sim.metrics.demand_fetches;
   res.prefetch_fetches = sim.metrics.prefetch_fetches;
   res.plans = sim.plans;

@@ -98,6 +98,95 @@ TEST(MultiClient, FasterLinkNeverHurts) {
             run_multi_client(slow).aggregate.mean_access_time() + 1e-9);
 }
 
+TEST(MultiClient, SeedOverrideNeverShiftsSiblingClients) {
+  // With an override vector in play, reseeding the FIRST client must
+  // leave every sibling's trajectory untouched (each client's streams
+  // are private — the earlier shared-sequential scheme shifted every
+  // later chain when one client stopped consuming it).
+  auto cfg = quick(3);
+  cfg.overrides.resize(3);
+  const auto base = run_multi_client(cfg);
+  cfg.overrides[0].seed = 42;
+  const auto reseeded = run_multi_client(cfg);
+  ASSERT_EQ(reseeded.per_client.size(), 3u);
+  EXPECT_NE(base.per_client[0].network_time,
+            reseeded.per_client[0].network_time);
+  EXPECT_EQ(base.per_client[1].solver_nodes,
+            reseeded.per_client[1].solver_nodes);
+  EXPECT_EQ(base.per_client[1].network_time,
+            reseeded.per_client[1].network_time);
+  EXPECT_EQ(base.per_client[2].solver_nodes,
+            reseeded.per_client[2].solver_nodes);
+  EXPECT_EQ(base.per_client[2].network_time,
+            reseeded.per_client[2].network_time);
+}
+
+TEST(MultiClient, PlanMemoStatsSumAcrossAsymmetricClients) {
+  // Two clients under deliberately skewed loads: a 10-state chain whose
+  // (state, cache) pairs recur constantly versus a 120-state chain that
+  // mostly misses. Per-client seed overrides give each client private
+  // streams, so the same client config run SOLO must reproduce exactly
+  // the per-client memoization counters of the JOINT run (cache
+  // evolution depends on the request sequence, never on link timing).
+  // The merged stats must then be the counter SUMS — and the merged hit
+  // rate the recomputation from summed hits/misses, which under skew is
+  // far from the mean of the per-client rates.
+  auto client = [](std::size_t n_states, std::uint64_t seed) {
+    MultiClientConfig::ClientOverride ov;
+    MarkovSourceConfig src;
+    src.n_states = n_states;
+    src.out_degree_lo = 3;
+    src.out_degree_hi = 6;
+    ov.source = src;
+    ov.seed = seed;
+    return ov;
+  };
+  auto solo = [&](const MultiClientConfig::ClientOverride& ov) {
+    MultiClientConfig cfg;
+    cfg.n_clients = 1;
+    cfg.cache_size = 5;
+    cfg.requests_per_client = 800;
+    cfg.seed = 4;
+    cfg.overrides = {ov};
+    return run_multi_client(cfg);
+  };
+  const auto hot = client(10, 101);
+  const auto cold = client(120, 202);
+  const MultiClientResult a = solo(hot);
+  const MultiClientResult b = solo(cold);
+
+  MultiClientConfig joint_cfg;
+  joint_cfg.n_clients = 2;
+  joint_cfg.cache_size = 5;
+  joint_cfg.requests_per_client = 800;
+  joint_cfg.seed = 4;
+  joint_cfg.overrides = {hot, cold};
+  const MultiClientResult joint = run_multi_client(joint_cfg);
+
+  for (const auto tier : {&PlanMemoStats::plans,
+                          &PlanMemoStats::selections}) {
+    const PlanCacheStats& sa = a.plan_cache.*tier;
+    const PlanCacheStats& sb = b.plan_cache.*tier;
+    const PlanCacheStats& sj = joint.plan_cache.*tier;
+    EXPECT_EQ(sj.hits, sa.hits + sb.hits);
+    EXPECT_EQ(sj.misses, sa.misses + sb.misses);
+    EXPECT_EQ(sj.inserts, sa.inserts + sb.inserts);
+    EXPECT_EQ(sj.evictions, sa.evictions + sb.evictions);
+    // The merged rate is recomputed from the summed counters...
+    EXPECT_DOUBLE_EQ(sj.hit_rate(),
+                     static_cast<double>(sa.hits + sb.hits) /
+                         static_cast<double>(sa.lookups() + sb.lookups()));
+  }
+  // ...and the loads are genuinely skewed: averaging the per-client
+  // selection-tier rates would misreport the merged rate.
+  const double mean_of_rates = (a.plan_cache.selections.hit_rate() +
+                                b.plan_cache.selections.hit_rate()) /
+                               2.0;
+  EXPECT_GT(std::abs(joint.plan_cache.selections.hit_rate() -
+                     mean_of_rates),
+            0.02);
+}
+
 TEST(MultiClient, PlanCacheOnOffBitIdentical) {
   auto on = quick(3);
   on.requests_per_client = 800;

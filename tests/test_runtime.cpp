@@ -18,9 +18,10 @@ namespace {
 
 TEST(SimRegistry, AllDriversRegisteredWithStableNames) {
   const auto registry = driver_registry();
-  ASSERT_EQ(registry.size(), 5u);
+  ASSERT_EQ(registry.size(), 6u);
   const char* expected[] = {"prefetch_only", "prefetch_cache",
-                            "trace_replay", "netsim_des", "scenario"};
+                            "trace_replay",  "netsim_des",
+                            "scenario",      "multi_client"};
   for (std::size_t i = 0; i < registry.size(); ++i) {
     EXPECT_STREQ(registry[i].name, expected[i]);
     EXPECT_EQ(find_driver(registry[i].kind).name, registry[i].name);
@@ -228,6 +229,149 @@ TEST(SimRuntime, MaterializedWorkloadsAreDeterministic) {
       EXPECT_GT(m1.retrieval_times[i], 0.0);
     }
   }
+}
+
+// ---- multi_client driver ------------------------------------------------
+
+SimSpec quick_multi_client_spec() {
+  SimSpec spec;
+  spec.driver = SimDriverKind::MultiClientDes;
+  spec.workload.n_items = 25;
+  spec.workload.out_degree_lo = 4;
+  spec.workload.out_degree_hi = 7;
+  spec.multi_client.clients = 3;
+  spec.cache_size = 6;
+  spec.requests = 400;  // per client
+  spec.seed = 13;
+  return spec;
+}
+
+TEST(SimRuntime, MultiClientDeterministicInSeedWithPerClientRows) {
+  const SimSpec spec = quick_multi_client_spec();
+  const SimResult a = run_sim(spec);
+  const SimResult b = run_sim(spec);
+  EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+  EXPECT_EQ(a.metrics.network_time, b.metrics.network_time);
+  EXPECT_EQ(a.metrics.mean_access_time(), b.metrics.mean_access_time());
+  EXPECT_EQ(a.link_utilization, b.link_utilization);
+  EXPECT_GT(a.plans, 0u);
+  EXPECT_GT(a.link_utilization, 0.0);
+  EXPECT_LE(a.link_utilization, 1.0 + 1e-9);
+
+  // Per-client rows merge to the aggregate and serve the per-client
+  // quota each.
+  ASSERT_EQ(a.per_client.size(), 3u);
+  std::uint64_t hits = 0, requests = 0;
+  for (const SimMetrics& m : a.per_client) {
+    EXPECT_EQ(m.requests, 400u);
+    hits += m.hits;
+    requests += m.requests;
+  }
+  EXPECT_EQ(hits, a.metrics.hits);
+  EXPECT_EQ(requests, a.metrics.requests);
+
+  // Homogeneous clients must still walk distinct trajectories (distinct
+  // per-client streams): identical per-client counters across all three
+  // would mean the chains collapsed onto one stream.
+  EXPECT_FALSE(a.per_client[0].network_time ==
+                   a.per_client[1].network_time &&
+               a.per_client[1].network_time ==
+                   a.per_client[2].network_time);
+
+  SimSpec reseeded = spec;
+  reseeded.seed = 99;
+  EXPECT_NE(run_sim(reseeded).metrics.network_time,
+            a.metrics.network_time);
+}
+
+TEST(SimRuntime, MultiClientPlanCacheOnOffBitIdentical) {
+  SimSpec spec = quick_multi_client_spec();
+  spec.requests = 800;
+  const SimResult on = run_sim(spec);
+  spec.use_plan_cache = false;
+  const SimResult off = run_sim(spec);
+  EXPECT_EQ(on.metrics.hits, off.metrics.hits);
+  EXPECT_EQ(on.metrics.demand_fetches, off.metrics.demand_fetches);
+  EXPECT_EQ(on.metrics.prefetch_fetches, off.metrics.prefetch_fetches);
+  EXPECT_EQ(on.metrics.solver_nodes, off.metrics.solver_nodes);
+  EXPECT_EQ(on.metrics.mean_access_time(), off.metrics.mean_access_time());
+  EXPECT_EQ(on.metrics.network_time, off.metrics.network_time);
+  EXPECT_EQ(on.link_utilization, off.link_utilization);
+  // Oracle chains: recurring states replay stored selections (and some
+  // full plans); disabled runs must not even look.
+  EXPECT_GT(on.plan_cache.plans.hits, 0u);
+  EXPECT_GT(on.plan_cache.selections.hits, 0u);
+  EXPECT_EQ(off.plan_cache.plans.lookups(), 0u);
+  EXPECT_EQ(off.plan_cache.selections.lookups(), 0u);
+}
+
+TEST(SimRuntime, MultiClientLearnedModeRunsEveryScenarioWorkload) {
+  for (const auto kind :
+       {SimWorkloadKind::Markov, SimWorkloadKind::Iid,
+        SimWorkloadKind::TraceText}) {
+    SimSpec spec = quick_multi_client_spec();
+    spec.workload.kind = kind;
+    spec.predictor = PredictorKind::Markov1;
+    spec.predictor_min_prob = 0.02;
+    spec.predictor_warmup = 32;
+    const SimResult a = run_sim(spec);
+    const SimResult b = run_sim(spec);
+    EXPECT_EQ(a.metrics.network_time, b.metrics.network_time)
+        << to_string(kind);
+    EXPECT_EQ(a.metrics.requests, 1200u);
+    EXPECT_GT(a.metrics.prefetch_fetches, 0u) << to_string(kind);
+    // Learned clients bypass memoization (their rows churn every
+    // observation — no context key holds).
+    EXPECT_EQ(a.plan_cache.plans.lookups(), 0u);
+  }
+}
+
+TEST(SimRuntime, MultiClientPerClientOverridesAreLocal) {
+  // Overriding client 2's seed must not move clients 0/1 (private
+  // per-client streams), and a per-client predictor override mixes
+  // learned and oracle clients in one run.
+  SimSpec spec = quick_multi_client_spec();
+  const SimResult base = run_sim(spec);
+
+  spec.multi_client.overrides.resize(3);
+  spec.multi_client.overrides[2].seed = 777;
+  const SimResult reseeded = run_sim(spec);
+  ASSERT_EQ(reseeded.per_client.size(), 3u);
+  EXPECT_EQ(base.per_client[0].solver_nodes,
+            reseeded.per_client[0].solver_nodes);
+  EXPECT_EQ(base.per_client[1].solver_nodes,
+            reseeded.per_client[1].solver_nodes);
+  EXPECT_NE(base.per_client[2].network_time,
+            reseeded.per_client[2].network_time);
+
+  spec.multi_client.overrides[2].predictor = PredictorKind::Markov1;
+  spec.predictor_min_prob = 0.02;
+  spec.predictor_warmup = 32;
+  const SimResult mixed = run_sim(spec);
+  EXPECT_EQ(mixed.metrics.requests, 1200u);
+  // The oracle clients still memoize; the learned one does not add
+  // lookups of its own.
+  EXPECT_GT(mixed.plan_cache.selections.lookups(), 0u);
+
+  // Wrong-sized override vectors are rejected.
+  spec.multi_client.overrides.resize(2);
+  EXPECT_THROW(run_sim(spec), std::invalid_argument);
+}
+
+TEST(SimRuntime, MultiClientSectionRejectedBySingleClientDrivers) {
+  SimSpec spec;  // prefetch_cache
+  spec.multi_client.clients = 2;
+  EXPECT_THROW(run_sim(spec), std::invalid_argument);
+
+  SimSpec des;
+  des.driver = SimDriverKind::NetsimDes;
+  des.multi_client.link_speedup = 2.0;
+  EXPECT_THROW(run_sim(des), std::invalid_argument);
+
+  // Oracle multi_client needs a chain-shaped workload.
+  SimSpec iid = quick_multi_client_spec();
+  iid.workload.kind = SimWorkloadKind::Iid;
+  EXPECT_THROW(run_sim(iid), std::invalid_argument);
 }
 
 TEST(SimRuntime, InvalidSpecsAreRejected) {

@@ -8,8 +8,9 @@
 //      single stretching tail fetch).
 //   2. Bit-level determinism: the same (scenario, seed) must reproduce the
 //      same counters run-to-run.
-//   3. Golden hit-rates on the full matrix plus the Pr-arbitration and
-//      DES-backed (NetsimDes) variants. Tolerance: +/- 0.03 absolute. The
+//   3. Golden hit-rates on the full matrix plus the Pr-arbitration,
+//      DES-backed (NetsimDes) and shared-link contention (MultiClientDes)
+//      variants. Tolerance: +/- 0.03 absolute. The
 //      runs are
 //      deterministic, so on one toolchain the match is exact; the slack
 //      absorbs standard-library differences (the predictors hold counts in
@@ -89,6 +90,20 @@ std::vector<ScenarioConfig> netsim_des_matrix() {
   return all;
 }
 
+// Multi-client contention variant: the same predictor x net x workload
+// points served by three clients over ONE shared link through the
+// runtime's multi_client driver (aggregate cycle count matched to the
+// single-client rows) — hit rates here are contention-grounded.
+std::vector<ScenarioConfig> multi_client_des_matrix() {
+  std::vector<ScenarioConfig> all;
+  for (const auto p : kPredictors)
+    for (const auto& n : kNets)
+      for (const auto w : kWorkloads)
+        all.push_back(make_config(p, CachePolicyKind::LRU, n, w,
+                                  PlanMode::MultiClientDes));
+  return all;
+}
+
 class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioConfig> {};
 
 TEST_P(ScenarioMatrixTest, InvariantsHold) {
@@ -140,6 +155,13 @@ INSTANTIATE_TEST_SUITE_P(
       return scenario_name(info.param);
     });
 
+INSTANTIATE_TEST_SUITE_P(
+    MultiClientDes, ScenarioMatrixTest,
+    ::testing::ValuesIn(multi_client_des_matrix()),
+    [](const ::testing::TestParamInfo<ScenarioConfig>& info) {
+      return scenario_name(info.param);
+    });
+
 TEST(ScenarioDeterminism, SameSeedSameCounters) {
   // One combo per workload x predictor pairing (cache/net varied too);
   // default-equality on ScenarioResult covers every counter incl. doubles.
@@ -152,6 +174,8 @@ TEST(ScenarioDeterminism, SameSeedSameCounters) {
                   ScenarioWorkload::TraceReplay),
       make_config(PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
                   ScenarioWorkload::MarkovChain, PlanMode::NetsimDes),
+      make_config(PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+                  ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes),
   };
   for (const auto& cfg : picks) {
     const ScenarioResult a = run_scenario(cfg);
@@ -196,10 +220,10 @@ struct GoldenRow {
 };
 
 // The full 108-combination EmptyCache matrix plus the 27-combination
-// Pr-arbitration and 27-combination NetsimDes variants (162 rows). Values
-// produced by PrintGoldenTable (below) at seed 2026, 1200 requests;
-// tolerance documented in the file header. Refresh with
-// tests/refresh_goldens.sh --apply.
+// Pr-arbitration, NetsimDes and MultiClientDes variants (189 rows).
+// Values produced by PrintGoldenTable (below) at seed 2026, 1200
+// aggregate requests; tolerance documented in the file header. Refresh
+// with tests/refresh_goldens.sh --apply.
 constexpr double kGoldenTol = 0.03;
 
 const std::vector<GoldenRow> kGolden = {
@@ -528,6 +552,60 @@ const std::vector<GoldenRow> kGolden = {
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.945000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.294167},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.762500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.930000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.807500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.645000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.938333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.645000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.416667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.946667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.372500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.478333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.946667},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.500000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.471667},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.945833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.465000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.420000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.945000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.373333},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.754167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.910000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.800000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.635833},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.919167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.641667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.453333},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.945833},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.403333},
     // clang-format on
 };
 
@@ -575,6 +653,7 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
       case PlanMode::EmptyCache: return "EmptyCache";
       case PlanMode::PrArbitration: return "PrArbitration";
       case PlanMode::NetsimDes: return "NetsimDes";
+      case PlanMode::MultiClientDes: return "MultiClientDes";
     }
     return "?";
   };
@@ -591,6 +670,7 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
   for (const auto& cfg : full_matrix()) print_row(cfg);
   for (const auto& cfg : pr_arbitration_matrix()) print_row(cfg);
   for (const auto& cfg : netsim_des_matrix()) print_row(cfg);
+  for (const auto& cfg : multi_client_des_matrix()) print_row(cfg);
 }
 
 }  // namespace

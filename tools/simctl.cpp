@@ -2,6 +2,8 @@
 // with multi-process sharding and byte-identical CSV merging.
 //
 //   simctl run [spec flags] [sweep flags] [--shard I/N] [--csv PATH]
+//   simctl run --spec FILE [overriding flags]
+//   simctl run --preset NAME --csv DIR [--full] [--seed N]
 //   simctl merge OUT IN1 [IN2 ...]
 //   simctl drivers
 //
@@ -13,6 +15,13 @@
 // it — `merge` of any shard partition reproduces the single-process
 // document byte for byte; the CI shard check and
 // tools/simctl_shard_check.sh lock that down.
+//
+// `--spec FILE` reads the same flags from a JSON sweep definition
+// (tools/simctl_args.hpp documents the schema) so cluster runs are a
+// committed document, not a hand-assembled flag string; flags after
+// --spec override the file. `--preset NAME` short-circuits into a canned
+// figure enumeration that reproduces the corresponding bench binary's
+// CSV files byte for byte (tools/simctl_presets.hpp).
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -24,23 +33,40 @@
 
 #include "sim/runtime.hpp"
 #include "sim/sweep.hpp"
+#include "simctl_args.hpp"
+#include "simctl_presets.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace skp;
+using simctl::parse_double;
+using simctl::parse_integer_axis;
+using simctl::parse_numeric_axis;
+using simctl::parse_range_pair;
+using simctl::parse_u64;
+using simctl::split;
 
 [[noreturn]] void usage(int exit_code) {
   std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
   os << R"(usage:
   simctl run [flags]         execute a spec sweep, emit CSV
+  simctl run --spec FILE     read base/axes/shard from a JSON sweep file
+                             (later flags override the file)
+  simctl run --preset NAME --csv DIR
+                             emit a figure bench's CSV files byte-for-byte
+                             (fig5 | fig7 | ablation_sizes | network_usage;
+                             also accepts --full --seed --threads
+                             --no-plan-cache)
   simctl merge OUT IN...     merge shard CSVs into the single-run document
+                             (rejects duplicate/overlapping spec indices)
   simctl drivers             list registered drivers and enum tokens
 
 run flags (single-value spec fields):
   --driver NAME          prefetch_only | prefetch_cache | trace_replay |
-                         netsim_des | scenario        (default prefetch_cache)
+                         netsim_des | scenario | multi_client
+                                                       (default prefetch_cache)
   --workload NAME        markov | iid | zipf | markov_drift | trace_text
   --n-items N            catalog/state count
   --policy P             none | kp | skp | perfect
@@ -52,14 +78,18 @@ run flags (single-value spec fields):
   --cache-size N         slot-cache capacity
   --sized-capacity X     byte-cache capacity (prefetch_cache driver)
   --size-per-r X         sized-cache size coupling (0 = uniform draw)
-  --requests N           requests / iterations per spec
+  --requests N           requests / iterations per spec (multi_client:
+                         per client)
   --warmup N             leading requests excluded from metrics
   --seed N               root RNG seed
-  --bandwidth X          net grounding (netsim_des / scenario)
+  --bandwidth X          net grounding (netsim_des / scenario / multi_client)
   --latency X
   --threshold X          min-profit prefetch suppression threshold
   --min-prob X           predictor shortlist floor
-  --predictor-warmup N   observe-only prefix (scenario / netsim_des)
+  --predictor-warmup N   observe-only prefix (scenario / netsim_des /
+                         multi_client)
+  --clients N            multi_client driver: client count
+  --link-speedup X       multi_client driver: shared-link speed multiplier
   --method M             iid row: skewy | flat
   --skew-exponent X      iid skewy exponent
   --zipf-s X             Zipf tail exponent
@@ -75,6 +105,7 @@ run flags (sweep axes; comma lists, numeric axes accept LO:HI:STEP):
   --seeds LIST --thresholds LIST
 
 run flags (execution):
+  --spec FILE            JSON sweep definition (base/axes/shard/csv/threads)
   --shard I/N            run only the specs with index % N == I
   --csv PATH             write CSV to PATH instead of stdout
   --threads N            sweep threads (0 = hardware concurrency)
@@ -87,105 +118,6 @@ run flags (execution):
   std::exit(2);
 }
 
-std::uint64_t parse_u64(const std::string& value, const char* flag) {
-  // Digits only: std::stoull would parse a leading '-' and wrap it into
-  // a huge value, turning a typo into a near-infinite sweep.
-  if (value.empty() ||
-      value.find_first_not_of("0123456789") != std::string::npos) {
-    fail(std::string(flag) + " expects an unsigned integer, got '" + value +
-         "'");
-  }
-  try {
-    return std::stoull(value);
-  } catch (const std::exception&) {
-    fail(std::string(flag) + " expects an unsigned integer, got '" + value +
-         "'");
-  }
-}
-
-double parse_double(const std::string& value, const char* flag) {
-  std::size_t pos = 0;
-  double parsed = 0.0;
-  try {
-    parsed = std::stod(value, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (pos != value.size() || value.empty()) {
-    fail(std::string(flag) + " expects a number, got '" + value + "'");
-  }
-  return parsed;
-}
-
-std::vector<std::string> split(const std::string& value, char sep) {
-  std::vector<std::string> parts;
-  std::string part;
-  std::istringstream is(value);
-  while (std::getline(is, part, sep)) parts.push_back(part);
-  return parts;
-}
-
-// Numeric axis: "1,5,10" or "1:100:5" (inclusive bounds).
-std::vector<double> parse_numeric_axis(const std::string& value,
-                                       const char* flag) {
-  std::vector<double> axis;
-  for (const std::string& token : split(value, ',')) {
-    const std::vector<std::string> range = split(token, ':');
-    if (range.size() == 3) {
-      const double lo = parse_double(range[0], flag);
-      const double hi = parse_double(range[1], flag);
-      const double step = parse_double(range[2], flag);
-      if (step <= 0.0 || hi < lo) {
-        fail(std::string(flag) + ": bad range '" + token + "'");
-      }
-      for (double x = lo; x <= hi + 1e-12; x += step) axis.push_back(x);
-    } else if (range.size() == 1) {
-      axis.push_back(parse_double(token, flag));
-    } else {
-      fail(std::string(flag) + ": bad token '" + token + "'");
-    }
-  }
-  if (axis.empty()) fail(std::string(flag) + ": empty axis");
-  return axis;
-}
-
-// Integer axis: "1,5,10" or "1:9:2" (inclusive bounds). Seeds must not go
-// through the double-valued axis — values above 2^53 (or fractional ones)
-// would be silently corrupted by the round-trip.
-std::vector<std::uint64_t> parse_integer_axis(const std::string& value,
-                                              const char* flag) {
-  std::vector<std::uint64_t> axis;
-  for (const std::string& token : split(value, ',')) {
-    const std::vector<std::string> range = split(token, ':');
-    if (range.size() == 3) {
-      const std::uint64_t lo = parse_u64(range[0], flag);
-      const std::uint64_t hi = parse_u64(range[1], flag);
-      const std::uint64_t step = parse_u64(range[2], flag);
-      if (step == 0 || hi < lo) {
-        fail(std::string(flag) + ": bad range '" + token + "'");
-      }
-      for (std::uint64_t x = lo; x <= hi; x += step) {
-        axis.push_back(x);
-        if (x > hi - step) break;  // guard wrap-around at the top
-      }
-    } else if (range.size() == 1) {
-      axis.push_back(parse_u64(token, flag));
-    } else {
-      fail(std::string(flag) + ": bad token '" + token + "'");
-    }
-  }
-  if (axis.empty()) fail(std::string(flag) + ": empty axis");
-  return axis;
-}
-
-void parse_range_pair(const std::string& value, const char* flag,
-                      double& lo, double& hi) {
-  const std::vector<std::string> parts = split(value, ':');
-  if (parts.size() != 2) fail(std::string(flag) + " expects LO:HI");
-  lo = parse_double(parts[0], flag);
-  hi = parse_double(parts[1], flag);
-}
-
 std::string read_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) fail("cannot read " + path);
@@ -194,7 +126,60 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-int run_command(int argc, char** argv) {
+// Collects argv into strings, expanding each `--spec FILE` in place into
+// the flags its JSON document lowers to — so flags AFTER --spec override
+// the file, and everything funnels through one flag grammar/validator.
+std::vector<std::string> expand_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spec") {
+      if (i + 1 >= argc) fail("--spec needs a file path");
+      const std::string path = argv[++i];
+      const std::vector<std::string> lowered =
+          simctl::spec_file_to_flags(read_file(path));
+      out.insert(out.end(), lowered.begin(), lowered.end());
+    } else {
+      out.push_back(arg);
+    }
+  }
+  return out;
+}
+
+int preset_command(const std::vector<std::string>& args) {
+  std::string name;
+  simctl::PresetArgs preset;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto need_value = [&](const char* f) -> const std::string& {
+      if (i + 1 >= args.size()) fail(std::string(f) + " needs a value");
+      return args[++i];
+    };
+    if (flag == "--preset") {
+      name = need_value("--preset");
+    } else if (flag == "--full") {
+      preset.full = true;
+    } else if (flag == "--seed") {
+      preset.seed = parse_u64(need_value("--seed"), "--seed");
+    } else if (flag == "--csv") {
+      preset.csv_dir = need_value("--csv");
+    } else if (flag == "--threads") {
+      preset.threads = parse_u64(need_value("--threads"), "--threads");
+    } else if (flag == "--no-plan-cache") {
+      preset.no_plan_cache = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage(0);
+    } else {
+      fail("flag '" + flag +
+           "' does not apply to --preset (a preset is a canned "
+           "enumeration; use a plain run for custom sweeps)");
+    }
+  }
+  simctl::run_preset(name, preset);
+  return 0;
+}
+
+int run_command(const std::vector<std::string>& args) {
   SimSpec base;
   // Sweep axes (empty = use the base spec's single value).
   std::vector<double> thresholds;
@@ -205,19 +190,21 @@ int run_command(int argc, char** argv) {
   std::size_t shard_index = 0, shard_count = 1;
   std::optional<std::string> csv_path;
   std::size_t threads = 0;
-  // Workload-kind-scoped flags: remember they were given so a flag the
-  // selected workload never consults fails the run instead of silently
-  // producing a sweep the CSV mislabels (reject-don't-drop, as in the
-  // runtime's drivers).
+  // Workload-/driver-scoped flags: remember they were given so a flag the
+  // selected workload or driver never consults fails the run instead of
+  // silently producing a sweep the CSV mislabels (reject-don't-drop, as
+  // in the runtime's drivers).
   bool drift_flag = false, zipf_flag = false, iid_flag = false;
+  bool multi_client_flag = false;
 
-  auto need_value = [&](int& i, const char* flag) -> std::string {
-    if (i + 1 >= argc) fail(std::string(flag) + " needs a value");
-    return argv[++i];
+  auto need_value = [&](std::size_t& i, const char* flag) ->
+      const std::string& {
+    if (i + 1 >= args.size()) fail(std::string(flag) + " needs a value");
+    return args[++i];
   };
 
-  for (int i = 0; i < argc; ++i) {
-    const std::string flag = argv[i];
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
     if (flag == "--driver") {
       const std::string v = need_value(i, "--driver");
       const auto kind = parse_driver_kind(v);
@@ -287,6 +274,14 @@ int run_command(int argc, char** argv) {
     } else if (flag == "--predictor-warmup") {
       base.predictor_warmup =
           parse_u64(need_value(i, flag.c_str()), "--predictor-warmup");
+    } else if (flag == "--clients") {
+      base.multi_client.clients =
+          parse_u64(need_value(i, flag.c_str()), "--clients");
+      multi_client_flag = true;
+    } else if (flag == "--link-speedup") {
+      base.multi_client.link_speedup =
+          parse_double(need_value(i, flag.c_str()), "--link-speedup");
+      multi_client_flag = true;
     } else if (flag == "--method") {
       const std::string v = need_value(i, "--method");
       const auto m = parse_prob_method(v);
@@ -335,6 +330,7 @@ int run_command(int argc, char** argv) {
       thresholds = parse_numeric_axis(need_value(i, flag.c_str()),
                                       "--thresholds");
     } else if (flag == "--policies") {
+      policies.clear();
       for (const std::string& token :
            split(need_value(i, "--policies"), ',')) {
         const auto p = parse_policy(token);
@@ -342,12 +338,14 @@ int run_command(int argc, char** argv) {
         policies.push_back(*p);
       }
     } else if (flag == "--subs") {
+      subs.clear();
       for (const std::string& token : split(need_value(i, "--subs"), ',')) {
         const auto s = parse_sub_arbitration(token);
         if (!s) fail("unknown sub-arbitration '" + token + "'");
         subs.push_back(*s);
       }
     } else if (flag == "--predictors") {
+      predictors.clear();
       for (const std::string& token :
            split(need_value(i, "--predictors"), ',')) {
         const auto p = parse_predictor_kind(token);
@@ -382,6 +380,10 @@ int run_command(int argc, char** argv) {
   }
   if (iid_flag && base.workload.kind != SimWorkloadKind::Iid) {
     fail("--method/--skew-exponent apply to --workload iid only");
+  }
+  if (multi_client_flag &&
+      base.driver != SimDriverKind::MultiClientDes) {
+    fail("--clients/--link-speedup apply to --driver multi_client only");
   }
 
   // Enumerate the cross-product in a fixed nesting order — the spec
@@ -457,12 +459,24 @@ int run_command(int argc, char** argv) {
   return 0;
 }
 
+int run_dispatch(int argc, char** argv) {
+  const std::vector<std::string> args = expand_args(argc, argv);
+  for (const std::string& arg : args) {
+    if (arg == "--preset") return preset_command(args);
+  }
+  return run_command(args);
+}
+
 int merge_command(int argc, char** argv) {
   if (argc < 2) usage(2);
   const std::string out_path = argv[0];
   std::vector<std::string> shards;
-  for (int i = 1; i < argc; ++i) shards.push_back(read_file(argv[i]));
-  const std::string merged = merge_sharded_csv(shards);
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    names.push_back(argv[i]);
+    shards.push_back(read_file(argv[i]));
+  }
+  const std::string merged = merge_sharded_csv(shards, names);
   if (out_path == "-") {
     std::cout << merged;
     std::cout.flush();
@@ -485,7 +499,8 @@ int drivers_command() {
   std::cout << "workloads: markov iid zipf markov_drift trace_text\n"
             << "policies: none kp skp perfect | subs: none lfu ds\n"
             << "predictors: oracle markov1 ppm lz78 depgraph\n"
-            << "replacements: lru fifo lfu random\n";
+            << "replacements: lru fifo lfu random\n"
+            << "presets: " << simctl::preset_names() << "\n";
   return 0;
 }
 
@@ -495,7 +510,7 @@ int main(int argc, char** argv) {
   if (argc < 2) usage(2);
   const std::string command = argv[1];
   try {
-    if (command == "run") return run_command(argc - 2, argv + 2);
+    if (command == "run") return run_dispatch(argc - 2, argv + 2);
     if (command == "merge") return merge_command(argc - 2, argv + 2);
     if (command == "drivers") return drivers_command();
     if (command == "--help" || command == "-h") usage(0);

@@ -1,0 +1,236 @@
+// Shared argument-parsing helpers for the simctl CLI, factored out of
+// the binary so the axis grammar and the JSON spec-file lowering are
+// unit-testable (tests/test_simctl_args.cpp). Everything throws
+// std::invalid_argument on bad input; simctl's main turns that into a
+// "simctl: ..." diagnostic and a nonzero exit.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace skp::simctl {
+
+[[noreturn]] inline void bad_arg(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+inline std::vector<std::string> split(const std::string& value, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream is(value);
+  while (std::getline(is, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+inline std::uint64_t parse_u64(const std::string& value, const char* flag) {
+  // Digits only: std::stoull would parse a leading '-' and wrap it into
+  // a huge value, turning a typo into a near-infinite sweep.
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    bad_arg(std::string(flag) + " expects an unsigned integer, got '" +
+            value + "'");
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    bad_arg(std::string(flag) + " expects an unsigned integer, got '" +
+            value + "'");
+  }
+}
+
+inline double parse_double(const std::string& value, const char* flag) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.empty()) {
+    bad_arg(std::string(flag) + " expects a number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+// Numeric axis: "1,5,10" or "1:100:5" (inclusive bounds). Range
+// expansion is index-based (lo + i*step) over a count fixed up front by
+// rounding (hi-lo)/step to the nearest integer, ties DOWN — a half-step
+// endpoint tolerance. Repeated `x += step` accumulated floating-point
+// error that could skip the HI endpoint outright (0:1:0.1 used to yield
+// 10 points, not 11) and emitted drifted 0.30000000000000004-style grid
+// values; a single multiply keeps each value within one rounding of
+// exact, and deciding the count once keeps the inclusive upper bound
+// robust to that rounding (a HI within half a step of the grid snaps to
+// the nearest grid point instead of falling off the axis). Ties round
+// down so an exact half-step remainder — 1:10:2 — never emits a value a
+// full step/2 past HI.
+inline std::vector<double> parse_numeric_axis(const std::string& value,
+                                              const char* flag) {
+  std::vector<double> axis;
+  for (const std::string& token : split(value, ',')) {
+    const std::vector<std::string> range = split(token, ':');
+    if (range.size() == 3) {
+      const double lo = parse_double(range[0], flag);
+      const double hi = parse_double(range[1], flag);
+      const double step = parse_double(range[2], flag);
+      if (step <= 0.0 || hi < lo) {
+        bad_arg(std::string(flag) + ": bad range '" + token + "'");
+      }
+      const auto count = static_cast<std::size_t>(
+          std::max(0.0, std::ceil((hi - lo) / step - 0.5)));
+      for (std::size_t i = 0; i <= count; ++i) {
+        axis.push_back(lo + static_cast<double>(i) * step);
+      }
+    } else if (range.size() == 1) {
+      axis.push_back(parse_double(token, flag));
+    } else {
+      bad_arg(std::string(flag) + ": bad token '" + token + "'");
+    }
+  }
+  if (axis.empty()) bad_arg(std::string(flag) + ": empty axis");
+  return axis;
+}
+
+// Integer axis: "1,5,10" or "1:9:2" (inclusive bounds). Seeds must not go
+// through the double-valued axis — values above 2^53 (or fractional ones)
+// would be silently corrupted by the round-trip.
+inline std::vector<std::uint64_t> parse_integer_axis(
+    const std::string& value, const char* flag) {
+  std::vector<std::uint64_t> axis;
+  for (const std::string& token : split(value, ',')) {
+    const std::vector<std::string> range = split(token, ':');
+    if (range.size() == 3) {
+      const std::uint64_t lo = parse_u64(range[0], flag);
+      const std::uint64_t hi = parse_u64(range[1], flag);
+      const std::uint64_t step = parse_u64(range[2], flag);
+      if (step == 0 || hi < lo) {
+        bad_arg(std::string(flag) + ": bad range '" + token + "'");
+      }
+      for (std::uint64_t x = lo; x <= hi; x += step) {
+        axis.push_back(x);
+        if (x > hi - step) break;  // guard wrap-around at the top
+      }
+    } else if (range.size() == 1) {
+      axis.push_back(parse_u64(token, flag));
+    } else {
+      bad_arg(std::string(flag) + ": bad token '" + token + "'");
+    }
+  }
+  if (axis.empty()) bad_arg(std::string(flag) + ": empty axis");
+  return axis;
+}
+
+inline void parse_range_pair(const std::string& value, const char* flag,
+                             double& lo, double& hi) {
+  const std::vector<std::string> parts = split(value, ':');
+  if (parts.size() != 2) bad_arg(std::string(flag) + " expects LO:HI");
+  lo = parse_double(parts[0], flag);
+  hi = parse_double(parts[1], flag);
+}
+
+// ---- JSON spec files ----------------------------------------------------
+//
+// A sweep definition as a document instead of a hand-assembled flag
+// string:
+//
+//   {
+//     "base":  {"driver": "netsim_des", "n_items": 24, "requests": 300,
+//               "predictor_warmup": 32, "min_prob": 0.02},
+//     "axes":  {"predictors": ["oracle", "markov1"], "seeds": "1:3:1",
+//               "cache_sizes": [6, 12]},
+//     "shard": "0/2",
+//     "csv":   "shard0.csv",
+//     "threads": 4
+//   }
+//
+// Lowering is purely syntactic: every "base" member becomes the
+// single-value flag of the same name (underscores spelled as dashes),
+// every "axes" member the axis flag of the same name, and "shard" /
+// "csv" / "threads" their execution flags. Values keep their literal
+// text (numbers are never round-tripped through double), arrays join
+// with commas, `true` lowers a bare switch (e.g. "pr", "no_plan_cache"),
+// and `false`/`null` omit it. Unknown member names simply lower to
+// unknown flags, which the flag parser then rejects with its usual
+// message — one grammar, one validator. Flags given on the command line
+// AFTER --spec override the file (last assignment wins).
+inline std::vector<std::string> spec_file_to_flags(
+    const std::string& json_text) {
+  const JsonValue doc = JsonValue::parse(json_text);
+  if (doc.kind() != JsonValue::Kind::Object) {
+    bad_arg("--spec: document must be a JSON object");
+  }
+  std::vector<std::string> flags;
+  auto flag_name = [](const std::string& key) {
+    std::string name = "--" + key;
+    for (char& c : name) {
+      if (c == '_') c = '-';
+    }
+    return name;
+  };
+  auto scalar_text = [&](const std::string& key,
+                         const JsonValue& v) -> std::string {
+    switch (v.kind()) {
+      case JsonValue::Kind::String: return v.as_string();
+      case JsonValue::Kind::Number: return v.number_text();
+      default:
+        bad_arg("--spec: member '" + key + "' must be a " +
+                "string or number, got " + JsonValue::kind_name(v.kind()));
+    }
+  };
+  auto lower_member = [&](const std::string& key, const JsonValue& v) {
+    switch (v.kind()) {
+      case JsonValue::Kind::Bool:
+        if (v.as_bool()) flags.push_back(flag_name(key));
+        break;
+      case JsonValue::Kind::Null:
+        break;
+      case JsonValue::Kind::Array: {
+        std::string joined;
+        for (const JsonValue& item : v.items()) {
+          if (!joined.empty()) joined += ',';
+          joined += scalar_text(key, item);
+        }
+        if (joined.empty()) {
+          bad_arg("--spec: member '" + key + "' is an empty array");
+        }
+        flags.push_back(flag_name(key));
+        flags.push_back(joined);
+        break;
+      }
+      default:
+        flags.push_back(flag_name(key));
+        flags.push_back(scalar_text(key, v));
+        break;
+    }
+  };
+
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "base" || key == "axes") {
+      if (value.kind() != JsonValue::Kind::Object) {
+        bad_arg("--spec: '" + key + "' must be a JSON object");
+      }
+      for (const auto& [name, member] : value.members()) {
+        lower_member(name, member);
+      }
+    } else if (key == "shard" || key == "csv") {
+      flags.push_back(flag_name(key));
+      flags.push_back(value.as_string());
+    } else if (key == "threads") {
+      flags.push_back("--threads");
+      flags.push_back(scalar_text(key, value));
+    } else {
+      bad_arg("--spec: unknown top-level member '" + key +
+              "' (expected base | axes | shard | csv | threads)");
+    }
+  }
+  return flags;
+}
+
+}  // namespace skp::simctl

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Preset-equivalence gate for simctl: `simctl run --preset NAME --csv DIR`
+# must reproduce the corresponding bench binary's CSV files byte for
+# byte at the same (scale, seed). Covers all four presets at reduced
+# scale. Usage: tools/simctl_preset_check.sh [BUILD_DIR] (default
+# "build").
+set -euo pipefail
+
+build_dir="${1:-build}"
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' not found — build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 2
+fi
+simctl="$build_dir/tools/simctl"
+if [[ ! -x "$simctl" ]]; then
+  echo "error: $simctl not found — build the simctl target first" >&2
+  exit 2
+fi
+for bench in fig5_prefetch_only fig7_prefetch_cache ablation_sizes \
+             network_usage; do
+  if [[ ! -x "$build_dir/bench/$bench" ]]; then
+    echo "error: $build_dir/bench/$bench not found — build benches" >&2
+    exit 2
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/bench" "$tmp/preset"
+
+"$build_dir/bench/fig5_prefetch_only" --seed 1 --csv "$tmp/bench" > /dev/null
+"$build_dir/bench/fig7_prefetch_cache" --seed 1 --csv "$tmp/bench" > /dev/null
+"$build_dir/bench/ablation_sizes" --seed 1 --csv "$tmp/bench" > /dev/null
+"$build_dir/bench/network_usage" --seed 1 --csv "$tmp/bench" > /dev/null
+
+for preset in fig5 fig7 ablation_sizes network_usage; do
+  "$simctl" run --preset "$preset" --seed 1 --csv "$tmp/preset"
+done
+
+diff -r "$tmp/bench" "$tmp/preset"
+echo "simctl presets reproduce the bench CSV files byte-for-byte" \
+     "($(ls "$tmp/bench" | wc -l) files)"

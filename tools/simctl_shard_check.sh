@@ -38,5 +38,45 @@ args=(run --driver prefetch_cache --policies kp,skp --subs none,ds
 
 diff "$tmp/single.csv" "$tmp/merged2.csv"
 diff "$tmp/single.csv" "$tmp/merged3.csv"
+
+# Overlapping inputs must be rejected, not silently concatenated: the
+# same shard file twice, and a shard overlapping the full run. The error
+# must name the colliding spec index and the offending input.
+for bad in "$tmp/shard0.csv $tmp/shard0.csv" \
+           "$tmp/single.csv $tmp/shard1.csv"; do
+  # shellcheck disable=SC2086
+  if "$bin" merge "$tmp/never.csv" $bad 2> "$tmp/err.txt"; then
+    echo "error: overlapping merge inputs were accepted: $bad" >&2
+    exit 1
+  fi
+  grep -q "duplicate spec index" "$tmp/err.txt" || {
+    echo "error: duplicate-index merge error not descriptive:" >&2
+    cat "$tmp/err.txt" >&2
+    exit 1
+  }
+done
+[[ ! -e "$tmp/never.csv" ]] || { echo "error: merge output created on failure" >&2; exit 1; }
+
+# The same guarantees through a JSON spec file (--spec): a sweep defined
+# as a document, run 2-way sharded across the multi_client DES driver,
+# must merge back to the single-process bytes.
+cat > "$tmp/sweep.json" <<'EOF'
+{
+  "base": {"driver": "multi_client", "n_items": 24, "clients": 3,
+           "requests": 150, "cache_size": 5, "predictor": "markov1",
+           "predictor_warmup": 16, "min_prob": 0.02},
+  "axes": {"seeds": "1:2:1", "cache_sizes": [5, 8]}
+}
+EOF
+"$bin" run --spec "$tmp/sweep.json" --csv "$tmp/spec_single.csv"
+"$bin" run --spec "$tmp/sweep.json" --shard 0/2 --csv "$tmp/spec0.csv" \
+    2>/dev/null
+"$bin" run --spec "$tmp/sweep.json" --shard 1/2 --csv "$tmp/spec1.csv" \
+    2>/dev/null
+"$bin" merge "$tmp/spec_merged.csv" "$tmp/spec0.csv" "$tmp/spec1.csv"
+diff "$tmp/spec_single.csv" "$tmp/spec_merged.csv"
+
 echo "simctl shard merge is byte-identical to the single-process run" \
-     "($(($(wc -l < "$tmp/single.csv") - 1)) specs, 2-way and 3-way splits)"
+     "($(($(wc -l < "$tmp/single.csv") - 1)) flag specs, 2-way and 3-way" \
+     "splits; $(($(wc -l < "$tmp/spec_single.csv") - 1)) spec-file specs," \
+     "2-way split; overlapping inputs rejected)"
