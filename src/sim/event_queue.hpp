@@ -39,8 +39,14 @@ class EventQueue {
   // Runs the earliest event; returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) return false;
-    // Copy out before pop so the action may schedule more events.
-    Event ev = heap_.top();
+    // Take the event out before pop so the action may schedule more
+    // events — by MOVE, not copy: top() is const&, but the element is
+    // popped immediately, so stealing the closure is safe (the ordering
+    // keys `when`/`seq` are trivially copied and stay valid for pop()'s
+    // sift-down comparisons). A copy here would clone the
+    // std::function and every capture once per event, the dominant
+    // per-event overhead for capture-heavy DES closures.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
     now_ = ev.when;
     ++processed_;

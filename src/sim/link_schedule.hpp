@@ -1,0 +1,63 @@
+// Piecewise time-varying link schedules (extension; ROADMAP "hostile
+// and non-stationary worlds").
+//
+// The three static net presets (lan/wan/modem) model a link whose
+// quality never changes mid-session; production links degrade and
+// recover — congestion windows, cell handoffs, a shared uplink at peak
+// hour. A LinkPhase schedule replaces the single (bandwidth, latency)
+// pair with a cycling sequence of phases: the phase in force at a
+// transfer's START prices the whole transfer (the DES commits a
+// transfer's duration when the link picks it up — the no-abort
+// assumption again: a committed transfer is never re-priced mid-flight).
+//
+// Planning deliberately keeps seeing the BASE static catalog r_i: the
+// client plans against its stale link estimate while the realized
+// timing follows the schedule, which is exactly the hostile scenario —
+// plans priced for a healthy link executing through a degraded window.
+// Planning inputs are therefore schedule-independent, so plan
+// memoization keys stay sound and the plan-cache on/off bit-identity
+// contract survives (tests pin this).
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+struct LinkPhase {
+  double duration = 0.0;   // phase length in time units (> 0)
+  double bandwidth = 1.0;  // size units per time unit during the phase
+  double latency = 0.0;    // per-transfer setup cost during the phase
+
+  bool operator==(const LinkPhase&) const = default;
+};
+
+inline void validate_link_schedule(std::span<const LinkPhase> schedule) {
+  for (const LinkPhase& p : schedule) {
+    SKP_REQUIRE(p.duration > 0.0, "link phase duration must be > 0");
+    SKP_REQUIRE(p.bandwidth > 0.0, "link phase bandwidth must be > 0");
+    SKP_REQUIRE(p.latency >= 0.0, "link phase latency must be >= 0");
+  }
+}
+
+// The phase in force at absolute time `t`. The schedule cycles: after
+// its total duration it starts over, so a short degraded window recurs
+// periodically. Requires a validated, non-empty schedule.
+inline const LinkPhase& link_phase_at(std::span<const LinkPhase> schedule,
+                                      double t) {
+  SKP_ASSERT(!schedule.empty());
+  double total = 0.0;
+  for (const LinkPhase& p : schedule) total += p.duration;
+  double phase_t = std::fmod(t, total);
+  if (phase_t < 0.0) phase_t = 0.0;
+  for (const LinkPhase& p : schedule) {
+    if (phase_t < p.duration) return p;
+    phase_t -= p.duration;
+  }
+  // fmod round-off can land exactly on the wrap boundary.
+  return schedule.front();
+}
+
+}  // namespace skp

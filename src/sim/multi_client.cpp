@@ -21,6 +21,7 @@ namespace {
 struct Client {
   std::unique_ptr<MarkovSource> chain;   // null for scripted clients
   std::unique_ptr<Predictor> predictor;  // null for oracle clients
+  PredictorKind kind = PredictorKind::Oracle;
   std::vector<TraceRecord> cycles;       // learned drive (scripted/walked)
   std::vector<double> r;                 // effective retrieval catalog
   std::vector<double> P;                 // learned planning row
@@ -29,6 +30,10 @@ struct Client {
   Rng walk{0};
   std::size_t state = 0;
   std::size_t served = 0;
+  std::size_t quota = 0;        // cycles this client must serve
+  double churn_period = 0.0;    // 0 = never churns
+  double churn_downtime = 0.0;
+  double next_churn_at = 0.0;   // first departure boundary
   SimMetrics metrics;
   std::vector<double> completion;      // per-item transfer completion time
   std::vector<char> unused_prefetch;
@@ -53,6 +58,11 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   SKP_REQUIRE(cfg.overrides.empty() ||
                   cfg.overrides.size() == cfg.n_clients,
               "override vector must have one entry per client (or none)");
+  SKP_REQUIRE(cfg.phase_align >= 0.0 && cfg.phase_align <= 1.0,
+              "phase_align must be in [0, 1]");
+  SKP_REQUIRE(cfg.churn_period >= 0.0, "churn_period must be >= 0");
+  SKP_REQUIRE(cfg.churn_downtime >= 0.0, "churn_downtime must be >= 0");
+  validate_link_schedule(cfg.link_schedule);
 
   const PrefetchEngine engine(cfg.engine);
   Rng build(cfg.seed);
@@ -68,6 +78,16 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
     SKP_REQUIRE(!scripted || kind != PredictorKind::Oracle,
                 "scripted cycles need a learned predictor (client "
                     << c << " has no oracle rows to plan with)");
+    cl.kind = kind;
+    cl.quota =
+        ov && ov->requests ? *ov->requests : cfg.requests_per_client;
+    cl.churn_period =
+        ov && ov->churn_period ? *ov->churn_period : cfg.churn_period;
+    cl.churn_downtime = ov && ov->churn_downtime ? *ov->churn_downtime
+                                                 : cfg.churn_downtime;
+    SKP_REQUIRE(cl.churn_period >= 0.0 && cl.churn_downtime >= 0.0,
+                "client " << c << ": churn overrides must be >= 0");
+    cl.next_churn_at = cl.churn_period;
 
     // Streams. With overrides in play EVERY client is privately seeded —
     // from its explicit seed (position-independent, so the same seeded
@@ -115,7 +135,10 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
     cl.unused_prefetch.assign(n, 0);
 
     if (kind == PredictorKind::Oracle) {
-      if (cfg.use_plan_cache) {
+      // Memoization needs the state key to determine the planning inputs;
+      // phase alignment blends the viewing time by cycle INDEX, which
+      // breaks that promise, so flash-crowd worlds plan unmemoized.
+      if (cfg.use_plan_cache && cfg.phase_align == 0.0) {
         cl.plans.emplace(engine.config_digest(), cfg.plan_cache_capacity,
                          /*doorkeeper=*/true);
         cl.selections.emplace(engine.config_digest(),
@@ -126,8 +149,8 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       cl.predictor = make_runtime_predictor(kind, n);
       cl.P.assign(n, 0.0);
       if (scripted) {
-        SKP_REQUIRE(ov->cycles.size() >= cfg.requests_per_client,
-                    "scripted cycles must cover requests_per_client");
+        SKP_REQUIRE(ov->cycles.size() >= cl.quota,
+                    "scripted cycles must cover the client's quota");
         for (const TraceRecord& rec : ov->cycles) {
           SKP_REQUIRE(rec.item >= 0 &&
                           static_cast<std::size_t>(rec.item) < n,
@@ -138,8 +161,8 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         // Materialize the chain walk up front — the walk stream is
         // consumed exactly as lazy stepping would, and learned planning
         // needs the cycle script, not the chain rows.
-        cl.cycles.reserve(cfg.requests_per_client);
-        for (std::size_t i = 0; i < cfg.requests_per_client; ++i) {
+        cl.cycles.reserve(cl.quota);
+        for (std::size_t i = 0; i < cl.quota; ++i) {
           const double v =
               cl.chain->viewing_time(cl.chain->current_state());
           const auto item = static_cast<ItemId>(cl.chain->step(cl.walk));
@@ -154,26 +177,57 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   const bool volatile_plans =
       cfg.engine.arbitration.sub != SubArbitration::None;
 
+  // Herd schedule for flash crowds: one shared per-cycle viewing-time
+  // sequence, drawn from its own stream (salt 999 — distinct from every
+  // client's split(1000+c)) so enabling alignment never perturbs a client
+  // stream. Cycle k of every client blends toward herd[k].
+  std::vector<double> herd;
+  if (cfg.phase_align > 0.0) {
+    std::size_t max_quota = 0;
+    for (const Client& cl : clients) max_quota = std::max(max_quota, cl.quota);
+    Rng herd_rng = Rng(cfg.seed).split(999);
+    herd.reserve(max_quota);
+    for (std::size_t i = 0; i < max_quota; ++i) {
+      herd.push_back(herd_rng.uniform_time(cfg.source.v_lo, cfg.source.v_hi,
+                                           cfg.source.integer_times));
+    }
+  }
+
   EventQueue clock;
   double link_free_at = 0.0;
   double link_busy = 0.0;
   double makespan = 0.0;
   std::uint64_t plans_fired = 0;
+  std::uint64_t churn_events = 0;
 
-  // Serializes a transfer on the shared link; returns completion time.
+  // Serializes a transfer on the shared link; returns completion time. With
+  // a link schedule the phase at transfer START re-prices the base cost r
+  // (the no-abort rule holds: a committed transfer keeps its duration).
   auto enqueue = [&](double r) {
     const double start = std::max(clock.now(), link_free_at);
-    const double duration = r / cfg.link_speedup;
+    double cost = r;
+    if (!cfg.link_schedule.empty()) {
+      const LinkPhase& phase = link_phase_at(cfg.link_schedule, start);
+      cost = phase.latency + r / phase.bandwidth;
+    }
+    const double duration = cost / cfg.link_speedup;
     link_free_at = start + duration;
     link_busy += duration;
     return link_free_at;
+  };
+
+  // Flash-crowd blend: pulls cycle k's viewing time toward the shared
+  // herd schedule; identity when alignment is off.
+  auto blend = [&](double v, std::size_t k) {
+    if (cfg.phase_align == 0.0) return v;
+    return (1.0 - cfg.phase_align) * v + cfg.phase_align * herd[k];
   };
 
   // One viewing-and-request cycle for client c, starting at clock.now().
   // Defined as a std::function so completions can reschedule it.
   std::function<void(std::size_t)> start_cycle = [&](std::size_t c) {
     Client& cl = clients[c];
-    if (cl.served >= cfg.requests_per_client) {
+    if (cl.served >= cl.quota) {
       makespan = std::max(makespan, clock.now());
       return;
     }
@@ -186,7 +240,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       // predictor's row (zeros during the observe-only warmup prefix, so
       // the planner fetches nothing), no memoization.
       const TraceRecord& rec = cl.cycles[cl.served];
-      v = rec.viewing_time;
+      v = blend(rec.viewing_time, cl.served);
       next = rec.item;
       if (cl.served >= cfg.predictor_warmup) {
         cl.predictor->predict_into(cl.P);
@@ -202,7 +256,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
     } else {
       // Oracle drive: plan against the chain's ground-truth row, then
       // sample the next request.
-      v = cl.chain->viewing_time(cl.state);
+      v = blend(cl.chain->viewing_time(cl.state), cl.served);
       const InstanceView inst(cl.chain->transition_row(cl.state), cl.r, v);
       next = static_cast<ItemId>(cl.chain->step(cl.walk));
       std::optional<ItemId> oracle;
@@ -291,8 +345,38 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       if (T == 0.0) ++me.metrics.hits;
       ++me.served;
       me.state = static_cast<std::size_t>(next);
-      // Next cycle begins when this request is served.
-      clock.schedule_at(t_req + T, [&, c] { start_cycle(c); });
+      const double t_end = t_req + T;
+      if (me.churn_period > 0.0 && t_end >= me.next_churn_at &&
+          me.served < me.quota) {
+        // Departure at the cycle boundary: the client walks away from its
+        // cache (prefetched-but-unviewed residents count as wasted; any
+        // in-flight transfer still completes — no-abort), forgets its
+        // frequency book, cold-restarts its predictor, and retires its
+        // plan memo. Chain state and private streams survive, so a
+        // churning client never shifts a sibling's request trajectory.
+        for (const ItemId item : me.cache->contents()) {
+          if (me.unused_prefetch[Instance::idx(item)]) {
+            ++me.metrics.wasted_prefetches;
+            me.unused_prefetch[Instance::idx(item)] = 0;
+          }
+        }
+        me.cache->clear();
+        me.freq->reset();
+        if (me.predictor) {
+          me.predictor = make_runtime_predictor(me.kind, me.r.size());
+        }
+        if (me.plans) {
+          me.plans->bump_generation();
+          me.selections->bump_generation();
+        }
+        ++churn_events;
+        const double rejoin = t_end + me.churn_downtime;
+        me.next_churn_at = rejoin + me.churn_period;
+        clock.schedule_at(rejoin, [&, c] { start_cycle(c); });
+      } else {
+        // Next cycle begins when this request is served.
+        clock.schedule_at(t_end, [&, c] { start_cycle(c); });
+      }
     });
   };
 
@@ -304,6 +388,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   result.makespan = makespan;
   result.link_busy_time = link_busy;
   result.plans = plans_fired;
+  result.churn_events = churn_events;
   for (auto& cl : clients) {
     result.per_client.push_back(cl.metrics);
     result.aggregate.merge(cl.metrics);

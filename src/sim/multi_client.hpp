@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/prefetch_engine.hpp"
+#include "sim/link_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/prefetch_cache.hpp"  // PredictorKind
 #include "workload/markov_source.hpp"
@@ -76,6 +77,36 @@ struct MultiClientConfig {
   // it — they have no chain to draw a catalog from.
   std::vector<double> retrieval_times;
 
+  // ---- Hostile worlds (extension) ---------------------------------------
+
+  // Flash crowd / thundering herd: blends every client's per-cycle viewing
+  // time toward one shared herd schedule (drawn from the config seed, NOT
+  // from any client stream). 0 = independent phases (bit-identical with
+  // the field absent); 1 = cycle k takes the same time for everyone, so
+  // demand spikes hit the shared link together. Because the blended
+  // viewing time varies with the cycle INDEX, the oracle state key no
+  // longer determines the planning inputs — plan memoization is disabled
+  // whenever phase_align > 0 (on/off is then trivially bit-identical).
+  double phase_align = 0.0;  // in [0, 1]
+
+  // Client churn: a client with churn_period > 0 departs at the first
+  // cycle boundary past each churn boundary, flushes its cache and
+  // frequency book (in-flight transfers complete regardless — the
+  // no-abort rule), cold-restarts its predictor, invalidates its plan
+  // memo, and rejoins churn_downtime later with its chain state and
+  // private streams intact — so churning one client never shifts a
+  // sibling's request trajectory. The cycle quota is unaffected: a
+  // churning client still serves every one of its requests.
+  double churn_period = 0.0;    // simulated time between departures; 0 = off
+  double churn_downtime = 0.0;  // offline span per departure
+
+  // Shared-link quality schedule (sim/link_schedule.hpp): the phase in
+  // force at a transfer's start re-prices the base cost r as
+  // phase.latency + r / phase.bandwidth (then link_speedup divides as
+  // usual). Empty = static link. Planning and the network_time metrics
+  // keep the base r — the clients plan against stale link estimates.
+  std::vector<LinkPhase> link_schedule;
+
   // Per-client drive overrides; empty = homogeneous clients from the
   // fields above (the legacy shared sequential stream scheme), otherwise
   // exactly one entry per client. With a non-empty vector EVERY client
@@ -91,8 +122,16 @@ struct MultiClientConfig {
     // Scripted drive (learned clients only): replay exactly this (item,
     // viewing time) sequence instead of walking a chain — how the
     // runtime drives iid / trace workloads that are not chains. Must
-    // cover requests_per_client cycles.
+    // cover the client's cycle quota.
     std::vector<TraceRecord> cycles;
+    // Per-client cycle quota; overrides requests_per_client so a total
+    // request budget can be split across clients without dropping the
+    // remainder (sum of quotas = budget).
+    std::optional<std::size_t> requests;
+    // Per-client churn schedule, overriding the config-wide fields (a 0
+    // period disables churn for just this client).
+    std::optional<double> churn_period;
+    std::optional<double> churn_downtime;
   };
   std::vector<ClientOverride> overrides;
 };
@@ -102,6 +141,7 @@ struct MultiClientResult {
   std::vector<SimMetrics> per_client;
   PlanMemoStats plan_cache;              // counters summed across clients
   std::uint64_t plans = 0;               // planning rounds that fetched
+  std::uint64_t churn_events = 0;        // departures across all clients
   double makespan = 0.0;                 // time when the last client ended
   double link_busy_time = 0.0;
   double link_utilization() const {

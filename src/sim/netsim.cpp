@@ -26,6 +26,7 @@ ClientSession::ClientSession(ServerCatalog catalog, NetConfig net,
       unused_prefetch_(catalog_.n(), 0) {
   SKP_REQUIRE(net_.bandwidth > 0.0, "bandwidth must be positive");
   SKP_REQUIRE(net_.latency >= 0.0, "latency must be >= 0");
+  validate_link_schedule(net_.schedule);
   for (std::size_t i = 0; i < catalog_.n(); ++i) {
     SKP_REQUIRE(catalog_.sizes[i] > 0.0, "size[" << i << "] must be > 0");
   }
@@ -45,7 +46,11 @@ double ClientSession::link_utilization() const {
 
 double ClientSession::enqueue_transfer(ItemId item, bool is_prefetch) {
   const double start = std::max(clock_.now(), link_free_at_);
-  const double duration = catalog_.retrieval_time(item, net_);
+  // Priced by the link phase in force at transfer START (the base static
+  // r_i when no schedule is set); metrics keep charging the base r_i so
+  // network_time stays comparable across schedules.
+  const double duration =
+      net_.transfer_time(catalog_.sizes[Instance::idx(item)], start);
   const double finish = start + duration;
   link_free_at_ = finish;
   in_flight_.push_back({item, start, finish, is_prefetch});

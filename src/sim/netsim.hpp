@@ -25,6 +25,7 @@
 #include "cache/freq_tracker.hpp"
 #include "core/prefetch_engine.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/link_schedule.hpp"
 #include "sim/metrics.hpp"
 
 namespace skp {
@@ -35,6 +36,20 @@ struct NetConfig {
   // Extension: cancel queued (not yet started) prefetches when a demand
   // fetch arrives. false = paper semantics.
   bool cancel_pending_on_demand = false;
+  // Extension: piecewise time-varying link quality (sim/link_schedule.hpp).
+  // Non-empty overrides (bandwidth, latency) for transfer PRICING only —
+  // the phase in force at a transfer's start sets its whole duration,
+  // while planning keeps seeing the base static r_i (the client's stale
+  // link estimate). Empty = static paper-semantics link.
+  std::vector<LinkPhase> schedule;
+
+  // Realized wall-clock cost of moving `size` units starting at absolute
+  // time `start`.
+  double transfer_time(double size, double start) const {
+    if (schedule.empty()) return latency + size / bandwidth;
+    const LinkPhase& phase = link_phase_at(schedule, start);
+    return phase.latency + size / phase.bandwidth;
+  }
 };
 
 // Item catalog on the server side: sizes determine retrieval times.

@@ -18,6 +18,7 @@
 #include "sim/prefetch_only.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/require.hpp"
+#include "workload/adversarial_source.hpp"
 #include "workload/markov_source.hpp"
 #include "workload/request_stream.hpp"
 #include "workload/zipf_source.hpp"
@@ -75,6 +76,19 @@ ZipfSourceConfig to_zipf_config(const SimWorkload& w) {
   return cfg;
 }
 
+AdversarialSourceConfig to_adversarial_config(const SimWorkload& w) {
+  AdversarialSourceConfig cfg;
+  cfg.n_items = w.n_items;
+  cfg.hot_set = w.adv_hot_set;
+  cfg.escape_prob = w.adv_escape;
+  cfg.v_lo = w.v_lo;
+  cfg.v_hi = w.v_hi;
+  cfg.r_lo = w.r_lo;
+  cfg.r_hi = w.r_hi;
+  cfg.integer_times = w.integer_times;
+  return cfg;
+}
+
 std::unique_ptr<ReplacementPolicy> make_runtime_policy(ReplacementKind kind,
                                                        std::uint64_t seed) {
   switch (kind) {
@@ -113,6 +127,12 @@ void require_single_client(const SimSpec& spec, const char* driver) {
                         "applies to the multi_client driver");
 }
 
+void require_static_link(const SimSpec& spec, const char* driver) {
+  SKP_REQUIRE(spec.link_schedule.empty(),
+              driver << " has no simulated link timeline; link_schedule "
+                        "applies to netsim_des/multi_client");
+}
+
 // ---- Drivers ------------------------------------------------------------
 
 SimResult run_prefetch_only_driver(const SimSpec& spec) {
@@ -135,6 +155,7 @@ SimResult run_prefetch_only_driver(const SimSpec& spec) {
   require_no_scenario_fields(spec, "prefetch_only");
   require_unsized(spec, "prefetch_only");
   require_single_client(spec, "prefetch_only");
+  require_static_link(spec, "prefetch_only");
   PrefetchOnlyConfig cfg;
   cfg.n_items = w.n_items;
   cfg.method = w.method;
@@ -175,6 +196,7 @@ SimResult run_prefetch_cache_driver(const SimSpec& spec) {
   require_default_net(spec, "prefetch_cache");
   require_no_scenario_fields(spec, "prefetch_cache");
   require_single_client(spec, "prefetch_cache");
+  require_static_link(spec, "prefetch_cache");
   if (spec.sized_capacity > 0.0) {
     SKP_REQUIRE(w.kind == SimWorkloadKind::Markov,
                 "the sized-cache experiment runs the Markov workload");
@@ -221,11 +243,15 @@ SimResult run_prefetch_cache_driver(const SimSpec& spec) {
       cfg.source = to_markov_config(w);
       cfg.drift_period = w.drift_period;
       return from_prefetch_cache_result(run_prefetch_cache(cfg));
-    case SimWorkloadKind::Zipf: {
+    case SimWorkloadKind::Zipf:
+    case SimWorkloadKind::Adversarial: {
       // Mirror the default entry point's stream split: the source is
       // built from Rng(seed), the walk from its kPrefetchCacheWalkSalt child.
       Rng build(spec.seed);
-      MarkovSource source = make_zipf_source(to_zipf_config(w), build);
+      MarkovSource source =
+          w.kind == SimWorkloadKind::Zipf
+              ? make_zipf_source(to_zipf_config(w), build)
+              : make_adversarial_source(to_adversarial_config(w), build);
       Rng walk = build.split(kPrefetchCacheWalkSalt);
       source.teleport(0);
       return from_prefetch_cache_result(
@@ -233,8 +259,8 @@ SimResult run_prefetch_cache_driver(const SimSpec& spec) {
     }
     default:
       SKP_REQUIRE(false,
-                  "prefetch_cache supports markov | markov_drift | zipf "
-                  "workloads");
+                  "prefetch_cache supports markov | markov_drift | zipf | "
+                  "adversarial workloads");
   }
   return {};
 }
@@ -249,6 +275,7 @@ SimResult run_trace_replay_driver(const SimSpec& spec) {
   require_no_scenario_fields(spec, "trace_replay");
   require_unsized(spec, "trace_replay");
   require_single_client(spec, "trace_replay");
+  require_static_link(spec, "trace_replay");
   Rng root(spec.seed);
   Rng build = root.split(1);
   Rng walk = root.split(2);
@@ -319,6 +346,9 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
   GroundedStreams g = ground_streams(spec);
   Rng& build = g.build;
   Rng& walk = g.walk;
+  // Time-varying link: realized transfer pricing follows the schedule
+  // while the catalog's r_i (and so planning) stays the base estimate.
+  g.net.schedule = spec.link_schedule;
 
   EngineConfig ecfg;
   ecfg.policy = spec.policy;
@@ -345,13 +375,17 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
     // truth transition rows, context keys enabling plan memoization.
     SKP_REQUIRE(w.kind == SimWorkloadKind::Markov ||
                     w.kind == SimWorkloadKind::MarkovDrift ||
-                    w.kind == SimWorkloadKind::Zipf,
+                    w.kind == SimWorkloadKind::Zipf ||
+                    w.kind == SimWorkloadKind::Adversarial,
                 "oracle netsim_des needs a generative workload "
-                "(markov | markov_drift | zipf)");
+                "(markov | markov_drift | zipf | adversarial)");
     const MarkovSourceConfig mcfg = to_markov_config(w);
-    MarkovSource source = w.kind == SimWorkloadKind::Zipf
-                              ? make_zipf_source(to_zipf_config(w), build)
-                              : MarkovSource(mcfg, build);
+    MarkovSource source =
+        w.kind == SimWorkloadKind::Zipf
+            ? make_zipf_source(to_zipf_config(w), build)
+        : w.kind == SimWorkloadKind::Adversarial
+            ? make_adversarial_source(to_adversarial_config(w), build)
+            : MarkovSource(mcfg, build);
     Rng drift_rng = build.split(kPrefetchCacheDriftSalt);
     const std::size_t period =
         w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
@@ -422,6 +456,9 @@ SimResult run_scenario_driver(const SimSpec& spec) {
               "predictor_warmup for the observe-only prefix");
   require_unsized(spec, "scenario");
   require_single_client(spec, "scenario");
+  // The scenario pipeline consumes the net only as a static r catalog;
+  // it has no clock for a phase schedule to vary against.
+  require_static_link(spec, "scenario");
   const std::size_t n = spec.workload.n_items;
   GroundedStreams g = ground_streams(spec);
   const std::vector<double> r = g.catalog.retrieval_times(g.net);
@@ -567,6 +604,10 @@ SimResult run_multi_client_des_driver(const SimSpec& spec) {
   cfg.n_clients = mc.clients;
   cfg.source = to_markov_config(spec.workload);
   cfg.link_speedup = mc.link_speedup;
+  cfg.phase_align = mc.phase_align;
+  cfg.churn_period = mc.churn_period;
+  cfg.churn_downtime = mc.churn_downtime;
+  cfg.link_schedule = spec.link_schedule;
   cfg.cache_size = spec.cache_size;
   cfg.engine.policy = spec.policy;
   cfg.engine.delta_rule = spec.delta_rule;
@@ -600,14 +641,26 @@ SimResult run_multi_client_des_driver(const SimSpec& spec) {
     Rng mix(base_seed);
     const std::uint64_t client_seed = mix.split(1000 + c).next_u64();
 
+    // Per-client cycle quota: a total request budget split by the caller
+    // (scenario harness) must not silently drop its remainder, so the
+    // quota rides the override all the way into the DES.
+    const std::size_t quota =
+        ov && ov->requests ? *ov->requests : spec.requests;
+    SKP_REQUIRE(quota >= 1, "client " << c << " quota must be >= 1");
+
     MultiClientConfig::ClientOverride& out = cfg.overrides[c];
     out.seed = client_seed;
     out.predictor = predictor;
+    out.requests = quota;
+    if (ov) {
+      out.churn_period = ov->churn_period;
+      out.churn_downtime = ov->churn_downtime;
+    }
     if (predictor == PredictorKind::Oracle) {
       SKP_REQUIRE(w.kind == SimWorkloadKind::Markov,
                   "oracle multi_client clients walk a markov chain; "
-                  "learned predictors unlock iid/zipf/drift/trace "
-                  "workloads");
+                  "learned predictors unlock iid/zipf/drift/trace/"
+                  "adversarial workloads");
       out.source = to_markov_config(w);
     } else {
       // Scripted learned drive: materialize the client's cycle script
@@ -615,8 +668,7 @@ SimResult run_multi_client_des_driver(const SimSpec& spec) {
       Rng root(client_seed);
       Rng build = root.split(1);
       Rng walk = root.split(2);
-      out.cycles =
-          materialize_workload(w, spec.requests, build, walk).cycles;
+      out.cycles = materialize_workload(w, quota, build, walk).cycles;
     }
   }
 
@@ -626,6 +678,7 @@ SimResult run_multi_client_des_driver(const SimSpec& spec) {
   out.per_client = res.per_client;
   out.plan_cache = res.plan_cache;
   out.plans = res.plans;
+  out.churn_events = res.churn_events;
   out.link_utilization = res.link_utilization();
   return out;
 }
@@ -683,6 +736,7 @@ const char* to_string(SimWorkloadKind kind) {
     case SimWorkloadKind::Zipf: return "zipf";
     case SimWorkloadKind::MarkovDrift: return "markov_drift";
     case SimWorkloadKind::TraceText: return "trace_text";
+    case SimWorkloadKind::Adversarial: return "adversarial";
   }
   return "?";
 }
@@ -749,6 +803,7 @@ std::optional<SimWorkloadKind> parse_workload_kind(std::string_view name) {
       {"zipf", SimWorkloadKind::Zipf},
       {"markov_drift", SimWorkloadKind::MarkovDrift},
       {"trace_text", SimWorkloadKind::TraceText},
+      {"adversarial", SimWorkloadKind::Adversarial},
   };
   return parse_token(name, table);
 }
@@ -822,11 +877,15 @@ MaterializedWorkload materialize_workload(const SimWorkload& w,
   switch (w.kind) {
     case SimWorkloadKind::Markov:
     case SimWorkloadKind::MarkovDrift:
-    case SimWorkloadKind::Zipf: {
+    case SimWorkloadKind::Zipf:
+    case SimWorkloadKind::Adversarial: {
       const MarkovSourceConfig mcfg = to_markov_config(w);
-      MarkovSource src = w.kind == SimWorkloadKind::Zipf
-                             ? make_zipf_source(to_zipf_config(w), build)
-                             : MarkovSource(mcfg, build);
+      MarkovSource src =
+          w.kind == SimWorkloadKind::Zipf
+              ? make_zipf_source(to_zipf_config(w), build)
+          : w.kind == SimWorkloadKind::Adversarial
+              ? make_adversarial_source(to_adversarial_config(w), build)
+              : MarkovSource(mcfg, build);
       Rng drift_rng = build.split(kPrefetchCacheDriftSalt);
       const std::size_t period =
           w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
@@ -908,7 +967,9 @@ std::vector<std::string> sim_csv_header() {
       "warmup",         "seed",
       "bandwidth",      "latency",
       "threshold",      "drift_period",
-      "clients",        "plan_cache",
+      "clients",        "phase_align",
+      "churn_period",   "link_phases",
+      "plan_cache",
       "hit_rate",       "mean_T",
       "net_per_req",    "prefetch_net",
       "demand_net",     "hits",
@@ -918,6 +979,7 @@ std::vector<std::string> sim_csv_header() {
       "plan_hit_rate",  "select_hit_rate",
       "plans",          "budget_violations",
       "link_util",      "over_viewing",
+      "churn_events",
   };
 }
 
@@ -936,9 +998,14 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
       spec.workload.kind == SimWorkloadKind::MarkovDrift
           ? spec.workload.drift_period
           : 0;
-  const std::size_t clients = spec.driver == SimDriverKind::MultiClientDes
-                                  ? spec.multi_client.clients
-                                  : 0;
+  const bool multi = spec.driver == SimDriverKind::MultiClientDes;
+  const std::size_t clients = multi ? spec.multi_client.clients : 0;
+  const double phase_align = multi ? spec.multi_client.phase_align : 0.0;
+  const double churn_period = multi ? spec.multi_client.churn_period : 0.0;
+  const std::size_t link_phases =
+      multi || spec.driver == SimDriverKind::NetsimDes
+          ? spec.link_schedule.size()
+          : 0;
   writer.row_of(
       index, to_string(spec.driver), to_string(spec.workload.kind),
       spec.workload.n_items, policy_token(spec.policy),
@@ -951,7 +1018,8 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
       spec.size_per_r, spec.requests, spec.warmup, spec.seed,
       spec.bandwidth, spec.latency,
       spec.min_profit_threshold, drift_period,
-      clients, spec.use_plan_cache ? 1 : 0, m.hit_rate(),
+      clients, phase_align, churn_period, link_phases,
+      spec.use_plan_cache ? 1 : 0, m.hit_rate(),
       m.mean_access_time(),
       m.network_time_per_request(), m.prefetch_network_time,
       m.demand_network_time, m.hits, result.resident_hits(),
@@ -960,7 +1028,29 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
       result.plan_cache.plans.hit_rate(),
       result.plan_cache.selections.hit_rate(), result.plans,
       result.budget_violations, result.link_utilization,
-      result.over_viewing_time);
+      result.over_viewing_time, result.churn_events);
+}
+
+std::vector<std::string> per_client_csv_header() {
+  return {
+      "index",      "client",        "requests",
+      "hit_rate",   "mean_T",        "net_per_req",
+      "hits",       "resident_hits", "demand",
+      "prefetched", "wasted",        "solver_nodes",
+  };
+}
+
+void append_per_client_csv_rows(CsvWriter& writer, std::size_t index,
+                                const SimSpec& spec,
+                                const SimResult& result) {
+  (void)spec;
+  for (std::size_t c = 0; c < result.per_client.size(); ++c) {
+    const SimMetrics& m = result.per_client[c];
+    writer.row_of(index, c, m.requests, m.hit_rate(),
+                  m.mean_access_time(), m.network_time_per_request(),
+                  m.hits, m.requests - m.demand_fetches, m.demand_fetches,
+                  m.prefetch_fetches, m.wasted_prefetches, m.solver_nodes);
+  }
 }
 
 std::string merge_sharded_csv(const std::vector<std::string>& shards,

@@ -32,6 +32,7 @@
 
 #include "core/prefetch_engine.hpp"
 #include "predict/predictor.hpp"
+#include "sim/link_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/prefetch_cache.hpp"  // PredictorKind + PrefetchCacheConfig
 #include "util/csv.hpp"
@@ -60,6 +61,8 @@ enum class SimWorkloadKind {
   Zipf,         // i.i.d. Zipf catalog (rank-1 chain)
   MarkovDrift,  // Markov chain with phase-shift changepoints
   TraceText,    // Markov walk round-tripped through the skptrace format
+  Adversarial,  // two-clique cache-thrashing chain
+                // (workload/adversarial_source.hpp)
 };
 
 // Demand-miss eviction policy for the Scenario driver (prefetch victims
@@ -87,6 +90,12 @@ struct SimWorkload {
   bool zipf_shuffle = true;
   // MarkovDrift: requests between transition-structure changepoints.
   std::size_t drift_period = 2'000;
+  // Adversarial parameters (workload/adversarial_source.hpp): two hot
+  // cliques of adv_hot_set items alternate with per-step escape
+  // probability adv_escape; size the clique just past the cache to
+  // thrash it.
+  std::size_t adv_hot_set = 8;
+  double adv_escape = 0.02;
 
   bool operator==(const SimWorkload&) const = default;
 };
@@ -101,6 +110,11 @@ struct MultiClientOverride {
   std::optional<SimWorkload> workload;
   std::optional<PredictorKind> predictor;
   std::optional<std::uint64_t> seed;
+  // Per-client cycle quota (splits a total request budget without
+  // dropping a remainder) and churn schedule overrides.
+  std::optional<std::size_t> requests;
+  std::optional<double> churn_period;
+  std::optional<double> churn_downtime;
 
   bool operator==(const MultiClientOverride&) const = default;
 };
@@ -115,6 +129,16 @@ struct MultiClientOverride {
 struct MultiClientSpec {
   std::size_t clients = 4;
   double link_speedup = 1.0;
+  // Hostile worlds (sim/multi_client.hpp has the full semantics):
+  // flash-crowd phase alignment in [0, 1] (0 = independent phases, 1 =
+  // every client's cycle k takes the same herd-drawn time, so demand
+  // spikes hit the shared link together), and a churn schedule (every
+  // `churn_period` time units a client departs — cache/frequency flush,
+  // cold predictor, plan-memo invalidation — and rejoins
+  // `churn_downtime` later with its streams intact).
+  double phase_align = 0.0;
+  double churn_period = 0.0;
+  double churn_downtime = 0.0;
   // Empty = homogeneous clients derived from the base spec; otherwise
   // exactly `clients` entries.
   std::vector<MultiClientOverride> overrides;
@@ -155,6 +179,11 @@ struct SimSpec {
   // bandwidth over a catalog of sizes drawn U{1..30} from the seed.
   double bandwidth = 1.0;
   double latency = 0.0;
+  // Time-varying link (NetsimDes + MultiClientDes): non-empty cycles
+  // these phases over the link; the phase at a transfer's start prices
+  // it, while planning keeps the base static estimate
+  // (sim/link_schedule.hpp). Drivers without a link reject it.
+  std::vector<LinkPhase> link_schedule;
 
   // Run shape.
   std::size_t requests = 5'000;
@@ -176,6 +205,8 @@ struct SimResult {
   std::uint64_t over_viewing_time = 0;
   // Scenario/NetsimDes: planning rounds that fetched anything.
   std::uint64_t plans = 0;
+  // MultiClientDes: client departures under a churn schedule.
+  std::uint64_t churn_events = 0;
   // Scenario driver: stretch-knapsack bandwidth-budget violations.
   std::uint64_t budget_violations = 0;
   double worst_budget_overrun = 0.0;
@@ -278,6 +309,15 @@ bool shard_owns(std::size_t index, std::size_t shard_index,
 std::vector<std::string> sim_csv_header();
 void append_sim_csv_row(CsvWriter& writer, std::size_t index,
                         const SimSpec& spec, const SimResult& result);
+
+// Per-client companion document (multi_client driver): one row per
+// (spec index, client) with that client's own counters, so sweeps can
+// analyze fairness/straggler effects that the merged row hides. Specs
+// without per-client results (every single-client driver) emit nothing.
+std::vector<std::string> per_client_csv_header();
+void append_per_client_csv_rows(CsvWriter& writer, std::size_t index,
+                                const SimSpec& spec,
+                                const SimResult& result);
 
 // Merges shard CSV outputs (each: header + index-prefixed rows) back into
 // the single-run document: rows sorted by index, exactly the indices

@@ -31,6 +31,23 @@
 //                     over ONE shared link (cfg.requests split across the
 //                     clients, so the aggregate serves the same cycle
 //                     count) — the golden rows are contention-grounded.
+//   * FlashCrowd    — MultiClientDes with phase_align = 0.8: the
+//                     clients' viewing times blend toward one shared
+//                     herd schedule, so demand spikes hit the shared
+//                     link together (hostile world #1).
+//   * Churn         — MultiClientDes with a join/leave schedule: every
+//                     400 time units of uptime a client departs (cache +
+//                     frequency flush, cold predictor, plan-memo
+//                     invalidation) and rejoins 60 later (hostile
+//                     world #2).
+//   * LinkSchedule  — NetsimDes over a piecewise time-varying link: the
+//                     profile's nominal quality for 240 time units, then
+//                     an 80-unit degraded window (quarter bandwidth,
+//                     doubled latency), cycling (hostile world #4).
+//                     Planning keeps seeing the static base link — the
+//                     stale-estimate regime.
+// Hostile world #3 (the adversarial cache-thrashing stream) is a
+// workload, not a mode: ScenarioWorkload::Adversarial.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -48,14 +65,23 @@ namespace skp::testing {
 // policies, same lowercase tokens) — an alias, so a policy added to the
 // runtime is immediately sweepable here and the two can never diverge.
 using CachePolicyKind = ReplacementKind;
-enum class ScenarioWorkload { MarkovChain, IidSkewy, TraceReplay };
-enum class PlanMode { EmptyCache, PrArbitration, NetsimDes, MultiClientDes };
+enum class ScenarioWorkload { MarkovChain, IidSkewy, TraceReplay, Adversarial };
+enum class PlanMode {
+  EmptyCache,
+  PrArbitration,
+  NetsimDes,
+  MultiClientDes,
+  FlashCrowd,
+  Churn,
+  LinkSchedule,
+};
 
 inline const char* to_string(ScenarioWorkload w) {
   switch (w) {
     case ScenarioWorkload::MarkovChain: return "markov";
     case ScenarioWorkload::IidSkewy: return "iid";
     case ScenarioWorkload::TraceReplay: return "trace";
+    case ScenarioWorkload::Adversarial: return "adv";
   }
   return "?";
 }
@@ -66,6 +92,9 @@ inline const char* to_string(PlanMode m) {
     case PlanMode::PrArbitration: return "pr";
     case PlanMode::NetsimDes: return "des";
     case PlanMode::MultiClientDes: return "mc";
+    case PlanMode::FlashCrowd: return "flash";
+    case PlanMode::Churn: return "churn";
+    case PlanMode::LinkSchedule: return "link";
   }
   return "?";
 }
@@ -140,12 +169,9 @@ inline std::string scenario_name(const ScenarioConfig& cfg) {
   name += cfg.net.name;
   name += '_';
   name += to_string(cfg.workload);
-  if (cfg.plan_mode == PlanMode::PrArbitration) {
-    name += "_pr";
-  } else if (cfg.plan_mode == PlanMode::NetsimDes) {
-    name += "_des";
-  } else if (cfg.plan_mode == PlanMode::MultiClientDes) {
-    name += "_mc";
+  if (cfg.plan_mode != PlanMode::EmptyCache) {
+    name += '_';
+    name += to_string(cfg.plan_mode);
   }
   return name;
 }
@@ -162,15 +188,24 @@ inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
   SimSpec spec;
   switch (cfg.plan_mode) {
     case PlanMode::NetsimDes:
+    case PlanMode::LinkSchedule:
       spec.driver = SimDriverKind::NetsimDes;
       break;
     case PlanMode::MultiClientDes:
+    case PlanMode::FlashCrowd:
+    case PlanMode::Churn:
       spec.driver = SimDriverKind::MultiClientDes;
       spec.multi_client.clients = kScenarioClients;
       break;
     default:
       spec.driver = SimDriverKind::Scenario;
       break;
+  }
+  if (cfg.plan_mode == PlanMode::FlashCrowd) {
+    spec.multi_client.phase_align = 0.8;
+  } else if (cfg.plan_mode == PlanMode::Churn) {
+    spec.multi_client.churn_period = 400.0;
+    spec.multi_client.churn_downtime = 60.0;
   }
 
   spec.workload.n_items = cfg.n_items;
@@ -194,6 +229,16 @@ inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
       spec.workload.v_lo = 5.0;
       spec.workload.v_hi = 40.0;
       break;
+    case ScenarioWorkload::Adversarial:
+      // Hot set of 8 against a 6-slot cache: the alternating cliques
+      // never quite fit, thrashing the frequency books and the plan
+      // caches (workload/adversarial_source.hpp).
+      spec.workload.kind = SimWorkloadKind::Adversarial;
+      spec.workload.adv_hot_set = 8;
+      spec.workload.adv_escape = 0.02;
+      spec.workload.v_lo = 10.0;
+      spec.workload.v_hi = 60.0;
+      break;
   }
 
   spec.policy = cfg.policy;
@@ -205,23 +250,47 @@ inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
   spec.pr_planning = cfg.plan_mode == PlanMode::PrArbitration;
   spec.bandwidth = cfg.net.bandwidth;
   spec.latency = cfg.net.latency;
-  spec.requests = cfg.plan_mode == PlanMode::MultiClientDes
-                      ? cfg.requests / kScenarioClients
-                      : cfg.requests;
+  if (cfg.plan_mode == PlanMode::LinkSchedule) {
+    // The profile's nominal quality, then a degraded window (quarter
+    // bandwidth, doubled latency), cycling. Relative to the profile so
+    // every net row degrades proportionally.
+    spec.link_schedule = {
+        {240.0, cfg.net.bandwidth, cfg.net.latency},
+        {80.0, cfg.net.bandwidth / 4.0, cfg.net.latency * 2.0},
+    };
+  }
+  if (spec.driver == SimDriverKind::MultiClientDes) {
+    // Split the aggregate budget without dropping the remainder: the
+    // first (requests % clients) clients serve one extra cycle. With the
+    // historical 1200/3 the remainder is zero and no overrides are
+    // emitted, so the pre-existing golden rows are untouched.
+    const std::size_t base = cfg.requests / kScenarioClients;
+    const std::size_t rem = cfg.requests % kScenarioClients;
+    spec.requests = base;
+    if (rem != 0) {
+      spec.multi_client.overrides.resize(kScenarioClients);
+      for (std::size_t c = 0; c < rem; ++c) {
+        spec.multi_client.overrides[c].requests = base + 1;
+      }
+    }
+  } else {
+    spec.requests = cfg.requests;
+  }
   spec.seed = cfg.seed;
   return spec;
 }
 
 inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
-  const SimResult sim = run_sim(to_sim_spec(cfg));
+  const SimSpec spec = to_sim_spec(cfg);
+  const SimResult sim = run_sim(spec);
   ScenarioResult res;
   res.requests = sim.metrics.requests;
   // The DES modes serve a request from the cache whenever the item is
   // resident, even if its transfer is still completing (T > 0 then);
   // SimResult::resident_hits keeps the conservation invariant uniform
   // across modes (in the other modes it coincides with metrics.hits).
-  const bool des = cfg.plan_mode == PlanMode::NetsimDes ||
-                   cfg.plan_mode == PlanMode::MultiClientDes;
+  const bool des = spec.driver == SimDriverKind::NetsimDes ||
+                   spec.driver == SimDriverKind::MultiClientDes;
   res.hits = des ? sim.resident_hits() : sim.metrics.hits;
   res.demand_fetches = sim.metrics.demand_fetches;
   res.prefetch_fetches = sim.metrics.prefetch_fetches;

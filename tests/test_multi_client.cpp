@@ -210,5 +210,134 @@ TEST(MultiClient, PlanCacheOnOffBitIdentical) {
   EXPECT_EQ(b.plan_cache.selections.lookups(), 0u);
 }
 
+// ---- Hostile worlds -----------------------------------------------------
+
+TEST(MultiClientHostile, ChurnStillServesEveryQuota) {
+  auto cfg = quick(3);
+  cfg.churn_period = 300.0;
+  cfg.churn_downtime = 50.0;
+  const auto res = run_multi_client(cfg);
+  EXPECT_GT(res.churn_events, 0u);
+  ASSERT_EQ(res.per_client.size(), 3u);
+  for (const auto& m : res.per_client) EXPECT_EQ(m.requests, 400u);
+  EXPECT_EQ(res.aggregate.requests, 1200u);
+  // Walking away from a warm cache strands prefetched-but-unviewed
+  // residents: the flush must charge them as wasted.
+  const auto calm = run_multi_client(quick(3));
+  EXPECT_GT(res.aggregate.wasted_prefetches,
+            calm.aggregate.wasted_prefetches);
+}
+
+TEST(MultiClientHostile, ChurningOneClientNeverShiftsSiblingDecisions) {
+  // Churn client 0 via an override: the siblings' private streams and
+  // chain state survive, so every timing-INDEPENDENT counter of clients
+  // 1 and 2 must be bit-identical to the calm run. (hits and access
+  // times legitimately move — the churning client changes when the
+  // shared link is busy.)
+  auto cfg = quick(3);
+  cfg.overrides.resize(3);
+  const auto calm = run_multi_client(cfg);
+  cfg.overrides[0].churn_period = 250.0;
+  cfg.overrides[0].churn_downtime = 40.0;
+  const auto churned = run_multi_client(cfg);
+  EXPECT_GT(churned.churn_events, 0u);
+  ASSERT_EQ(churned.per_client.size(), 3u);
+  for (std::size_t c = 1; c < 3; ++c) {
+    const auto& a = calm.per_client[c];
+    const auto& b = churned.per_client[c];
+    EXPECT_EQ(a.requests, b.requests) << c;
+    EXPECT_EQ(a.demand_fetches, b.demand_fetches) << c;
+    EXPECT_EQ(a.prefetch_fetches, b.prefetch_fetches) << c;
+    EXPECT_EQ(a.wasted_prefetches, b.wasted_prefetches) << c;
+    EXPECT_EQ(a.solver_nodes, b.solver_nodes) << c;
+    EXPECT_DOUBLE_EQ(a.network_time, b.network_time) << c;
+  }
+  // The churned client itself must cold-restart visibly.
+  EXPECT_NE(calm.per_client[0].demand_fetches,
+            churned.per_client[0].demand_fetches);
+}
+
+TEST(MultiClientHostile, ChurnPlanCacheOnOffBitIdentical) {
+  // Rejoin invalidates the plan memo by generation bump; the memo must
+  // stay a pure cache through every flush.
+  auto on = quick(3);
+  on.churn_period = 300.0;
+  on.churn_downtime = 50.0;
+  auto off = on;
+  off.use_plan_cache = false;
+  const auto a = run_multi_client(on);
+  const auto b = run_multi_client(off);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.aggregate.hits, b.aggregate.hits);
+  EXPECT_EQ(a.aggregate.demand_fetches, b.aggregate.demand_fetches);
+  EXPECT_EQ(a.aggregate.prefetch_fetches, b.aggregate.prefetch_fetches);
+  EXPECT_EQ(a.aggregate.wasted_prefetches, b.aggregate.wasted_prefetches);
+  EXPECT_EQ(a.aggregate.solver_nodes, b.aggregate.solver_nodes);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(b.plan_cache.plans.lookups(), 0u);
+}
+
+TEST(MultiClientHostile, FlashCrowdDeterministicAndDistinct) {
+  auto cfg = quick(3);
+  cfg.phase_align = 1.0;
+  const auto a = run_multi_client(cfg);
+  const auto b = run_multi_client(cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.aggregate.hits, b.aggregate.hits);
+  EXPECT_DOUBLE_EQ(a.aggregate.mean_access_time(),
+                   b.aggregate.mean_access_time());
+  // Herd viewing times genuinely change the trajectory vs. independent
+  // phases...
+  const auto calm = run_multi_client(quick(3));
+  EXPECT_NE(a.makespan, calm.makespan);
+  // ...and the blended v varies with the cycle index, which breaks the
+  // oracle memo's context-key promise — the memo must sit out entirely.
+  EXPECT_EQ(a.plan_cache.plans.lookups(), 0u);
+  EXPECT_EQ(a.plan_cache.selections.lookups(), 0u);
+}
+
+TEST(MultiClientHostile, LinkScheduleRepricesTimingNotDecisions) {
+  // Phase-at-start pricing changes WHEN transfers complete, never what
+  // the planner fetches: planning and the network_time metrics keep
+  // seeing the static base r_i (the stale-estimate regime), so every
+  // decision-path counter is bit-identical to the static-link run while
+  // the realized makespan moves.
+  auto calm_cfg = quick(3);
+  auto stormy_cfg = quick(3);
+  stormy_cfg.link_schedule = {{200.0, 1.0, 0.0}, {60.0, 0.25, 2.0}};
+  const auto calm = run_multi_client(calm_cfg);
+  const auto stormy = run_multi_client(stormy_cfg);
+  EXPECT_EQ(calm.aggregate.demand_fetches, stormy.aggregate.demand_fetches);
+  EXPECT_EQ(calm.aggregate.prefetch_fetches,
+            stormy.aggregate.prefetch_fetches);
+  EXPECT_EQ(calm.aggregate.solver_nodes, stormy.aggregate.solver_nodes);
+  EXPECT_DOUBLE_EQ(calm.aggregate.network_time,
+                   stormy.aggregate.network_time);
+  EXPECT_NE(calm.makespan, stormy.makespan);
+  // A degraded window can only serialize MORE wall-clock per unit of
+  // base network time, never less (bandwidth 0.25 < 1, latency 2 > 0).
+  EXPECT_GT(stormy.makespan, calm.makespan);
+  const auto again = run_multi_client(stormy_cfg);
+  EXPECT_DOUBLE_EQ(stormy.makespan, again.makespan);
+}
+
+TEST(MultiClientHostile, HostileFieldValidation) {
+  auto cfg = quick(2);
+  cfg.phase_align = 1.5;
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+  cfg = quick(2);
+  cfg.phase_align = -0.1;
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+  cfg = quick(2);
+  cfg.churn_period = -1.0;
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+  cfg = quick(2);
+  cfg.link_schedule = {{0.0, 1.0, 0.0}};  // zero-duration phase
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+  cfg = quick(2);
+  cfg.link_schedule = {{100.0, -1.0, 0.0}};  // negative bandwidth
+  EXPECT_THROW(run_multi_client(cfg), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace skp

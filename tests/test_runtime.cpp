@@ -374,6 +374,151 @@ TEST(SimRuntime, MultiClientSectionRejectedBySingleClientDrivers) {
   EXPECT_THROW(run_sim(iid), std::invalid_argument);
 }
 
+// ---- Hostile worlds through the registry --------------------------------
+
+TEST(SimRuntime, MultiClientRequestOverridesSplitWithoutRemainderLoss) {
+  // A total budget that does not divide by the client count lands as
+  // base+1 quotas on the first clients via per-client overrides; the
+  // aggregate must serve every requested cycle.
+  SimSpec spec = quick_multi_client_spec();
+  spec.requests = 400;
+  spec.multi_client.overrides.resize(3);
+  spec.multi_client.overrides[0].requests = 401;
+  const SimResult res = run_sim(spec);
+  ASSERT_EQ(res.per_client.size(), 3u);
+  EXPECT_EQ(res.per_client[0].requests, 401u);
+  EXPECT_EQ(res.per_client[1].requests, 400u);
+  EXPECT_EQ(res.per_client[2].requests, 400u);
+  EXPECT_EQ(res.metrics.requests, 1201u);
+
+  // A zero quota is rejected, not served as an idle ghost client.
+  spec.multi_client.overrides[0].requests = 0;
+  EXPECT_THROW(run_sim(spec), std::invalid_argument);
+}
+
+TEST(SimRuntime, MultiClientHostileSpecsRunDeterministically) {
+  // Flash crowd, churn, and a time-varying link each produce a
+  // reproducible trajectory through the registry, and churn surfaces in
+  // the result surface.
+  SimSpec flash = quick_multi_client_spec();
+  flash.multi_client.phase_align = 0.8;
+  const SimResult f1 = run_sim(flash);
+  const SimResult f2 = run_sim(flash);
+  EXPECT_EQ(f1.metrics.network_time, f2.metrics.network_time);
+  EXPECT_EQ(f1.metrics.hits, f2.metrics.hits);
+  EXPECT_EQ(f1.churn_events, 0u);
+
+  SimSpec churn = quick_multi_client_spec();
+  churn.multi_client.churn_period = 300.0;
+  churn.multi_client.churn_downtime = 50.0;
+  const SimResult c1 = run_sim(churn);
+  const SimResult c2 = run_sim(churn);
+  EXPECT_GT(c1.churn_events, 0u);
+  EXPECT_EQ(c1.churn_events, c2.churn_events);
+  EXPECT_EQ(c1.metrics.network_time, c2.metrics.network_time);
+  EXPECT_EQ(c1.metrics.requests, 1200u);
+
+  SimSpec stormy = quick_multi_client_spec();
+  stormy.link_schedule = {{200.0, 1.0, 0.0}, {60.0, 0.25, 2.0}};
+  const SimResult s1 = run_sim(stormy);
+  // Start-phase pricing re-times transfers but never re-plans: the
+  // decision path matches the static-link run bit for bit.
+  const SimResult calm = run_sim(quick_multi_client_spec());
+  EXPECT_EQ(s1.metrics.demand_fetches, calm.metrics.demand_fetches);
+  EXPECT_EQ(s1.metrics.prefetch_fetches, calm.metrics.prefetch_fetches);
+  EXPECT_EQ(s1.metrics.solver_nodes, calm.metrics.solver_nodes);
+  EXPECT_EQ(s1.metrics.network_time, calm.metrics.network_time);
+  EXPECT_GT(s1.metrics.mean_access_time(), calm.metrics.mean_access_time());
+}
+
+TEST(SimRuntime, NetsimDesHonorsLinkScheduleInStaleEstimateRegime) {
+  SimSpec calm_spec;
+  calm_spec.driver = SimDriverKind::NetsimDes;
+  calm_spec.workload.n_items = 25;
+  calm_spec.workload.out_degree_lo = 4;
+  calm_spec.workload.out_degree_hi = 7;
+  calm_spec.cache_size = 6;
+  calm_spec.requests = 500;
+  calm_spec.seed = 13;
+  SimSpec stormy_spec = calm_spec;
+  stormy_spec.link_schedule = {{200.0, 1.0, 0.0}, {60.0, 0.25, 2.0}};
+  const SimResult calm = run_sim(calm_spec);
+  const SimResult stormy = run_sim(stormy_spec);
+  const SimResult again = run_sim(stormy_spec);
+  // Planning keeps consuming the grounded static catalog (the stale
+  // estimate), so fetch decisions and the planning-side network metrics
+  // are unchanged; only realized waiting moves.
+  EXPECT_EQ(calm.metrics.demand_fetches, stormy.metrics.demand_fetches);
+  EXPECT_EQ(calm.metrics.prefetch_fetches, stormy.metrics.prefetch_fetches);
+  EXPECT_EQ(calm.metrics.solver_nodes, stormy.metrics.solver_nodes);
+  EXPECT_EQ(calm.metrics.network_time, stormy.metrics.network_time);
+  EXPECT_GT(stormy.metrics.mean_access_time(),
+            calm.metrics.mean_access_time());
+  EXPECT_EQ(stormy.metrics.mean_access_time(),
+            again.metrics.mean_access_time());
+}
+
+TEST(SimRuntime, AdversarialWorkloadRunsOnEveryHonoringDriver) {
+  // prefetch_cache, netsim_des and multi_client all accept the
+  // adversarial chain (it is a plain MarkovSource under the hood).
+  SimSpec pc;
+  pc.driver = SimDriverKind::PrefetchCache;
+  pc.workload.kind = SimWorkloadKind::Adversarial;
+  pc.workload.n_items = 24;
+  pc.requests = 600;
+  const SimResult a = run_sim(pc);
+  EXPECT_EQ(a.metrics.requests, 600u);
+  EXPECT_GT(a.metrics.prefetch_fetches, 0u);
+
+  SimSpec des = pc;
+  des.driver = SimDriverKind::NetsimDes;
+  const SimResult b = run_sim(des);
+  EXPECT_EQ(b.metrics.requests, 600u);
+
+  // Oracle multi_client builds its chains from a MarkovSourceConfig, so
+  // the adversarial stream rides the scripted learned path there.
+  SimSpec mc = quick_multi_client_spec();
+  mc.workload.kind = SimWorkloadKind::Adversarial;
+  mc.workload.n_items = 24;
+  EXPECT_THROW(run_sim(mc), std::invalid_argument);
+  mc.predictor = PredictorKind::Markov1;
+  mc.predictor_min_prob = 0.02;
+  mc.predictor_warmup = 32;
+  const SimResult c = run_sim(mc);
+  EXPECT_EQ(c.metrics.requests, 1200u);
+  EXPECT_EQ(run_sim(mc).metrics.network_time, c.metrics.network_time);
+}
+
+TEST(SimRuntime, HostileFieldsRejectedWhereNotHonored) {
+  // link_schedule outside the DES drivers (reject, don't drop).
+  SimSpec pc;
+  pc.link_schedule = {{100.0, 1.0, 0.0}};
+  EXPECT_THROW(run_sim(pc), std::invalid_argument);
+
+  SimSpec scen;
+  scen.driver = SimDriverKind::Scenario;
+  scen.predictor = PredictorKind::Markov1;
+  scen.link_schedule = {{100.0, 1.0, 0.0}};
+  EXPECT_THROW(run_sim(scen), std::invalid_argument);
+
+  // Hostile multi_client knobs on a single-client driver.
+  SimSpec flash;
+  flash.multi_client.phase_align = 0.5;
+  EXPECT_THROW(run_sim(flash), std::invalid_argument);
+  SimSpec churn;
+  churn.driver = SimDriverKind::NetsimDes;
+  churn.multi_client.churn_period = 100.0;
+  EXPECT_THROW(run_sim(churn), std::invalid_argument);
+
+  // Out-of-range knobs on the honoring driver.
+  SimSpec bad = quick_multi_client_spec();
+  bad.multi_client.phase_align = 1.5;
+  EXPECT_THROW(run_sim(bad), std::invalid_argument);
+  bad = quick_multi_client_spec();
+  bad.link_schedule = {{0.0, 1.0, 0.0}};
+  EXPECT_THROW(run_sim(bad), std::invalid_argument);
+}
+
 TEST(SimRuntime, InvalidSpecsAreRejected) {
   SimSpec spec;
   spec.driver = SimDriverKind::PrefetchOnly;
@@ -452,6 +597,62 @@ TEST(SimShard, MergedShardCsvEqualsSingleRun) {
     }
     EXPECT_EQ(merge_sharded_csv(docs), single) << shards << " shards";
   }
+}
+
+TEST(SimCsv, HostileColumnsAndPerClientRows) {
+  SimSpec spec = quick_multi_client_spec();
+  spec.multi_client.phase_align = 0.8;
+  spec.multi_client.churn_period = 300.0;
+  spec.multi_client.churn_downtime = 50.0;
+  spec.link_schedule = {{200.0, 1.0, 0.0}, {60.0, 0.25, 2.0}};
+  const SimResult res = run_sim(spec);
+
+  const std::vector<std::string> header = sim_csv_header();
+  auto col = [&](const std::string& name) {
+    const auto it = std::find(header.begin(), header.end(), name);
+    EXPECT_NE(it, header.end()) << name;
+    return static_cast<std::size_t>(it - header.begin());
+  };
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.row(header);
+  append_sim_csv_row(writer, 7, spec, res);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::getline(lines, line);  // header
+  ASSERT_TRUE(std::getline(lines, line));
+  std::vector<std::string> fields;
+  std::istringstream fs(line);
+  for (std::string f; std::getline(fs, f, ',');) fields.push_back(f);
+  ASSERT_EQ(fields.size(), header.size());
+  EXPECT_EQ(std::stod(fields[col("phase_align")]), 0.8);
+  EXPECT_EQ(std::stod(fields[col("churn_period")]), 300.0);
+  EXPECT_EQ(fields[col("link_phases")], "2");
+  EXPECT_EQ(std::stoull(fields[col("churn_events")]), res.churn_events);
+  EXPECT_GT(res.churn_events, 0u);
+
+  // The per-client companion document: one row per client keyed by the
+  // main document's spec index, quotas summing to the aggregate.
+  std::ostringstream pcs;
+  CsvWriter pc_writer(pcs);
+  pc_writer.row(per_client_csv_header());
+  append_per_client_csv_rows(pc_writer, 7, spec, res);
+  std::istringstream pc_lines(pcs.str());
+  std::getline(pc_lines, line);  // header
+  std::uint64_t total_requests = 0;
+  std::size_t rows = 0;
+  while (std::getline(pc_lines, line)) {
+    std::vector<std::string> pf;
+    std::istringstream pfs(line);
+    for (std::string f; std::getline(pfs, f, ',');) pf.push_back(f);
+    ASSERT_EQ(pf.size(), per_client_csv_header().size());
+    EXPECT_EQ(pf[0], "7");
+    EXPECT_EQ(std::stoull(pf[1]), rows);  // client column is dense
+    total_requests += std::stoull(pf[2]);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3u);
+  EXPECT_EQ(total_requests, res.metrics.requests);
 }
 
 TEST(SimShard, MergeRejectsBrokenDocuments) {

@@ -1,7 +1,7 @@
 // Scenario-matrix regression suite (see scenario_harness.hpp).
 //
 // Three layers of protection:
-//   1. Invariants over the FULL 3x4x3x3 = 108-combination cross-product:
+//   1. Invariants over the FULL 3x4x3x4 = 144-combination cross-product:
 //      metrics conservation (hits + demand fetches == requests), network
 //      accounting consistency, and the stretch-knapsack bandwidth budget
 //      (no plan schedules more than the viewing time allows, modulo the
@@ -9,7 +9,8 @@
 //   2. Bit-level determinism: the same (scenario, seed) must reproduce the
 //      same counters run-to-run.
 //   3. Golden hit-rates on the full matrix plus the Pr-arbitration,
-//      DES-backed (NetsimDes) and shared-link contention (MultiClientDes)
+//      DES-backed (NetsimDes), shared-link contention (MultiClientDes)
+//      and hostile-world (flash crowd / churn / time-varying link)
 //      variants. Tolerance: +/- 0.03 absolute. The
 //      runs are
 //      deterministic, so on one toolchain the match is exact; the slack
@@ -37,9 +38,9 @@ const CachePolicyKind kCachePolicies[] = {
     CachePolicyKind::LRU, CachePolicyKind::FIFO, CachePolicyKind::LFU,
     CachePolicyKind::Random};
 const NetProfile kNets[] = {kLan, kWan, kModem};
-const ScenarioWorkload kWorkloads[] = {ScenarioWorkload::MarkovChain,
-                                       ScenarioWorkload::IidSkewy,
-                                       ScenarioWorkload::TraceReplay};
+const ScenarioWorkload kWorkloads[] = {
+    ScenarioWorkload::MarkovChain, ScenarioWorkload::IidSkewy,
+    ScenarioWorkload::TraceReplay, ScenarioWorkload::Adversarial};
 
 ScenarioConfig make_config(PredictorKind p, CachePolicyKind c,
                            const NetProfile& n, ScenarioWorkload w,
@@ -104,6 +105,22 @@ std::vector<ScenarioConfig> multi_client_des_matrix() {
   return all;
 }
 
+// Hostile-world variant: the three non-stationary modes (flash-crowd
+// phase alignment, client churn, piecewise time-varying link) at every
+// predictor x net point, on the default Markov workload under LRU —
+// locking the hostile scenario engine into the golden matrix.
+std::vector<ScenarioConfig> hostile_matrix() {
+  const PlanMode kHostileModes[] = {PlanMode::FlashCrowd, PlanMode::Churn,
+                                    PlanMode::LinkSchedule};
+  std::vector<ScenarioConfig> all;
+  for (const auto m : kHostileModes)
+    for (const auto p : kPredictors)
+      for (const auto& n : kNets)
+        all.push_back(make_config(p, CachePolicyKind::LRU, n,
+                                  ScenarioWorkload::MarkovChain, m));
+  return all;
+}
+
 class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioConfig> {};
 
 TEST_P(ScenarioMatrixTest, InvariantsHold) {
@@ -162,6 +179,12 @@ INSTANTIATE_TEST_SUITE_P(
       return scenario_name(info.param);
     });
 
+INSTANTIATE_TEST_SUITE_P(
+    Hostile, ScenarioMatrixTest, ::testing::ValuesIn(hostile_matrix()),
+    [](const ::testing::TestParamInfo<ScenarioConfig>& info) {
+      return scenario_name(info.param);
+    });
+
 TEST(ScenarioDeterminism, SameSeedSameCounters) {
   // One combo per workload x predictor pairing (cache/net varied too);
   // default-equality on ScenarioResult covers every counter incl. doubles.
@@ -176,6 +199,12 @@ TEST(ScenarioDeterminism, SameSeedSameCounters) {
                   ScenarioWorkload::MarkovChain, PlanMode::NetsimDes),
       make_config(PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
                   ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes),
+      make_config(PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+                  ScenarioWorkload::Adversarial, PlanMode::FlashCrowd),
+      make_config(PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+                  ScenarioWorkload::MarkovChain, PlanMode::Churn),
+      make_config(PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+                  ScenarioWorkload::Adversarial, PlanMode::LinkSchedule),
   };
   for (const auto& cfg : picks) {
     const ScenarioResult a = run_scenario(cfg);
@@ -208,6 +237,21 @@ TEST(ScenarioShape, SlowerNetworksCostMoreWirePerRequest) {
   EXPECT_LT(wan, modem);
 }
 
+TEST(ScenarioShape, MultiClientSplitServesEveryRequestedCycle) {
+  // Regression: the harness used to floor-divide cfg.requests across the
+  // three clients, silently dropping the remainder cycles (1201 requests
+  // served only 1200). The override-based split hands the first
+  // (requests % clients) clients one extra cycle each.
+  for (const std::size_t total : {1201u, 1202u, 1200u}) {
+    ScenarioConfig cfg;
+    cfg.plan_mode = PlanMode::MultiClientDes;
+    cfg.requests = total;
+    const ScenarioResult res = run_scenario(cfg);
+    EXPECT_EQ(res.requests, total);
+    EXPECT_EQ(res.hits + res.demand_fetches, res.requests);
+  }
+}
+
 // ---- Golden slice -------------------------------------------------------
 
 struct GoldenRow {
@@ -219,11 +263,12 @@ struct GoldenRow {
   double hit_rate;
 };
 
-// The full 108-combination EmptyCache matrix plus the 27-combination
-// Pr-arbitration, NetsimDes and MultiClientDes variants (189 rows).
-// Values produced by PrintGoldenTable (below) at seed 2026, 1200
-// aggregate requests; tolerance documented in the file header. Refresh
-// with tests/refresh_goldens.sh --apply.
+// The full 144-combination EmptyCache matrix plus the 36-combination
+// Pr-arbitration, NetsimDes and MultiClientDes variants and the
+// 27-combination hostile-world variant (279 rows). Values produced by
+// PrintGoldenTable (below) at seed 2026, 1200 aggregate requests;
+// tolerance documented in the file header. Refresh with
+// tests/refresh_goldens.sh --apply.
 constexpr double kGoldenTol = 0.03;
 
 const std::vector<GoldenRow> kGolden = {
@@ -234,378 +279,558 @@ const std::vector<GoldenRow> kGolden = {
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.830000},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.822500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.592500},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.601667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.835833},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.530833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.643333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.398333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.897500},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.316667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.631667},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.770000},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.813333},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.847500},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.635000},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.601667},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.818333},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.545000},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.625833},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.401667},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.875833},
     {PredictorKind::Markov1, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.312500},
+    {PredictorKind::Markov1, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.624167},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.530000},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.953333},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.569167},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.439167},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.583333},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.952500},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.647500},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.460000},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.534167},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.944167},
     {PredictorKind::Markov1, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.450000},
+    {PredictorKind::Markov1, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.430000},
     {PredictorKind::Markov1, CachePolicyKind::Random, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.619167},
     {PredictorKind::Markov1, CachePolicyKind::Random, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.785833},
     {PredictorKind::Markov1, CachePolicyKind::Random, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.730000},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.611667},
     {PredictorKind::Markov1, CachePolicyKind::Random, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.587500},
     {PredictorKind::Markov1, CachePolicyKind::Random, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.826667},
     {PredictorKind::Markov1, CachePolicyKind::Random, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.567500},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.635833},
     {PredictorKind::Markov1, CachePolicyKind::Random, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.403333},
     {PredictorKind::Markov1, CachePolicyKind::Random, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.859167},
     {PredictorKind::Markov1, CachePolicyKind::Random, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.310833},
+    {PredictorKind::Markov1, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.611667},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.404167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.879167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.505833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.428333},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.439167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.894167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.380833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.429167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.348333},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.910833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.265833},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.518333},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.407500},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.853333},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.515000},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.444167},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.450000},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.873333},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.389167},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.460833},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.330833},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.880833},
     {PredictorKind::Lz78, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.263333},
+    {PredictorKind::Lz78, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.493333},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.490833},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.954167},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.464167},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.407500},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.516667},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.955000},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.519167},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.420833},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.486667},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.940000},
     {PredictorKind::Lz78, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.403333},
+    {PredictorKind::Lz78, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.386667},
     {PredictorKind::Lz78, CachePolicyKind::Random, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.370833},
     {PredictorKind::Lz78, CachePolicyKind::Random, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.870000},
     {PredictorKind::Lz78, CachePolicyKind::Random, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.465000},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.406667},
     {PredictorKind::Lz78, CachePolicyKind::Random, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.430833},
     {PredictorKind::Lz78, CachePolicyKind::Random, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.870000},
     {PredictorKind::Lz78, CachePolicyKind::Random, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.415000},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.454167},
     {PredictorKind::Lz78, CachePolicyKind::Random, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.346667},
     {PredictorKind::Lz78, CachePolicyKind::Random, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.877500},
     {PredictorKind::Lz78, CachePolicyKind::Random, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.265833},
+    {PredictorKind::Lz78, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.472500},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.686667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.615000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.782500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.545000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.574167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.766667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.546667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.605000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.390833},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.879167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.325000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.587500},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.718333},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.588333},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.801667},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.559167},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.570833},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.719167},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.556667},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.605833},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.386667},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.858333},
     {PredictorKind::Ppm, CachePolicyKind::FIFO, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.315000},
+    {PredictorKind::Ppm, CachePolicyKind::FIFO, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.577500},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.535000},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.933333},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.555000},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.440000},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.579167},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.943333},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.647500},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.465833},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.523333},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.933333},
     {PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.441667},
+    {PredictorKind::Ppm, CachePolicyKind::LFU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.410000},
     {PredictorKind::Ppm, CachePolicyKind::Random, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.583333},
     {PredictorKind::Ppm, CachePolicyKind::Random, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.600000},
     {PredictorKind::Ppm, CachePolicyKind::Random, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.680000},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.579167},
     {PredictorKind::Ppm, CachePolicyKind::Random, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.556667},
     {PredictorKind::Ppm, CachePolicyKind::Random, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.730000},
     {PredictorKind::Ppm, CachePolicyKind::Random, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.568333},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.588333},
     {PredictorKind::Ppm, CachePolicyKind::Random, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::EmptyCache, 0.396667},
     {PredictorKind::Ppm, CachePolicyKind::Random, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::EmptyCache, 0.840000},
     {PredictorKind::Ppm, CachePolicyKind::Random, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::EmptyCache, 0.333333},
+    {PredictorKind::Ppm, CachePolicyKind::Random, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::EmptyCache, 0.562500},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.878333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.945833},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.910000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.780833},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.698333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.949167},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.605000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.765000},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.455000},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.934167},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.340833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.655833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.554167},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.950833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.630000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.505000},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.536667},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.950000},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.494167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.523333},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.405833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.931667},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.295000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.545000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.865833},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.884167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.909167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.756667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.690000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.905000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.607500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.736667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::PrArbitration, 0.444167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::PrArbitration, 0.927500},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::PrArbitration, 0.347500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::PrArbitration, 0.628333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.880833},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.946667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.905000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.785833},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.688333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.950000},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.579167},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.756667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.431667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.947500},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.243333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.618333},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.555000},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.950833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.625000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.512500},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.538333},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.950833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.502500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.523333},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.471667},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.947500},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.354167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.529167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.866667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.884167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.905000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.761667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.682500},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.905000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.592500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.749167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::NetsimDes, 0.473333},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::NetsimDes, 0.945000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::NetsimDes, 0.294167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::NetsimDes, 0.613333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.762500},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.930000},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.807500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.756667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.645000},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.938333},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.645000},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.747500},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.416667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.946667},
     {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.372500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.647500},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.478333},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.946667},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.500000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.536667},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.471667},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.945833},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.465000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.535000},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.420000},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.945000},
     {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.373333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.496667},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.754167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.910000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.800000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.685000},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.635833},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.919167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.641667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.679167},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::MultiClientDes, 0.453333},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::IidSkewy, PlanMode::MultiClientDes, 0.945833},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::TraceReplay, PlanMode::MultiClientDes, 0.403333},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::Adversarial, PlanMode::MultiClientDes, 0.596667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.760833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.632500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.423333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.477500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.474167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.423333},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.754167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.615000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::FlashCrowd, 0.462500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.267500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.247500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.087500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.265000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.232500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.085833},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.270000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.242500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Churn, 0.091667},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.880833},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.688333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.431667},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.555000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.538333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.471667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.866667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.682500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.473333},
     // clang-format on
 };
 
@@ -645,6 +870,7 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
       case ScenarioWorkload::MarkovChain: return "MarkovChain";
       case ScenarioWorkload::IidSkewy: return "IidSkewy";
       case ScenarioWorkload::TraceReplay: return "TraceReplay";
+      case ScenarioWorkload::Adversarial: return "Adversarial";
     }
     return "?";
   };
@@ -654,6 +880,9 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
       case PlanMode::PrArbitration: return "PrArbitration";
       case PlanMode::NetsimDes: return "NetsimDes";
       case PlanMode::MultiClientDes: return "MultiClientDes";
+      case PlanMode::FlashCrowd: return "FlashCrowd";
+      case PlanMode::Churn: return "Churn";
+      case PlanMode::LinkSchedule: return "LinkSchedule";
     }
     return "?";
   };
@@ -671,6 +900,7 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
   for (const auto& cfg : pr_arbitration_matrix()) print_row(cfg);
   for (const auto& cfg : netsim_des_matrix()) print_row(cfg);
   for (const auto& cfg : multi_client_des_matrix()) print_row(cfg);
+  for (const auto& cfg : hostile_matrix()) print_row(cfg);
 }
 
 }  // namespace

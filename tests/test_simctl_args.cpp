@@ -93,6 +93,53 @@ TEST(SimctlAxis, IntegerAxisInclusiveAndWrapSafe) {
                std::invalid_argument);
 }
 
+TEST(SimctlDouble, RejectsNonFiniteValues) {
+  // Regression: std::stod happily parses "inf"/"nan" (any sign or case),
+  // and a `--threshold inf` used to lower into a spec that ran a whole
+  // sweep of garbage before any validator noticed.
+  for (const char* bad : {"inf", "Inf", "INF", "+inf", "-inf", "infinity",
+                          "nan", "NaN", "NAN", "-nan"}) {
+    EXPECT_THROW(parse_double(bad, "--threshold"), std::invalid_argument)
+        << bad;
+  }
+  EXPECT_EQ(parse_double("2.5", "--threshold"), 2.5);
+  EXPECT_EQ(parse_double("-3", "--threshold"), -3.0);
+  // ...and the axis grammar inherits the rejection.
+  EXPECT_THROW(parse_numeric_axis("0.1,inf", "--thresholds"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_numeric_axis("0:nan:1", "--thresholds"),
+               std::invalid_argument);
+}
+
+TEST(SimctlLinkSchedule, ParsesPhaseTriples) {
+  const auto sched = parse_link_schedule("200:1:0,50:0.25:2",
+                                         "--link-phases");
+  ASSERT_EQ(sched.size(), 2u);
+  EXPECT_EQ(sched[0].duration, 200.0);
+  EXPECT_EQ(sched[0].bandwidth, 1.0);
+  EXPECT_EQ(sched[0].latency, 0.0);
+  EXPECT_EQ(sched[1].duration, 50.0);
+  EXPECT_EQ(sched[1].bandwidth, 0.25);
+  EXPECT_EQ(sched[1].latency, 2.0);
+}
+
+TEST(SimctlLinkSchedule, RejectsMalformedPhases) {
+  EXPECT_THROW(parse_link_schedule("", "--link-phases"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_link_schedule("200:1", "--link-phases"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_link_schedule("200:1:0:9", "--link-phases"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_link_schedule("0:1:0", "--link-phases"),
+               std::invalid_argument);  // zero duration
+  EXPECT_THROW(parse_link_schedule("200:0:0", "--link-phases"),
+               std::invalid_argument);  // zero bandwidth
+  EXPECT_THROW(parse_link_schedule("200:1:-1", "--link-phases"),
+               std::invalid_argument);  // negative latency
+  EXPECT_THROW(parse_link_schedule("inf:1:0", "--link-phases"),
+               std::invalid_argument);  // non-finite duration
+}
+
 TEST(SimctlSpecFile, LowersBaseAxesAndExecutionMembers) {
   const auto flags = spec_file_to_flags(R"({
     "base": {"driver": "netsim_des", "n_items": 24, "min_prob": 0.02,
@@ -118,6 +165,30 @@ TEST(SimctlSpecFile, NumbersKeepLiteralText) {
       R"({"base": {"seed": 18446744073709551615}})");
   const std::vector<std::string> expected = {"--seed",
                                              "18446744073709551615"};
+  EXPECT_EQ(flags, expected);
+}
+
+TEST(SimctlSpecFile, LowersHostileWorldMembers) {
+  // The hostile-world spec fields lower to the flags of the same name —
+  // one grammar for files and the command line.
+  const auto flags = spec_file_to_flags(R"({
+    "base": {"driver": "multi_client", "workload": "adversarial",
+             "adv_hot_set": 8, "adv_escape": 0.02, "phase_align": 0.8,
+             "churn_period": 300, "churn_downtime": 50,
+             "link_phases": "200:1:0,50:0.25:2"},
+    "axes": {"client_counts": [2, 3, 4], "link_speedups": [1, 2]}
+  })");
+  const std::vector<std::string> expected = {
+      "--driver",        "multi_client",
+      "--workload",      "adversarial",
+      "--adv-hot-set",   "8",
+      "--adv-escape",    "0.02",
+      "--phase-align",   "0.8",
+      "--churn-period",  "300",
+      "--churn-downtime", "50",
+      "--link-phases",   "200:1:0,50:0.25:2",
+      "--client-counts", "2,3,4",
+      "--link-speedups", "1,2"};
   EXPECT_EQ(flags, expected);
 }
 

@@ -67,7 +67,8 @@ run flags (single-value spec fields):
   --driver NAME          prefetch_only | prefetch_cache | trace_replay |
                          netsim_des | scenario | multi_client
                                                        (default prefetch_cache)
-  --workload NAME        markov | iid | zipf | markov_drift | trace_text
+  --workload NAME        markov | iid | zipf | markov_drift | trace_text |
+                         adversarial
   --n-items N            catalog/state count
   --policy P             none | kp | skp | perfect
   --sub S                none | lfu | ds
@@ -90,11 +91,19 @@ run flags (single-value spec fields):
                          multi_client)
   --clients N            multi_client driver: client count
   --link-speedup X       multi_client driver: shared-link speed multiplier
+  --phase-align X        multi_client driver: flash-crowd alignment in [0,1]
+  --churn-period X       multi_client driver: simulated time between client
+                         departures (0 = no churn)
+  --churn-downtime X     multi_client driver: offline span per departure
+  --link-phases LIST     time-varying link (netsim_des / multi_client):
+                         comma list of DUR:BW:LAT phases, cycling
   --method M             iid row: skewy | flat
   --skew-exponent X      iid skewy exponent
   --zipf-s X             Zipf tail exponent
   --no-zipf-shuffle      keep item id == popularity rank
   --drift-period N       markov_drift changepoint period
+  --adv-hot-set N        adversarial clique size (2 cliques of N items)
+  --adv-escape X         adversarial clique-escape probability
   --out-degree LO:HI     chain out-degree bounds
   --viewing LO:HI        viewing-time range
   --retrieval LO:HI      retrieval-time range
@@ -102,12 +111,15 @@ run flags (single-value spec fields):
 
 run flags (sweep axes; comma lists, numeric axes accept LO:HI:STEP):
   --cache-sizes LIST --policies LIST --subs LIST --predictors LIST
-  --seeds LIST --thresholds LIST
+  --seeds LIST --thresholds LIST --replacements LIST (scenario)
+  --client-counts LIST --link-speedups LIST (multi_client)
 
 run flags (execution):
   --spec FILE            JSON sweep definition (base/axes/shard/csv/threads)
   --shard I/N            run only the specs with index % N == I
   --csv PATH             write CSV to PATH instead of stdout
+  --per-client-csv PATH  multi_client driver: companion CSV with one row
+                         per (spec, client); single-shard runs only
   --threads N            sweep threads (0 = hardware concurrency)
 )";
   std::exit(exit_code);
@@ -182,20 +194,24 @@ int preset_command(const std::vector<std::string>& args) {
 int run_command(const std::vector<std::string>& args) {
   SimSpec base;
   // Sweep axes (empty = use the base spec's single value).
-  std::vector<double> thresholds;
-  std::vector<std::uint64_t> cache_sizes, seeds;
+  std::vector<double> thresholds, link_speedups;
+  std::vector<std::uint64_t> cache_sizes, seeds, client_counts;
   std::vector<PrefetchPolicy> policies;
   std::vector<SubArbitration> subs;
   std::vector<PredictorKind> predictors;
+  std::vector<ReplacementKind> replacements;
   std::size_t shard_index = 0, shard_count = 1;
   std::optional<std::string> csv_path;
+  std::optional<std::string> per_client_csv_path;
   std::size_t threads = 0;
   // Workload-/driver-scoped flags: remember they were given so a flag the
   // selected workload or driver never consults fails the run instead of
   // silently producing a sweep the CSV mislabels (reject-don't-drop, as
   // in the runtime's drivers).
   bool drift_flag = false, zipf_flag = false, iid_flag = false;
+  bool adv_flag = false;
   bool multi_client_flag = false;
+  bool link_schedule_flag = false;
 
   auto need_value = [&](std::size_t& i, const char* flag) ->
       const std::string& {
@@ -282,6 +298,22 @@ int run_command(const std::vector<std::string>& args) {
       base.multi_client.link_speedup =
           parse_double(need_value(i, flag.c_str()), "--link-speedup");
       multi_client_flag = true;
+    } else if (flag == "--phase-align") {
+      base.multi_client.phase_align =
+          parse_double(need_value(i, flag.c_str()), "--phase-align");
+      multi_client_flag = true;
+    } else if (flag == "--churn-period") {
+      base.multi_client.churn_period =
+          parse_double(need_value(i, flag.c_str()), "--churn-period");
+      multi_client_flag = true;
+    } else if (flag == "--churn-downtime") {
+      base.multi_client.churn_downtime =
+          parse_double(need_value(i, flag.c_str()), "--churn-downtime");
+      multi_client_flag = true;
+    } else if (flag == "--link-phases") {
+      base.link_schedule = simctl::parse_link_schedule(
+          need_value(i, flag.c_str()), "--link-phases");
+      link_schedule_flag = true;
     } else if (flag == "--method") {
       const std::string v = need_value(i, "--method");
       const auto m = parse_prob_method(v);
@@ -303,6 +335,14 @@ int run_command(const std::vector<std::string>& args) {
       base.workload.drift_period =
           parse_u64(need_value(i, flag.c_str()), "--drift-period");
       drift_flag = true;
+    } else if (flag == "--adv-hot-set") {
+      base.workload.adv_hot_set =
+          parse_u64(need_value(i, flag.c_str()), "--adv-hot-set");
+      adv_flag = true;
+    } else if (flag == "--adv-escape") {
+      base.workload.adv_escape =
+          parse_double(need_value(i, flag.c_str()), "--adv-escape");
+      adv_flag = true;
     } else if (flag == "--out-degree") {
       // Integer bounds: the double-valued pair parser would truncate
       // fractions and make a negative bound undefined behavior.
@@ -352,6 +392,22 @@ int run_command(const std::vector<std::string>& args) {
         if (!p) fail("unknown predictor '" + token + "'");
         predictors.push_back(*p);
       }
+    } else if (flag == "--replacements") {
+      replacements.clear();
+      for (const std::string& token :
+           split(need_value(i, "--replacements"), ',')) {
+        const auto r = parse_replacement_kind(token);
+        if (!r) fail("unknown replacement policy '" + token + "'");
+        replacements.push_back(*r);
+      }
+    } else if (flag == "--client-counts") {
+      client_counts = parse_integer_axis(need_value(i, flag.c_str()),
+                                         "--client-counts");
+      multi_client_flag = true;
+    } else if (flag == "--link-speedups") {
+      link_speedups = parse_numeric_axis(need_value(i, flag.c_str()),
+                                         "--link-speedups");
+      multi_client_flag = true;
     } else if (flag == "--shard") {
       const std::vector<std::string> parts =
           split(need_value(i, "--shard"), '/');
@@ -363,6 +419,8 @@ int run_command(const std::vector<std::string>& args) {
       }
     } else if (flag == "--csv") {
       csv_path = need_value(i, "--csv");
+    } else if (flag == "--per-client-csv") {
+      per_client_csv_path = need_value(i, "--per-client-csv");
     } else if (flag == "--threads") {
       threads = parse_u64(need_value(i, flag.c_str()), "--threads");
     } else if (flag == "--help" || flag == "-h") {
@@ -381,9 +439,29 @@ int run_command(const std::vector<std::string>& args) {
   if (iid_flag && base.workload.kind != SimWorkloadKind::Iid) {
     fail("--method/--skew-exponent apply to --workload iid only");
   }
+  if (adv_flag && base.workload.kind != SimWorkloadKind::Adversarial) {
+    fail("--adv-hot-set/--adv-escape apply to --workload adversarial only");
+  }
   if (multi_client_flag &&
       base.driver != SimDriverKind::MultiClientDes) {
-    fail("--clients/--link-speedup apply to --driver multi_client only");
+    fail("--clients/--link-speedup/--phase-align/--churn-period/"
+         "--churn-downtime/--client-counts/--link-speedups apply to "
+         "--driver multi_client only");
+  }
+  if (link_schedule_flag && base.driver != SimDriverKind::NetsimDes &&
+      base.driver != SimDriverKind::MultiClientDes) {
+    fail("--link-phases applies to --driver netsim_des or multi_client");
+  }
+  if (!replacements.empty() && base.driver != SimDriverKind::Scenario) {
+    fail("--replacements applies to --driver scenario only");
+  }
+  if (per_client_csv_path && base.driver != SimDriverKind::MultiClientDes) {
+    fail("--per-client-csv applies to --driver multi_client only");
+  }
+  if (per_client_csv_path && shard_count > 1) {
+    // The merge protocol is keyed on the main document's index column;
+    // a sharded per-client companion would need its own merge pass.
+    fail("--per-client-csv is single-shard only (run without --shard)");
   }
 
   // Enumerate the cross-product in a fixed nesting order — the spec
@@ -408,15 +486,39 @@ int run_command(const std::vector<std::string>& args) {
                  cache_sizes.empty()
                      ? std::vector<std::uint64_t>{base.cache_size}
                      : cache_sizes) {
-              SimSpec spec = base;
-              spec.seed = seed;
-              spec.policy = policy;
-              spec.sub = sub;
-              spec.predictor = predictor;
-              spec.min_profit_threshold = threshold;
-              spec.cache_size = static_cast<std::size_t>(cache_size);
+              // Newer axes nest INSIDE the original six so a sweep that
+              // leaves them singleton keeps its historical spec indices
+              // (the shard/merge key must stay stable across releases).
+              for (const ReplacementKind replacement :
+                   replacements.empty()
+                       ? std::vector<ReplacementKind>{base.replacement}
+                       : replacements) {
+                for (const std::uint64_t clients :
+                     client_counts.empty()
+                         ? std::vector<std::uint64_t>{
+                               base.multi_client.clients}
+                         : client_counts) {
+                  for (const double link_speedup :
+                       link_speedups.empty()
+                           ? std::vector<double>{
+                                 base.multi_client.link_speedup}
+                           : link_speedups) {
+                    SimSpec spec = base;
+                    spec.seed = seed;
+                    spec.policy = policy;
+                    spec.sub = sub;
+                    spec.predictor = predictor;
+                    spec.min_profit_threshold = threshold;
+                    spec.cache_size = static_cast<std::size_t>(cache_size);
+                    spec.replacement = replacement;
+                    spec.multi_client.clients =
+                        static_cast<std::size_t>(clients);
+                    spec.multi_client.link_speedup = link_speedup;
 
-              sweep.push_back(spec);
+                    sweep.push_back(spec);
+                  }
+                }
+              }
             }
           }
         }
@@ -451,6 +553,17 @@ int run_command(const std::vector<std::string>& args) {
   }
   os.flush();
   if (!os) fail("write failed: " + csv_path.value_or("stdout"));
+  if (per_client_csv_path) {
+    std::ofstream pc_file = open_csv(*per_client_csv_path);
+    CsvWriter pc_writer(pc_file);
+    pc_writer.row(per_client_csv_header());
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      append_per_client_csv_rows(pc_writer, owned[i].first,
+                                 owned[i].second, results[i]);
+    }
+    pc_file.flush();
+    if (!pc_file) fail("write failed: " + *per_client_csv_path);
+  }
   if (shard_count > 1) {
     std::cerr << "simctl: shard " << shard_index << "/" << shard_count
               << " ran " << owned.size() << " of " << sweep.size()
@@ -496,7 +609,8 @@ int drivers_command() {
   for (const SimDriver& driver : driver_registry()) {
     std::cout << "  " << driver.name << "\n";
   }
-  std::cout << "workloads: markov iid zipf markov_drift trace_text\n"
+  std::cout << "workloads: markov iid zipf markov_drift trace_text "
+               "adversarial\n"
             << "policies: none kp skp perfect | subs: none lfu ds\n"
             << "predictors: oracle markov1 ppm lz78 depgraph\n"
             << "replacements: lru fifo lfu random\n"

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/link_schedule.hpp"
 #include "util/json.hpp"
 
 namespace skp::simctl {
@@ -55,6 +56,14 @@ inline double parse_double(const std::string& value, const char* flag) {
   }
   if (pos != value.size() || value.empty()) {
     bad_arg(std::string(flag) + " expects a number, got '" + value + "'");
+  }
+  // std::stod happily accepts "inf"/"nan" (any sign/case), and every
+  // numeric spec field treats non-finite values as nonsense — a
+  // `--threshold inf` would otherwise run a whole sweep of garbage
+  // before anything notices. Reject once here, for every caller.
+  if (!std::isfinite(parsed)) {
+    bad_arg(std::string(flag) + " expects a finite number, got '" + value +
+            "'");
   }
   return parsed;
 }
@@ -133,6 +142,33 @@ inline void parse_range_pair(const std::string& value, const char* flag,
   if (parts.size() != 2) bad_arg(std::string(flag) + " expects LO:HI");
   lo = parse_double(parts[0], flag);
   hi = parse_double(parts[1], flag);
+}
+
+// Link schedule: comma list of DUR:BW:LAT phases, e.g.
+// "200:1:0,50:0.25:2" = 200 time units at full quality, then a 50-unit
+// degraded window, cycling (sim/link_schedule.hpp).
+inline std::vector<LinkPhase> parse_link_schedule(const std::string& value,
+                                                  const char* flag) {
+  std::vector<LinkPhase> schedule;
+  for (const std::string& token : split(value, ',')) {
+    const std::vector<std::string> parts = split(token, ':');
+    if (parts.size() != 3) {
+      bad_arg(std::string(flag) + ": phase '" + token +
+              "' expects DUR:BW:LAT");
+    }
+    LinkPhase phase;
+    phase.duration = parse_double(parts[0], flag);
+    phase.bandwidth = parse_double(parts[1], flag);
+    phase.latency = parse_double(parts[2], flag);
+    if (phase.duration <= 0.0 || phase.bandwidth <= 0.0 ||
+        phase.latency < 0.0) {
+      bad_arg(std::string(flag) + ": phase '" + token +
+              "' needs duration > 0, bandwidth > 0, latency >= 0");
+    }
+    schedule.push_back(phase);
+  }
+  if (schedule.empty()) bad_arg(std::string(flag) + ": empty schedule");
+  return schedule;
 }
 
 // ---- JSON spec files ----------------------------------------------------
