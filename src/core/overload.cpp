@@ -1,0 +1,133 @@
+#include "core/overload.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+const char* to_string(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kNormal: return "normal";
+    case DegradationRung::kTrimLookahead: return "trim_lookahead";
+    case DegradationRung::kTrimBudget: return "trim_budget";
+    case DegradationRung::kStrictAdmission: return "strict_admission";
+    case DegradationRung::kPrefetchOff: return "prefetch_off";
+  }
+  return "?";
+}
+
+void validate_overload_config(const OverloadConfig& cfg) {
+  SKP_REQUIRE(cfg.window >= 1,
+              "overload window must be >= 1, got " << cfg.window);
+  SKP_REQUIRE(cfg.degrade_ratio > 1.0,
+              "overload degrade_ratio must be > 1, got "
+                  << cfg.degrade_ratio);
+  SKP_REQUIRE(cfg.recover_ratio >= 1.0 &&
+                  cfg.recover_ratio < cfg.degrade_ratio,
+              "overload recover_ratio must be in [1, degrade_ratio), got "
+                  << cfg.recover_ratio);
+  SKP_REQUIRE(cfg.recover_windows >= 1,
+              "overload recover_windows must be >= 1, got "
+                  << cfg.recover_windows);
+  SKP_REQUIRE(cfg.headroom > 0.0,
+              "overload headroom must be > 0, got " << cfg.headroom);
+  SKP_REQUIRE(cfg.lookahead_depth >= 1,
+              "overload lookahead_depth must be >= 1, got "
+                  << cfg.lookahead_depth);
+  SKP_REQUIRE(cfg.budget_items >= 1,
+              "overload budget_items must be >= 1, got "
+                  << cfg.budget_items);
+}
+
+OverloadController::OverloadController(const OverloadConfig& cfg)
+    : cfg_(cfg) {
+  if (cfg_.enabled) validate_overload_config(cfg_);
+}
+
+bool OverloadController::observe(double waiting) {
+  if (!cfg_.enabled) return false;
+  const auto rung_idx = static_cast<std::size_t>(rung_);
+  ++stats_.requests_at_rung[rung_idx];
+  if (rung_ != DegradationRung::kNormal) ++stats_.degraded_requests;
+
+  window_sum_ += waiting;
+  if (++window_count_ < cfg_.window) return false;
+  const double sample = window_sum_ / static_cast<double>(window_count_);
+  window_sum_ = 0.0;
+  window_count_ = 0;
+
+  if (baseline_ < 0.0) {
+    // First window seeds the baseline; no verdict yet.
+    baseline_ = sample;
+    return false;
+  }
+  const double gradient =
+      (sample + cfg_.headroom) / (baseline_ + cfg_.headroom);
+  // The baseline is the calmest window ever seen, so pressure is always
+  // measured against the system's demonstrated best.
+  baseline_ = std::min(baseline_, sample);
+
+  int next = static_cast<int>(rung_);
+  if (gradient >= cfg_.degrade_ratio) {
+    calm_streak_ = 0;
+    next = std::min(next + 1, kDegradationRungs - 1);
+  } else if (gradient <= cfg_.recover_ratio) {
+    if (next > 0 && ++calm_streak_ >= cfg_.recover_windows) {
+      --next;
+      calm_streak_ = 0;
+    }
+  } else {
+    // Hysteresis band: neither hot enough to descend nor calm enough to
+    // make recovery progress.
+    calm_streak_ = 0;
+  }
+  if (next == static_cast<int>(rung_)) return false;
+  rung_ = static_cast<DegradationRung>(next);
+  ++stats_.transitions;
+  stats_.max_rung = std::max(stats_.max_rung, next);
+  return true;
+}
+
+void OverloadController::degrade_row(std::span<double> row) {
+  if (!cfg_.enabled || rung_ == DegradationRung::kNormal) return;
+  if (rung_ == DegradationRung::kPrefetchOff) {
+    std::fill(row.begin(), row.end(), 0.0);
+    return;
+  }
+  const std::size_t k = rung_ >= DegradationRung::kTrimBudget
+                            ? std::min(cfg_.budget_items,
+                                       cfg_.lookahead_depth)
+                            : cfg_.lookahead_depth;
+  // Top-k by (probability desc, item id asc) via insertion into a short
+  // sorted list; k is a handful, so this is O(n * k) with no allocation
+  // in steady state.
+  keep_.clear();
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] <= 0.0) continue;
+    std::size_t pos = keep_.size();
+    while (pos > 0 && row[keep_[pos - 1]] < row[i]) --pos;
+    if (pos >= k) continue;
+    keep_.insert(keep_.begin() + static_cast<std::ptrdiff_t>(pos), i);
+    if (keep_.size() > k) keep_.pop_back();
+  }
+  kept_values_.resize(keep_.size());
+  for (std::size_t j = 0; j < keep_.size(); ++j) {
+    kept_values_[j] = row[keep_[j]];
+  }
+  std::fill(row.begin(), row.end(), 0.0);
+  for (std::size_t j = 0; j < keep_.size(); ++j) {
+    row[keep_[j]] = kept_values_[j];
+  }
+}
+
+void OverloadStats::merge(const OverloadStats& other) {
+  transitions += other.transitions;
+  max_rung = std::max(max_rung, other.max_rung);
+  degraded_requests += other.degraded_requests;
+  for (std::size_t i = 0; i < requests_at_rung.size(); ++i) {
+    requests_at_rung[i] += other.requests_at_rung[i];
+  }
+}
+
+}  // namespace skp

@@ -1,0 +1,109 @@
+// Adaptive overload controller: graceful degradation before shedding.
+//
+// Modeled on envoy's gradient admission control (adaptive_concurrency /
+// admission_control, per ROADMAP): sample realized per-request waiting
+// time in fixed windows, hold the best (calmest) window ever seen as the
+// baseline, and compare each new window against it. When the gradient
+// (sample / baseline, with an additive headroom so near-zero baselines
+// don't explode) crosses the degrade threshold, step DOWN one rung of
+// planning effort; when it stays under the recover threshold for several
+// consecutive windows, step back UP. The SKP budget knob is the control
+// surface: rungs progressively shrink the lookahead candidate set, then
+// the prefetch budget, then freeze plan-cache admission, then turn
+// prefetching off entirely — all before any request would be shed.
+//
+// The controller is a pure function of the observation sequence, so a
+// SimSpec still fully determines a SimResult. Callers must treat a rung
+// transition as a planning-contract change: memoized plans keyed on
+// cache/state fingerprints were computed against the previous rung's
+// degraded rows, so every transition must bump plan-cache generations
+// (and canonical-order tables) before the next plan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace skp {
+
+// Degradation ladder, mildest first. Each rung includes the restrictions
+// of the rungs above it (TrimBudget still plans from a trimmed
+// candidate set; StrictAdmission still caps the budget).
+enum class DegradationRung : int {
+  kNormal = 0,          // full-effort planning
+  kTrimLookahead = 1,   // plan from only the top lookahead_depth candidates
+  kTrimBudget = 2,      // cap the prefetch plan at budget_items fetches
+  kStrictAdmission = 3, // plan caches stop admitting new entries
+  kPrefetchOff = 4,     // zero the row: demand fetching only
+};
+
+inline constexpr int kDegradationRungs = 5;
+
+const char* to_string(DegradationRung rung);
+
+struct OverloadConfig {
+  bool enabled = false;
+  std::size_t window = 64;        // observations per pressure sample
+  double degrade_ratio = 2.0;     // gradient >= this -> step down a rung
+  double recover_ratio = 1.2;     // gradient <= this counts as calm
+  std::size_t recover_windows = 3;  // consecutive calm windows to step up
+  double headroom = 1.0;          // additive slack in the gradient ratio
+  std::size_t lookahead_depth = 4;  // candidates kept at kTrimLookahead
+  std::size_t budget_items = 1;     // fetches allowed at kTrimBudget
+
+  bool operator==(const OverloadConfig&) const = default;
+};
+
+void validate_overload_config(const OverloadConfig& cfg);
+
+struct OverloadStats {
+  std::uint64_t transitions = 0;       // rung changes, both directions
+  int max_rung = 0;                    // deepest rung reached
+  std::uint64_t degraded_requests = 0; // observations taken at rung > 0
+  // Time-in-rung, measured in observations (requests) spent at each rung.
+  std::array<std::uint64_t, kDegradationRungs> requests_at_rung{};
+
+  void merge(const OverloadStats& other);
+  bool operator==(const OverloadStats&) const = default;
+};
+
+class OverloadController {
+ public:
+  OverloadController() = default;
+  explicit OverloadController(const OverloadConfig& cfg);
+
+  bool enabled() const noexcept { return cfg_.enabled; }
+  DegradationRung rung() const noexcept { return rung_; }
+  const OverloadStats& stats() const noexcept { return stats_; }
+  // Calm-window baseline; negative until the first window closes.
+  double baseline() const noexcept { return baseline_; }
+
+  // Feeds one realized waiting-time observation. Returns true when the
+  // rung changed — the caller must then invalidate plan memoization
+  // (generation bumps + canonical-order tables) and refresh any frozen-
+  // admission flag before planning again.
+  bool observe(double waiting);
+
+  // Applies the current rung's planning restriction to a probability row
+  // in place: keep the top-k probabilities (ties broken by lower item
+  // id), zero the rest; at kPrefetchOff zero everything. A zeroed row
+  // makes the planner fetch nothing — the same mechanism warmup uses —
+  // so no solver or engine change is needed. No-op at kNormal.
+  void degrade_row(std::span<double> row);
+
+ private:
+  OverloadConfig cfg_{};
+  DegradationRung rung_ = DegradationRung::kNormal;
+  double window_sum_ = 0.0;
+  std::size_t window_count_ = 0;
+  double baseline_ = -1.0;  // < 0 until the first window closes
+  std::size_t calm_streak_ = 0;
+  OverloadStats stats_;
+  // degrade_row scratch (kept across calls; the request path stays
+  // allocation-free once the top-k capacity is reached).
+  std::vector<std::size_t> keep_;
+  std::vector<double> kept_values_;
+};
+
+}  // namespace skp

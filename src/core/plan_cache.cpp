@@ -53,6 +53,10 @@ const StoredPlan* PlanCache::find(std::uint64_t state_key,
 
 StoredPlan* PlanCache::insert(std::uint64_t state_key,
                               std::uint64_t fingerprint) {
+  if (admission_frozen_) {
+    ++stats_.door_rejects;
+    return nullptr;
+  }
   const Key key{state_key, fingerprint, generation_};
   if (!door_.empty()) {
     // Admission: the first sighting of a key parks its tag in the sketch

@@ -138,6 +138,17 @@ class PlanCache {
   std::uint64_t generation() const noexcept { return generation_; }
   void bump_generation() noexcept { ++generation_; }
 
+  // Overload rung kStrictAdmission (core/overload.hpp): while frozen,
+  // insert() admits nothing — every attempt is turned away like a
+  // doorkeeper first-sighting (counted in door_rejects) — but existing
+  // entries keep hitting. Degraded operation sheds the map-maintenance
+  // cost of memoizing plans that may never recur, without giving up the
+  // hits already earned.
+  void set_admission_frozen(bool frozen) noexcept {
+    admission_frozen_ = frozen;
+  }
+  bool admission_frozen() const noexcept { return admission_frozen_; }
+
   // Looks up (state_key, fingerprint) at the current generation. On a
   // hit the entry is refreshed to most-recently-used and returned (the
   // pointer is valid until the next mutating call); nullptr on a miss.
@@ -171,6 +182,7 @@ class PlanCache {
 
   std::uint64_t config_digest_;
   std::size_t capacity_;
+  bool admission_frozen_ = false;
   std::uint64_t generation_ = 0;
   PlanCacheStats stats_;
   std::list<Node> lru_;  // front = most recently used

@@ -1,0 +1,165 @@
+// Transfer-fault model for the DES simulators.
+//
+// Real links drop, stall, and time out; the paper's model (and PRs 1-6)
+// assumed every fetch succeeds. FaultSpec describes an unreliable
+// transfer path — independent per-attempt failure, slow-path stalls, a
+// per-transfer timeout — plus a RetryPolicy with exponential backoff and
+// deterministic jitter. Fault draws come from a dedicated split RNG
+// stream (kFaultStreamSalt) so enabling faults never perturbs the
+// workload or decision streams: with the spec disabled the simulators
+// skip this module entirely and stay bit-identical to the fault-free
+// build.
+//
+// Only *prefetch* transfers are subject to faults. A demand fetch is the
+// fallback of last resort — the "graceful degradation" contract is that
+// a prefetch which exhausts its retry budget is abandoned (the slot it
+// claimed is released) and the item is simply demand-fetched when the
+// request actually arrives. That keeps the conservation invariant
+// (resident hits + demand fetches == requests) intact at any fail rate,
+// including fail_rate == 1.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace skp {
+
+// Salt for the dedicated fault stream: Rng(seed).split(kFaultStreamSalt).
+// Distinct from every other salt in the tree (1 build, 2 walk, 3 sizes,
+// 4 policy, 999 herd, 1000+c per-client, and the prefetch-cache salts).
+inline constexpr std::uint64_t kFaultStreamSalt = 7777;
+
+// Retry schedule for a failed prefetch attempt. max_attempts counts the
+// first try too, so max_attempts == 1 means "no retries". The k-th
+// re-attempt waits backoff_base * backoff_factor^(k-1), optionally
+// inflated by a uniform jitter fraction drawn from the fault stream.
+struct RetryPolicy {
+  std::size_t max_attempts = 1;
+  double backoff_base = 0.0;
+  double backoff_factor = 2.0;
+  double jitter = 0.0;  // re-attempt delay *= 1 + jitter * U[0,1)
+
+  bool operator==(const RetryPolicy&) const = default;
+};
+
+struct FaultSpec {
+  double fail_rate = 0.0;    // P(attempt fails outright)
+  double stall_rate = 0.0;   // P(attempt runs stall_factor x slower)
+  double stall_factor = 4.0;
+  double timeout = 0.0;      // abort attempts longer than this (0 = off)
+  RetryPolicy retry;
+
+  bool enabled() const {
+    return fail_rate > 0.0 || stall_rate > 0.0 || timeout > 0.0;
+  }
+  bool operator==(const FaultSpec&) const = default;
+};
+
+inline void validate_fault_spec(const FaultSpec& spec) {
+  SKP_REQUIRE(spec.fail_rate >= 0.0 && spec.fail_rate <= 1.0,
+              "fail_rate must be in [0, 1], got " << spec.fail_rate);
+  SKP_REQUIRE(spec.stall_rate >= 0.0 && spec.stall_rate <= 1.0,
+              "stall_rate must be in [0, 1], got " << spec.stall_rate);
+  SKP_REQUIRE(spec.stall_factor >= 1.0,
+              "stall_factor must be >= 1, got " << spec.stall_factor);
+  SKP_REQUIRE(spec.timeout >= 0.0,
+              "timeout must be >= 0, got " << spec.timeout);
+  SKP_REQUIRE(spec.retry.max_attempts >= 1,
+              "retry max_attempts must be >= 1, got "
+                  << spec.retry.max_attempts);
+  SKP_REQUIRE(spec.retry.backoff_base >= 0.0,
+              "retry backoff_base must be >= 0, got "
+                  << spec.retry.backoff_base);
+  SKP_REQUIRE(spec.retry.backoff_factor >= 1.0,
+              "retry backoff_factor must be >= 1, got "
+                  << spec.retry.backoff_factor);
+  SKP_REQUIRE(spec.retry.jitter >= 0.0,
+              "retry jitter must be >= 0, got " << spec.retry.jitter);
+}
+
+// Fault-path counters. Every undelivered attempt is either followed by a
+// re-attempt or ends the transfer, so the books always balance exactly:
+// failed_transfers == retries + abandoned.
+struct FaultStats {
+  std::uint64_t failed_transfers = 0;  // attempts that did not deliver
+  std::uint64_t timeouts = 0;          // subset cut off by the timeout
+  std::uint64_t stalled = 0;           // attempts slowed by stall_factor
+  std::uint64_t retries = 0;           // re-attempts scheduled
+  std::uint64_t abandoned = 0;         // transfers that gave up entirely
+
+  void merge(const FaultStats& other) {
+    failed_transfers += other.failed_transfers;
+    timeouts += other.timeouts;
+    stalled += other.stalled;
+    retries += other.retries;
+    abandoned += other.abandoned;
+  }
+  bool operator==(const FaultStats&) const = default;
+};
+
+// Outcome of pushing one logical transfer through the fault model:
+// `finish` is when the link frees up (last attempt's end), `busy` the
+// total occupancy across attempts (backoff gaps idle the link and are
+// excluded), `delivered` whether the payload actually arrived.
+struct FaultTransfer {
+  double finish = 0.0;
+  double busy = 0.0;
+  bool delivered = true;
+};
+
+// Runs the attempt/backoff loop for one transfer queued at queue_start.
+// `price(start)` returns the attempt's nominal duration when it begins
+// at `start` — callers re-price per attempt so phase-dependent link
+// schedules charge each attempt at the rate in force when it runs.
+template <typename PriceFn>
+FaultTransfer run_faulty_transfer(const FaultSpec& spec, Rng& rng,
+                                  FaultStats& stats, double queue_start,
+                                  PriceFn&& price) {
+  FaultTransfer out;
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, spec.retry.max_attempts);
+  double start = queue_start;
+  for (std::size_t attempt = 1;; ++attempt) {
+    const bool failed = rng.bernoulli(spec.fail_rate);
+    const bool stalled = rng.bernoulli(spec.stall_rate);
+    double occupancy = price(start);
+    if (stalled) {
+      occupancy *= spec.stall_factor;
+      ++stats.stalled;
+    }
+    bool timed_out = false;
+    if (spec.timeout > 0.0 && occupancy > spec.timeout) {
+      occupancy = spec.timeout;  // the attempt is cut off, not run out
+      timed_out = true;
+      ++stats.timeouts;
+    }
+    out.busy += occupancy;
+    out.finish = start + occupancy;
+    if (!failed && !timed_out) {
+      out.delivered = true;
+      return out;
+    }
+    ++stats.failed_transfers;
+    if (attempt >= max_attempts) {
+      ++stats.abandoned;
+      out.delivered = false;
+      return out;
+    }
+    ++stats.retries;
+    double backoff =
+        spec.retry.backoff_base *
+        std::pow(spec.retry.backoff_factor,
+                 static_cast<double>(attempt - 1));
+    if (spec.retry.jitter > 0.0) {
+      backoff *= 1.0 + spec.retry.jitter * rng.next_double();
+    }
+    start = out.finish + backoff;  // the link idles through the backoff
+  }
+}
+
+}  // namespace skp

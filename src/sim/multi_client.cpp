@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "cache/cache.hpp"
 #include "cache/freq_tracker.hpp"
@@ -62,7 +63,9 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
               "phase_align must be in [0, 1]");
   SKP_REQUIRE(cfg.churn_period >= 0.0, "churn_period must be >= 0");
   SKP_REQUIRE(cfg.churn_downtime >= 0.0, "churn_downtime must be >= 0");
+  SKP_REQUIRE(cfg.deadline >= 0.0, "deadline must be >= 0");
   validate_link_schedule(cfg.link_schedule);
+  validate_fault_spec(cfg.fault);
 
   const PrefetchEngine engine(cfg.engine);
   Rng build(cfg.seed);
@@ -199,6 +202,17 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   double makespan = 0.0;
   std::uint64_t plans_fired = 0;
   std::uint64_t churn_events = 0;
+  std::uint64_t deadline_hits = 0;
+
+  // Robustness layer. Fault draws come from one link-level stream
+  // (dedicated salt, consumed in link-commit order) so arming the fault
+  // model never perturbs a client's workload or decision streams. The
+  // overload controller is fleet-wide: the link is shared, so pressure
+  // is a system property.
+  Rng fault_rng = Rng(cfg.seed).split(kFaultStreamSalt);
+  FaultStats fault_stats;
+  OverloadController overload(cfg.overload);
+  std::vector<double> degraded_row;  // oracle-row copy under degradation
 
   // Serializes a transfer on the shared link; returns completion time. With
   // a link schedule the phase at transfer START re-prices the base cost r
@@ -214,6 +228,31 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
     link_free_at = start + duration;
     link_busy += duration;
     return link_free_at;
+  };
+
+  // Prefetch path through the fault model (the reliable `enqueue` when
+  // faults are disarmed). Each attempt is re-priced at its own start so
+  // link phases charge the rate in force when it runs; backoff gaps idle
+  // the link (only attempt occupancy counts toward link_busy). nullopt =
+  // retry budget exhausted, transfer abandoned.
+  auto enqueue_prefetch = [&](double r) -> std::optional<double> {
+    if (!cfg.fault.enabled()) return enqueue(r);
+    const double queue_start = std::max(clock.now(), link_free_at);
+    const FaultTransfer ft = run_faulty_transfer(
+        cfg.fault, fault_rng, fault_stats, queue_start,
+        [&](double attempt_start) {
+          double cost = r;
+          if (!cfg.link_schedule.empty()) {
+            const LinkPhase& phase =
+                link_phase_at(cfg.link_schedule, attempt_start);
+            cost = phase.latency + r / phase.bandwidth;
+          }
+          return cost / cfg.link_speedup;
+        });
+    link_free_at = ft.finish;
+    link_busy += ft.busy;
+    if (!ft.delivered) return std::nullopt;
+    return ft.finish;
   };
 
   // Flash-crowd blend: pulls cycle k's viewing time toward the shared
@@ -247,6 +286,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         for (double& p : cl.P) {
           if (p < cfg.predictor_min_prob) p = 0.0;
         }
+        overload.degrade_row(cl.P);
       }
       const InstanceView inst(cl.P, cl.r, v);
       std::optional<ItemId> oracle;
@@ -257,7 +297,15 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       // Oracle drive: plan against the chain's ground-truth row, then
       // sample the next request.
       v = blend(cl.chain->viewing_time(cl.state), cl.served);
-      const InstanceView inst(cl.chain->transition_row(cl.state), cl.r, v);
+      std::span<const double> row = cl.chain->transition_row(cl.state);
+      if (overload.rung() != DegradationRung::kNormal) {
+        // Degrade a copy — the chain's rows are ground truth for every
+        // later cycle and for demand-victim arbitration.
+        degraded_row.assign(row.begin(), row.end());
+        overload.degrade_row(degraded_row);
+        row = degraded_row;
+      }
+      const InstanceView inst(row, cl.r, v);
       next = static_cast<ItemId>(cl.chain->step(cl.walk));
       std::optional<ItemId> oracle;
       if (cfg.engine.policy == PrefetchPolicy::Perfect) oracle = next;
@@ -288,7 +336,16 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         cl.cache->insert(f);
       }
       cl.unused_prefetch[Instance::idx(f)] = 1;
-      cl.completion[Instance::idx(f)] = enqueue(cl.r[Instance::idx(f)]);
+      if (const std::optional<double> done =
+              enqueue_prefetch(cl.r[Instance::idx(f)])) {
+        cl.completion[Instance::idx(f)] = *done;
+      } else {
+        // Abandoned after exhausting its retry budget: release the slot
+        // it claimed (the victim is already gone) and fall back to a
+        // demand fetch if the item is ever actually requested.
+        cl.cache->erase(f);
+        cl.unused_prefetch[Instance::idx(f)] = 0;
+      }
       ++cl.metrics.prefetch_fetches;
       const double rt = cl.r[Instance::idx(f)];
       cl.metrics.network_time += rt;
@@ -343,6 +400,23 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       me.metrics.access_time.add(T);
       ++me.metrics.requests;
       if (T == 0.0) ++me.metrics.hits;
+      if (cfg.deadline > 0.0 && T <= cfg.deadline) ++deadline_hits;
+      if (overload.observe(T)) {
+        // Rung change: memoized plans were computed against the previous
+        // rung's degraded rows, so the state-key promise just broke for
+        // every client at once.
+        const bool frozen =
+            overload.rung() >= DegradationRung::kStrictAdmission;
+        for (Client& other : clients) {
+          if (other.plans) {
+            other.plans->bump_generation();
+            other.selections->bump_generation();
+            other.plans->set_admission_frozen(frozen);
+            other.selections->set_admission_frozen(frozen);
+          }
+          if (other.canon) other.canon->invalidate_all();
+        }
+      }
       ++me.served;
       me.state = static_cast<std::size_t>(next);
       const double t_end = t_req + T;
@@ -389,6 +463,9 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   result.link_busy_time = link_busy;
   result.plans = plans_fired;
   result.churn_events = churn_events;
+  result.fault = fault_stats;
+  result.overload = overload.stats();
+  result.deadline_hits = deadline_hits;
   for (auto& cl : clients) {
     result.per_client.push_back(cl.metrics);
     result.aggregate.merge(cl.metrics);

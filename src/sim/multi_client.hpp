@@ -32,7 +32,9 @@
 #include <optional>
 #include <vector>
 
+#include "core/overload.hpp"
 #include "core/prefetch_engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/link_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/prefetch_cache.hpp"  // PredictorKind
@@ -107,6 +109,28 @@ struct MultiClientConfig {
   // keep the base r — the clients plan against stale link estimates.
   std::vector<LinkPhase> link_schedule;
 
+  // ---- Robustness layer (extension) -------------------------------------
+
+  // Prefetch-transfer fault injection (sim/fault.hpp). Draws come from
+  // one shared link-level stream — Rng(seed).split(kFaultStreamSalt) —
+  // consumed in link-commit order, so enabling faults never perturbs a
+  // client's workload or decision streams. Demand fetches stay reliable
+  // (they are the fallback); an abandoned prefetch releases its cache
+  // slot and the item is demand-fetched when actually requested.
+  FaultSpec fault;
+
+  // Adaptive overload controller (core/overload.hpp): one fleet-wide
+  // controller observes every realized access time and degrades planning
+  // effort for ALL clients together — the link is shared, so pressure is
+  // a system property, not a client one. Every rung transition bumps
+  // each client's plan-memo generations and canonical-order tables (the
+  // degraded row breaks the state-key promise across rungs).
+  OverloadConfig overload;
+
+  // Deadline accounting: a request served with T <= deadline counts
+  // toward MultiClientResult::deadline_hits. 0 = no deadline tracked.
+  double deadline = 0.0;
+
   // Per-client drive overrides; empty = homogeneous clients from the
   // fields above (the legacy shared sequential stream scheme), otherwise
   // exactly one entry per client. With a non-empty vector EVERY client
@@ -142,6 +166,9 @@ struct MultiClientResult {
   PlanMemoStats plan_cache;              // counters summed across clients
   std::uint64_t plans = 0;               // planning rounds that fetched
   std::uint64_t churn_events = 0;        // departures across all clients
+  FaultStats fault;                      // link-level fault counters
+  OverloadStats overload;                // controller rungs/transitions
+  std::uint64_t deadline_hits = 0;       // requests with T <= deadline
   double makespan = 0.0;                 // time when the last client ended
   double link_busy_time = 0.0;
   double link_utilization() const {

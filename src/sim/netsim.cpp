@@ -44,6 +44,41 @@ double ClientSession::link_utilization() const {
   return clock_.now() > 0.0 ? link_busy_total_ / clock_.now() : 0.0;
 }
 
+void ClientSession::set_fault_injection(const FaultSpec& spec, Rng stream) {
+  validate_fault_spec(spec);
+  SKP_REQUIRE(!(spec.enabled() && net_.cancel_pending_on_demand),
+              "fault injection is not composable with "
+              "cancel_pending_on_demand (cancel rollback assumes queued "
+              "prefetches are cache-resident)");
+  fault_ = spec;
+  fault_rng_ = stream;
+}
+
+std::optional<double> ClientSession::enqueue_prefetch(ItemId item) {
+  if (!fault_.enabled()) return enqueue_transfer(item, true);
+  const double start = std::max(clock_.now(), link_free_at_);
+  const FaultTransfer ft = run_faulty_transfer(
+      fault_, fault_rng_, fault_stats_, start, [&](double attempt_start) {
+        return net_.transfer_time(catalog_.sizes[Instance::idx(item)],
+                                  attempt_start);
+      });
+  // The link is held through every attempt; backoff gaps idle it, so
+  // occupancy (ft.busy) is what counts toward utilization.
+  link_free_at_ = ft.finish;
+  in_flight_.push_back({item, start, ft.finish, true});
+  clock_.schedule_at(ft.finish,
+                     [this, item, finish = ft.finish, busy = ft.busy] {
+                       link_busy_total_ += busy;
+                       in_flight_.erase(std::find_if(
+                           in_flight_.begin(), in_flight_.end(),
+                           [&](const Transfer& t) {
+                             return t.item == item && t.finish == finish;
+                           }));
+                     });
+  if (!ft.delivered) return std::nullopt;
+  return ft.finish;
+}
+
 double ClientSession::enqueue_transfer(ItemId item, bool is_prefetch) {
   const double start = std::max(clock_.now(), link_free_at_);
   // Priced by the link phase in force at transfer START (the base static
@@ -108,7 +143,15 @@ double ClientSession::request(ItemId item, double viewing_time,
         cache_.insert(f);
       }
       unused_prefetch_[Instance::idx(f)] = 1;
-      completion_[Instance::idx(f)] = enqueue_transfer(f, true);
+      if (const std::optional<double> done = enqueue_prefetch(f)) {
+        completion_[Instance::idx(f)] = *done;
+      } else {
+        // Abandoned after exhausting its retry budget: release the slot
+        // it claimed (the victim is already gone) and fall back to a
+        // demand fetch if the item is ever actually requested.
+        cache_.erase(f);
+        unused_prefetch_[Instance::idx(f)] = 0;
+      }
       ++metrics_.prefetch_fetches;
       const double rt = catalog_.retrieval_time(f, net_);
       metrics_.network_time += rt;

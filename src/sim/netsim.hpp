@@ -25,8 +25,10 @@
 #include "cache/freq_tracker.hpp"
 #include "core/prefetch_engine.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/link_schedule.hpp"
 #include "sim/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace skp {
 
@@ -104,6 +106,26 @@ class ClientSession {
     return stats;
   }
 
+  // Arms prefetch-transfer fault injection (sim/fault.hpp). `stream` must
+  // be the dedicated fault stream — Rng(seed).split(kFaultStreamSalt) —
+  // so fault draws never perturb the workload or decision streams; draws
+  // happen only when a prefetch commits, in link order. Demand fetches
+  // stay reliable (they are the fallback). Not composable with
+  // cancel_pending_on_demand, whose rollback bookkeeping assumes every
+  // queued prefetch is still cache-resident.
+  void set_fault_injection(const FaultSpec& spec, Rng stream);
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+
+  // Overload rung kStrictAdmission (core/overload.hpp): freeze or thaw
+  // plan-cache admission on both memo tiers. No-op while the plan cache
+  // is disabled.
+  void set_plan_admission_frozen(bool frozen) noexcept {
+    if (plan_cache_) {
+      plan_cache_->set_admission_frozen(frozen);
+      selection_cache_->set_admission_frozen(frozen);
+    }
+  }
+
   // Runs one cycle: think for `viewing_time` (prefetching meanwhile), then
   // request `item`. Returns the access time the user experienced.
   // `context_key`, when engaged and the plan cache is enabled, keys plan
@@ -132,6 +154,10 @@ class ClientSession {
   // Schedules a transfer after everything currently committed; returns its
   // completion time.
   double enqueue_transfer(ItemId item, bool is_prefetch);
+  // Schedules a prefetch through the fault model (the reliable path when
+  // faults are disarmed). nullopt = the retry budget was exhausted and
+  // the transfer abandoned; the caller rolls the claimed slot back.
+  std::optional<double> enqueue_prefetch(ItemId item);
 
   ServerCatalog catalog_;
   NetConfig net_;
@@ -140,6 +166,9 @@ class ClientSession {
   FreqTracker freq_;
   EventQueue clock_;
   SimMetrics metrics_;
+  FaultSpec fault_;       // default (disabled) = legacy reliable link
+  Rng fault_rng_;         // dedicated stream, armed by set_fault_injection
+  FaultStats fault_stats_;
   double link_free_at_ = 0.0;
   double link_busy_total_ = 0.0;
   std::vector<Transfer> in_flight_;  // committed, not yet completed

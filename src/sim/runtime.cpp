@@ -133,6 +133,16 @@ void require_static_link(const SimSpec& spec, const char* driver) {
                         "applies to netsim_des/multi_client");
 }
 
+void require_reliable_full_effort(const SimSpec& spec, const char* driver) {
+  SKP_REQUIRE(spec.fault == FaultSpec{},
+              driver << " has no simulated transfer path to fail; the "
+                        "fault section applies to netsim_des/multi_client");
+  SKP_REQUIRE(spec.overload == OverloadConfig{} && spec.deadline == 0.0,
+              driver << " has no realized waiting times to watch; "
+                        "overload/deadline apply to netsim_des/"
+                        "multi_client");
+}
+
 // ---- Drivers ------------------------------------------------------------
 
 SimResult run_prefetch_only_driver(const SimSpec& spec) {
@@ -156,6 +166,7 @@ SimResult run_prefetch_only_driver(const SimSpec& spec) {
   require_unsized(spec, "prefetch_only");
   require_single_client(spec, "prefetch_only");
   require_static_link(spec, "prefetch_only");
+  require_reliable_full_effort(spec, "prefetch_only");
   PrefetchOnlyConfig cfg;
   cfg.n_items = w.n_items;
   cfg.method = w.method;
@@ -197,6 +208,7 @@ SimResult run_prefetch_cache_driver(const SimSpec& spec) {
   require_no_scenario_fields(spec, "prefetch_cache");
   require_single_client(spec, "prefetch_cache");
   require_static_link(spec, "prefetch_cache");
+  require_reliable_full_effort(spec, "prefetch_cache");
   if (spec.sized_capacity > 0.0) {
     SKP_REQUIRE(w.kind == SimWorkloadKind::Markov,
                 "the sized-cache experiment runs the Markov workload");
@@ -276,6 +288,7 @@ SimResult run_trace_replay_driver(const SimSpec& spec) {
   require_unsized(spec, "trace_replay");
   require_single_client(spec, "trace_replay");
   require_static_link(spec, "trace_replay");
+  require_reliable_full_effort(spec, "trace_replay");
   Rng root(spec.seed);
   Rng build = root.split(1);
   Rng walk = root.split(2);
@@ -362,12 +375,32 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
     session.enable_plan_cache(spec.plan_cache_capacity);
   }
 
+  // Robustness layer: faults draw from their dedicated stream (never
+  // perturbing build/walk), the controller watches every realized T.
+  validate_fault_spec(spec.fault);
+  SKP_REQUIRE(spec.deadline >= 0.0, "deadline must be >= 0");
+  if (spec.fault.enabled()) {
+    session.set_fault_injection(spec.fault,
+                                Rng(spec.seed).split(kFaultStreamSalt));
+  }
+  OverloadController overload(spec.overload);
+
   SimResult out;
   std::uint64_t prev_prefetches = 0;
   const auto count_plan = [&] {
     const std::uint64_t now = session.metrics().prefetch_fetches;
     if (now > prev_prefetches) ++out.plans;
     prev_prefetches = now;
+  };
+  const auto settle_request = [&](double T) {
+    if (spec.deadline > 0.0 && T <= spec.deadline) ++out.deadline_hits;
+    if (overload.observe(T)) {
+      // Rung change: memoized plans were computed against the previous
+      // rung's degraded rows, so the context-key promise just broke.
+      session.invalidate_plan_cache();
+      session.set_plan_admission_frozen(
+          overload.rung() >= DegradationRung::kStrictAdmission);
+    }
   };
 
   if (spec.predictor == PredictorKind::Oracle) {
@@ -390,6 +423,7 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
     const std::size_t period =
         w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
     const std::vector<double> zeros(n, 0.0);
+    std::vector<double> degraded;  // oracle-row copy under degradation
     std::size_t state = source.current_state();
     for (std::size_t req = 0; req < spec.requests; ++req) {
       if (period != 0 && req != 0 && req % period == 0) {
@@ -401,19 +435,28 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
       // An observe-only warmup prefix plans against a zero row (fetches
       // nothing), mirroring the learned branch's semantics.
       const bool planning = req >= spec.predictor_warmup;
-      const std::span<const double> row =
+      std::span<const double> row =
           planning ? source.transition_row(state)
                    : std::span<const double>(zeros);
+      if (planning && overload.rung() != DegradationRung::kNormal) {
+        // Degrade a copy — the source's rows are ground truth for every
+        // later cycle.
+        degraded.assign(row.begin(), row.end());
+        overload.degrade_row(degraded);
+        row = degraded;
+      }
       const auto next = static_cast<ItemId>(source.step(walk));
       std::optional<ItemId> oracle_next;
       if (planning && spec.policy == PrefetchPolicy::Perfect) {
         oracle_next = next;
       }
-      session.request(next, v, row, oracle_next,
-                      planning && spec.use_plan_cache
-                          ? std::optional<std::uint64_t>(state)
-                          : std::nullopt);
+      const double T =
+          session.request(next, v, row, oracle_next,
+                          planning && spec.use_plan_cache
+                              ? std::optional<std::uint64_t>(state)
+                              : std::nullopt);
       count_plan();
+      settle_request(T);
       state = static_cast<std::size_t>(next);
     }
   } else {
@@ -434,12 +477,15 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
         for (double& p : P) {
           if (p < spec.predictor_min_prob) p = 0.0;
         }
+        overload.degrade_row(P);
         row = P;
       }
       std::optional<ItemId> oracle_next;
       if (spec.policy == PrefetchPolicy::Perfect) oracle_next = rec.item;
-      session.request(rec.item, rec.viewing_time, row, oracle_next);
+      const double T =
+          session.request(rec.item, rec.viewing_time, row, oracle_next);
       count_plan();
+      settle_request(T);
       predictor->observe(rec.item);
     }
   }
@@ -447,6 +493,8 @@ SimResult run_netsim_des_driver(const SimSpec& spec) {
   out.metrics = session.metrics();
   out.plan_cache = session.plan_cache_stats();
   out.link_utilization = session.link_utilization();
+  out.fault = session.fault_stats();
+  out.overload = overload.stats();
   return out;
 }
 
@@ -459,6 +507,7 @@ SimResult run_scenario_driver(const SimSpec& spec) {
   // The scenario pipeline consumes the net only as a static r catalog;
   // it has no clock for a phase schedule to vary against.
   require_static_link(spec, "scenario");
+  require_reliable_full_effort(spec, "scenario");
   const std::size_t n = spec.workload.n_items;
   GroundedStreams g = ground_streams(spec);
   const std::vector<double> r = g.catalog.retrieval_times(g.net);
@@ -622,6 +671,9 @@ SimResult run_multi_client_des_driver(const SimSpec& spec) {
   cfg.predictor_min_prob = spec.predictor_min_prob;
   cfg.predictor_warmup = spec.predictor_warmup;
   cfg.retrieval_times = g.catalog.retrieval_times(g.net);
+  cfg.fault = spec.fault;
+  cfg.overload = spec.overload;
+  cfg.deadline = spec.deadline;
 
   cfg.overrides.resize(mc.clients);
   for (std::size_t c = 0; c < mc.clients; ++c) {
@@ -680,6 +732,9 @@ SimResult run_multi_client_des_driver(const SimSpec& spec) {
   out.plans = res.plans;
   out.churn_events = res.churn_events;
   out.link_utilization = res.link_utilization();
+  out.fault = res.fault;
+  out.overload = res.overload;
+  out.deadline_hits = res.deadline_hits;
   return out;
 }
 
@@ -979,7 +1034,13 @@ std::vector<std::string> sim_csv_header() {
       "plan_hit_rate",  "select_hit_rate",
       "plans",          "budget_violations",
       "link_util",      "over_viewing",
-      "churn_events",
+      "churn_events",   "fail_rate",
+      "stall_rate",     "timeout",
+      "retry_max",      "overload",
+      "deadline",       "failed",
+      "fault_retries",  "abandoned",
+      "rung_transitions", "max_rung",
+      "degraded",       "deadline_hits",
   };
 }
 
@@ -1002,10 +1063,9 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
   const std::size_t clients = multi ? spec.multi_client.clients : 0;
   const double phase_align = multi ? spec.multi_client.phase_align : 0.0;
   const double churn_period = multi ? spec.multi_client.churn_period : 0.0;
-  const std::size_t link_phases =
-      multi || spec.driver == SimDriverKind::NetsimDes
-          ? spec.link_schedule.size()
-          : 0;
+  const bool des = multi || spec.driver == SimDriverKind::NetsimDes;
+  const std::size_t link_phases = des ? spec.link_schedule.size() : 0;
+  const bool faulty = des && spec.fault.enabled();
   writer.row_of(
       index, to_string(spec.driver), to_string(spec.workload.kind),
       spec.workload.n_items, policy_token(spec.policy),
@@ -1028,7 +1088,16 @@ void append_sim_csv_row(CsvWriter& writer, std::size_t index,
       result.plan_cache.plans.hit_rate(),
       result.plan_cache.selections.hit_rate(), result.plans,
       result.budget_violations, result.link_utilization,
-      result.over_viewing_time, result.churn_events);
+      result.over_viewing_time, result.churn_events,
+      faulty ? spec.fault.fail_rate : 0.0,
+      faulty ? spec.fault.stall_rate : 0.0,
+      faulty ? spec.fault.timeout : 0.0,
+      faulty ? spec.fault.retry.max_attempts : 0,
+      des && spec.overload.enabled ? 1 : 0, des ? spec.deadline : 0.0,
+      result.fault.failed_transfers, result.fault.retries,
+      result.fault.abandoned, result.overload.transitions,
+      result.overload.max_rung, result.overload.degraded_requests,
+      result.deadline_hits);
 }
 
 std::vector<std::string> per_client_csv_header() {
@@ -1062,11 +1131,28 @@ std::string merge_sharded_csv(const std::vector<std::string>& shards,
     return names.empty() ? "shard document #" + std::to_string(i + 1)
                          : names[i];
   };
+  const auto parse_field = [](const std::string& text, const char* what) {
+    std::size_t pos = 0;
+    std::size_t value = 0;
+    try {
+      value = std::stoull(text, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    SKP_REQUIRE(pos == text.size() && pos > 0,
+                "non-numeric row " << what << ": " << text);
+    return value;
+  };
   std::string header;
-  // index -> (row text, source document) — the source lets a collision
-  // diagnostic name both inputs, the usual symptom of merging the same
-  // shard file twice or mixing overlapping shard schemes.
-  std::map<std::size_t, std::pair<std::string, std::size_t>> rows;
+  // A per-client companion document keys on (index, client); the main
+  // sweep document keys on index alone (client fixed at 0).
+  bool per_client = false;
+  // (index, client) -> (row text, source document) — the source lets a
+  // collision diagnostic name both inputs, the usual symptom of merging
+  // the same shard file twice or mixing overlapping shard schemes.
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::pair<std::string, std::size_t>>
+      rows;
   for (std::size_t d = 0; d < shards.size(); ++d) {
     std::istringstream is(shards[d]);
     std::string line;
@@ -1074,6 +1160,7 @@ std::string merge_sharded_csv(const std::vector<std::string>& shards,
                 "empty shard document: " << shard_name(d));
     if (header.empty()) {
       header = line;
+      per_client = header.rfind("index,client,", 0) == 0;
     } else {
       SKP_REQUIRE(line == header, "shard header mismatch in "
                                       << shard_name(d) << ": " << line);
@@ -1083,19 +1170,24 @@ std::string merge_sharded_csv(const std::vector<std::string>& shards,
       const std::size_t comma = line.find(',');
       SKP_REQUIRE(comma != std::string::npos && comma > 0,
                   "malformed shard row: " << line);
-      const std::string key = line.substr(0, comma);
-      std::size_t pos = 0;
-      std::size_t index = 0;
-      try {
-        index = std::stoull(key, &pos);
-      } catch (const std::exception&) {
-        pos = 0;
+      const std::size_t index =
+          parse_field(line.substr(0, comma), "index");
+      std::size_t client = 0;
+      if (per_client) {
+        const std::size_t comma2 = line.find(',', comma + 1);
+        SKP_REQUIRE(comma2 != std::string::npos && comma2 > comma + 1,
+                    "malformed per-client row: " << line);
+        client = parse_field(
+            line.substr(comma + 1, comma2 - comma - 1), "client");
       }
-      SKP_REQUIRE(pos == key.size() && pos > 0,
-                  "non-numeric row index: " << key);
-      const auto [it, inserted] = rows.emplace(index, std::pair(line, d));
+      const auto [it, inserted] =
+          rows.emplace(std::pair(index, client), std::pair(line, d));
       SKP_REQUIRE(inserted, "duplicate spec index "
-                                << index << " (in " << shard_name(d)
+                                << index
+                                << (per_client ? " client " +
+                                                     std::to_string(client)
+                                               : std::string())
+                                << " (in " << shard_name(d)
                                 << ", first seen in "
                                 << shard_name(it->second.second)
                                 << ") — overlapping shard inputs?");
@@ -1104,11 +1196,28 @@ std::string merge_sharded_csv(const std::vector<std::string>& shards,
   std::string out = header;
   out += '\n';
   std::size_t expect = 0;
-  for (const auto& [index, row] : rows) {
-    SKP_REQUIRE(index == expect,
-                "missing row index " << expect << " (next present: "
-                                     << index << ")");
-    ++expect;
+  std::size_t expect_client = 0;
+  for (const auto& [key, row] : rows) {
+    if (!per_client) {
+      SKP_REQUIRE(key.first == expect,
+                  "missing row index " << expect << " (next present: "
+                                       << key.first << ")");
+      ++expect;
+    } else if (key.first == expect && key.second == expect_client) {
+      // Next client row of the current spec.
+      ++expect_client;
+    } else if (key.first == expect + 1 && key.second == 0 &&
+               expect_client > 0) {
+      // First client row of the next spec.
+      expect = key.first;
+      expect_client = 1;
+    } else {
+      SKP_REQUIRE(false, "per-client rows not dense: expected index "
+                             << expect << " client " << expect_client
+                             << " or index " << expect + 1
+                             << " client 0, got index " << key.first
+                             << " client " << key.second);
+    }
     out += row.first;
     out += '\n';
   }

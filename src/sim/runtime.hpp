@@ -30,8 +30,10 @@
 #include <string_view>
 #include <vector>
 
+#include "core/overload.hpp"
 #include "core/prefetch_engine.hpp"
 #include "predict/predictor.hpp"
+#include "sim/fault.hpp"
 #include "sim/link_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/prefetch_cache.hpp"  // PredictorKind + PrefetchCacheConfig
@@ -185,6 +187,19 @@ struct SimSpec {
   // (sim/link_schedule.hpp). Drivers without a link reject it.
   std::vector<LinkPhase> link_schedule;
 
+  // Robustness layer (NetsimDes + MultiClientDes; every other driver
+  // rejects non-default sections — they have no transfer path to fail or
+  // degrade). Fault draws come from a dedicated stream,
+  // Rng(seed).split(kFaultStreamSalt), so fail_rate=0 runs are
+  // bit-identical to a build without the layer. The overload controller
+  // watches realized access times and steps planning effort down the
+  // degradation rungs (core/overload.hpp) before any request would be
+  // shed. `deadline` > 0 additionally counts requests served with
+  // T <= deadline (SimResult::deadline_hits).
+  FaultSpec fault;
+  OverloadConfig overload;
+  double deadline = 0.0;
+
   // Run shape.
   std::size_t requests = 5'000;
   std::size_t warmup = 0;  // leading requests excluded from metrics
@@ -213,6 +228,15 @@ struct SimResult {
   // NetsimDes/MultiClientDes: fraction of elapsed time the link
   // transferred.
   double link_utilization = 0.0;
+  // NetsimDes/MultiClientDes: transfer-fault counters (sim/fault.hpp;
+  // zero when the fault section is disabled). Exact invariant:
+  // fault.failed_transfers == fault.retries + fault.abandoned.
+  FaultStats fault;
+  // NetsimDes/MultiClientDes: overload-controller counters
+  // (core/overload.hpp; zero when the controller is disabled).
+  OverloadStats overload;
+  // Requests served with T <= spec.deadline (0 when no deadline is set).
+  std::uint64_t deadline_hits = 0;
   // PrefetchOnly driver: the Fig.-5 average-T-by-v curve.
   std::optional<BinnedMeans> avg_T_by_v;
   // MultiClientDes driver: one row per client (metrics above are the
@@ -327,6 +351,12 @@ void append_per_client_csv_rows(CsvWriter& writer, std::size_t index,
 // merged twice) is an error, never a silent concatenation. `names`,
 // when given, labels each shard document in diagnostics (simctl passes
 // the input file paths); it must be empty or match `shards` in size.
+//
+// Per-client companion documents are recognized by their header (second
+// column `client`) and merge on the (index, client) pair instead: a spec
+// index may span several rows, clients dense from 0 within it, and the
+// index set must still be exactly 0..max — so a sharded per-client sweep
+// interleaves back into the single-run companion byte for byte.
 std::string merge_sharded_csv(const std::vector<std::string>& shards,
                               const std::vector<std::string>& names = {});
 

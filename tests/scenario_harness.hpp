@@ -46,6 +46,17 @@
 //                     doubled latency), cycling (hostile world #4).
 //                     Planning keeps seeing the static base link — the
 //                     stale-estimate regime.
+//   * Faulty        — NetsimDes with prefetch-fault injection
+//                     (sim/fault.hpp): 15% outright attempt failure, 10%
+//                     4x stalls, up to 3 attempts with 0.5 * 2^k backoff.
+//                     Demand fetches stay reliable, so the conservation
+//                     invariants hold and the goldens pin the
+//                     retry/abandon books (hostile world #5).
+//   * Overload      — MultiClientDes under the same fault regime with
+//                     the adaptive overload controller engaged
+//                     (core/overload.hpp): realized waiting against the
+//                     calm baseline walks the fleet down the degradation
+//                     rungs and back (hostile world #6).
 // Hostile world #3 (the adversarial cache-thrashing stream) is a
 // workload, not a mode: ScenarioWorkload::Adversarial.
 #pragma once
@@ -74,6 +85,8 @@ enum class PlanMode {
   FlashCrowd,
   Churn,
   LinkSchedule,
+  Faulty,
+  Overload,
 };
 
 inline const char* to_string(ScenarioWorkload w) {
@@ -95,6 +108,8 @@ inline const char* to_string(PlanMode m) {
     case PlanMode::FlashCrowd: return "flash";
     case PlanMode::Churn: return "churn";
     case PlanMode::LinkSchedule: return "link";
+    case PlanMode::Faulty: return "fault";
+    case PlanMode::Overload: return "over";
   }
   return "?";
 }
@@ -189,11 +204,13 @@ inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
   switch (cfg.plan_mode) {
     case PlanMode::NetsimDes:
     case PlanMode::LinkSchedule:
+    case PlanMode::Faulty:
       spec.driver = SimDriverKind::NetsimDes;
       break;
     case PlanMode::MultiClientDes:
     case PlanMode::FlashCrowd:
     case PlanMode::Churn:
+    case PlanMode::Overload:
       spec.driver = SimDriverKind::MultiClientDes;
       spec.multi_client.clients = kScenarioClients;
       break;
@@ -206,6 +223,22 @@ inline SimSpec to_sim_spec(const ScenarioConfig& cfg) {
   } else if (cfg.plan_mode == PlanMode::Churn) {
     spec.multi_client.churn_period = 400.0;
     spec.multi_client.churn_downtime = 60.0;
+  }
+  if (cfg.plan_mode == PlanMode::Faulty ||
+      cfg.plan_mode == PlanMode::Overload) {
+    spec.fault.fail_rate = 0.15;
+    spec.fault.stall_rate = 0.1;
+    spec.fault.stall_factor = 4.0;
+    spec.fault.retry.max_attempts = 3;
+    spec.fault.retry.backoff_base = 0.5;
+    spec.fault.retry.backoff_factor = 2.0;
+  }
+  if (cfg.plan_mode == PlanMode::Overload) {
+    spec.overload.enabled = true;
+    spec.overload.window = 32;
+    spec.overload.degrade_ratio = 1.8;
+    spec.overload.recover_ratio = 1.2;
+    spec.overload.recover_windows = 2;
   }
 
   spec.workload.n_items = cfg.n_items;

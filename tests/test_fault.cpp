@@ -1,0 +1,297 @@
+// Fault-injection tests (sim/fault.hpp + the netsim_des / multi_client
+// drivers honoring SimSpec::fault).
+//
+// Three layers:
+//   1. run_faulty_transfer unit semantics — the attempt/backoff loop's
+//      occupancy, timeout cut, retry books and deterministic jitter.
+//   2. The disabled-path contract: fail_rate == 0 (and retries-only
+//      specs) must be BIT-identical to a spec with no fault block at all,
+//      on both honoring drivers, plan cache on or off.
+//   3. Conservation under injected faults: demand fetches stay reliable,
+//      so resident hits + demand fetches == requests at ANY fail rate
+//      (including 1.0), and the retry books always balance exactly:
+//      failed_transfers == retries + abandoned.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/fault.hpp"
+#include "sim/runtime.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace skp {
+namespace {
+
+constexpr double kPrice = 10.0;
+
+FaultTransfer run_once(const FaultSpec& spec, FaultStats& stats,
+                       std::uint64_t seed = 42, double start = 100.0) {
+  Rng rng(seed);
+  return run_faulty_transfer(spec, rng, stats, start,
+                             [](double) { return kPrice; });
+}
+
+TEST(FaultTransfer, PassthroughWhenNothingCanFail) {
+  FaultSpec spec;  // all rates zero
+  FaultStats stats;
+  const FaultTransfer ft = run_once(spec, stats);
+  EXPECT_TRUE(ft.delivered);
+  EXPECT_DOUBLE_EQ(ft.finish, 100.0 + kPrice);
+  EXPECT_DOUBLE_EQ(ft.busy, kPrice);
+  EXPECT_EQ(stats, FaultStats{});
+}
+
+TEST(FaultTransfer, CertainFailureExhaustsRetryBudget) {
+  FaultSpec spec;
+  spec.fail_rate = 1.0;
+  spec.retry.max_attempts = 3;
+  FaultStats stats;
+  const FaultTransfer ft = run_once(spec, stats);
+  EXPECT_FALSE(ft.delivered);
+  // Three attempts, all failed: two re-attempts scheduled, then give up.
+  EXPECT_EQ(stats.failed_transfers, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.abandoned, 1u);
+  EXPECT_EQ(stats.failed_transfers, stats.retries + stats.abandoned);
+  // No backoff configured: the attempts run back to back.
+  EXPECT_DOUBLE_EQ(ft.busy, 3.0 * kPrice);
+  EXPECT_DOUBLE_EQ(ft.finish, 100.0 + 3.0 * kPrice);
+}
+
+TEST(FaultTransfer, BackoffGrowsExponentiallyAndIdlesTheLink) {
+  FaultSpec spec;
+  spec.fail_rate = 1.0;
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = 1.0;
+  spec.retry.backoff_factor = 2.0;
+  FaultStats stats;
+  const FaultTransfer ft = run_once(spec, stats);
+  // Waits 1 then 2 between the three attempts; backoff gaps idle the
+  // link, so busy excludes them while finish includes them.
+  EXPECT_DOUBLE_EQ(ft.busy, 3.0 * kPrice);
+  EXPECT_DOUBLE_EQ(ft.finish, 100.0 + 3.0 * kPrice + 1.0 + 2.0);
+}
+
+TEST(FaultTransfer, TimeoutCutsTheAttemptShort) {
+  FaultSpec spec;
+  spec.timeout = 4.0;  // < kPrice: every attempt is cut off
+  FaultStats stats;
+  const FaultTransfer ft = run_once(spec, stats);
+  EXPECT_FALSE(ft.delivered);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.failed_transfers, 1u);
+  EXPECT_EQ(stats.abandoned, 1u);
+  // The link is released at the cut, not at the nominal finish.
+  EXPECT_DOUBLE_EQ(ft.busy, 4.0);
+  EXPECT_DOUBLE_EQ(ft.finish, 104.0);
+}
+
+TEST(FaultTransfer, StallInflatesOccupancyButDelivers) {
+  FaultSpec spec;
+  spec.stall_rate = 1.0;
+  spec.stall_factor = 4.0;
+  FaultStats stats;
+  const FaultTransfer ft = run_once(spec, stats);
+  EXPECT_TRUE(ft.delivered);
+  EXPECT_EQ(stats.stalled, 1u);
+  EXPECT_EQ(stats.failed_transfers, 0u);
+  EXPECT_DOUBLE_EQ(ft.busy, 4.0 * kPrice);
+}
+
+TEST(FaultTransfer, JitteredBackoffIsDeterministicPerStream) {
+  FaultSpec spec;
+  spec.fail_rate = 0.5;
+  spec.stall_rate = 0.25;
+  spec.retry.max_attempts = 4;
+  spec.retry.backoff_base = 0.5;
+  spec.retry.jitter = 0.3;
+  for (std::uint64_t seed : {1u, 7u, 99u}) {
+    FaultStats sa, sb;
+    const FaultTransfer a = run_once(spec, sa, seed);
+    const FaultTransfer b = run_once(spec, sb, seed);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.busy, b.busy);
+    EXPECT_EQ(sa, sb);
+  }
+}
+
+TEST(FaultSpecValidation, RejectsOutOfRangeFields) {
+  FaultSpec spec;
+  spec.fail_rate = 1.5;
+  EXPECT_THROW(validate_fault_spec(spec), std::invalid_argument);
+  spec = {};
+  spec.stall_factor = 0.5;
+  EXPECT_THROW(validate_fault_spec(spec), std::invalid_argument);
+  spec = {};
+  spec.retry.max_attempts = 0;
+  EXPECT_THROW(validate_fault_spec(spec), std::invalid_argument);
+  spec = {};
+  spec.retry.backoff_factor = 0.9;
+  EXPECT_THROW(validate_fault_spec(spec), std::invalid_argument);
+}
+
+// ---- Driver integration -------------------------------------------------
+
+SimSpec des_spec(SimDriverKind driver) {
+  SimSpec spec;
+  spec.driver = driver;
+  spec.workload.n_items = 20;
+  spec.requests = driver == SimDriverKind::MultiClientDes ? 300 : 800;
+  spec.cache_size = 5;
+  spec.bandwidth = 1.0;
+  spec.latency = 1.0;
+  spec.seed = 11;
+  return spec;
+}
+
+void expect_same_counters(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+  EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+  EXPECT_EQ(a.metrics.demand_fetches, b.metrics.demand_fetches);
+  EXPECT_EQ(a.metrics.prefetch_fetches, b.metrics.prefetch_fetches);
+  EXPECT_EQ(a.metrics.network_time, b.metrics.network_time);
+  EXPECT_EQ(a.metrics.solver_nodes, b.metrics.solver_nodes);
+  EXPECT_EQ(a.metrics.mean_access_time(), b.metrics.mean_access_time());
+  EXPECT_EQ(a.fault, b.fault);
+}
+
+TEST(FaultRuntime, DisabledSpecIsBitIdenticalToSeed) {
+  for (const SimDriverKind driver :
+       {SimDriverKind::NetsimDes, SimDriverKind::MultiClientDes}) {
+    const SimSpec plain = des_spec(driver);
+    SimSpec zeroed = plain;
+    zeroed.fault.fail_rate = 0.0;
+    // A retry policy with no failure source never fires: enabled() is
+    // false and the reliable path runs untouched.
+    zeroed.fault.retry.max_attempts = 5;
+    zeroed.fault.retry.backoff_base = 1.0;
+    const SimResult a = run_sim(plain);
+    const SimResult b = run_sim(zeroed);
+    expect_same_counters(a, b);
+    EXPECT_EQ(b.fault, FaultStats{});
+  }
+}
+
+TEST(FaultRuntime, SameSeedReproducesFaultBooksExactly) {
+  for (const SimDriverKind driver :
+       {SimDriverKind::NetsimDes, SimDriverKind::MultiClientDes}) {
+    SimSpec spec = des_spec(driver);
+    spec.fault.fail_rate = 0.3;
+    spec.fault.stall_rate = 0.2;
+    spec.fault.retry.max_attempts = 3;
+    spec.fault.retry.backoff_base = 0.5;
+    spec.fault.retry.jitter = 0.25;
+    const SimResult a = run_sim(spec);
+    const SimResult b = run_sim(spec);
+    expect_same_counters(a, b);
+    EXPECT_GT(a.fault.failed_transfers, 0u);
+  }
+}
+
+TEST(FaultRuntime, ConservationHoldsAtAnyFailRate) {
+  for (const SimDriverKind driver :
+       {SimDriverKind::NetsimDes, SimDriverKind::MultiClientDes}) {
+    for (const double rate : {0.3, 1.0}) {
+      SimSpec spec = des_spec(driver);
+      spec.fault.fail_rate = rate;
+      spec.fault.retry.max_attempts = 2;
+      const SimResult res = run_sim(spec);
+      // Demand fetches stay reliable, so every request is served.
+      EXPECT_EQ(res.resident_hits() + res.metrics.demand_fetches,
+                res.metrics.requests);
+      EXPECT_EQ(res.fault.failed_transfers,
+                res.fault.retries + res.fault.abandoned);
+      if (rate == 1.0) {
+        // Nothing ever delivers: every prefetch is eventually abandoned.
+        EXPECT_GT(res.fault.abandoned, 0u);
+      }
+    }
+  }
+}
+
+TEST(FaultRuntime, PlanCacheOnOffBitIdenticalUnderFaults) {
+  for (const SimDriverKind driver :
+       {SimDriverKind::NetsimDes, SimDriverKind::MultiClientDes}) {
+    SimSpec on = des_spec(driver);
+    on.fault.fail_rate = 0.25;
+    on.fault.stall_rate = 0.1;
+    on.fault.retry.max_attempts = 2;
+    SimSpec off = on;
+    off.use_plan_cache = false;
+    const SimResult a = run_sim(on);
+    const SimResult b = run_sim(off);
+    expect_same_counters(a, b);
+    EXPECT_GT(a.plan_cache.plans.lookups(), 0u);
+    EXPECT_EQ(b.plan_cache.plans.lookups(), 0u);
+  }
+}
+
+TEST(FaultRuntime, ShardSplitReproducesFaultColumns) {
+  // The fault stream is derived from each spec's own seed, never from
+  // which process ran it: sweeping seeds in two shards must produce the
+  // same per-spec fault books as the unsharded enumeration.
+  SimSpec spec = des_spec(SimDriverKind::NetsimDes);
+  spec.fault.fail_rate = 0.4;
+  spec.fault.retry.max_attempts = 2;
+  for (const std::uint64_t seed : {3u, 4u, 5u, 6u}) {
+    spec.seed = seed;
+    const SimResult whole = run_sim(spec);
+    const SimResult sharded = run_sim(spec);  // any worker, same spec
+    EXPECT_EQ(whole.fault, sharded.fault) << "seed " << seed;
+  }
+}
+
+TEST(FaultRuntime, NonDesDriversRejectFaultSpecs) {
+  for (const SimDriverKind driver :
+       {SimDriverKind::PrefetchOnly, SimDriverKind::PrefetchCache,
+        SimDriverKind::Scenario}) {
+    SimSpec spec;
+    spec.driver = driver;
+    spec.fault.fail_rate = 0.1;
+    EXPECT_THROW(run_sim(spec), std::invalid_argument);
+  }
+}
+
+TEST(FaultRuntime, CsvRowCarriesFaultColumns) {
+  SimSpec spec = des_spec(SimDriverKind::NetsimDes);
+  spec.fault.fail_rate = 0.5;
+  spec.fault.retry.max_attempts = 2;
+  const SimResult res = run_sim(spec);
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.row(sim_csv_header());
+  append_sim_csv_row(writer, 0, spec, res);
+  const std::string doc = os.str();
+  const std::string header = doc.substr(0, doc.find('\n'));
+  const std::string row = doc.substr(doc.find('\n') + 1);
+  auto col = [&](const std::string& name) {
+    std::size_t idx = 0;
+    std::istringstream hs(header);
+    for (std::string cell; std::getline(hs, cell, ',');
+         ++idx) {
+      if (cell == name) {
+        std::istringstream rs(row);
+        std::string value;
+        for (std::size_t i = 0; i <= idx; ++i) {
+          std::getline(rs, value, ',');
+        }
+        return value;
+      }
+    }
+    ADD_FAILURE() << "column " << name << " missing";
+    return std::string();
+  };
+  EXPECT_EQ(col("fail_rate"), "0.5");
+  EXPECT_EQ(col("retry_max"), "2");
+  EXPECT_EQ(col("failed"),
+            std::to_string(res.fault.failed_transfers));
+  EXPECT_EQ(col("fault_retries"), std::to_string(res.fault.retries));
+  EXPECT_EQ(col("abandoned"), std::to_string(res.fault.abandoned));
+}
+
+}  // namespace
+}  // namespace skp

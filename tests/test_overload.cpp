@@ -1,0 +1,303 @@
+// Overload-controller tests (core/overload.hpp + the netsim_des /
+// multi_client drivers honoring SimSpec::overload and SimSpec::deadline).
+//
+// The controller contract under test:
+//   * step pressure walks the rung ladder down MONOTONICALLY, one rung
+//     per closed window, and holds at the floor without oscillating;
+//   * recovery needs recover_windows CONSECUTIVE calm windows per rung —
+//     a middle-band window resets the streak (hysteresis);
+//   * degrade_row applies the rung's top-k restriction exactly;
+//   * a controller that never trips leaves the run bit-identical to a
+//     controller-less run;
+//   * under sustained fault pressure, degrading beats not degrading:
+//     controller-on serves strictly more requests within the deadline
+//     than controller-off at the same fault rate (the acceptance bar).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/overload.hpp"
+#include "sim/runtime.hpp"
+
+namespace skp {
+namespace {
+
+OverloadConfig quick_config() {
+  OverloadConfig cfg;
+  cfg.enabled = true;
+  cfg.window = 4;
+  cfg.degrade_ratio = 2.0;
+  cfg.recover_ratio = 1.2;
+  cfg.recover_windows = 2;
+  cfg.lookahead_depth = 2;
+  cfg.budget_items = 1;
+  return cfg;
+}
+
+// Feeds one full window of identical observations; returns whether any
+// of them changed the rung.
+bool feed_window(OverloadController& ctrl, double value,
+                 std::size_t window) {
+  bool changed = false;
+  for (std::size_t i = 0; i < window; ++i) changed |= ctrl.observe(value);
+  return changed;
+}
+
+TEST(OverloadController, DisabledControllerIsInert) {
+  OverloadController ctrl{OverloadConfig{}};
+  EXPECT_FALSE(ctrl.enabled());
+  for (int i = 0; i < 500; ++i) EXPECT_FALSE(ctrl.observe(1e9));
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kNormal);
+  EXPECT_EQ(ctrl.stats(), OverloadStats{});
+  std::vector<double> row{0.5, 0.5};
+  ctrl.degrade_row(row);
+  EXPECT_EQ(row, (std::vector<double>{0.5, 0.5}));
+}
+
+TEST(OverloadController, ValidationRejectsBadConfig) {
+  OverloadConfig cfg = quick_config();
+  cfg.window = 0;
+  EXPECT_THROW(OverloadController{cfg}, std::invalid_argument);
+  cfg = quick_config();
+  cfg.degrade_ratio = 1.0;
+  EXPECT_THROW(OverloadController{cfg}, std::invalid_argument);
+  cfg = quick_config();
+  cfg.recover_ratio = cfg.degrade_ratio;  // must stay strictly below
+  EXPECT_THROW(OverloadController{cfg}, std::invalid_argument);
+  cfg = quick_config();
+  cfg.headroom = 0.0;
+  EXPECT_THROW(OverloadController{cfg}, std::invalid_argument);
+}
+
+TEST(OverloadController, StepPressureDescendsMonotonicallyToTheFloor) {
+  const OverloadConfig cfg = quick_config();
+  OverloadController ctrl{cfg};
+  // First window seeds the baseline (no verdict yet).
+  EXPECT_FALSE(feed_window(ctrl, 1.0, cfg.window));
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kNormal);
+  EXPECT_DOUBLE_EQ(ctrl.baseline(), 1.0);
+
+  // Each hot window descends exactly one rung: 1 -> 2 -> 3 -> 4.
+  for (int expect = 1; expect < kDegradationRungs; ++expect) {
+    EXPECT_TRUE(feed_window(ctrl, 10.0, cfg.window));
+    EXPECT_EQ(static_cast<int>(ctrl.rung()), expect);
+  }
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kPrefetchOff);
+  EXPECT_EQ(ctrl.stats().transitions, 4u);
+  EXPECT_EQ(ctrl.stats().max_rung, 4);
+
+  // Sustained pressure holds the floor — no oscillation, no further
+  // transitions.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(feed_window(ctrl, 10.0, cfg.window));
+  }
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kPrefetchOff);
+  EXPECT_EQ(ctrl.stats().transitions, 4u);
+}
+
+TEST(OverloadController, RecoveryNeedsConsecutiveCalmWindows) {
+  const OverloadConfig cfg = quick_config();
+  OverloadController ctrl{cfg};
+  feed_window(ctrl, 1.0, cfg.window);  // baseline = 1
+  feed_window(ctrl, 10.0, cfg.window);
+  feed_window(ctrl, 10.0, cfg.window);
+  ASSERT_EQ(ctrl.rung(), DegradationRung::kTrimBudget);
+
+  // One calm window makes no recovery progress yet (recover_windows = 2).
+  EXPECT_FALSE(feed_window(ctrl, 1.0, cfg.window));
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kTrimBudget);
+  // A middle-band window (gradient between the thresholds) resets the
+  // calm streak: with baseline 1 and headroom 1, a 2.0 window scores
+  // gradient 1.5 — neither hot nor calm.
+  EXPECT_FALSE(feed_window(ctrl, 2.0, cfg.window));
+  // Two MORE consecutive calm windows are now needed per rung.
+  EXPECT_FALSE(feed_window(ctrl, 1.0, cfg.window));
+  EXPECT_TRUE(feed_window(ctrl, 1.0, cfg.window));
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kTrimLookahead);
+  EXPECT_FALSE(feed_window(ctrl, 1.0, cfg.window));
+  EXPECT_TRUE(feed_window(ctrl, 1.0, cfg.window));
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kNormal);
+
+  // Fully recovered: further calm windows are no-ops.
+  EXPECT_FALSE(feed_window(ctrl, 1.0, cfg.window));
+  EXPECT_EQ(ctrl.stats().transitions, 4u);  // 2 down + 2 up
+}
+
+TEST(OverloadController, BaselineTracksTheCalmestWindowEverSeen) {
+  const OverloadConfig cfg = quick_config();
+  OverloadController ctrl{cfg};
+  feed_window(ctrl, 4.0, cfg.window);  // seeds baseline = 4
+  EXPECT_DOUBLE_EQ(ctrl.baseline(), 4.0);
+  // A calmer window lowers the baseline after being judged against the
+  // old one ((2+1)/(4+1) = 0.6: calm).
+  feed_window(ctrl, 2.0, cfg.window);
+  EXPECT_DOUBLE_EQ(ctrl.baseline(), 2.0);
+  // Pressure is now measured against the demonstrated best: an 8.0
+  // window scores (8+1)/(2+1) = 3 >= degrade_ratio.
+  EXPECT_TRUE(feed_window(ctrl, 8.0, cfg.window));
+  EXPECT_EQ(ctrl.rung(), DegradationRung::kTrimLookahead);
+}
+
+TEST(OverloadController, TimeInRungBooksEveryObservation) {
+  const OverloadConfig cfg = quick_config();
+  OverloadController ctrl{cfg};
+  feed_window(ctrl, 1.0, cfg.window);
+  feed_window(ctrl, 10.0, cfg.window);  // -> rung 1
+  feed_window(ctrl, 10.0, cfg.window);  // -> rung 2
+  const OverloadStats& s = ctrl.stats();
+  const std::uint64_t total = std::accumulate(
+      s.requests_at_rung.begin(), s.requests_at_rung.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(total, 3u * cfg.window);
+  EXPECT_EQ(s.requests_at_rung[0], 2u * cfg.window);
+  EXPECT_EQ(s.requests_at_rung[1], cfg.window);
+  EXPECT_EQ(s.degraded_requests, cfg.window);
+}
+
+// Drives a fresh controller to exactly `rung` via single-observation
+// windows (window = 1 makes every observation close a window).
+OverloadController at_rung(int rung, std::size_t depth = 2,
+                           std::size_t budget = 1) {
+  OverloadConfig cfg = quick_config();
+  cfg.window = 1;
+  cfg.lookahead_depth = depth;
+  cfg.budget_items = budget;
+  OverloadController ctrl{cfg};
+  ctrl.observe(1.0);  // seed baseline
+  for (int i = 0; i < rung; ++i) ctrl.observe(10.0);
+  EXPECT_EQ(static_cast<int>(ctrl.rung()), rung);
+  return ctrl;
+}
+
+TEST(OverloadController, DegradeRowKeepsTopCandidatesByRung) {
+  std::vector<double> row{0.1, 0.4, 0.2, 0.3};
+
+  // kTrimLookahead keeps the lookahead_depth (2) largest probabilities.
+  auto trim = at_rung(1);
+  auto r = row;
+  trim.degrade_row(r);
+  EXPECT_EQ(r, (std::vector<double>{0.0, 0.4, 0.0, 0.3}));
+
+  // kTrimBudget and kStrictAdmission cap at budget_items (1).
+  for (int rung : {2, 3}) {
+    auto ctrl = at_rung(rung);
+    r = row;
+    ctrl.degrade_row(r);
+    EXPECT_EQ(r, (std::vector<double>{0.0, 0.4, 0.0, 0.0})) << rung;
+  }
+
+  // kPrefetchOff zeroes everything — the warmup mechanism.
+  auto off = at_rung(4);
+  r = row;
+  off.degrade_row(r);
+  EXPECT_EQ(r, (std::vector<double>{0.0, 0.0, 0.0, 0.0}));
+}
+
+TEST(OverloadController, DegradeRowBreaksTiesTowardLowerItemIds) {
+  auto ctrl = at_rung(1, /*depth=*/2);
+  std::vector<double> row{0.25, 0.25, 0.25, 0.25};
+  ctrl.degrade_row(row);
+  EXPECT_EQ(row, (std::vector<double>{0.25, 0.25, 0.0, 0.0}));
+}
+
+// ---- Driver integration -------------------------------------------------
+
+SimSpec des_spec(SimDriverKind driver) {
+  SimSpec spec;
+  spec.driver = driver;
+  spec.workload.n_items = 20;
+  spec.requests = driver == SimDriverKind::MultiClientDes ? 300 : 800;
+  spec.cache_size = 5;
+  spec.bandwidth = 1.0;
+  spec.latency = 1.0;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(OverloadRuntime, UntrippedControllerIsBitIdenticalToNone) {
+  for (const SimDriverKind driver :
+       {SimDriverKind::NetsimDes, SimDriverKind::MultiClientDes}) {
+    SimSpec calm = des_spec(driver);
+    calm.overload.enabled = true;
+    calm.overload.degrade_ratio = 1e9;  // unreachable: never transitions
+    calm.overload.recover_ratio = 1.0;
+    const SimResult a = run_sim(des_spec(driver));
+    const SimResult b = run_sim(calm);
+    EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+    EXPECT_EQ(a.metrics.network_time, b.metrics.network_time);
+    EXPECT_EQ(a.metrics.solver_nodes, b.metrics.solver_nodes);
+    EXPECT_EQ(a.metrics.mean_access_time(), b.metrics.mean_access_time());
+    EXPECT_EQ(b.overload.transitions, 0u);
+    EXPECT_EQ(b.overload.max_rung, 0);
+    EXPECT_EQ(b.overload.requests_at_rung[0], b.metrics.requests);
+  }
+}
+
+TEST(OverloadRuntime, SameSeedReproducesRungTrajectory) {
+  SimSpec spec = des_spec(SimDriverKind::MultiClientDes);
+  spec.fault.fail_rate = 0.4;
+  spec.fault.stall_rate = 0.3;
+  spec.fault.stall_factor = 6.0;
+  spec.fault.retry.max_attempts = 3;
+  spec.overload.enabled = true;
+  spec.overload.window = 16;
+  spec.overload.degrade_ratio = 1.5;
+  const SimResult a = run_sim(spec);
+  const SimResult b = run_sim(spec);
+  EXPECT_EQ(a.overload, b.overload);
+  EXPECT_EQ(a.fault, b.fault);
+  EXPECT_EQ(a.metrics.network_time, b.metrics.network_time);
+}
+
+TEST(OverloadRuntime, NonDesDriversRejectOverloadAndDeadline) {
+  for (const SimDriverKind driver :
+       {SimDriverKind::PrefetchOnly, SimDriverKind::PrefetchCache,
+        SimDriverKind::Scenario}) {
+    SimSpec spec;
+    spec.driver = driver;
+    spec.overload.enabled = true;
+    EXPECT_THROW(run_sim(spec), std::invalid_argument);
+    spec.overload.enabled = false;
+    spec.deadline = 10.0;
+    EXPECT_THROW(run_sim(spec), std::invalid_argument);
+  }
+}
+
+// The acceptance bar from the issue: under sustained fault pressure on a
+// slow shared link, shedding planning effort must beat business as usual
+// — the controller-on run serves strictly more requests within the
+// deadline than the controller-off run at the same fault rate.
+TEST(OverloadRuntime, ControllerBeatsNoControllerUnderFaultPressure) {
+  SimSpec off = des_spec(SimDriverKind::MultiClientDes);
+  off.multi_client.clients = 4;
+  off.requests = 400;
+  off.bandwidth = 0.25;  // modem-grade shared link
+  off.latency = 5.0;
+  off.fault.fail_rate = 0.35;
+  off.fault.stall_rate = 0.3;
+  off.fault.stall_factor = 6.0;
+  off.fault.retry.max_attempts = 3;
+  off.fault.retry.backoff_base = 2.0;
+  off.deadline = 30.0;
+
+  SimSpec on = off;
+  on.overload.enabled = true;
+  on.overload.window = 16;
+  on.overload.degrade_ratio = 1.5;
+  on.overload.recover_ratio = 1.1;
+  on.overload.recover_windows = 2;
+
+  const SimResult without = run_sim(off);
+  const SimResult with = run_sim(on);
+  EXPECT_GT(with.overload.transitions, 0u)
+      << "controller never engaged: the scenario is not hot enough to "
+         "test anything";
+  EXPECT_GT(with.deadline_hits, without.deadline_hits)
+      << "degrading under pressure must serve more requests within the "
+         "deadline than full-effort planning";
+}
+
+}  // namespace
+}  // namespace skp

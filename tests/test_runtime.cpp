@@ -675,5 +675,42 @@ TEST(SimShard, MergeRejectsBrokenDocuments) {
             header + "0,a\n1,b\n");
 }
 
+TEST(SimShard, MergeInterleavesPerClientCompanions) {
+  // A per-client companion document (second column `client`) merges on
+  // the (index, client) pair: shards own disjoint spec indices but every
+  // shard carries ALL of its specs' client rows.
+  const std::string header = "index,client,x\n";
+  const std::string shard0 = header + "0,0,a\n0,1,b\n2,0,e\n2,1,f\n";
+  const std::string shard1 = header + "1,0,c\n1,1,d\n";
+  EXPECT_EQ(merge_sharded_csv({shard0, shard1}),
+            header + "0,0,a\n0,1,b\n1,0,c\n1,1,d\n2,0,e\n2,1,f\n");
+  // Input order irrelevant, like the main document.
+  EXPECT_EQ(merge_sharded_csv({shard1, shard0}),
+            merge_sharded_csv({shard0, shard1}));
+}
+
+TEST(SimShard, MergeRejectsBrokenPerClientDocuments) {
+  const std::string header = "index,client,x\n";
+  // Client rows must be dense from 0 within each index.
+  EXPECT_THROW(merge_sharded_csv({header + "0,0,a\n0,2,c\n"}),
+               std::invalid_argument);
+  EXPECT_THROW(merge_sharded_csv({header + "0,1,b\n"}),
+               std::invalid_argument);
+  // Spec indices must still cover 0..max with no gap.
+  EXPECT_THROW(merge_sharded_csv({header + "0,0,a\n2,0,c\n"}),
+               std::invalid_argument);
+  // Duplicate (index, client) pair across shards.
+  EXPECT_THROW(
+      merge_sharded_csv({header + "0,0,a\n", header + "0,0,b\n"}),
+      std::invalid_argument);
+  // Non-numeric client cell.
+  EXPECT_THROW(merge_sharded_csv({header + "0,zero,a\n"}),
+               std::invalid_argument);
+  // A per-client shard cannot merge with a plain shard (header check).
+  EXPECT_THROW(
+      merge_sharded_csv({header + "0,0,a\n", "index,x\n1,b\n"}),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace skp

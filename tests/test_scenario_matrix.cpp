@@ -9,8 +9,9 @@
 //   2. Bit-level determinism: the same (scenario, seed) must reproduce the
 //      same counters run-to-run.
 //   3. Golden hit-rates on the full matrix plus the Pr-arbitration,
-//      DES-backed (NetsimDes), shared-link contention (MultiClientDes)
-//      and hostile-world (flash crowd / churn / time-varying link)
+//      DES-backed (NetsimDes), shared-link contention (MultiClientDes),
+//      hostile-world (flash crowd / churn / time-varying link) and
+//      robustness (fault injection / overload controller)
 //      variants. Tolerance: +/- 0.03 absolute. The
 //      runs are
 //      deterministic, so on one toolchain the match is exact; the slack
@@ -121,6 +122,21 @@ std::vector<ScenarioConfig> hostile_matrix() {
   return all;
 }
 
+// Robustness variant: the fault-injected NetsimDes mode and the
+// fault+overload-controller MultiClientDes mode at every predictor x net
+// point, on the default Markov workload under LRU — locking the fault
+// model and the degradation ladder into the golden matrix.
+std::vector<ScenarioConfig> robustness_matrix() {
+  const PlanMode kRobustModes[] = {PlanMode::Faulty, PlanMode::Overload};
+  std::vector<ScenarioConfig> all;
+  for (const auto m : kRobustModes)
+    for (const auto p : kPredictors)
+      for (const auto& n : kNets)
+        all.push_back(make_config(p, CachePolicyKind::LRU, n,
+                                  ScenarioWorkload::MarkovChain, m));
+  return all;
+}
+
 class ScenarioMatrixTest : public ::testing::TestWithParam<ScenarioConfig> {};
 
 TEST_P(ScenarioMatrixTest, InvariantsHold) {
@@ -185,6 +201,13 @@ INSTANTIATE_TEST_SUITE_P(
       return scenario_name(info.param);
     });
 
+INSTANTIATE_TEST_SUITE_P(
+    Robustness, ScenarioMatrixTest,
+    ::testing::ValuesIn(robustness_matrix()),
+    [](const ::testing::TestParamInfo<ScenarioConfig>& info) {
+      return scenario_name(info.param);
+    });
+
 TEST(ScenarioDeterminism, SameSeedSameCounters) {
   // One combo per workload x predictor pairing (cache/net varied too);
   // default-equality on ScenarioResult covers every counter incl. doubles.
@@ -205,6 +228,10 @@ TEST(ScenarioDeterminism, SameSeedSameCounters) {
                   ScenarioWorkload::MarkovChain, PlanMode::Churn),
       make_config(PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
                   ScenarioWorkload::Adversarial, PlanMode::LinkSchedule),
+      make_config(PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+                  ScenarioWorkload::MarkovChain, PlanMode::Faulty),
+      make_config(PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+                  ScenarioWorkload::MarkovChain, PlanMode::Overload),
   };
   for (const auto& cfg : picks) {
     const ScenarioResult a = run_scenario(cfg);
@@ -264,8 +291,9 @@ struct GoldenRow {
 };
 
 // The full 144-combination EmptyCache matrix plus the 36-combination
-// Pr-arbitration, NetsimDes and MultiClientDes variants and the
-// 27-combination hostile-world variant (279 rows). Values produced by
+// Pr-arbitration, NetsimDes and MultiClientDes variants, the
+// 27-combination hostile-world variant and the 18-combination
+// fault/overload robustness variant (297 rows). Values produced by
 // PrintGoldenTable (below) at seed 2026, 1200 aggregate requests;
 // tolerance documented in the file header. Refresh with
 // tests/refresh_goldens.sh --apply.
@@ -831,6 +859,42 @@ const std::vector<GoldenRow> kGolden = {
      ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.682500},
     {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
      ScenarioWorkload::MarkovChain, PlanMode::LinkSchedule, 0.473333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.879167},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.687500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.431667},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.555000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.538333},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.472500},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.865000},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.680833},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Faulty, 0.473333},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.534167},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.297500},
+    {PredictorKind::Markov1, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.304167},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.487500},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.300000},
+    {PredictorKind::Lz78, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.343333},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kLan,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.469167},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kWan,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.326667},
+    {PredictorKind::Ppm, CachePolicyKind::LRU, kModem,
+     ScenarioWorkload::MarkovChain, PlanMode::Overload, 0.331667},
     // clang-format on
 };
 
@@ -883,6 +947,8 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
       case PlanMode::FlashCrowd: return "FlashCrowd";
       case PlanMode::Churn: return "Churn";
       case PlanMode::LinkSchedule: return "LinkSchedule";
+      case PlanMode::Faulty: return "Faulty";
+      case PlanMode::Overload: return "Overload";
     }
     return "?";
   };
@@ -901,6 +967,7 @@ TEST(ScenarioGolden, DISABLED_PrintGoldenTable) {
   for (const auto& cfg : netsim_des_matrix()) print_row(cfg);
   for (const auto& cfg : multi_client_des_matrix()) print_row(cfg);
   for (const auto& cfg : hostile_matrix()) print_row(cfg);
+  for (const auto& cfg : robustness_matrix()) print_row(cfg);
 }
 
 }  // namespace

@@ -97,6 +97,24 @@ run flags (single-value spec fields):
   --churn-downtime X     multi_client driver: offline span per departure
   --link-phases LIST     time-varying link (netsim_des / multi_client):
                          comma list of DUR:BW:LAT phases, cycling
+  --fail-rate X          fault injection (netsim_des / multi_client):
+                         P(prefetch attempt fails outright), in [0,1]
+  --stall-rate X         P(attempt runs --stall-factor x slower)
+  --stall-factor X       stall slowdown multiplier (default 4)
+  --timeout X            abort prefetch attempts longer than X (0 = off)
+  --retry SPEC           MAX[:BASE[:FACTOR[:JITTER]]] retry policy for
+                         failed prefetch attempts (default 1 = no retries)
+  --overload             enable the adaptive overload controller
+                         (netsim_des / multi_client)
+  --overload-window N    realized-time sample window (default 64)
+  --overload-degrade X   descend a rung at sample/baseline >= X
+  --overload-recover X   calm window at sample/baseline <= X
+  --overload-recover-windows N
+                         consecutive calm windows before ascending
+  --overload-depth N     rung-1 lookahead candidate cap
+  --overload-budget N    rung-2 prefetch budget cap
+  --deadline X           count requests served within X time units
+                         (netsim_des / multi_client)
   --method M             iid row: skewy | flat
   --skew-exponent X      iid skewy exponent
   --zipf-s X             Zipf tail exponent
@@ -113,13 +131,15 @@ run flags (sweep axes; comma lists, numeric axes accept LO:HI:STEP):
   --cache-sizes LIST --policies LIST --subs LIST --predictors LIST
   --seeds LIST --thresholds LIST --replacements LIST (scenario)
   --client-counts LIST --link-speedups LIST (multi_client)
+  --fail-rates LIST (netsim_des / multi_client)
 
 run flags (execution):
   --spec FILE            JSON sweep definition (base/axes/shard/csv/threads)
   --shard I/N            run only the specs with index % N == I
   --csv PATH             write CSV to PATH instead of stdout
   --per-client-csv PATH  multi_client driver: companion CSV with one row
-                         per (spec, client); single-shard runs only
+                         per (spec, client); shard companions merge like
+                         the main document (simctl merge)
   --threads N            sweep threads (0 = hardware concurrency)
 )";
   std::exit(exit_code);
@@ -194,7 +214,7 @@ int preset_command(const std::vector<std::string>& args) {
 int run_command(const std::vector<std::string>& args) {
   SimSpec base;
   // Sweep axes (empty = use the base spec's single value).
-  std::vector<double> thresholds, link_speedups;
+  std::vector<double> thresholds, link_speedups, fail_rates;
   std::vector<std::uint64_t> cache_sizes, seeds, client_counts;
   std::vector<PrefetchPolicy> policies;
   std::vector<SubArbitration> subs;
@@ -212,6 +232,7 @@ int run_command(const std::vector<std::string>& args) {
   bool adv_flag = false;
   bool multi_client_flag = false;
   bool link_schedule_flag = false;
+  bool robustness_flag = false;
 
   auto need_value = [&](std::size_t& i, const char* flag) ->
       const std::string& {
@@ -314,6 +335,57 @@ int run_command(const std::vector<std::string>& args) {
       base.link_schedule = simctl::parse_link_schedule(
           need_value(i, flag.c_str()), "--link-phases");
       link_schedule_flag = true;
+    } else if (flag == "--fail-rate") {
+      base.fault.fail_rate =
+          parse_double(need_value(i, flag.c_str()), "--fail-rate");
+      robustness_flag = true;
+    } else if (flag == "--stall-rate") {
+      base.fault.stall_rate =
+          parse_double(need_value(i, flag.c_str()), "--stall-rate");
+      robustness_flag = true;
+    } else if (flag == "--stall-factor") {
+      base.fault.stall_factor =
+          parse_double(need_value(i, flag.c_str()), "--stall-factor");
+      robustness_flag = true;
+    } else if (flag == "--timeout") {
+      base.fault.timeout =
+          parse_double(need_value(i, flag.c_str()), "--timeout");
+      robustness_flag = true;
+    } else if (flag == "--retry") {
+      base.fault.retry =
+          simctl::parse_retry_policy(need_value(i, "--retry"), "--retry");
+      robustness_flag = true;
+    } else if (flag == "--overload") {
+      base.overload.enabled = true;
+      robustness_flag = true;
+    } else if (flag == "--overload-window") {
+      base.overload.window = static_cast<std::size_t>(
+          parse_u64(need_value(i, flag.c_str()), "--overload-window"));
+      robustness_flag = true;
+    } else if (flag == "--overload-degrade") {
+      base.overload.degrade_ratio =
+          parse_double(need_value(i, flag.c_str()), "--overload-degrade");
+      robustness_flag = true;
+    } else if (flag == "--overload-recover") {
+      base.overload.recover_ratio =
+          parse_double(need_value(i, flag.c_str()), "--overload-recover");
+      robustness_flag = true;
+    } else if (flag == "--overload-recover-windows") {
+      base.overload.recover_windows = static_cast<std::size_t>(parse_u64(
+          need_value(i, flag.c_str()), "--overload-recover-windows"));
+      robustness_flag = true;
+    } else if (flag == "--overload-depth") {
+      base.overload.lookahead_depth = static_cast<std::size_t>(
+          parse_u64(need_value(i, flag.c_str()), "--overload-depth"));
+      robustness_flag = true;
+    } else if (flag == "--overload-budget") {
+      base.overload.budget_items = static_cast<std::size_t>(
+          parse_u64(need_value(i, flag.c_str()), "--overload-budget"));
+      robustness_flag = true;
+    } else if (flag == "--deadline") {
+      base.deadline =
+          parse_double(need_value(i, flag.c_str()), "--deadline");
+      robustness_flag = true;
     } else if (flag == "--method") {
       const std::string v = need_value(i, "--method");
       const auto m = parse_prob_method(v);
@@ -408,6 +480,10 @@ int run_command(const std::vector<std::string>& args) {
       link_speedups = parse_numeric_axis(need_value(i, flag.c_str()),
                                          "--link-speedups");
       multi_client_flag = true;
+    } else if (flag == "--fail-rates") {
+      fail_rates = parse_numeric_axis(need_value(i, flag.c_str()),
+                                      "--fail-rates");
+      robustness_flag = true;
     } else if (flag == "--shard") {
       const std::vector<std::string> parts =
           split(need_value(i, "--shard"), '/');
@@ -455,13 +531,14 @@ int run_command(const std::vector<std::string>& args) {
   if (!replacements.empty() && base.driver != SimDriverKind::Scenario) {
     fail("--replacements applies to --driver scenario only");
   }
+  if (robustness_flag && base.driver != SimDriverKind::NetsimDes &&
+      base.driver != SimDriverKind::MultiClientDes) {
+    fail("--fail-rate/--stall-rate/--stall-factor/--timeout/--retry/"
+         "--fail-rates/--overload*/--deadline apply to --driver "
+         "netsim_des or multi_client only");
+  }
   if (per_client_csv_path && base.driver != SimDriverKind::MultiClientDes) {
     fail("--per-client-csv applies to --driver multi_client only");
-  }
-  if (per_client_csv_path && shard_count > 1) {
-    // The merge protocol is keyed on the main document's index column;
-    // a sharded per-client companion would need its own merge pass.
-    fail("--per-client-csv is single-shard only (run without --shard)");
   }
 
   // Enumerate the cross-product in a fixed nesting order — the spec
@@ -503,19 +580,26 @@ int run_command(const std::vector<std::string>& args) {
                            ? std::vector<double>{
                                  base.multi_client.link_speedup}
                            : link_speedups) {
-                    SimSpec spec = base;
-                    spec.seed = seed;
-                    spec.policy = policy;
-                    spec.sub = sub;
-                    spec.predictor = predictor;
-                    spec.min_profit_threshold = threshold;
-                    spec.cache_size = static_cast<std::size_t>(cache_size);
-                    spec.replacement = replacement;
-                    spec.multi_client.clients =
-                        static_cast<std::size_t>(clients);
-                    spec.multi_client.link_speedup = link_speedup;
+                    for (const double fail_rate :
+                         fail_rates.empty()
+                             ? std::vector<double>{base.fault.fail_rate}
+                             : fail_rates) {
+                      SimSpec spec = base;
+                      spec.seed = seed;
+                      spec.policy = policy;
+                      spec.sub = sub;
+                      spec.predictor = predictor;
+                      spec.min_profit_threshold = threshold;
+                      spec.cache_size =
+                          static_cast<std::size_t>(cache_size);
+                      spec.replacement = replacement;
+                      spec.multi_client.clients =
+                          static_cast<std::size_t>(clients);
+                      spec.multi_client.link_speedup = link_speedup;
+                      spec.fault.fail_rate = fail_rate;
 
-                    sweep.push_back(spec);
+                      sweep.push_back(spec);
+                    }
                   }
                 }
               }

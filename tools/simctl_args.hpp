@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/link_schedule.hpp"
 #include "util/json.hpp"
 
@@ -169,6 +170,29 @@ inline std::vector<LinkPhase> parse_link_schedule(const std::string& value,
   }
   if (schedule.empty()) bad_arg(std::string(flag) + ": empty schedule");
   return schedule;
+}
+
+// Retry policy: "MAX[:BASE[:FACTOR[:JITTER]]]", e.g. "3:0.5:2:0.1" =
+// up to 3 attempts, re-attempt k waiting 0.5 * 2^(k-1), inflated by up
+// to 10% deterministic jitter (sim/fault.hpp). Omitted fields keep the
+// RetryPolicy defaults; range checks live in validate_fault_spec so the
+// CLI and the JSON path reject the same inputs the runtime would.
+inline RetryPolicy parse_retry_policy(const std::string& value,
+                                      const char* flag) {
+  const std::vector<std::string> parts = split(value, ':');
+  if (parts.empty() || parts.size() > 4) {
+    bad_arg(std::string(flag) + " expects MAX[:BASE[:FACTOR[:JITTER]]], "
+            "got '" + value + "'");
+  }
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<std::size_t>(parse_u64(parts[0], flag));
+  if (parts.size() > 1) policy.backoff_base = parse_double(parts[1], flag);
+  if (parts.size() > 2) {
+    policy.backoff_factor = parse_double(parts[2], flag);
+  }
+  if (parts.size() > 3) policy.jitter = parse_double(parts[3], flag);
+  return policy;
 }
 
 // ---- JSON spec files ----------------------------------------------------

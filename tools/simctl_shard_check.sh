@@ -68,15 +68,23 @@ cat > "$tmp/sweep.json" <<'EOF'
   "axes": {"seeds": "1:2:1", "cache_sizes": [5, 8]}
 }
 EOF
-"$bin" run --spec "$tmp/sweep.json" --csv "$tmp/spec_single.csv"
+"$bin" run --spec "$tmp/sweep.json" --csv "$tmp/spec_single.csv" \
+    --per-client-csv "$tmp/pc_single.csv"
 "$bin" run --spec "$tmp/sweep.json" --shard 0/2 --csv "$tmp/spec0.csv" \
-    2>/dev/null
+    --per-client-csv "$tmp/pc0.csv" 2>/dev/null
 "$bin" run --spec "$tmp/sweep.json" --shard 1/2 --csv "$tmp/spec1.csv" \
-    2>/dev/null
+    --per-client-csv "$tmp/pc1.csv" 2>/dev/null
 "$bin" merge "$tmp/spec_merged.csv" "$tmp/spec0.csv" "$tmp/spec1.csv"
 diff "$tmp/spec_single.csv" "$tmp/spec_merged.csv"
+
+# Per-client companion documents shard and merge exactly like the main
+# document: rows keyed by (spec index, client), byte-identical after
+# interleaving the shards back together.
+"$bin" merge "$tmp/pc_merged.csv" "$tmp/pc1.csv" "$tmp/pc0.csv"
+diff "$tmp/pc_single.csv" "$tmp/pc_merged.csv"
 
 echo "simctl shard merge is byte-identical to the single-process run" \
      "($(($(wc -l < "$tmp/single.csv") - 1)) flag specs, 2-way and 3-way" \
      "splits; $(($(wc -l < "$tmp/spec_single.csv") - 1)) spec-file specs," \
-     "2-way split; overlapping inputs rejected)"
+     "2-way split, plus $(($(wc -l < "$tmp/pc_single.csv") - 1)) per-client" \
+     "companion rows; overlapping inputs rejected)"
