@@ -173,6 +173,11 @@ SimSpec driver_spec(SimDriverKind kind) {
       spec.requests = kRequests / 4;
       spec.cache_size = 10;
       break;
+    case SimDriverKind::SkpdLoopback:
+      // Same decision path as netsim_des, served over a socket; the
+      // registry walk below skips it (needs a running skpd daemon).
+      spec.cache_size = 20;
+      break;
   }
   return spec;
 }
@@ -207,6 +212,10 @@ void run_driver_point(benchmark::State& state, const SimSpec& spec) {
 // file (benchmark names follow the registry's stable tokens).
 const int kRegisterDriverPoints = [] {
   for (const SimDriver& driver : driver_registry()) {
+    // skpd_loopback needs a daemon process (SKPD_BIN/SKPD_ADDR); the
+    // in-process snapshot cannot time it meaningfully anyway — its cost
+    // is the wire, not the decision path it shares with netsim_des.
+    if (driver.kind == SimDriverKind::SkpdLoopback) continue;
     const SimSpec spec = driver_spec(driver.kind);
     benchmark::RegisterBenchmark(
         (std::string("BM_Driver_") + driver.name).c_str(),

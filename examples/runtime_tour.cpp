@@ -16,6 +16,9 @@ int main() {
             << "  driver          hit rate  mean T   net/req  solver nodes\n";
 
   for (const SimDriver& driver : driver_registry()) {
+    // skpd_loopback serves the netsim_des path from a separate daemon
+    // process (SKPD_BIN/SKPD_ADDR); the in-process tour skips it.
+    if (driver.kind == SimDriverKind::SkpdLoopback) continue;
     SimSpec spec;
     spec.driver = driver.kind;
     spec.requests = 1'500;
@@ -51,6 +54,8 @@ int main() {
         spec.cache_size = 10;
         spec.requests = 400;  // per client
         break;
+      case SimDriverKind::SkpdLoopback:
+        continue;  // unreachable: skipped above
     }
     const SimResult res = run_sim(spec);
     std::cout << "  " << std::left << std::setw(15) << driver.name

@@ -89,8 +89,22 @@ bool OverloadController::observe(double waiting) {
   return true;
 }
 
+bool OverloadController::force_step_down() {
+  const int next =
+      std::min(static_cast<int>(rung_) + 1, kDegradationRungs - 1);
+  if (next == static_cast<int>(rung_)) return false;
+  rung_ = static_cast<DegradationRung>(next);
+  calm_streak_ = 0;
+  ++stats_.transitions;
+  ++stats_.forced_transitions;
+  stats_.max_rung = std::max(stats_.max_rung, next);
+  return true;
+}
+
 void OverloadController::degrade_row(std::span<double> row) {
-  if (!cfg_.enabled || rung_ == DegradationRung::kNormal) return;
+  // Keyed on the rung, not `enabled`: a forced rung (external pressure)
+  // must restrict planning even when the gradient watcher is off.
+  if (rung_ == DegradationRung::kNormal) return;
   if (rung_ == DegradationRung::kPrefetchOff) {
     std::fill(row.begin(), row.end(), 0.0);
     return;
@@ -123,6 +137,7 @@ void OverloadController::degrade_row(std::span<double> row) {
 
 void OverloadStats::merge(const OverloadStats& other) {
   transitions += other.transitions;
+  forced_transitions += other.forced_transitions;
   max_rung = std::max(max_rung, other.max_rung);
   degraded_requests += other.degraded_requests;
   for (std::size_t i = 0; i < requests_at_rung.size(); ++i) {

@@ -59,6 +59,10 @@ void validate_overload_config(const OverloadConfig& cfg);
 
 struct OverloadStats {
   std::uint64_t transitions = 0;       // rung changes, both directions
+  // Subset of `transitions` commanded externally via force_step_down()
+  // (the skpd daemon's slow-reader backpressure) rather than by the
+  // gradient watching realized waiting times.
+  std::uint64_t forced_transitions = 0;
   int max_rung = 0;                    // deepest rung reached
   std::uint64_t degraded_requests = 0; // observations taken at rung > 0
   // Time-in-rung, measured in observations (requests) spent at each rung.
@@ -84,6 +88,16 @@ class OverloadController {
   // (generation bumps + canonical-order tables) and refresh any frozen-
   // admission flag before planning again.
   bool observe(double waiting);
+
+  // External-pressure hook: descend one rung NOW, regardless of the
+  // gradient (and regardless of `enabled` — this is an imperative command
+  // from outside the waiting-time loop, e.g. the skpd daemon degrading a
+  // session whose connection write queue is backing up). Returns true
+  // when the rung changed; the caller owes the same plan-memoization
+  // invalidation observe() demands. A disabled controller never recovers
+  // from a forced rung (observe() is inert), matching the daemon's
+  // escalation ladder: degrade, then evict.
+  bool force_step_down();
 
   // Applies the current rung's planning restriction to a probability row
   // in place: keep the top-k probabilities (ties broken by lower item

@@ -36,6 +36,14 @@ class EventQueue {
     schedule_at(now_ + delay, std::move(action));
   }
 
+  // Absolute time of the earliest pending event; requires !empty().
+  // Lets a real-time wrapper (the skpd daemon runs this queue against
+  // the wall clock) sleep in poll() exactly until the next timer.
+  double next_when() const {
+    SKP_REQUIRE(!heap_.empty(), "next_when() on an empty event queue");
+    return heap_.top().when;
+  }
+
   // Runs the earliest event; returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) return false;

@@ -102,6 +102,23 @@ struct FaultStats {
   bool operator==(const FaultStats&) const = default;
 };
 
+// Delay before the next re-attempt, after `attempt` attempts have already
+// run (so the first re-attempt passes attempt == 1). One definition shared
+// by the DES fault model below and the skpd client's reconnect loop, so
+// "exponential backoff with deterministic jitter" means the same schedule
+// on both sides of the wire. Draws from `rng` only when jitter is engaged
+// — a jitter-free policy consumes no stream state.
+inline double retry_backoff_delay(const RetryPolicy& retry,
+                                  std::size_t attempt, Rng& rng) {
+  double backoff =
+      retry.backoff_base * std::pow(retry.backoff_factor,
+                                    static_cast<double>(attempt - 1));
+  if (retry.jitter > 0.0) {
+    backoff *= 1.0 + retry.jitter * rng.next_double();
+  }
+  return backoff;
+}
+
 // Outcome of pushing one logical transfer through the fault model:
 // `finish` is when the link frees up (last attempt's end), `busy` the
 // total occupancy across attempts (backoff gaps idle the link and are
@@ -151,14 +168,8 @@ FaultTransfer run_faulty_transfer(const FaultSpec& spec, Rng& rng,
       return out;
     }
     ++stats.retries;
-    double backoff =
-        spec.retry.backoff_base *
-        std::pow(spec.retry.backoff_factor,
-                 static_cast<double>(attempt - 1));
-    if (spec.retry.jitter > 0.0) {
-      backoff *= 1.0 + spec.retry.jitter * rng.next_double();
-    }
-    start = out.finish + backoff;  // the link idles through the backoff
+    // The link idles through the backoff gap.
+    start = out.finish + retry_backoff_delay(spec.retry, attempt, rng);
   }
 }
 

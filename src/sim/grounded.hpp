@@ -1,0 +1,86 @@
+// Shared grounding substrate of the net-grounded pipelines.
+//
+// The netsim_des, scenario and multi_client drivers — and now the skpd
+// daemon's session runner (sim/netsim_stepper.hpp) — must agree byte for
+// byte on (a) how a SimWorkload lowers to the concrete source configs and
+// (b) the stream layout that grounds retrieval times (structure /
+// trajectory / catalog streams as fixed children of the spec seed, sizes
+// drawn U{1..30} through r_i = latency + size_i / bandwidth). That
+// agreement is what makes rows from different drivers comparable and
+// what lets a daemon-served session replay a netsim_des golden exactly,
+// so the definitions live here, in one place, instead of per-driver
+// copies.
+#pragma once
+
+#include "sim/netsim.hpp"
+#include "sim/runtime.hpp"
+#include "util/rng.hpp"
+#include "workload/adversarial_source.hpp"
+#include "workload/markov_source.hpp"
+#include "workload/zipf_source.hpp"
+
+namespace skp {
+
+inline MarkovSourceConfig to_markov_config(const SimWorkload& w) {
+  MarkovSourceConfig cfg;
+  cfg.n_states = w.n_items;
+  cfg.out_degree_lo = w.out_degree_lo;
+  cfg.out_degree_hi = w.out_degree_hi;
+  cfg.v_lo = w.v_lo;
+  cfg.v_hi = w.v_hi;
+  cfg.r_lo = w.r_lo;
+  cfg.r_hi = w.r_hi;
+  cfg.integer_times = w.integer_times;
+  return cfg;
+}
+
+inline ZipfSourceConfig to_zipf_config(const SimWorkload& w) {
+  ZipfSourceConfig cfg;
+  cfg.n_items = w.n_items;
+  cfg.exponent = w.zipf_exponent;
+  cfg.shuffle = w.zipf_shuffle;
+  cfg.v_lo = w.v_lo;
+  cfg.v_hi = w.v_hi;
+  cfg.r_lo = w.r_lo;
+  cfg.r_hi = w.r_hi;
+  cfg.integer_times = w.integer_times;
+  return cfg;
+}
+
+inline AdversarialSourceConfig to_adversarial_config(const SimWorkload& w) {
+  AdversarialSourceConfig cfg;
+  cfg.n_items = w.n_items;
+  cfg.hot_set = w.adv_hot_set;
+  cfg.escape_prob = w.adv_escape;
+  cfg.v_lo = w.v_lo;
+  cfg.v_hi = w.v_hi;
+  cfg.r_lo = w.r_lo;
+  cfg.r_hi = w.r_hi;
+  cfg.integer_times = w.integer_times;
+  return cfg;
+}
+
+// The stream layout of the net-grounded pipelines. `root` is kept so
+// callers can derive further sibling streams (the scenario driver's
+// split(4) policy seed).
+struct GroundedStreams {
+  Rng root, build, walk;
+  ServerCatalog catalog;
+  NetConfig net;
+};
+
+inline GroundedStreams ground_streams(const SimSpec& spec) {
+  GroundedStreams g{Rng(spec.seed), Rng(0), Rng(0), {}, {}};
+  g.build = g.root.split(1);
+  g.walk = g.root.split(2);
+  Rng sizes_rng = g.root.split(3);
+  g.catalog.sizes.resize(spec.workload.n_items);
+  for (auto& s : g.catalog.sizes) {
+    s = static_cast<double>(sizes_rng.uniform_int(1, 30));
+  }
+  g.net.bandwidth = spec.bandwidth;
+  g.net.latency = spec.latency;
+  return g;
+}
+
+}  // namespace skp

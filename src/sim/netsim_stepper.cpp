@@ -1,0 +1,215 @@
+#include "sim/netsim_stepper.hpp"
+
+#include <utility>
+
+#include "sim/grounded.hpp"
+#include "util/require.hpp"
+#include "workload/zipf_source.hpp"
+
+namespace skp {
+
+NetsimStepper::NetsimStepper(const SimSpec& spec)
+    : spec_(spec), walk_(0), drift_rng_(0) {
+  const SimWorkload& w = spec_.workload;
+  SKP_REQUIRE(w.n_items >= 2, "n_items must be >= 2");
+  SKP_REQUIRE(spec_.requests >= 1, "requests must be >= 1");
+  SKP_REQUIRE(spec_.warmup == 0,
+              "netsim_des counts every request; use predictor_warmup for "
+              "an observe-only prefix");
+  // The session arbitrates its own victims (Figure-6 Pr-arbitration).
+  SKP_REQUIRE(!spec_.pr_planning &&
+                  spec_.replacement == ReplacementKind::LRU,
+              "netsim_des has no replacement-policy pipeline; "
+              "replacement/pr apply to the scenario driver");
+  SKP_REQUIRE(spec_.sized_capacity == 0.0,
+              "netsim_des has no byte-addressed cache; sized_capacity "
+              "applies to the prefetch_cache driver");
+  SKP_REQUIRE(spec_.multi_client == MultiClientSpec{},
+              "netsim_des is single-client; the multi_client section "
+              "applies to the multi_client driver");
+  const std::size_t n = w.n_items;
+
+  GroundedStreams g = ground_streams(spec_);
+  Rng& build = g.build;
+  walk_ = g.walk;
+  // Time-varying link: realized transfer pricing follows the schedule
+  // while the catalog's r_i (and so planning) stays the base estimate.
+  g.net.schedule = spec_.link_schedule;
+
+  EngineConfig ecfg;
+  ecfg.policy = spec_.policy;
+  ecfg.delta_rule = spec_.delta_rule;
+  ecfg.arbitration.sub = spec_.sub;
+  ecfg.min_profit_threshold = spec_.min_profit_threshold;
+  ecfg.evaluate_plan_g = false;
+  session_.emplace(std::move(g.catalog), g.net, ecfg, spec_.cache_size);
+  if (spec_.use_plan_cache) {
+    session_->enable_plan_cache(spec_.plan_cache_capacity);
+  }
+
+  // Robustness layer: faults draw from their dedicated stream (never
+  // perturbing build/walk), the controller watches every realized T.
+  validate_fault_spec(spec_.fault);
+  SKP_REQUIRE(spec_.deadline >= 0.0, "deadline must be >= 0");
+  if (spec_.fault.enabled()) {
+    session_->set_fault_injection(spec_.fault,
+                                  Rng(spec_.seed).split(kFaultStreamSalt));
+  }
+  overload_ = OverloadController(spec_.overload);
+
+  zeros_.assign(n, 0.0);
+  if (spec_.predictor == PredictorKind::Oracle) {
+    // Oracle mode: the DES rendition of the Fig.-7 protocol — ground-
+    // truth transition rows, context keys enabling plan memoization.
+    SKP_REQUIRE(w.kind == SimWorkloadKind::Markov ||
+                    w.kind == SimWorkloadKind::MarkovDrift ||
+                    w.kind == SimWorkloadKind::Zipf ||
+                    w.kind == SimWorkloadKind::Adversarial,
+                "oracle netsim_des needs a generative workload "
+                "(markov | markov_drift | zipf | adversarial)");
+    mcfg_ = to_markov_config(w);
+    source_.emplace(
+        w.kind == SimWorkloadKind::Zipf
+            ? make_zipf_source(to_zipf_config(w), build)
+        : w.kind == SimWorkloadKind::Adversarial
+            ? make_adversarial_source(to_adversarial_config(w), build)
+            : MarkovSource(mcfg_, build));
+    drift_rng_ = build.split(kPrefetchCacheDriftSalt);
+    drift_period_ =
+        w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
+    state_ = source_->current_state();
+  } else {
+    // Learned mode: materialized cycles drive an external predictor; an
+    // observe-only warmup plans against a zero row (the planner then
+    // fetches nothing). No context key — the predictor's state is
+    // outside the session's invalidation scope.
+    mat_ = materialize_workload(w, spec_.requests, build, walk_);
+    predictor_ = make_runtime_predictor(spec_.predictor, n);
+    P_.assign(n, 0.0);
+  }
+}
+
+void NetsimStepper::count_plan() {
+  const std::uint64_t now = session_->metrics().prefetch_fetches;
+  if (now > prev_prefetches_) ++plans_;
+  prev_prefetches_ = now;
+}
+
+void NetsimStepper::settle_request(double T) {
+  if (spec_.deadline > 0.0 && T <= spec_.deadline) ++deadline_hits_;
+  if (overload_.observe(T)) {
+    // Rung change: memoized plans were computed against the previous
+    // rung's degraded rows, so the context-key promise just broke.
+    session_->invalidate_plan_cache();
+    session_->set_plan_admission_frozen(
+        overload_.rung() >= DegradationRung::kStrictAdmission);
+  }
+}
+
+bool NetsimStepper::force_degrade() {
+  if (!overload_.force_step_down()) return false;
+  session_->invalidate_plan_cache();
+  session_->set_plan_admission_frozen(
+      overload_.rung() >= DegradationRung::kStrictAdmission);
+  return true;
+}
+
+void NetsimStepper::step_oracle() {
+  const std::size_t req = executed_;
+  if (drift_period_ != 0 && req != 0 && req % drift_period_ == 0) {
+    source_->redraw_transitions(mcfg_, drift_rng_);
+    // The context keys' promise (state -> row) just broke.
+    session_->invalidate_plan_cache();
+  }
+  const double v = source_->viewing_time(state_);
+  // An observe-only warmup prefix plans against a zero row (fetches
+  // nothing), mirroring the learned branch's semantics.
+  const bool planning = req >= spec_.predictor_warmup;
+  std::span<const double> row = planning
+                                    ? source_->transition_row(state_)
+                                    : std::span<const double>(zeros_);
+  if (planning && overload_.rung() != DegradationRung::kNormal) {
+    // Degrade a copy — the source's rows are ground truth for every
+    // later cycle.
+    degraded_.assign(row.begin(), row.end());
+    overload_.degrade_row(degraded_);
+    row = degraded_;
+  }
+  const auto next = static_cast<ItemId>(source_->step(walk_));
+  std::optional<ItemId> oracle_next;
+  if (planning && spec_.policy == PrefetchPolicy::Perfect) {
+    oracle_next = next;
+  }
+  const double T =
+      session_->request(next, v, row, oracle_next,
+                        planning && spec_.use_plan_cache
+                            ? std::optional<std::uint64_t>(state_)
+                            : std::nullopt);
+  count_plan();
+  settle_request(T);
+  state_ = static_cast<std::size_t>(next);
+  last_T_ = T;
+}
+
+void NetsimStepper::step_learned() {
+  const std::size_t i = executed_;
+  const TraceRecord& rec = mat_.cycles[i];
+  std::span<const double> row = zeros_;
+  if (i >= spec_.predictor_warmup) {
+    predictor_->predict_into(P_);
+    for (double& p : P_) {
+      if (p < spec_.predictor_min_prob) p = 0.0;
+    }
+    overload_.degrade_row(P_);
+    row = P_;
+  }
+  std::optional<ItemId> oracle_next;
+  if (spec_.policy == PrefetchPolicy::Perfect) oracle_next = rec.item;
+  const double T =
+      session_->request(rec.item, rec.viewing_time, row, oracle_next);
+  count_plan();
+  settle_request(T);
+  predictor_->observe(rec.item);
+  last_T_ = T;
+}
+
+NetsimStepSnapshot NetsimStepper::step() {
+  SKP_REQUIRE(!done(), "netsim stepper already ran all "
+                           << spec_.requests << " cycles");
+  if (spec_.predictor == PredictorKind::Oracle) {
+    step_oracle();
+  } else {
+    step_learned();
+  }
+  ++executed_;
+  return snapshot();
+}
+
+NetsimStepSnapshot NetsimStepper::snapshot() const {
+  const SimMetrics& m = session_->metrics();
+  NetsimStepSnapshot s;
+  s.seq = executed_;
+  s.T = last_T_;
+  s.requests = m.requests;
+  s.hits = m.hits;
+  s.demand_fetches = m.demand_fetches;
+  s.prefetch_fetches = m.prefetch_fetches;
+  s.solver_nodes = m.solver_nodes;
+  s.plans = plans_;
+  s.deadline_hits = deadline_hits_;
+  return s;
+}
+
+SimResult NetsimStepper::result() const {
+  SimResult out;
+  out.metrics = session_->metrics();
+  out.plan_cache = session_->plan_cache_stats();
+  out.plans = plans_;
+  out.link_utilization = session_->link_utilization();
+  out.fault = session_->fault_stats();
+  out.overload = overload_.stats();
+  out.deadline_hits = deadline_hits_;
+  return out;
+}
+
+}  // namespace skp

@@ -13,9 +13,12 @@
 #include "predict/lz78_predictor.hpp"
 #include "predict/markov_predictor.hpp"
 #include "predict/ppm_predictor.hpp"
+#include "sim/grounded.hpp"
 #include "sim/multi_client.hpp"
 #include "sim/netsim.hpp"
+#include "sim/netsim_stepper.hpp"
 #include "sim/prefetch_only.hpp"
+#include "sim/skpd_loopback.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/require.hpp"
 #include "workload/adversarial_source.hpp"
@@ -50,44 +53,10 @@ std::unique_ptr<Predictor> make_runtime_predictor(PredictorKind kind,
 
 namespace {
 
-MarkovSourceConfig to_markov_config(const SimWorkload& w) {
-  MarkovSourceConfig cfg;
-  cfg.n_states = w.n_items;
-  cfg.out_degree_lo = w.out_degree_lo;
-  cfg.out_degree_hi = w.out_degree_hi;
-  cfg.v_lo = w.v_lo;
-  cfg.v_hi = w.v_hi;
-  cfg.r_lo = w.r_lo;
-  cfg.r_hi = w.r_hi;
-  cfg.integer_times = w.integer_times;
-  return cfg;
-}
-
-ZipfSourceConfig to_zipf_config(const SimWorkload& w) {
-  ZipfSourceConfig cfg;
-  cfg.n_items = w.n_items;
-  cfg.exponent = w.zipf_exponent;
-  cfg.shuffle = w.zipf_shuffle;
-  cfg.v_lo = w.v_lo;
-  cfg.v_hi = w.v_hi;
-  cfg.r_lo = w.r_lo;
-  cfg.r_hi = w.r_hi;
-  cfg.integer_times = w.integer_times;
-  return cfg;
-}
-
-AdversarialSourceConfig to_adversarial_config(const SimWorkload& w) {
-  AdversarialSourceConfig cfg;
-  cfg.n_items = w.n_items;
-  cfg.hot_set = w.adv_hot_set;
-  cfg.escape_prob = w.adv_escape;
-  cfg.v_lo = w.v_lo;
-  cfg.v_hi = w.v_hi;
-  cfg.r_lo = w.r_lo;
-  cfg.r_hi = w.r_hi;
-  cfg.integer_times = w.integer_times;
-  return cfg;
-}
+// to_markov_config / to_zipf_config / to_adversarial_config and the
+// GroundedStreams layout live in sim/grounded.hpp now — the netsim
+// stepper (and through it the skpd daemon) must agree on them byte for
+// byte with the drivers here.
 
 std::unique_ptr<ReplacementPolicy> make_runtime_policy(ReplacementKind kind,
                                                        std::uint64_t seed) {
@@ -317,185 +286,14 @@ SimResult run_trace_replay_driver(const SimSpec& spec) {
   return out;
 }
 
-// Shared stream layout of the net-grounded pipelines (netsim_des and
-// scenario): structure/trajectory/catalog streams ride fixed children of
-// the spec seed, and retrieval times come from a catalog of sizes drawn
-// U{1..30} through r_i = latency + size_i / bandwidth. The two drivers
-// MUST agree byte for byte here — that is what makes a NetsimDes golden
-// row comparable to the Scenario row of the same config — so the layout
-// lives in one place. `root` is returned so callers can derive further
-// sibling streams (the scenario driver's split(4) policy seed).
-struct GroundedStreams {
-  Rng root, build, walk;
-  ServerCatalog catalog;
-  NetConfig net;
-};
-
-GroundedStreams ground_streams(const SimSpec& spec) {
-  GroundedStreams g{Rng(spec.seed), Rng(0), Rng(0), {}, {}};
-  g.build = g.root.split(1);
-  g.walk = g.root.split(2);
-  Rng sizes_rng = g.root.split(3);
-  g.catalog.sizes.resize(spec.workload.n_items);
-  for (auto& s : g.catalog.sizes) {
-    s = static_cast<double>(sizes_rng.uniform_int(1, 30));
-  }
-  g.net.bandwidth = spec.bandwidth;
-  g.net.latency = spec.latency;
-  return g;
-}
-
 SimResult run_netsim_des_driver(const SimSpec& spec) {
-  const SimWorkload& w = spec.workload;
-  SKP_REQUIRE(spec.warmup == 0,
-              "netsim_des counts every request; use predictor_warmup for "
-              "an observe-only prefix");
-  // The session arbitrates its own victims (Figure-6 Pr-arbitration).
-  require_no_scenario_fields(spec, "netsim_des");
-  require_unsized(spec, "netsim_des");
-  require_single_client(spec, "netsim_des");
-  const std::size_t n = w.n_items;
-
-  GroundedStreams g = ground_streams(spec);
-  Rng& build = g.build;
-  Rng& walk = g.walk;
-  // Time-varying link: realized transfer pricing follows the schedule
-  // while the catalog's r_i (and so planning) stays the base estimate.
-  g.net.schedule = spec.link_schedule;
-
-  EngineConfig ecfg;
-  ecfg.policy = spec.policy;
-  ecfg.delta_rule = spec.delta_rule;
-  ecfg.arbitration.sub = spec.sub;
-  ecfg.min_profit_threshold = spec.min_profit_threshold;
-  ecfg.evaluate_plan_g = false;
-  ClientSession session(std::move(g.catalog), g.net, ecfg,
-                        spec.cache_size);
-  if (spec.use_plan_cache) {
-    session.enable_plan_cache(spec.plan_cache_capacity);
-  }
-
-  // Robustness layer: faults draw from their dedicated stream (never
-  // perturbing build/walk), the controller watches every realized T.
-  validate_fault_spec(spec.fault);
-  SKP_REQUIRE(spec.deadline >= 0.0, "deadline must be >= 0");
-  if (spec.fault.enabled()) {
-    session.set_fault_injection(spec.fault,
-                                Rng(spec.seed).split(kFaultStreamSalt));
-  }
-  OverloadController overload(spec.overload);
-
-  SimResult out;
-  std::uint64_t prev_prefetches = 0;
-  const auto count_plan = [&] {
-    const std::uint64_t now = session.metrics().prefetch_fetches;
-    if (now > prev_prefetches) ++out.plans;
-    prev_prefetches = now;
-  };
-  const auto settle_request = [&](double T) {
-    if (spec.deadline > 0.0 && T <= spec.deadline) ++out.deadline_hits;
-    if (overload.observe(T)) {
-      // Rung change: memoized plans were computed against the previous
-      // rung's degraded rows, so the context-key promise just broke.
-      session.invalidate_plan_cache();
-      session.set_plan_admission_frozen(
-          overload.rung() >= DegradationRung::kStrictAdmission);
-    }
-  };
-
-  if (spec.predictor == PredictorKind::Oracle) {
-    // Oracle mode: the DES rendition of the Fig.-7 protocol — ground-
-    // truth transition rows, context keys enabling plan memoization.
-    SKP_REQUIRE(w.kind == SimWorkloadKind::Markov ||
-                    w.kind == SimWorkloadKind::MarkovDrift ||
-                    w.kind == SimWorkloadKind::Zipf ||
-                    w.kind == SimWorkloadKind::Adversarial,
-                "oracle netsim_des needs a generative workload "
-                "(markov | markov_drift | zipf | adversarial)");
-    const MarkovSourceConfig mcfg = to_markov_config(w);
-    MarkovSource source =
-        w.kind == SimWorkloadKind::Zipf
-            ? make_zipf_source(to_zipf_config(w), build)
-        : w.kind == SimWorkloadKind::Adversarial
-            ? make_adversarial_source(to_adversarial_config(w), build)
-            : MarkovSource(mcfg, build);
-    Rng drift_rng = build.split(kPrefetchCacheDriftSalt);
-    const std::size_t period =
-        w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
-    const std::vector<double> zeros(n, 0.0);
-    std::vector<double> degraded;  // oracle-row copy under degradation
-    std::size_t state = source.current_state();
-    for (std::size_t req = 0; req < spec.requests; ++req) {
-      if (period != 0 && req != 0 && req % period == 0) {
-        source.redraw_transitions(mcfg, drift_rng);
-        // The context keys' promise (state -> row) just broke.
-        session.invalidate_plan_cache();
-      }
-      const double v = source.viewing_time(state);
-      // An observe-only warmup prefix plans against a zero row (fetches
-      // nothing), mirroring the learned branch's semantics.
-      const bool planning = req >= spec.predictor_warmup;
-      std::span<const double> row =
-          planning ? source.transition_row(state)
-                   : std::span<const double>(zeros);
-      if (planning && overload.rung() != DegradationRung::kNormal) {
-        // Degrade a copy — the source's rows are ground truth for every
-        // later cycle.
-        degraded.assign(row.begin(), row.end());
-        overload.degrade_row(degraded);
-        row = degraded;
-      }
-      const auto next = static_cast<ItemId>(source.step(walk));
-      std::optional<ItemId> oracle_next;
-      if (planning && spec.policy == PrefetchPolicy::Perfect) {
-        oracle_next = next;
-      }
-      const double T =
-          session.request(next, v, row, oracle_next,
-                          planning && spec.use_plan_cache
-                              ? std::optional<std::uint64_t>(state)
-                              : std::nullopt);
-      count_plan();
-      settle_request(T);
-      state = static_cast<std::size_t>(next);
-    }
-  } else {
-    // Learned mode: materialized cycles drive an external predictor; an
-    // observe-only warmup plans against a zero row (the planner then
-    // fetches nothing). No context key — the predictor's state is
-    // outside the session's invalidation scope.
-    const MaterializedWorkload mat =
-        materialize_workload(w, spec.requests, build, walk);
-    auto predictor = make_runtime_predictor(spec.predictor, n);
-    std::vector<double> P(n, 0.0);
-    const std::vector<double> zeros(n, 0.0);
-    for (std::size_t i = 0; i < mat.cycles.size(); ++i) {
-      const TraceRecord& rec = mat.cycles[i];
-      std::span<const double> row = zeros;
-      if (i >= spec.predictor_warmup) {
-        predictor->predict_into(P);
-        for (double& p : P) {
-          if (p < spec.predictor_min_prob) p = 0.0;
-        }
-        overload.degrade_row(P);
-        row = P;
-      }
-      std::optional<ItemId> oracle_next;
-      if (spec.policy == PrefetchPolicy::Perfect) oracle_next = rec.item;
-      const double T =
-          session.request(rec.item, rec.viewing_time, row, oracle_next);
-      count_plan();
-      settle_request(T);
-      predictor->observe(rec.item);
-    }
-  }
-
-  out.metrics = session.metrics();
-  out.plan_cache = session.plan_cache_stats();
-  out.link_utilization = session.link_utilization();
-  out.fault = session.fault_stats();
-  out.overload = overload.stats();
-  return out;
+  // The whole decision path — validation, stream layout, per-cycle loop
+  // body — lives in sim/netsim_stepper.hpp, shared with the skpd daemon.
+  // Keeping this driver a trivial drain of the stepper is what makes
+  // "daemon-served sessions match the in-process golden" structural.
+  NetsimStepper stepper(spec);
+  while (!stepper.done()) stepper.step();
+  return stepper.result();
 }
 
 SimResult run_scenario_driver(const SimSpec& spec) {
@@ -749,6 +547,8 @@ constexpr SimDriver kDrivers[] = {
     {SimDriverKind::Scenario, "scenario", &run_scenario_driver},
     {SimDriverKind::MultiClientDes, "multi_client",
      &run_multi_client_des_driver},
+    {SimDriverKind::SkpdLoopback, "skpd_loopback",
+     &run_skpd_loopback_driver},
 };
 
 }  // namespace
@@ -1167,6 +967,15 @@ std::string merge_sharded_csv(const std::vector<std::string>& shards,
     }
     while (std::getline(is, line)) {
       if (line.empty()) continue;
+      // simctl marks a signal-interrupted sweep with a "# interrupted
+      // at spec N" trailer. Such a document is a valid PARTIAL record
+      // for a human, but merging it would silently produce an
+      // incomplete sweep — reject it and make the operator re-run the
+      // shard.
+      SKP_REQUIRE(line[0] != '#',
+                  "shard " << shard_name(d)
+                           << " is an interrupted partial (" << line
+                           << ") — re-run that shard before merging");
       const std::size_t comma = line.find(',');
       SKP_REQUIRE(comma != std::string::npos && comma > 0,
                   "malformed shard row: " << line);

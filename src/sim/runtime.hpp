@@ -55,6 +55,10 @@ enum class SimDriverKind {
                   // net-grounded retrieval times (the scenario matrix)
   MultiClientDes, // K clients contending for ONE shared link (multi-user
                   // DES; see SimSpec::multi_client)
+  SkpdLoopback,   // netsim_des served by the skpd daemon over a loopback
+                  // socket (tools/skpd.cpp); decision path bit-identical
+                  // to NetsimDes. Needs SKPD_BIN or SKPD_ADDR in the
+                  // environment — see sim/skpd_loopback.hpp.
 };
 
 enum class SimWorkloadKind {
@@ -209,6 +213,11 @@ struct SimSpec {
 
   // Multi-user DES section (multi_client driver only).
   MultiClientSpec multi_client;
+
+  // Structural equality — the skpd handshake round-trips a spec over the
+  // wire and the resume path asserts the reattached session was created
+  // from the very spec the client is still driving.
+  bool operator==(const SimSpec&) const = default;
 };
 
 // ---- Unified result -----------------------------------------------------

@@ -1,0 +1,269 @@
+#include "sim/skpd_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("skpd client: " + what);
+}
+
+}  // namespace
+
+SkpdClient::SkpdClient(SkpdClientConfig cfg, const SimSpec& spec)
+    : cfg_(std::move(cfg)),
+      spec_(spec),
+      spec_text_(encode_sim_spec(spec)),
+      backoff_rng_(0x5ee0c11e) {
+  SKP_REQUIRE(cfg_.port > 0 && cfg_.port <= 65535,
+              "skpd client needs a valid port, got " << cfg_.port);
+  SKP_REQUIRE(cfg_.retry.max_attempts >= 1,
+              "skpd client retry budget must be >= 1");
+  ensure_connected();
+}
+
+SkpdClient::~SkpdClient() { hard_close(); }
+
+void SkpdClient::hard_close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+  rx_offset_ = 0;
+}
+
+void SkpdClient::connect_once() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket: " + std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    fail("bad host: " + cfg_.host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("connect: " + std::string(std::strerror(err)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+
+  // Handshake: new session on the first connect, resume afterwards. The
+  // ack tells the daemon which results this side actually holds.
+  SkpdHello hello;
+  hello.token = token_;
+  hello.last_ack = last_seq_;
+  if (token_ == 0) hello.spec_text = spec_text_;
+  send_frame(SkpdFrameType::kHello, encode_hello(hello));
+  std::string storage;
+  const SkpdFrame frame = read_frame(storage);
+  if (frame.type != SkpdFrameType::kWelcome) {
+    fail(std::string("expected WELCOME, got ") + to_string(frame.type));
+  }
+  const SkpdWelcome welcome = decode_welcome(frame.payload);
+  if (token_ != 0 && welcome.token != token_) {
+    fail("daemon answered resume with a different token");
+  }
+  token_ = welcome.token;
+  // The daemon can be at most one cycle ahead of our ack (synchronous
+  // client): anything further means we reattached to a foreign session.
+  if (welcome.executed > last_seq_ + 1) {
+    fail("resumed session is " +
+         std::to_string(welcome.executed - last_seq_) +
+         " cycles ahead of this client");
+  }
+}
+
+void SkpdClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  // token_ != 0 means a session already exists server-side, so this
+  // connect is a resume, not the initial attach.
+  const bool resuming = token_ != 0;
+  std::string last_error = "no attempt made";
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      connect_once();
+      if (resuming) ++reconnects_;
+      return;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      // A daemon-issued rejection (unknown token, bad spec) is final —
+      // retrying the same handshake cannot succeed.
+      if (what.rfind("skpd daemon error:", 0) == 0) throw;
+      hard_close();
+      last_error = what;
+    }
+    if (attempt >= cfg_.retry.max_attempts) break;
+    const double delay =
+        retry_backoff_delay(cfg_.retry, attempt, backoff_rng_);
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  fail("gave up after " + std::to_string(cfg_.retry.max_attempts) +
+       " connection attempts; last error: " + last_error);
+}
+
+void SkpdClient::send_frame(SkpdFrameType type,
+                            const std::string& payload) {
+  std::string wire;
+  append_skpd_frame(wire, type, payload);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+SkpdFrame SkpdClient::read_frame(std::string& storage) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(cfg_.reply_timeout));
+  for (;;) {
+    // Drain complete frames already buffered before reading more.
+    std::size_t offset = rx_offset_;
+    if (const auto frame = parse_skpd_frame(rx_, offset)) {
+      rx_offset_ = offset;
+      if (frame->type == SkpdFrameType::kPing) {
+        // Keepalive probe from the daemon; answer and keep waiting.
+        send_frame(SkpdFrameType::kPong,
+                   encode_ping(decode_ping(frame->payload)));
+        continue;
+      }
+      if (frame->type == SkpdFrameType::kError) {
+        throw std::runtime_error("skpd daemon error: " +
+                                 std::string(frame->payload));
+      }
+      // Copy out so the payload survives rx_ compaction/refill.
+      storage.assign(frame->payload);
+      SkpdFrame out{frame->type, storage};
+      if (rx_offset_ == rx_.size()) {
+        rx_.clear();
+        rx_offset_ = 0;
+      }
+      return out;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) fail("timed out waiting for reply");
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      fail("poll: " + std::string(std::strerror(errno)));
+    }
+    if (pr == 0) fail("timed out waiting for reply");
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) fail("daemon closed the connection");
+    rx_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+NetsimStepSnapshot SkpdClient::step() {
+  SKP_REQUIRE(!done(), "skpd client already drove all "
+                           << spec_.requests << " cycles");
+  const std::uint64_t seq = last_seq_ + 1;
+  if (cfg_.drop_every > 0 && seq % cfg_.drop_every == 0 &&
+      steps_sent_ > 0) {
+    // Chaos: tear our own connection down and recover through resume.
+    hard_close();
+  }
+  std::string last_error = "no attempt made";
+  for (std::size_t attempt = 1; attempt <= cfg_.retry.max_attempts;
+       ++attempt) {
+    try {
+      ensure_connected();
+      SkpdStep req;
+      req.seq = seq;
+      req.ack = last_seq_;
+      send_frame(SkpdFrameType::kStep, encode_step(req));
+      ++steps_sent_;
+      std::string storage;
+      const SkpdFrame frame = read_frame(storage);
+      if (frame.type != SkpdFrameType::kStepResult) {
+        fail(std::string("expected STEP_RESULT, got ") +
+             to_string(frame.type));
+      }
+      const NetsimStepSnapshot snap = decode_step_result(frame.payload);
+      if (snap.seq != seq) {
+        fail("result seq " + std::to_string(snap.seq) + ", wanted " +
+             std::to_string(seq));
+      }
+      last_seq_ = seq;
+      return snap;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      if (what.rfind("skpd daemon error:", 0) == 0) throw;
+      hard_close();
+      last_error = what;
+    }
+  }
+  fail("step " + std::to_string(seq) + " failed after " +
+       std::to_string(cfg_.retry.max_attempts) +
+       " attempts; last error: " + last_error);
+}
+
+SimResult SkpdClient::finish() {
+  SKP_REQUIRE(done(), "finish() before the run completed: "
+                          << last_seq_ << "/" << spec_.requests);
+  std::string last_error = "no attempt made";
+  for (std::size_t attempt = 1; attempt <= cfg_.retry.max_attempts;
+       ++attempt) {
+    try {
+      ensure_connected();
+      send_frame(SkpdFrameType::kStats, {});
+      std::string storage;
+      const SkpdFrame frame = read_frame(storage);
+      if (frame.type != SkpdFrameType::kStatsResult) {
+        fail(std::string("expected STATS_RESULT, got ") +
+             to_string(frame.type));
+      }
+      SimResult result = decode_sim_result(frame.payload);
+      send_frame(SkpdFrameType::kBye, {});
+      hard_close();
+      return result;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      if (what.rfind("skpd daemon error:", 0) == 0) throw;
+      hard_close();
+      last_error = what;
+    }
+  }
+  fail("stats fetch failed after " +
+       std::to_string(cfg_.retry.max_attempts) +
+       " attempts; last error: " + last_error);
+}
+
+}  // namespace skp

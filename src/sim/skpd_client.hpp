@@ -1,0 +1,99 @@
+// Blocking skpd client: reconnect, resume, retry with backoff.
+//
+// Drives one daemon-hosted session synchronously (one STEP in flight).
+// Robustness lives here so every consumer — the skpd_loopback driver,
+// the chaos harness, tests — gets the same recovery behavior:
+//
+//   - Any socket failure (connect refused, send/recv error, reply
+//     timeout, server PING silence) tears the connection down and
+//     re-attempts with the shared RetryPolicy backoff schedule
+//     (sim/fault.hpp retry_backoff_delay — the same math the DES fault
+//     model uses), up to retry.max_attempts connection attempts per
+//     operation.
+//   - Reconnects HELLO with the session token and the last result seq
+//     actually received; the daemon prunes its replay buffer to that ack
+//     and the client re-requests the lost seq. Exactly-once execution on
+//     the server makes the observable trajectory bit-identical to a
+//     drop-free run.
+//   - `drop_every` is a deterministic chaos knob: the client hard-closes
+//     its own socket before every Nth STEP, exercising the full
+//     reconnect/resume path without any external fault injector. It is
+//     config, not spec — a chaos run must produce byte-identical results
+//     to a calm one, so it must not live in the SimSpec.
+//
+// Answers server PINGs (keepalive) whenever they interleave with
+// expected replies. An ERROR frame from the daemon is a protocol-level
+// failure and throws without retry — retrying a rejected request would
+// loop forever.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/fault.hpp"
+#include "sim/netsim_stepper.hpp"
+#include "sim/runtime.hpp"
+#include "sim/skpd_protocol.hpp"
+#include "util/rng.hpp"
+
+namespace skp {
+
+struct SkpdClientConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // Connection-attempt budget and backoff (max_attempts counts the first
+  // try, mirroring the DES fault model's convention).
+  RetryPolicy retry{.max_attempts = 5,
+                    .backoff_base = 0.05,
+                    .backoff_factor = 2.0,
+                    .jitter = 0.1};
+  double reply_timeout = 10.0;  // seconds to wait for any reply frame
+  std::size_t drop_every = 0;   // chaos: self-drop before every Nth STEP
+};
+
+class SkpdClient {
+ public:
+  // Opens the session (connect + HELLO/WELCOME). Throws when the daemon
+  // is unreachable after the retry budget.
+  SkpdClient(SkpdClientConfig cfg, const SimSpec& spec);
+  ~SkpdClient();
+  SkpdClient(const SkpdClient&) = delete;
+  SkpdClient& operator=(const SkpdClient&) = delete;
+
+  std::uint64_t token() const noexcept { return token_; }
+  // Connections established beyond the first (resume count).
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+  std::uint64_t last_seq() const noexcept { return last_seq_; }
+  bool done() const noexcept { return last_seq_ >= spec_.requests; }
+
+  // Executes (or re-fetches) the next cycle; requires !done().
+  NetsimStepSnapshot step();
+
+  // Requires done(): fetches the final SimResult (STATS) and retires the
+  // session (BYE).
+  SimResult finish();
+
+ private:
+  void ensure_connected();
+  void connect_once();
+  void hard_close();
+  void send_frame(SkpdFrameType type, const std::string& payload);
+  // Blocks for the next frame, answering PINGs inline. Throws
+  // std::runtime_error on timeout/EOF/socket error (callers reconnect)
+  // and on an ERROR frame (callers do not).
+  SkpdFrame read_frame(std::string& storage);
+
+  SkpdClientConfig cfg_;
+  SimSpec spec_;
+  std::string spec_text_;
+  int fd_ = -1;
+  std::uint64_t token_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t steps_sent_ = 0;
+  std::string rx_;
+  std::size_t rx_offset_ = 0;
+  Rng backoff_rng_;
+};
+
+}  // namespace skp

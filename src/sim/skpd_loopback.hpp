@@ -1,0 +1,64 @@
+// skpd_loopback: the seventh registry driver — netsim_des served by the
+// skpd daemon over a loopback TCP socket.
+//
+// The driver runs the SAME decision path as netsim_des (the daemon hosts
+// a NetsimStepper), but every cycle crosses the wire: SimSpec up in the
+// handshake, STEP/STEP_RESULT per cycle, the exact SimResult back at the
+// end. A skpd_loopback row therefore matches the netsim_des row of the
+// same spec on every shared counter, and the verification harness diffs
+// precisely that.
+//
+// Where the daemon lives is ENVIRONMENT, not spec — a chaos run must
+// stay byte-identical to a calm run, so nothing about transport or
+// fault injection may enter the SimSpec:
+//
+//   SKPD_ADDR=host:port  attach to an externally managed daemon
+//   SKPD_BIN=path        else: spawn a private daemon for this run,
+//                        SIGTERM it afterwards (exit 0 required — a
+//                        failed drain fails the run)
+//   SKPD_DROP_EVERY=N    chaos: client hard-drops its connection before
+//                        every Nth STEP and resumes (0/unset = calm)
+//
+// Neither set => the spec is rejected with instructions.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/runtime.hpp"
+
+namespace skp {
+
+// A spawned skpd child process. Exposed for tests and the chaos harness;
+// the driver uses it when SKPD_BIN is set. The daemon is started with
+// --port=0 (kernel-assigned) and announces the bound port on stdout as
+// "SKPD_PORT=<n>"; construction blocks until that line arrives.
+class SkpdDaemonProcess {
+ public:
+  explicit SkpdDaemonProcess(const std::string& binary,
+                             std::vector<std::string> extra_args = {});
+  ~SkpdDaemonProcess();
+  SkpdDaemonProcess(const SkpdDaemonProcess&) = delete;
+  SkpdDaemonProcess& operator=(const SkpdDaemonProcess&) = delete;
+
+  int port() const noexcept { return port_; }
+  pid_t pid() const noexcept { return pid_; }
+
+  // Graceful drain: SIGTERM, then waitpid. Returns the raw wait status;
+  // idempotent (later calls return the first status). The destructor
+  // calls this and swallows the status.
+  int terminate();
+
+ private:
+  pid_t pid_ = -1;
+  int port_ = 0;
+  bool reaped_ = false;
+  int status_ = 0;
+};
+
+// Registry entry point (SimDriverKind::SkpdLoopback).
+SimResult run_skpd_loopback_driver(const SimSpec& spec);
+
+}  // namespace skp

@@ -21,6 +21,24 @@ class OnlineStats {
   // Merges another accumulator (parallel reduction step).
   void merge(const OnlineStats& other) noexcept;
 
+  // Reconstructs an accumulator from its raw state — the inverse of the
+  // (count, mean, m2, min, max) accessors, so an accumulator can round-
+  // trip a wire/persistence boundary exactly (the skpd protocol ships
+  // session metrics this way). n == 0 yields a fresh accumulator.
+  static OnlineStats restore(std::size_t n, double mean, double m2,
+                             double min, double max) noexcept {
+    OnlineStats s;
+    if (n == 0) return s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+  // Sum of squared deviations from the mean (restore()'s m2 input).
+  double m2() const noexcept { return m2_; }
+
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
   // Sample variance (n-1 denominator); 0 when fewer than two samples.

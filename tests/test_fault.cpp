@@ -13,6 +13,7 @@
 //      failed_transfers == retries + abandoned.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -116,6 +117,86 @@ TEST(FaultTransfer, JitteredBackoffIsDeterministicPerStream) {
     EXPECT_EQ(a.finish, b.finish);
     EXPECT_EQ(a.busy, b.busy);
     EXPECT_EQ(sa, sb);
+  }
+}
+
+TEST(RetryPolicyEdge, MaxAttemptsOneNeverSamplesBackoff) {
+  // With max_attempts == 1 there are no re-attempts, so the backoff
+  // schedule (and its jitter draw) must never touch the RNG stream —
+  // even with certain failure and an aggressive jittered policy armed.
+  FaultSpec spec;
+  spec.fail_rate = 1.0;
+  spec.retry.max_attempts = 1;
+  spec.retry.backoff_base = 5.0;
+  spec.retry.backoff_factor = 100.0;
+  spec.retry.jitter = 1.0;
+  Rng rng(42), untouched(42);
+  FaultStats stats;
+  const FaultTransfer ft = run_faulty_transfer(
+      spec, rng, stats, 0.0, [](double) { return kPrice; });
+  EXPECT_FALSE(ft.delivered);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.abandoned, 1u);
+  // No backoff gap: the single attempt ends the transfer immediately.
+  EXPECT_DOUBLE_EQ(ft.finish, kPrice);
+  // The failure draw consumed exactly the per-attempt draws (fail +
+  // stall), nothing more: advancing the untouched twin by those two
+  // draws re-synchronizes the streams.
+  untouched.bernoulli(spec.fail_rate);
+  untouched.bernoulli(spec.stall_rate);
+  EXPECT_EQ(rng.next_double(), untouched.next_double());
+}
+
+TEST(RetryPolicyEdge, JitterBoundsHoldAtExtremeFactors) {
+  // delay(k) must stay within [pure, pure * (1 + jitter)] where pure =
+  // base * factor^(k-1), including at extreme factor/jitter values
+  // where a bounds bug would explode fastest.
+  for (const double factor : {1.0, 2.0, 100.0, 1e6}) {
+    for (const double jitter : {0.0, 0.1, 10.0}) {
+      RetryPolicy retry;
+      retry.max_attempts = 8;
+      retry.backoff_base = 0.25;
+      retry.backoff_factor = factor;
+      retry.jitter = jitter;
+      Rng rng(7);
+      for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+        const double pure =
+            retry.backoff_base *
+            std::pow(factor, static_cast<double>(attempt - 1));
+        const double delay = retry_backoff_delay(retry, attempt, rng);
+        EXPECT_GE(delay, pure) << "factor " << factor << " jitter "
+                               << jitter << " attempt " << attempt;
+        EXPECT_LE(delay, pure * (1.0 + jitter))
+            << "factor " << factor << " jitter " << jitter << " attempt "
+            << attempt;
+      }
+    }
+  }
+}
+
+TEST(RetryPolicyEdge, BackoffSequenceDeterministicAcrossIdenticalSeeds) {
+  RetryPolicy retry;
+  retry.max_attempts = 16;
+  retry.backoff_base = 0.05;
+  retry.backoff_factor = 2.0;
+  retry.jitter = 0.4;
+  for (const std::uint64_t seed : {3u, 1234u, 0xdeadu}) {
+    Rng a(seed), b(seed);
+    for (std::size_t attempt = 1; attempt <= 12; ++attempt) {
+      EXPECT_EQ(retry_backoff_delay(retry, attempt, a),
+                retry_backoff_delay(retry, attempt, b))
+          << "seed " << seed << " attempt " << attempt;
+    }
+    // A different seed with jitter engaged yields a different schedule
+    // (the jitter draw is live, not a constant).
+    Rng c(seed + 1);
+    bool any_diff = false;
+    Rng a2(seed);
+    for (std::size_t attempt = 1; attempt <= 12; ++attempt) {
+      any_diff |= retry_backoff_delay(retry, attempt, a2) !=
+                  retry_backoff_delay(retry, attempt, c);
+    }
+    EXPECT_TRUE(any_diff) << "seed " << seed;
   }
 }
 

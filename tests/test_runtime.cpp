@@ -18,10 +18,11 @@ namespace {
 
 TEST(SimRegistry, AllDriversRegisteredWithStableNames) {
   const auto registry = driver_registry();
-  ASSERT_EQ(registry.size(), 6u);
+  ASSERT_EQ(registry.size(), 7u);
   const char* expected[] = {"prefetch_only", "prefetch_cache",
                             "trace_replay",  "netsim_des",
-                            "scenario",      "multi_client"};
+                            "scenario",      "multi_client",
+                            "skpd_loopback"};
   for (std::size_t i = 0; i < registry.size(); ++i) {
     EXPECT_STREQ(registry[i].name, expected[i]);
     EXPECT_EQ(find_driver(registry[i].kind).name, registry[i].name);
@@ -673,6 +674,27 @@ TEST(SimShard, MergeRejectsBrokenDocuments) {
   // Happy path, input order irrelevant.
   EXPECT_EQ(merge_sharded_csv({header + "1,b\n", header + "0,a\n"}),
             header + "0,a\n1,b\n");
+}
+
+TEST(SimShard, MergeRejectsInterruptedPartialShards) {
+  // A signal-interrupted simctl run emits a valid partial document with
+  // a "# interrupted at spec N" trailer. Merging one must fail loudly —
+  // accepting it would silently drop the specs the interrupted shard
+  // never ran.
+  const std::string header = "index,x\n";
+  const std::string partial = header + "0,a\n# interrupted at spec 1\n";
+  EXPECT_THROW(merge_sharded_csv({partial}), std::invalid_argument);
+  EXPECT_THROW(merge_sharded_csv({header + "1,b\n", partial}),
+               std::invalid_argument);
+  // The diagnostic names the offending shard and the trailer.
+  try {
+    merge_sharded_csv({partial}, {"shard0.csv"});
+    FAIL() << "expected rejection of the interrupted shard";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard0.csv"), std::string::npos) << what;
+    EXPECT_NE(what.find("interrupted"), std::string::npos) << what;
+  }
 }
 
 TEST(SimShard, MergeInterleavesPerClientCompanions) {

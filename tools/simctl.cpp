@@ -22,6 +22,7 @@
 // --spec override the file. `--preset NAME` short-circuits into a canned
 // figure enumeration that reproduces the corresponding bench binary's
 // CSV files byte for byte (tools/simctl_presets.hpp).
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -47,6 +48,15 @@ using simctl::parse_numeric_axis;
 using simctl::parse_range_pair;
 using simctl::parse_u64;
 using simctl::split;
+
+// SIGINT/SIGTERM mid-sweep: finish the specs already running, skip the
+// rest, and emit a VALID partial document (header + completed rows + a
+// "# interrupted at spec N" trailer) instead of a torn file. The merge
+// path rejects trailered documents, so a partial shard cannot silently
+// produce an incomplete sweep.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void on_interrupt(int) { g_interrupted = 1; }
 
 [[noreturn]] void usage(int exit_code) {
   std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
@@ -619,10 +629,27 @@ int run_command(const std::vector<std::string>& args) {
     }
   }
 
+  std::signal(SIGINT, &on_interrupt);
+  std::signal(SIGTERM, &on_interrupt);
   ThreadPool pool(threads);
-  const std::vector<SimResult> results = sweep_points(
+  // Each job checks the interrupt flag before starting: specs already
+  // in flight run to completion (their rows are valid), specs not yet
+  // started are skipped (nullopt).
+  const std::vector<std::optional<SimResult>> results = sweep_points(
       pool, owned.size(),
-      [&](std::size_t i) { return run_sim(owned[i].second); });
+      [&](std::size_t i) -> std::optional<SimResult> {
+        if (g_interrupted) return std::nullopt;
+        return run_sim(owned[i].second);
+      });
+  // First owned spec (global index) without a result — the interruption
+  // point named by the trailer.
+  std::optional<std::size_t> interrupted_at;
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    if (!results[i]) {
+      interrupted_at = owned[i].first;
+      break;
+    }
+  }
 
   std::ofstream file;
   if (csv_path) {
@@ -633,7 +660,12 @@ int run_command(const std::vector<std::string>& args) {
   CsvWriter writer(os);
   writer.row(sim_csv_header());
   for (std::size_t i = 0; i < owned.size(); ++i) {
-    append_sim_csv_row(writer, owned[i].first, owned[i].second, results[i]);
+    if (!results[i]) continue;
+    append_sim_csv_row(writer, owned[i].first, owned[i].second,
+                       *results[i]);
+  }
+  if (interrupted_at) {
+    os << "# interrupted at spec " << *interrupted_at << "\n";
   }
   os.flush();
   if (!os) fail("write failed: " + csv_path.value_or("stdout"));
@@ -642,8 +674,12 @@ int run_command(const std::vector<std::string>& args) {
     CsvWriter pc_writer(pc_file);
     pc_writer.row(per_client_csv_header());
     for (std::size_t i = 0; i < owned.size(); ++i) {
+      if (!results[i]) continue;
       append_per_client_csv_rows(pc_writer, owned[i].first,
-                                 owned[i].second, results[i]);
+                                 owned[i].second, *results[i]);
+    }
+    if (interrupted_at) {
+      pc_file << "# interrupted at spec " << *interrupted_at << "\n";
     }
     pc_file.flush();
     if (!pc_file) fail("write failed: " + *per_client_csv_path);
@@ -652,6 +688,14 @@ int run_command(const std::vector<std::string>& args) {
     std::cerr << "simctl: shard " << shard_index << "/" << shard_count
               << " ran " << owned.size() << " of " << sweep.size()
               << " specs\n";
+  }
+  if (g_interrupted) {
+    std::cerr << "simctl: interrupted"
+              << (interrupted_at
+                      ? " at spec " + std::to_string(*interrupted_at)
+                      : std::string(" after the final spec"))
+              << "; partial document written\n";
+    return 130;
   }
   return 0;
 }
