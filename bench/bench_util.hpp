@@ -29,6 +29,9 @@ struct BenchArgs {
   std::optional<std::string> csv_dir;
   std::size_t threads = 0;  // 0 = hardware concurrency
   bool no_plan_cache = false;
+  // Opt out of lockstep batched execution (run_sim_batch) in the benches
+  // that default to it; the solo path is the A/B baseline.
+  bool no_batch = false;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -46,10 +49,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
           std::strtoull(argv[++i], nullptr, 10));
     } else if (a == "--no-plan-cache") {
       args.no_plan_cache = true;
+    } else if (a == "--no-batch") {
+      args.no_batch = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--full] [--seed <u64>] [--csv <dir>]"
-                   " [--threads <n>] [--no-plan-cache]\n";
+                   " [--threads <n>] [--no-plan-cache] [--no-batch]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << a << "\n";

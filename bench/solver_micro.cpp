@@ -4,6 +4,12 @@
 // apparatus to reduce the search space"; these benchmarks quantify that:
 // SKP branch-and-bound vs exhaustive subset search across n, plus the KP
 // solvers for context, under both probability shapes.
+//
+// Every row performs one untimed warmup solve before its timed loop (cold
+// first-call effects — lazy allocations, cold caches — stay out of the
+// numbers) and reports items_per_second with items = solves, so per-solve
+// ns is 1e9 / items_per_second straight from the snapshot next to the
+// batched-solve rows in sim_throughput.
 #include <benchmark/benchmark.h>
 
 #include <numeric>
@@ -34,11 +40,13 @@ void BM_SkpSolve_Skewy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, ProbMethod::Skewy, 42 + n);
   std::uint64_t nodes = 0;
+  benchmark::DoNotOptimize(solve_skp(inst).g);  // warmup (untimed)
   for (auto _ : state) {
     const auto sol = solve_skp(inst);
     nodes = sol.forward_steps;
     benchmark::DoNotOptimize(sol.g);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["nodes"] = static_cast<double>(nodes);
 }
 BENCHMARK(BM_SkpSolve_Skewy)->Arg(10)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
@@ -47,11 +55,13 @@ void BM_SkpSolve_Flat(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, ProbMethod::Flat, 43 + n);
   std::uint64_t nodes = 0;
+  benchmark::DoNotOptimize(solve_skp(inst).g);  // warmup (untimed)
   for (auto _ : state) {
     const auto sol = solve_skp(inst);
     nodes = sol.forward_steps;
     benchmark::DoNotOptimize(sol.g);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["nodes"] = static_cast<double>(nodes);
 }
 BENCHMARK(BM_SkpSolve_Flat)->Arg(10)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
@@ -61,45 +71,55 @@ void BM_SkpSolve_PaperTail(benchmark::State& state) {
   const Instance inst = make_instance(n, ProbMethod::Skewy, 42 + n);
   SkpOptions opts;
   opts.delta_rule = DeltaRule::PaperTail;
+  benchmark::DoNotOptimize(solve_skp(inst, opts).g);  // warmup (untimed)
   for (auto _ : state) {
     benchmark::DoNotOptimize(solve_skp(inst, opts).g);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SkpSolve_PaperTail)->Arg(10)->Arg(50)->Arg(100);
 
 void BM_SkpBruteForce(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, ProbMethod::Flat, 44 + n);
+  benchmark::DoNotOptimize(brute_force_skp(inst).g);  // warmup (untimed)
   for (auto _ : state) {
     benchmark::DoNotOptimize(brute_force_skp(inst).g);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SkpBruteForce)->Arg(10)->Arg(14)->Arg(18);
 
 void BM_KpBranchAndBound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, ProbMethod::Flat, 45 + n);
+  benchmark::DoNotOptimize(solve_kp_bb(inst).value);  // warmup (untimed)
   for (auto _ : state) {
     benchmark::DoNotOptimize(solve_kp_bb(inst).value);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_KpBranchAndBound)->Arg(10)->Arg(50)->Arg(100);
 
 void BM_KpDynamicProgram(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, ProbMethod::Flat, 46 + n);
+  benchmark::DoNotOptimize(solve_kp_dp(inst).value);  // warmup (untimed)
   for (auto _ : state) {
     benchmark::DoNotOptimize(solve_kp_dp(inst).value);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_KpDynamicProgram)->Arg(10)->Arg(50)->Arg(100);
 
 void BM_UpperBound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Instance inst = make_instance(n, ProbMethod::Skewy, 47 + n);
+  benchmark::DoNotOptimize(skp_upper_bound(inst));  // warmup (untimed)
   for (auto _ : state) {
     benchmark::DoNotOptimize(skp_upper_bound(inst));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_UpperBound)->Arg(10)->Arg(100)->Arg(1000);
 
@@ -126,9 +146,11 @@ void BM_SkpSolve_MarkovRow(benchmark::State& state) {
     cand.push_back(id);
   }
   inst.v = 50.0;
+  benchmark::DoNotOptimize(solve_skp(inst, cand).g);  // warmup (untimed)
   for (auto _ : state) {
     benchmark::DoNotOptimize(solve_skp(inst, cand).g);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SkpSolve_MarkovRow);
 

@@ -1,9 +1,5 @@
 #include "cache/cache.hpp"
 
-#include <algorithm>
-
-#include "cache/zobrist.hpp"
-
 namespace skp {
 
 SlotCache::SlotCache(std::size_t catalog_size, std::size_t capacity)
@@ -12,41 +8,6 @@ SlotCache::SlotCache(std::size_t catalog_size, std::size_t capacity)
   SKP_REQUIRE(capacity >= 1, "capacity must be >= 1");
   contents_.reserve(capacity);
   sorted_.reserve(capacity);
-}
-
-void SlotCache::insert(ItemId item) {
-  check_id(item);
-  SKP_REQUIRE(!contains(item), "item " << item << " already cached");
-  SKP_REQUIRE(contents_.size() < capacity_,
-              "cache full (capacity " << capacity_ << "); evict first");
-  pos_[static_cast<std::size_t>(item)] =
-      static_cast<std::uint32_t>(contents_.size());
-  contents_.push_back(item);
-  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), item),
-                 item);
-  present_[static_cast<std::size_t>(item)] = 1;
-  fingerprint_ ^= zobrist_item_key(item);
-}
-
-void SlotCache::erase(ItemId item) {
-  check_id(item);
-  SKP_REQUIRE(contains(item), "item " << item << " not cached");
-  // O(1) position lookup; the tail shift keeps the documented
-  // insertion-order iteration for the survivors.
-  const std::size_t at = pos_[static_cast<std::size_t>(item)];
-  contents_.erase(contents_.begin() + static_cast<std::ptrdiff_t>(at));
-  for (std::size_t k = at; k < contents_.size(); ++k) {
-    pos_[static_cast<std::size_t>(contents_[k])] =
-        static_cast<std::uint32_t>(k);
-  }
-  sorted_.erase(std::lower_bound(sorted_.begin(), sorted_.end(), item));
-  present_[static_cast<std::size_t>(item)] = 0;
-  fingerprint_ ^= zobrist_item_key(item);
-}
-
-void SlotCache::replace(ItemId victim, ItemId incoming) {
-  erase(victim);
-  insert(incoming);
 }
 
 void SlotCache::clear() {

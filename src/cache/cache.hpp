@@ -7,10 +7,12 @@
 // enforces capacity and uniqueness.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "cache/zobrist.hpp"
 #include "core/item.hpp"
 
 namespace skp {
@@ -43,14 +45,47 @@ class SlotCache {
   std::uint64_t fingerprint() const noexcept { return fingerprint_; }
 
   // Inserts an item that must not already be cached; throws when full
-  // (evict first) or duplicated.
-  void insert(ItemId item);
+  // (evict first) or duplicated. Inline (with erase/replace below): the
+  // sim loops mutate the cache tens of millions of times per sweep.
+  void insert(ItemId item) {
+    check_id(item);
+    SKP_REQUIRE(!contains(item), "item " << item << " already cached");
+    SKP_REQUIRE(contents_.size() < capacity_,
+                "cache full (capacity " << capacity_ << "); evict first");
+    pos_[static_cast<std::size_t>(item)] =
+        static_cast<std::uint32_t>(contents_.size());
+    contents_.push_back(item);
+    sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), item),
+                   item);
+    present_[static_cast<std::size_t>(item)] = 1;
+    fingerprint_ ^= zobrist_item_key(item);
+  }
 
   // Removes a cached item; throws if absent.
-  void erase(ItemId item);
+  void erase(ItemId item) {
+    check_id(item);
+    SKP_REQUIRE(contains(item), "item " << item << " not cached");
+    // O(1) position lookup; one fused pass shifts the tail down and
+    // reindexes it, keeping the documented insertion-order iteration for
+    // the survivors.
+    const std::size_t at = pos_[static_cast<std::size_t>(item)];
+    for (std::size_t k = at + 1; k < contents_.size(); ++k) {
+      const ItemId moved = contents_[k];
+      contents_[k - 1] = moved;
+      pos_[static_cast<std::size_t>(moved)] =
+          static_cast<std::uint32_t>(k - 1);
+    }
+    contents_.pop_back();
+    sorted_.erase(std::lower_bound(sorted_.begin(), sorted_.end(), item));
+    present_[static_cast<std::size_t>(item)] = 0;
+    fingerprint_ ^= zobrist_item_key(item);
+  }
 
   // Replaces `victim` with `incoming` in one step.
-  void replace(ItemId victim, ItemId incoming);
+  void replace(ItemId victim, ItemId incoming) {
+    erase(victim);
+    insert(incoming);
+  }
 
   // Current contents in insertion order (stable across erase via swap-free
   // compaction — order of survivors is preserved).

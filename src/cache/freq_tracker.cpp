@@ -10,28 +10,6 @@ FreqTracker::FreqTracker(std::size_t n, double decay,
   SKP_REQUIRE(decay_interval > 0, "decay_interval must be positive");
 }
 
-void FreqTracker::record(ItemId item) {
-  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < counts_.size(),
-              "item " << item << " out of range");
-  counts_[static_cast<std::size_t>(item)] += 1.0;
-  ++total_;
-  if (decay_ < 1.0 && ++since_decay_ >= decay_interval_) {
-    since_decay_ = 0;
-    for (auto& c : counts_) c *= decay_;
-  }
-}
-
-double FreqTracker::frequency(ItemId item) const {
-  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < counts_.size(),
-              "item " << item << " out of range");
-  return counts_[static_cast<std::size_t>(item)];
-}
-
-double FreqTracker::delay_saving_profit(ItemId item,
-                                        double retrieval_time) const {
-  return frequency(item) * retrieval_time;
-}
-
 void FreqTracker::reset() {
   counts_.assign(counts_.size(), 0.0);
   since_decay_ = 0;

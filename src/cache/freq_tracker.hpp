@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/item.hpp"
@@ -23,15 +24,39 @@ class FreqTracker {
 
   std::size_t n() const noexcept { return counts_.size(); }
 
-  // Records one access to `item`.
-  void record(ItemId item);
+  // Records one access to `item`. Inline: the sim loops record every
+  // request, and the LFU/DS victim-ranking path reads scores hundreds of
+  // millions of times per sweep — keeping these in the header removes a
+  // cross-TU call per touch.
+  void record(ItemId item) {
+    SKP_REQUIRE(
+        item >= 0 && static_cast<std::size_t>(item) < counts_.size(),
+        "item " << item << " out of range");
+    counts_[static_cast<std::size_t>(item)] += 1.0;
+    ++total_;
+    if (decay_ < 1.0 && ++since_decay_ >= decay_interval_) {
+      since_decay_ = 0;
+      for (auto& c : counts_) c *= decay_;
+    }
+  }
 
   // Access count (possibly decayed) of `item`.
-  double frequency(ItemId item) const;
+  double frequency(ItemId item) const {
+    SKP_REQUIRE(
+        item >= 0 && static_cast<std::size_t>(item) < counts_.size(),
+        "item " << item << " out of range");
+    return counts_[static_cast<std::size_t>(item)];
+  }
 
   // Delay-saving profit freq_i * r_i with retrieval time supplied by the
   // caller (the tracker does not own resource parameters).
-  double delay_saving_profit(ItemId item, double retrieval_time) const;
+  double delay_saving_profit(ItemId item, double retrieval_time) const {
+    return frequency(item) * retrieval_time;
+  }
+
+  // Raw count row (indexed by item id), for bulk SIMD gathers over many
+  // items at once (util/simd.hpp): counts()[i] == frequency(i).
+  std::span<const double> counts() const noexcept { return counts_; }
 
   std::uint64_t total_accesses() const noexcept { return total_; }
 

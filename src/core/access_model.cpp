@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/simd.hpp"
+
 namespace skp {
 
 namespace {
@@ -100,6 +102,14 @@ double expected_access_time_no_prefetch_cached(InstanceView inst,
     if (!contains(C, id)) s += inst.P[i] * inst.r[i];
   }
   return s;
+}
+
+double expected_access_time_no_prefetch_cached(
+    InstanceView inst, std::span<const char> cache_presence) {
+  SKP_REQUIRE(cache_presence.size() == inst.n(),
+              "presence bitmap of " << cache_presence.size()
+                                    << " vs catalog of " << inst.n());
+  return simd::masked_time_sum(inst.P, inst.r, cache_presence);
 }
 
 double access_improvement_cached(InstanceView inst,

@@ -64,6 +64,14 @@ double realized_access_time(InstanceView inst, std::span<const ItemId> F,
 double expected_access_time_no_prefetch_cached(InstanceView inst,
                                                std::span<const ItemId> C);
 
+// Bitmap variant for hot loops: identical result (same ascending-i
+// accumulation order, bit-for-bit), with C supplied as a presence bitmap
+// over the whole catalog (e.g. SlotCache::presence()) so the products run
+// through the SIMD masked-sum kernel instead of per-item membership
+// scans. cache_presence.size() must equal inst.n().
+double expected_access_time_no_prefetch_cached(
+    InstanceView inst, std::span<const char> cache_presence);
+
 // g(F, D) per Eq. (9). F must be disjoint from C; D must be a sublist of C.
 double access_improvement_cached(InstanceView inst,
                                  std::span<const ItemId> F,

@@ -4,6 +4,7 @@
 
 #include "cache/zobrist.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace skp {
 
@@ -28,27 +29,90 @@ namespace {
 // Doorkeeper sketch size: power of two, sized so phase-local key sets
 // (hundreds to a few thousand live keys) rarely collide.
 constexpr std::size_t kDoorSlots = 4096;
+
+// Probe-table load factor <= 0.5: the table holds 2x the entry capacity
+// (rounded up to a power of two), keeping linear-probe runs short.
+std::size_t table_slots_for(std::size_t capacity) {
+  std::size_t slots = 16;
+  while (slots < capacity * 2) slots <<= 1;
+  return slots;
+}
 }  // namespace
 
 PlanCache::PlanCache(std::uint64_t config_digest, std::size_t capacity,
                      bool doorkeeper)
     : config_digest_(config_digest), capacity_(capacity) {
   SKP_REQUIRE(capacity_ >= 1, "PlanCache capacity must be >= 1");
-  index_.reserve(capacity_ + 1);
+  SKP_REQUIRE(capacity_ < kNil, "PlanCache capacity must fit 32-bit links");
+  nodes_.reserve(capacity_);
+  table_.assign(table_slots_for(capacity_), 0);
+  mask_ = static_cast<std::uint32_t>(table_.size() - 1);
   if (doorkeeper) door_.assign(kDoorSlots, 0);
+}
+
+void PlanCache::unlink(std::uint32_t idx) noexcept {
+  Node& n = nodes_[idx];
+  if (n.prev != kNil) nodes_[n.prev].next = n.next; else head_ = n.next;
+  if (n.next != kNil) nodes_[n.next].prev = n.prev; else tail_ = n.prev;
+}
+
+void PlanCache::push_front(std::uint32_t idx) noexcept {
+  Node& n = nodes_[idx];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = idx;
+  head_ = idx;
+  if (tail_ == kNil) tail_ = idx;
+}
+
+std::uint32_t PlanCache::probe(const Key& key, std::uint64_t h,
+                               std::uint32_t& empty_slot) const noexcept {
+  std::uint32_t slot = static_cast<std::uint32_t>(h) & mask_;
+  while (table_[slot] != 0) {
+    const std::uint32_t idx = table_[slot] - 1;
+    const Node& n = nodes_[idx];
+    if (n.hash == h && n.key == key) return idx;
+    slot = (slot + 1) & mask_;
+  }
+  empty_slot = slot;
+  return kNil;
+}
+
+void PlanCache::table_erase(std::uint32_t idx) noexcept {
+  // Locate the victim's slot, then close the probe run with standard
+  // backshift deletion: each follower whose home position lies at or
+  // before the hole (cyclically) slides back into it.
+  std::uint32_t slot = static_cast<std::uint32_t>(nodes_[idx].hash) & mask_;
+  while (table_[slot] != idx + 1) slot = (slot + 1) & mask_;
+  std::uint32_t hole = slot;
+  std::uint32_t next = (hole + 1) & mask_;
+  while (table_[next] != 0) {
+    const std::uint32_t home =
+        static_cast<std::uint32_t>(nodes_[table_[next] - 1].hash) & mask_;
+    if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+      table_[hole] = table_[next];
+      hole = next;
+    }
+    next = (next + 1) & mask_;
+  }
+  table_[hole] = 0;
 }
 
 const StoredPlan* PlanCache::find(std::uint64_t state_key,
                                   std::uint64_t fingerprint) {
   const Key key{state_key, fingerprint, generation_};
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
+  std::uint32_t empty_slot = 0;
+  const std::uint32_t idx = probe(key, KeyHash{}(key), empty_slot);
+  if (idx == kNil) {
     ++stats_.misses;
     return nullptr;
   }
   ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
-  return &it->second->plan;
+  if (head_ != idx) {  // refresh to MRU
+    unlink(idx);
+    push_front(idx);
+  }
+  return &nodes_[idx].plan;
 }
 
 StoredPlan* PlanCache::insert(std::uint64_t state_key,
@@ -58,13 +122,13 @@ StoredPlan* PlanCache::insert(std::uint64_t state_key,
     return nullptr;
   }
   const Key key{state_key, fingerprint, generation_};
+  const std::uint64_t h = KeyHash{}(key);
   if (!door_.empty()) {
     // Admission: the first sighting of a key parks its tag in the sketch
     // and is not stored; a matching tag means the key recurred and has
     // earned a real slot. Index with the raw hash but tag with hash|1
     // (0 marks empty slots) so forcing the tag's low bit does not halve
     // the addressable slots.
-    const std::uint64_t h = KeyHash{}(key);
     const std::uint64_t tag = h | 1;
     std::uint64_t& slot = door_[h & (door_.size() - 1)];
     if (slot != tag) {
@@ -74,29 +138,42 @@ StoredPlan* PlanCache::insert(std::uint64_t state_key,
     }
   }
   ++stats_.inserts;
-  if (const auto it = index_.find(key); it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->plan;  // overwrite in place
+  std::uint32_t empty_slot = 0;
+  if (const std::uint32_t idx = probe(key, h, empty_slot); idx != kNil) {
+    if (head_ != idx) {
+      unlink(idx);
+      push_front(idx);
+    }
+    return &nodes_[idx].plan;  // overwrite in place
   }
-  if (index_.size() >= capacity_) {
+  if (nodes_.size() >= capacity_) {
     // Recycle the LRU node: unlink its key, keep its plan's vector
     // capacity for the incoming entry.
-    auto victim = std::prev(lru_.end());
-    index_.erase(victim->key);
+    const std::uint32_t victim = tail_;
+    table_erase(victim);
     ++stats_.evictions;
-    lru_.splice(lru_.begin(), lru_, victim);
-    victim->key = key;
-    index_.emplace(key, victim);
-    return &victim->plan;
+    unlink(victim);
+    push_front(victim);
+    nodes_[victim].key = key;
+    nodes_[victim].hash = h;
+    // Backshift may have reshaped the run; re-probe for the slot.
+    probe(key, h, empty_slot);
+    table_[empty_slot] = victim + 1;
+    return &nodes_[victim].plan;
   }
-  lru_.push_front(Node{key, {}});
-  index_.emplace(key, lru_.begin());
-  return &lru_.front().plan;
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[idx].key = key;
+  nodes_[idx].hash = h;
+  push_front(idx);
+  table_[empty_slot] = idx + 1;
+  return &nodes_[idx].plan;
 }
 
 void PlanCache::clear() {
-  lru_.clear();
-  index_.clear();
+  nodes_.clear();
+  std::fill(table_.begin(), table_.end(), 0);
+  head_ = tail_ = kNil;
   if (!door_.empty()) std::fill(door_.begin(), door_.end(), 0);
 }
 
@@ -120,13 +197,10 @@ CanonicalOrderTable::Row CanonicalOrderTable::row(
     }
     canonical_order_into(inst, stage_, keys_, e.order);
     const std::size_t m = e.order.size();
-    e.suffix.assign(m + 1, 0.0);
+    e.suffix.resize(m + 1);
+    simd::suffix_sums(inst.P, e.order, e.suffix.data());
     e.fp = 0;
-    for (std::size_t j = m; j-- > 0;) {
-      e.suffix[j] =
-          e.suffix[j + 1] + inst.P[static_cast<std::size_t>(e.order[j])];
-      e.fp ^= zobrist_item_key(e.order[j]);
-    }
+    for (std::size_t j = m; j-- > 0;) e.fp ^= zobrist_item_key(e.order[j]);
     e.generation = generation_;
   }
   return Row{e.order, e.suffix, e.fp};

@@ -44,9 +44,7 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/item.hpp"
@@ -128,7 +126,7 @@ class PlanCache {
 
   std::uint64_t config_digest() const noexcept { return config_digest_; }
   std::size_t capacity() const noexcept { return capacity_; }
-  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t size() const noexcept { return nodes_.size(); }
   const PlanCacheStats& stats() const noexcept { return stats_; }
 
   // Current generation; entries are only reachable under the generation
@@ -175,18 +173,39 @@ class PlanCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept;
   };
+  // Storage is a flat open-addressing table (power-of-two, linear probe,
+  // backshift deletion) over an index-linked node pool that doubles as
+  // the intrusive LRU list — one cache-friendly probe run per lookup
+  // instead of std::unordered_map's bucket-pointer chase plus a
+  // std::list splice. Same keys, same LRU/doorkeeper/eviction order,
+  // same stats; only where the bytes live changed.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
   struct Node {
     Key key;
+    std::uint64_t hash = 0;  // KeyHash of `key` (probe/backshift reuse)
     StoredPlan plan;
+    std::uint32_t prev = kNil;  // intrusive LRU links (node-pool indices)
+    std::uint32_t next = kNil;
   };
+
+  void unlink(std::uint32_t idx) noexcept;
+  void push_front(std::uint32_t idx) noexcept;
+  // Probes for `key` with hash `h`; returns the node index or kNil, and
+  // leaves the first empty slot of the run in `empty_slot` on a miss.
+  std::uint32_t probe(const Key& key, std::uint64_t h,
+                      std::uint32_t& empty_slot) const noexcept;
+  void table_erase(std::uint32_t idx) noexcept;
 
   std::uint64_t config_digest_;
   std::size_t capacity_;
   bool admission_frozen_ = false;
   std::uint64_t generation_ = 0;
   PlanCacheStats stats_;
-  std::list<Node> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Node>::iterator, KeyHash> index_;
+  std::vector<Node> nodes_;          // grows to capacity_, then recycles
+  std::vector<std::uint32_t> table_; // node index + 1; 0 = empty slot
+  std::uint32_t mask_ = 0;           // table_.size() - 1
+  std::uint32_t head_ = kNil;        // most recently used
+  std::uint32_t tail_ = kNil;        // least recently used
   // Doorkeeper sketch (empty when disabled): slot = tagged key hash.
   std::vector<std::uint64_t> door_;
 };
@@ -238,6 +257,20 @@ class CanonicalOrderTable {
   std::uint64_t generation_ = 1;
 };
 
+// A selection-stage solution pre-solved off the critical path (the
+// pipelined simulator's workers produce these against a predicted state
+// and a cache snapshot). select_memoized consumes one only when BOTH the
+// state key and the live candidate-set fingerprint match — the same
+// identity contract as the selection memo tier — so a stale speculation
+// is silently discarded and the solve runs inline, never changing the
+// result. `plan` carries the solver's stats (solver_nodes) exactly as an
+// inline solve would report them.
+struct SpeculativeSelection {
+  std::uint64_t state_key = 0;
+  std::uint64_t candidates_fp = 0;
+  StoredPlan plan;
+};
+
 // Memoization context threaded through PrefetchEngine::plan*_cached. All
 // pointers optional: a default PlanMemo makes the cached overloads behave
 // exactly like their uncached counterparts. `state_key` must uniquely
@@ -251,6 +284,9 @@ struct PlanMemo {
   PlanCache* selections = nullptr;  // solver-selection tier
   CanonicalOrderTable* canon = nullptr;
   std::uint64_t state_key = 0;
+  // Optional pre-solved selection for this exact planning round (see
+  // SpeculativeSelection); consulted only after a selection-tier miss.
+  const SpeculativeSelection* speculative = nullptr;
 };
 
 }  // namespace skp

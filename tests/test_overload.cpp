@@ -172,27 +172,30 @@ OverloadController at_rung(int rung, std::size_t depth = 2,
 }
 
 TEST(OverloadController, DegradeRowKeepsTopCandidatesByRung) {
-  std::vector<double> row{0.1, 0.4, 0.2, 0.3};
+  // A fresh copy per rung (instead of one reused vector assigned in a
+  // loop) sidesteps a gcc-12 -O3 stringop-overflow false positive on
+  // vector operator= that -Werror would otherwise trip on.
+  const std::vector<double> row{0.1, 0.4, 0.2, 0.3};
 
   // kTrimLookahead keeps the lookahead_depth (2) largest probabilities.
   auto trim = at_rung(1);
-  auto r = row;
-  trim.degrade_row(r);
-  EXPECT_EQ(r, (std::vector<double>{0.0, 0.4, 0.0, 0.3}));
+  std::vector<double> trimmed = row;
+  trim.degrade_row(trimmed);
+  EXPECT_EQ(trimmed, (std::vector<double>{0.0, 0.4, 0.0, 0.3}));
 
   // kTrimBudget and kStrictAdmission cap at budget_items (1).
   for (int rung : {2, 3}) {
     auto ctrl = at_rung(rung);
-    r = row;
-    ctrl.degrade_row(r);
-    EXPECT_EQ(r, (std::vector<double>{0.0, 0.4, 0.0, 0.0})) << rung;
+    std::vector<double> capped = row;
+    ctrl.degrade_row(capped);
+    EXPECT_EQ(capped, (std::vector<double>{0.0, 0.4, 0.0, 0.0})) << rung;
   }
 
   // kPrefetchOff zeroes everything — the warmup mechanism.
   auto off = at_rung(4);
-  r = row;
-  off.degrade_row(r);
-  EXPECT_EQ(r, (std::vector<double>{0.0, 0.0, 0.0, 0.0}));
+  std::vector<double> zeroed = row;
+  off.degrade_row(zeroed);
+  EXPECT_EQ(zeroed, (std::vector<double>{0.0, 0.0, 0.0, 0.0}));
 }
 
 TEST(OverloadController, DegradeRowBreaksTiesTowardLowerItemIds) {
