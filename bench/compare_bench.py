@@ -22,6 +22,12 @@ Subcommands:
                             deterministic per machine-independent seed,
                             so a real drop means stored plans stopped
                             being reusable.
+        * bytes_per_session counters (capacity bench) — fail when
+                            CURRENT grows more than --bytes-growth
+                            (relative, default 0.10) above BASELINE:
+                            session footprint is an allocator-exact
+                            count, so growth is a real capacity
+                            regression, not measurement noise.
       Benchmarks present on only one side are reported but do not fail
       the gate (new benchmarks must be able to land).
 
@@ -39,6 +45,7 @@ import sys
 
 COUNTER_EXACT = ("nodes", "solver_nodes")
 HIT_RATE_SUFFIX = "_hit_rate"
+BYTES_COUNTER = "bytes_per_session"
 
 
 def load(path):
@@ -128,6 +135,18 @@ def cmd_compare(args):
                     print(f"  [FAIL] {msg}")
                     failures.append(msg)
 
+        bb, cb = b.get(BYTES_COUNTER), c.get(BYTES_COUNTER)
+        if isinstance(bb, (int, float)) and isinstance(cb, (int, float)) \
+                and bb > 0:
+            ratio = cb / bb
+            status = "FAIL" if ratio > 1.0 + args.bytes_growth else "ok"
+            print(f"  [{status:4}] {name}: {BYTES_COUNTER} "
+                  f"{bb:.0f} -> {cb:.0f} ({ratio - 1.0:+.1%})")
+            if status == "FAIL":
+                failures.append(
+                    f"{name}: {BYTES_COUNTER} grew {ratio - 1.0:.1%} "
+                    f"(> {args.bytes_growth:.0%})")
+
         for counter in sorted(set(b) | set(c)):
             if not counter.endswith(HIT_RATE_SUFFIX):
                 continue
@@ -185,6 +204,9 @@ def main():
     p_cmp.add_argument("--hit-rate-drop", type=float, default=0.02,
                        help="max absolute drop tolerated on *_hit_rate "
                             "counters (default 0.02)")
+    p_cmp.add_argument("--bytes-growth", type=float, default=0.10,
+                       help="max relative growth tolerated on "
+                            "bytes_per_session counters (default 0.10)")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_merge = sub.add_parser("merge", help="concatenate snapshots")

@@ -4,18 +4,31 @@
 # Failures are fatal: UBSan reports abort instead of printing and carrying on.
 
 function(skp_apply_sanitizers target)
-  if(NOT SKP_SANITIZE)
+  if(NOT SKP_SANITIZE AND NOT SKP_TSAN)
     return()
+  endif()
+  if(SKP_SANITIZE AND SKP_TSAN)
+    message(FATAL_ERROR "SKP_SANITIZE and SKP_TSAN are mutually exclusive: "
+      "ThreadSanitizer cannot be combined with AddressSanitizer")
   endif()
   if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang|AppleClang")
-    message(WARNING "SKP_SANITIZE is only wired up for GCC/Clang; ignoring")
+    message(WARNING "SKP_SANITIZE/SKP_TSAN are only wired up for GCC/Clang; "
+      "ignoring")
     return()
   endif()
-  set(_flags
-    -fsanitize=address,undefined
-    -fno-sanitize-recover=all
-    -fno-omit-frame-pointer)
+  if(SKP_TSAN)
+    set(_flags
+      -fsanitize=thread
+      -fno-omit-frame-pointer)
+    set(_label "TSan")
+  else()
+    set(_flags
+      -fsanitize=address,undefined
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer)
+    set(_label "ASan + UBSan")
+  endif()
   target_compile_options(${target} INTERFACE ${_flags})
   target_link_options(${target} INTERFACE ${_flags})
-  message(STATUS "Sanitizers enabled (ASan + UBSan) via ${target}")
+  message(STATUS "Sanitizers enabled (${_label}) via ${target}")
 endfunction()

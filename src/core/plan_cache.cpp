@@ -41,13 +41,50 @@ std::size_t table_slots_for(std::size_t capacity) {
 
 PlanCache::PlanCache(std::uint64_t config_digest, std::size_t capacity,
                      bool doorkeeper)
-    : config_digest_(config_digest), capacity_(capacity) {
+    : config_digest_(config_digest),
+      capacity_(capacity),
+      door_enabled_(doorkeeper) {
   SKP_REQUIRE(capacity_ >= 1, "PlanCache capacity must be >= 1");
   SKP_REQUIRE(capacity_ < kNil, "PlanCache capacity must fit 32-bit links");
-  nodes_.reserve(capacity_);
-  table_.assign(table_slots_for(capacity_), 0);
+  // Lazy footprint: a fresh cache owns one 16-slot starter table and
+  // nothing else. The node pool grows geometrically with real inserts,
+  // the probe table doubles with it (maybe_grow_table), and the
+  // doorkeeper sketch materializes on the first admission decision — so
+  // the ~100k idle daemon sessions of the capacity work pay bytes for
+  // plans they actually store, not for kDefaultCapacity. Lookup results
+  // are table-size independent: same keys, same LRU/doorkeeper/eviction
+  // order, same stats at every growth point.
+  table_.assign(16, 0);
   mask_ = static_cast<std::uint32_t>(table_.size() - 1);
-  if (doorkeeper) door_.assign(kDoorSlots, 0);
+}
+
+void PlanCache::maybe_grow_table() {
+  if ((nodes_.size() + 1) * 2 <= table_.size()) return;
+  // The pool recycles nodes once it reaches capacity_, so the table
+  // never needs to outgrow the old eager allocation.
+  const std::size_t target =
+      std::min(table_.size() * 2, table_slots_for(capacity_));
+  if (target <= table_.size()) return;
+  std::vector<std::uint32_t> old = std::move(table_);
+  table_.assign(target, 0);
+  mask_ = static_cast<std::uint32_t>(table_.size() - 1);
+  for (std::uint32_t idx = 0; idx < nodes_.size(); ++idx) {
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(nodes_[idx].hash) & mask_;
+    while (table_[slot] != 0) slot = (slot + 1) & mask_;
+    table_[slot] = idx + 1;
+  }
+}
+
+std::size_t PlanCache::footprint_bytes() const noexcept {
+  std::size_t total = nodes_.capacity() * sizeof(Node) +
+                      table_.capacity() * sizeof(std::uint32_t) +
+                      door_.capacity() * sizeof(std::uint64_t);
+  for (const Node& n : nodes_) {
+    total += n.plan.fetch.capacity() * sizeof(ItemId) +
+             n.plan.evict.capacity() * sizeof(ItemId);
+  }
+  return total;
 }
 
 void PlanCache::unlink(std::uint32_t idx) noexcept {
@@ -123,7 +160,8 @@ StoredPlan* PlanCache::insert(std::uint64_t state_key,
   }
   const Key key{state_key, fingerprint, generation_};
   const std::uint64_t h = KeyHash{}(key);
-  if (!door_.empty()) {
+  if (door_enabled_) {
+    if (door_.empty()) door_.assign(kDoorSlots, 0);
     // Admission: the first sighting of a key parks its tag in the sketch
     // and is not stored; a matching tag means the key recurred and has
     // earned a real slot. Index with the raw hash but tag with hash|1
@@ -161,6 +199,11 @@ StoredPlan* PlanCache::insert(std::uint64_t state_key,
     table_[empty_slot] = victim + 1;
     return &nodes_[victim].plan;
   }
+  // Admitting a brand-new node: grow the probe table first if this node
+  // would push the load factor past 1/2, then re-locate the run's empty
+  // slot in the (possibly reshaped) table.
+  maybe_grow_table();
+  probe(key, h, empty_slot);
   const auto idx = static_cast<std::uint32_t>(nodes_.size());
   nodes_.emplace_back();
   nodes_[idx].key = key;
@@ -195,15 +238,25 @@ CanonicalOrderTable::Row CanonicalOrderTable::row(
     for (const ItemId id : positive) {
       if (inst.P[InstanceView::idx(id)] > 0.0) stage_.push_back(id);
     }
-    canonical_order_into(inst, stage_, keys_, e.order);
-    const std::size_t m = e.order.size();
-    e.suffix.resize(m + 1);
-    simd::suffix_sums(inst.P, e.order, e.suffix.data());
+    canonical_order_into(inst, stage_, keys_, built_);
+    const std::size_t m = built_.size();
+    if (e.suffix == nullptr || m > e.cap) {
+      // New or outgrown row: take fresh stable blocks (the old block, if
+      // any, stays put — spans into other rows never move).
+      e.order = order_pool_.alloc(m);
+      e.suffix = suffix_pool_.alloc(m + 1);
+      e.cap = static_cast<std::uint32_t>(m);
+    }
+    e.size = static_cast<std::uint32_t>(m);
+    std::copy(built_.begin(), built_.end(), e.order);
+    simd::suffix_sums(inst.P, std::span<const ItemId>(e.order, m),
+                      e.suffix);
     e.fp = 0;
     for (std::size_t j = m; j-- > 0;) e.fp ^= zobrist_item_key(e.order[j]);
     e.generation = generation_;
   }
-  return Row{e.order, e.suffix, e.fp};
+  return Row{std::span<const ItemId>(e.order, e.size),
+             std::span<const double>(e.suffix, e.size + 1), e.fp};
 }
 
 }  // namespace skp

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/item.hpp"
+#include "util/arena.hpp"
 
 namespace skp {
 
@@ -128,6 +129,11 @@ class PlanCache {
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t size() const noexcept { return nodes_.size(); }
   const PlanCacheStats& stats() const noexcept { return stats_; }
+  // Heap bytes currently held (node pool + probe table + doorkeeper +
+  // stored plan payloads) — the capacity bench's bytes/session input. An
+  // idle session pays only the 16-slot starter table; the structures
+  // grow lazily with actual use.
+  std::size_t footprint_bytes() const noexcept;
 
   // Current generation; entries are only reachable under the generation
   // they were inserted at. Bump whenever planning context outside the
@@ -195,10 +201,15 @@ class PlanCache {
   std::uint32_t probe(const Key& key, std::uint64_t h,
                       std::uint32_t& empty_slot) const noexcept;
   void table_erase(std::uint32_t idx) noexcept;
+  // Doubles the probe table when the next node would push the load
+  // factor past 1/2 (lookup results are table-size independent, so lazy
+  // growth changes where the bytes live, never what find/insert return).
+  void maybe_grow_table();
 
   std::uint64_t config_digest_;
   std::size_t capacity_;
   bool admission_frozen_ = false;
+  bool door_enabled_ = false;
   std::uint64_t generation_ = 0;
   PlanCacheStats stats_;
   std::vector<Node> nodes_;          // grows to capacity_, then recycles
@@ -206,7 +217,8 @@ class PlanCache {
   std::uint32_t mask_ = 0;           // table_.size() - 1
   std::uint32_t head_ = kNil;        // most recently used
   std::uint32_t tail_ = kNil;        // least recently used
-  // Doorkeeper sketch (empty when disabled): slot = tagged key hash.
+  // Doorkeeper sketch (allocated on first insert when enabled):
+  // slot = tagged key hash.
   std::vector<std::uint64_t> door_;
 };
 
@@ -216,6 +228,14 @@ class CanonicalOrderTable {
 
   std::size_t n_states() const noexcept { return entries_.size(); }
   std::uint64_t generation() const noexcept { return generation_; }
+  // Heap bytes behind the table (capacity bench).
+  std::size_t footprint_bytes() const noexcept {
+    return entries_.capacity() * sizeof(Entry) +
+           order_pool_.footprint_bytes() + suffix_pool_.footprint_bytes() +
+           stage_.capacity() * sizeof(ItemId) +
+           built_.capacity() * sizeof(ItemId) +
+           keys_.capacity() * sizeof(CanonKey);
+  }
 
   // Marks every row stale; rows rebuild lazily on next access. The
   // invalidation hook for probability sources that change over time
@@ -245,14 +265,23 @@ class CanonicalOrderTable {
           std::span<const ItemId> positive);
 
  private:
+  // Row storage lives in stable pools (util/arena.hpp): rebuilding one
+  // state's row never moves another's, so a Row span handed out earlier
+  // stays valid, and a rebuild whose support fits the old block reuses
+  // it in place — per-state heap churn only when the support grows.
   struct Entry {
-    std::vector<ItemId> order;
-    std::vector<double> suffix;
-    std::uint64_t fp = 0;          // Zobrist XOR over `order`
+    ItemId* order = nullptr;       // block of `cap` ids in order_pool_
+    double* suffix = nullptr;      // block of `cap` + 1 tail sums
+    std::uint32_t size = 0;        // current row length
+    std::uint32_t cap = 0;         // block capacity (ids)
+    std::uint64_t fp = 0;          // Zobrist XOR over the order
     std::uint64_t generation = 0;  // 0 = never built (generations start at 1)
   };
   std::vector<Entry> entries_;
+  StablePool<ItemId> order_pool_;
+  StablePool<double> suffix_pool_;
   std::vector<ItemId> stage_;   // positive-support staging across rebuilds
+  std::vector<ItemId> built_;   // canonical-order staging across rebuilds
   std::vector<CanonKey> keys_;  // sort scratch shared across rebuilds
   std::uint64_t generation_ = 1;
 };

@@ -19,7 +19,8 @@ std::uint64_t PpmPredictor::context_key(const std::deque<ItemId>& hist,
                                         std::size_t len, std::size_t n) {
   // Base-(n+1) positional encoding of the last `len` items; 64 bits hold
   // order <= 8 over catalogs up to ~2^8 per symbol times n — for larger
-  // catalogs collisions only blur counts, never break correctness.
+  // catalogs collisions only blur counts, never break correctness. The
+  // leading 1 also keeps every key nonzero, which Key64Map requires.
   std::uint64_t key = 1;  // leading 1 distinguishes lengths
   const std::uint64_t base = static_cast<std::uint64_t>(n) + 1;
   const std::size_t start = hist.size() - len;
@@ -36,9 +37,25 @@ void PpmPredictor::observe(ItemId item) {
   for (std::size_t len = 1; len <= std::min(order_, history_.size());
        ++len) {
     const std::uint64_t key = context_key(history_, len, n_);
-    auto& stats = tables_[len - 1][key];
-    ++stats.next_counts[item];
+    Key64Map& table = tables_[len - 1];
+    std::uint32_t ctx = table.find(key);
+    if (ctx == Key64Map::kNotFound) {
+      ctx = contexts_.alloc(Context{});
+      table.insert(key, ctx);
+    }
+    Context& stats = contexts_[ctx];
     ++stats.total;
+    bool found = false;
+    for (std::uint32_t e = stats.head; e != kNull; e = edges_[e].next) {
+      if (edges_[e].sym == item) {
+        ++edges_[e].count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      stats.head = edges_.alloc(Edge{item, 1, stats.head});
+    }
   }
   ++marginal_[static_cast<std::size_t>(item)];
   ++total_;
@@ -56,26 +73,26 @@ void PpmPredictor::predict_into(std::vector<double>& out) const {
   for (std::size_t len = std::min(order_, history_.size()); len >= 1;
        --len) {
     const std::uint64_t key = context_key(history_, len, n_);
-    const auto& table = tables_[len - 1];
-    const auto it = table.find(key);
-    if (it == table.end() || it->second.total == 0) continue;
-    const auto& stats = it->second;
+    const std::uint32_t ctx = tables_[len - 1].find(key);
+    if (ctx == Key64Map::kNotFound || contexts_[ctx].total == 0) continue;
+    const Context& stats = contexts_[ctx];
     // PPM-C: escape weight = distinct successors / (total + distinct),
-    // computed over not-yet-excluded symbols.
+    // computed over not-yet-excluded symbols. Integer sums over the edge
+    // list are iteration-order independent.
     std::uint64_t total = 0;
     std::uint64_t distinct = 0;
-    for (const auto& [sym, cnt] : stats.next_counts) {
-      if (excluded[static_cast<std::size_t>(sym)]) continue;
-      total += cnt;
+    for (std::uint32_t e = stats.head; e != kNull; e = edges_[e].next) {
+      if (excluded[static_cast<std::size_t>(edges_[e].sym)]) continue;
+      total += edges_[e].count;
       ++distinct;
     }
     if (total == 0) continue;
     const double denom = static_cast<double>(total + distinct);
-    for (const auto& [sym, cnt] : stats.next_counts) {
-      if (excluded[static_cast<std::size_t>(sym)]) continue;
-      p[static_cast<std::size_t>(sym)] +=
-          remaining * static_cast<double>(cnt) / denom;
-      excluded[static_cast<std::size_t>(sym)] = 1;
+    for (std::uint32_t e = stats.head; e != kNull; e = edges_[e].next) {
+      const auto sym = static_cast<std::size_t>(edges_[e].sym);
+      if (excluded[sym]) continue;
+      p[sym] += remaining * static_cast<double>(edges_[e].count) / denom;
+      excluded[sym] = 1;
     }
     remaining *= static_cast<double>(distinct) / denom;
   }
@@ -117,6 +134,8 @@ void PpmPredictor::predict_into(std::vector<double>& out) const {
 
 void PpmPredictor::reset() {
   for (auto& t : tables_) t.clear();
+  contexts_.clear();
+  edges_.clear();
   std::fill(marginal_.begin(), marginal_.end(), 0);
   total_ = 0;
   history_.clear();

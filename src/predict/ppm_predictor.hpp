@@ -6,14 +6,22 @@
 // Vitter & Krishnan showed compression-style predictors of this family are
 // asymptotically optimal for Markov sources, which is exactly the source
 // the Fig. 7 experiment uses.
+//
+// Storage is arena-backed (util/arena.hpp): per order, an open-addressing
+// key -> context-index map plus pooled 16-byte context headers and
+// pooled successor edges, replacing one unordered_map of ContextStats
+// (itself holding an unordered_map) per context. The blend consumes each
+// context's successor set through order-independent integer sums and a
+// single per-symbol touch (exclusion flags), so predictions are
+// bit-identical to the map-based predecessor regardless of edge order.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "predict/predictor.hpp"
+#include "util/arena.hpp"
 
 namespace skp {
 
@@ -27,11 +35,25 @@ class PpmPredictor final : public Predictor {
   void reset() override;
 
   std::size_t order() const noexcept { return order_; }
+  // Heap bytes behind the context tables (capacity bench).
+  std::size_t footprint_bytes() const noexcept {
+    std::size_t total = contexts_.footprint_bytes() +
+                        edges_.footprint_bytes() +
+                        marginal_.capacity() * sizeof(std::uint64_t);
+    for (const Key64Map& t : tables_) total += t.footprint_bytes();
+    return total;
+  }
 
  private:
-  struct ContextStats {
-    std::unordered_map<ItemId, std::uint64_t> next_counts;
+  static constexpr std::uint32_t kNull = PoolArena<int>::kNull;
+  struct Context {
+    std::uint32_t head = kNull;  // first successor edge
     std::uint64_t total = 0;
+  };
+  struct Edge {
+    ItemId sym;
+    std::uint64_t count;
+    std::uint32_t next;
   };
 
   // Encodes a context (sequence of up to `order_` item ids) into a key.
@@ -40,7 +62,9 @@ class PpmPredictor final : public Predictor {
 
   std::size_t n_;
   std::size_t order_;
-  std::vector<std::unordered_map<std::uint64_t, ContextStats>> tables_;
+  std::vector<Key64Map> tables_;  // per order: context key -> contexts_ idx
+  PoolArena<Context> contexts_;   // shared across orders
+  PoolArena<Edge> edges_;
   std::vector<std::uint64_t> marginal_;
   std::uint64_t total_ = 0;
   std::deque<ItemId> history_;  // most recent at back, length <= order_

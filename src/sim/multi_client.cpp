@@ -6,25 +6,34 @@
 #include <optional>
 #include <span>
 
+#include <future>
+
 #include "cache/cache.hpp"
 #include "cache/freq_tracker.hpp"
 #include "core/access_model.hpp"
 #include "predict/predictor.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/runtime.hpp"  // make_runtime_predictor
+#include "sim/session_store.hpp"
+#include "util/thread_pool.hpp"
 
 namespace skp {
 
 namespace {
 
 // Per-client simulation state. Caches and request streams are private;
-// only the link is shared.
+// only the link is shared. Read-mostly inputs are VIEWS, not copies: the
+// retrieval catalog spans either the fleet-wide override vector (one
+// copy for the whole run) or the client's own chain catalog, and a
+// scripted cycle program spans its override entry — so a 10k-client
+// fleet no longer holds 10k copies of identical vectors.
 struct Client {
   std::unique_ptr<MarkovSource> chain;   // null for scripted clients
   std::unique_ptr<Predictor> predictor;  // null for oracle clients
   PredictorKind kind = PredictorKind::Oracle;
-  std::vector<TraceRecord> cycles;       // learned drive (scripted/walked)
-  std::vector<double> r;                 // effective retrieval catalog
+  std::vector<TraceRecord> cycles_storage;  // walked clients' private script
+  std::span<const TraceRecord> cycles;   // learned drive (view)
+  std::span<const double> r;             // effective retrieval catalog (view)
   std::vector<double> P;                 // learned planning row
   std::unique_ptr<SlotCache> cache;
   std::unique_ptr<FreqTracker> freq;
@@ -70,9 +79,18 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   const PrefetchEngine engine(cfg.engine);
   Rng build(cfg.seed);
 
-  std::vector<Client> clients(cfg.n_clients);
-  for (std::size_t c = 0; c < cfg.n_clients; ++c) {
-    Client& cl = clients[c];
+  // Clients live in shard-per-core session storage (id = client index,
+  // shard = id % N; sim/session_store.hpp). Shard setup runs in parallel
+  // when every client is privately seeded (overrides in play) — each
+  // client's streams then depend only on (seed, index), never on
+  // construction order — and sequentially under the legacy shared-stream
+  // scheme. Either way each client's state is bit-identical to what the
+  // flat-vector construction this replaces produced.
+  ShardedSessionStore<Client> store(
+      recommended_shard_count(cfg.n_clients));
+  for (std::size_t c = 0; c < cfg.n_clients; ++c) store.emplace(c);
+
+  auto setup_client = [&](std::size_t c, Client& cl, Rng* shared_build) {
     const MultiClientConfig::ClientOverride* ov =
         cfg.overrides.empty() ? nullptr : &cfg.overrides[c];
     const PredictorKind kind =
@@ -113,23 +131,24 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
       const MarkovSourceConfig& scfg =
           ov && ov->source ? *ov->source : cfg.source;
       cl.chain = std::make_unique<MarkovSource>(
-          scfg, private_build ? *private_build : build);
+          scfg, private_build ? *private_build : *shared_build);
       cl.chain->teleport(0);
     }
-    if (!private_build) cl.walk = build.split(1000 + c);
+    if (!private_build) cl.walk = shared_build->split(1000 + c);
 
-    // Effective retrieval catalog: the grounding override, else the
-    // chain's drawn catalog.
+    // Effective retrieval catalog, by reference: the fleet-wide override
+    // vector (alive for the whole run) or the chain's own catalog (the
+    // chain is client-owned and never redrawn here) — identical values
+    // to the per-client copies this replaces, without the copies.
     if (!cfg.retrieval_times.empty()) {
       SKP_REQUIRE(!cl.chain ||
                       cl.chain->n_states() == cfg.retrieval_times.size(),
                   "retrieval_times override must match the chain catalog");
-      cl.r = cfg.retrieval_times;
+      cl.r = std::span<const double>(cfg.retrieval_times);
     } else {
       SKP_REQUIRE(cl.chain != nullptr,
                   "scripted clients need a retrieval_times catalog");
-      cl.r.assign(cl.chain->retrieval_times().begin(),
-                  cl.chain->retrieval_times().end());
+      cl.r = cl.chain->retrieval_times();
     }
     const std::size_t n = cl.r.size();
     cl.cache = std::make_unique<SlotCache>(n, cfg.cache_size);
@@ -159,20 +178,50 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
                           static_cast<std::size_t>(rec.item) < n,
                       "scripted cycle item out of catalog range");
         }
-        cl.cycles = ov->cycles;
+        // View of the override's script — the config outlives the run.
+        cl.cycles = std::span<const TraceRecord>(ov->cycles);
       } else {
         // Materialize the chain walk up front — the walk stream is
         // consumed exactly as lazy stepping would, and learned planning
         // needs the cycle script, not the chain rows.
-        cl.cycles.reserve(cl.quota);
+        cl.cycles_storage.reserve(cl.quota);
         for (std::size_t i = 0; i < cl.quota; ++i) {
           const double v =
               cl.chain->viewing_time(cl.chain->current_state());
           const auto item = static_cast<ItemId>(cl.chain->step(cl.walk));
-          cl.cycles.push_back({item, v});
+          cl.cycles_storage.push_back({item, v});
         }
+        cl.cycles = cl.cycles_storage;
       }
     }
+  };
+
+  if (!cfg.overrides.empty() && store.n_shards() > 1) {
+    // Private streams: shard setups are independent, one worker per
+    // shard, no cross-shard state touched.
+    ThreadPool pool(store.n_shards());
+    std::vector<std::future<void>> pending;
+    pending.reserve(store.n_shards());
+    for (std::size_t s = 0; s < store.n_shards(); ++s) {
+      pending.push_back(pool.submit([&, s] {
+        store.shard(s).for_each([&](std::uint64_t id, Client& cl) {
+          setup_client(static_cast<std::size_t>(id), cl, nullptr);
+        });
+      }));
+    }
+    for (auto& f : pending) f.get();  // rethrows setup validation errors
+  } else {
+    for (std::size_t c = 0; c < cfg.n_clients; ++c) {
+      setup_client(c, *store.find(c), &build);
+    }
+  }
+
+  // Flat index view for the event loop — shards are a storage shape;
+  // the DES addresses clients by index. Map nodes are stable, so these
+  // pointers (and spans into client-owned storage) never move.
+  std::vector<Client*> clients(cfg.n_clients);
+  for (std::size_t c = 0; c < cfg.n_clients; ++c) {
+    clients[c] = store.find(c);
   }
   // Oracle rows are static, so completed plans depend on evolving context
   // only through LFU/DS victim scores (see the generation bump below);
@@ -187,7 +236,9 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   std::vector<double> herd;
   if (cfg.phase_align > 0.0) {
     std::size_t max_quota = 0;
-    for (const Client& cl : clients) max_quota = std::max(max_quota, cl.quota);
+    for (const Client* cl : clients) {
+      max_quota = std::max(max_quota, cl->quota);
+    }
     Rng herd_rng = Rng(cfg.seed).split(999);
     herd.reserve(max_quota);
     for (std::size_t i = 0; i < max_quota; ++i) {
@@ -265,7 +316,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   // One viewing-and-request cycle for client c, starting at clock.now().
   // Defined as a std::function so completions can reschedule it.
   std::function<void(std::size_t)> start_cycle = [&](std::size_t c) {
-    Client& cl = clients[c];
+    Client& cl = *clients[c];
     if (cl.served >= cl.quota) {
       makespan = std::max(makespan, clock.now());
       return;
@@ -355,7 +406,7 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
 
     const double t_req = t0 + v;
     clock.schedule_at(t_req, [&, c, next, v, t_req] {
-      Client& me = clients[c];
+      Client& me = *clients[c];
       double T = 0.0;
       if (me.cache->contains(next)) {
         T = std::max(0.0, me.completion[Instance::idx(next)] - t_req);
@@ -407,7 +458,8 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
         // every client at once.
         const bool frozen =
             overload.rung() >= DegradationRung::kStrictAdmission;
-        for (Client& other : clients) {
+        for (Client* other_p : clients) {
+          Client& other = *other_p;
           if (other.plans) {
             other.plans->bump_generation();
             other.selections->bump_generation();
@@ -466,15 +518,15 @@ MultiClientResult run_multi_client(const MultiClientConfig& cfg) {
   result.fault = fault_stats;
   result.overload = overload.stats();
   result.deadline_hits = deadline_hits;
-  for (auto& cl : clients) {
-    result.per_client.push_back(cl.metrics);
-    result.aggregate.merge(cl.metrics);
-    if (cl.plans) {
+  for (const Client* cl : clients) {
+    result.per_client.push_back(cl->metrics);
+    result.aggregate.merge(cl->metrics);
+    if (cl->plans) {
       // Counter sums, never overwrites: the merged hit-rate must be
       // recomputable from summed hits/misses (a mean of per-client rates
       // is wrong under skewed client loads).
-      result.plan_cache.plans.merge(cl.plans->stats());
-      result.plan_cache.selections.merge(cl.selections->stats());
+      result.plan_cache.plans.merge(cl->plans->stats());
+      result.plan_cache.selections.merge(cl->selections->stats());
     }
   }
   return result;

@@ -15,23 +15,54 @@ std::vector<double> ServerCatalog::retrieval_times(
   return r;
 }
 
+namespace {
+
+// Wraps a privately owned catalog for the legacy constructor. Validation
+// runs here (once per catalog) so the shared path can skip the O(n) size
+// scan for every session referencing an already-validated catalog.
+std::shared_ptr<const SharedClientCatalog> wrap_catalog(
+    ServerCatalog catalog, const NetConfig& net) {
+  SKP_REQUIRE(net.bandwidth > 0.0, "bandwidth must be positive");
+  SKP_REQUIRE(net.latency >= 0.0, "latency must be >= 0");
+  validate_link_schedule(net.schedule);
+  for (std::size_t i = 0; i < catalog.n(); ++i) {
+    SKP_REQUIRE(catalog.sizes[i] > 0.0, "size[" << i << "] must be > 0");
+  }
+  auto cat = std::make_shared<SharedClientCatalog>();
+  cat->server = std::move(catalog);
+  cat->r = cat->server.retrieval_times(net);
+  return cat;
+}
+
+const SharedClientCatalog& deref_catalog(
+    const std::shared_ptr<const SharedClientCatalog>& cat) {
+  SKP_REQUIRE(cat != nullptr, "ClientSession needs a catalog");
+  return *cat;
+}
+
+}  // namespace
+
 ClientSession::ClientSession(ServerCatalog catalog, NetConfig net,
                              EngineConfig engine,
                              std::size_t cache_capacity)
-    : catalog_(std::move(catalog)),
-      net_(net),
+    : ClientSession(wrap_catalog(std::move(catalog), net), std::move(net),
+                    engine, cache_capacity) {}
+
+ClientSession::ClientSession(
+    std::shared_ptr<const SharedClientCatalog> catalog, NetConfig net,
+    EngineConfig engine, std::size_t cache_capacity)
+    : cat_(std::move(catalog)),
+      net_(std::move(net)),
       engine_(engine),
-      cache_(catalog_.n(), cache_capacity),
-      freq_(catalog_.n()),
-      unused_prefetch_(catalog_.n(), 0) {
+      cache_(deref_catalog(cat_).n(), cache_capacity),
+      freq_(cat_->n()),
+      unused_prefetch_(cat_->n(), 0) {
   SKP_REQUIRE(net_.bandwidth > 0.0, "bandwidth must be positive");
   SKP_REQUIRE(net_.latency >= 0.0, "latency must be >= 0");
   validate_link_schedule(net_.schedule);
-  for (std::size_t i = 0; i < catalog_.n(); ++i) {
-    SKP_REQUIRE(catalog_.sizes[i] > 0.0, "size[" << i << "] must be > 0");
-  }
-  completion_.assign(catalog_.n(), 0.0);
-  r_ = catalog_.retrieval_times(net_);
+  SKP_REQUIRE(cat_->r.size() == cat_->n(),
+              "catalog retrieval-time vector size mismatch");
+  completion_.assign(cat_->n(), 0.0);
 }
 
 void ClientSession::enable_plan_cache(std::size_t capacity) {
@@ -59,7 +90,7 @@ std::optional<double> ClientSession::enqueue_prefetch(ItemId item) {
   const double start = std::max(clock_.now(), link_free_at_);
   const FaultTransfer ft = run_faulty_transfer(
       fault_, fault_rng_, fault_stats_, start, [&](double attempt_start) {
-        return net_.transfer_time(catalog_.sizes[Instance::idx(item)],
+        return net_.transfer_time(cat_->server.sizes[Instance::idx(item)],
                                   attempt_start);
       });
   // The link is held through every attempt; backoff gaps idle it, so
@@ -85,7 +116,7 @@ double ClientSession::enqueue_transfer(ItemId item, bool is_prefetch) {
   // r_i when no schedule is set); metrics keep charging the base r_i so
   // network_time stays comparable across schedules.
   const double duration =
-      net_.transfer_time(catalog_.sizes[Instance::idx(item)], start);
+      net_.transfer_time(cat_->server.sizes[Instance::idx(item)], start);
   const double finish = start + duration;
   link_free_at_ = finish;
   in_flight_.push_back({item, start, finish, is_prefetch});
@@ -104,15 +135,15 @@ double ClientSession::request(ItemId item, double viewing_time,
                               std::span<const double> next_probs,
                               std::optional<ItemId> oracle_next,
                               std::optional<std::uint64_t> context_key) {
-  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < catalog_.n(),
+  SKP_REQUIRE(item >= 0 && static_cast<std::size_t>(item) < cat_->n(),
               "item out of range");
   SKP_REQUIRE(viewing_time >= 0.0, "negative viewing time");
-  SKP_REQUIRE(next_probs.size() == catalog_.n(),
+  SKP_REQUIRE(next_probs.size() == cat_->n(),
               "probability vector size mismatch");
 
   const double t0 = clock_.now();
   P_.assign(next_probs.begin(), next_probs.end());
-  const InstanceView inst(P_, r_, viewing_time);
+  const InstanceView inst(P_, cat_->r, viewing_time);
   inst.validate();
 
   // Plan and commit prefetches (slots are reserved at enqueue time so the
@@ -153,7 +184,7 @@ double ClientSession::request(ItemId item, double viewing_time,
         unused_prefetch_[Instance::idx(f)] = 0;
       }
       ++metrics_.prefetch_fetches;
-      const double rt = catalog_.retrieval_time(f, net_);
+      const double rt = cat_->r[Instance::idx(f)];
       metrics_.network_time += rt;
       metrics_.prefetch_network_time += rt;
     }
@@ -177,7 +208,7 @@ double ClientSession::request(ItemId item, double viewing_time,
           cache_.erase(t.item);
           unused_prefetch_[Instance::idx(t.item)] = 0;
           ++metrics_.wasted_prefetches;
-          const double rt = catalog_.retrieval_time(t.item, net_);
+          const double rt = cat_->r[Instance::idx(t.item)];
           metrics_.network_time -= rt;
           metrics_.prefetch_network_time -= rt;
           --metrics_.prefetch_fetches;
@@ -205,7 +236,7 @@ double ClientSession::request(ItemId item, double viewing_time,
     const double finish = enqueue_transfer(item, false);
     completion_[Instance::idx(item)] = finish;
     ++metrics_.demand_fetches;
-    const double rt = catalog_.retrieval_time(item, net_);
+    const double rt = cat_->r[Instance::idx(item)];
     metrics_.network_time += rt;
     metrics_.demand_network_time += rt;
     T = finish - t_req;

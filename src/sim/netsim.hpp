@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -68,13 +69,42 @@ struct ServerCatalog {
   std::vector<double> retrieval_times(const NetConfig& net) const;
 };
 
+// The read-mostly slice of a ClientSession: the server-side size catalog
+// plus the canonical retrieval costs r_i = latency + size_i / bandwidth
+// under the net it was grounded with. Immutable after construction, so
+// any number of sessions of the same spec group reference ONE instance
+// (sim/catalog.hpp builds and interns them) instead of each copying two
+// n-sized vectors — the first rung of the bytes/session ladder.
+struct SharedClientCatalog {
+  ServerCatalog server;
+  std::vector<double> r;
+
+  std::size_t n() const noexcept { return server.n(); }
+  std::size_t footprint_bytes() const noexcept {
+    return (server.sizes.capacity() + r.capacity()) * sizeof(double);
+  }
+};
+
 // One client session driving the DES. The caller supplies, per user cycle,
 // the viewing time, the next-access distribution in force during it, and
 // the item the user then requests; the session plans prefetches with its
 // engine, executes them on the link, and reports the realized access time.
 class ClientSession {
  public:
+  // Private-catalog constructor: wraps `catalog` (and its retrieval
+  // times under `net`) into a session-owned SharedClientCatalog.
+  // Semantics identical to the shared-catalog constructor below — this
+  // is the convenience path for tests and single-session callers.
   ClientSession(ServerCatalog catalog, NetConfig net, EngineConfig engine,
+                std::size_t cache_capacity);
+
+  // Shared-catalog constructor: the session references `catalog` without
+  // copying it. `net` must price transfers with the same base
+  // bandwidth/latency the catalog's r was grounded with (the link
+  // schedule may differ — it re-prices realized transfers only, never
+  // the planning costs).
+  ClientSession(std::shared_ptr<const SharedClientCatalog> catalog,
+                NetConfig net, EngineConfig engine,
                 std::size_t cache_capacity);
 
   // Opts this session into cross-request plan memoization
@@ -139,6 +169,7 @@ class ClientSession {
 
   const SimMetrics& metrics() const noexcept { return metrics_; }
   const SlotCache& cache() const noexcept { return cache_; }
+  const SharedClientCatalog& catalog() const noexcept { return *cat_; }
   double now() const noexcept { return clock_.now(); }
   // Fraction of elapsed time the link spent transferring.
   double link_utilization() const;
@@ -159,7 +190,7 @@ class ClientSession {
   // the transfer abandoned; the caller rolls the claimed slot back.
   std::optional<double> enqueue_prefetch(ItemId item);
 
-  ServerCatalog catalog_;
+  std::shared_ptr<const SharedClientCatalog> cat_;
   NetConfig net_;
   PrefetchEngine engine_;
   SlotCache cache_;
@@ -175,9 +206,8 @@ class ClientSession {
   std::vector<char> unused_prefetch_;
   std::vector<double> completion_;   // per-item transfer completion time
   // Per-cycle planning state, reused so request() never allocates after
-  // the first cycle: the retrieval-time catalog is fixed by (catalog,
-  // net), P is refilled from the caller's next_probs.
-  std::vector<double> r_;
+  // the first cycle: the retrieval-time catalog lives in cat_->r, P is
+  // refilled from the caller's next_probs.
   std::vector<double> P_;
   PlanScratch scratch_;
   PrefetchPlan plan_;

@@ -2,13 +2,16 @@
 
 #include <utility>
 
-#include "sim/grounded.hpp"
+#include "sim/fault.hpp"
 #include "util/require.hpp"
-#include "workload/zipf_source.hpp"
 
 namespace skp {
 
 NetsimStepper::NetsimStepper(const SimSpec& spec)
+    : NetsimStepper(spec, nullptr) {}
+
+NetsimStepper::NetsimStepper(const SimSpec& spec,
+                             std::shared_ptr<const SharedCatalog> catalog)
     : spec_(spec), walk_(0), drift_rng_(0) {
   const SimWorkload& w = spec_.workload;
   SKP_REQUIRE(w.n_items >= 2, "n_items must be >= 2");
@@ -29,12 +32,20 @@ NetsimStepper::NetsimStepper(const SimSpec& spec)
               "applies to the multi_client driver");
   const std::size_t n = w.n_items;
 
-  GroundedStreams g = ground_streams(spec_);
-  Rng& build = g.build;
-  walk_ = g.walk;
+  // The read-mostly group state (sizes, r, master chain, cycle script)
+  // comes from the shared catalog; this session holds only its own
+  // trajectory. Grounding streams are consumed inside build() exactly
+  // as this constructor used to consume them inline.
+  catalog_ = catalog ? std::move(catalog) : SharedCatalog::acquire(spec_);
+  SKP_REQUIRE(catalog_->key() == SharedCatalog::key_of(spec_),
+              "shared catalog does not belong to this spec's group");
+
   // Time-varying link: realized transfer pricing follows the schedule
   // while the catalog's r_i (and so planning) stays the base estimate.
-  g.net.schedule = spec_.link_schedule;
+  NetConfig net;
+  net.bandwidth = spec_.bandwidth;
+  net.latency = spec_.latency;
+  net.schedule = spec_.link_schedule;
 
   EngineConfig ecfg;
   ecfg.policy = spec_.policy;
@@ -42,7 +53,8 @@ NetsimStepper::NetsimStepper(const SimSpec& spec)
   ecfg.arbitration.sub = spec_.sub;
   ecfg.min_profit_threshold = spec_.min_profit_threshold;
   ecfg.evaluate_plan_g = false;
-  session_.emplace(std::move(g.catalog), g.net, ecfg, spec_.cache_size);
+  session_.emplace(catalog_->client(), std::move(net), ecfg,
+                   spec_.cache_size);
   if (spec_.use_plan_cache) {
     session_->enable_plan_cache(spec_.plan_cache_capacity);
   }
@@ -58,32 +70,23 @@ NetsimStepper::NetsimStepper(const SimSpec& spec)
   overload_ = OverloadController(spec_.overload);
 
   zeros_.assign(n, 0.0);
+  walk_ = catalog_->walk();
   if (spec_.predictor == PredictorKind::Oracle) {
     // Oracle mode: the DES rendition of the Fig.-7 protocol — ground-
     // truth transition rows, context keys enabling plan memoization.
-    SKP_REQUIRE(w.kind == SimWorkloadKind::Markov ||
-                    w.kind == SimWorkloadKind::MarkovDrift ||
-                    w.kind == SimWorkloadKind::Zipf ||
-                    w.kind == SimWorkloadKind::Adversarial,
-                "oracle netsim_des needs a generative workload "
-                "(markov | markov_drift | zipf | adversarial)");
-    mcfg_ = to_markov_config(w);
-    source_.emplace(
-        w.kind == SimWorkloadKind::Zipf
-            ? make_zipf_source(to_zipf_config(w), build)
-        : w.kind == SimWorkloadKind::Adversarial
-            ? make_adversarial_source(to_adversarial_config(w), build)
-            : MarkovSource(mcfg_, build));
-    drift_rng_ = build.split(kPrefetchCacheDriftSalt);
-    drift_period_ =
-        w.kind == SimWorkloadKind::MarkovDrift ? w.drift_period : 0;
-    state_ = source_->current_state();
+    // The chain itself is the catalog's; this session owns only its
+    // state cursor and walk stream.
+    mcfg_ = catalog_->markov_config();
+    source_ = &catalog_->source();
+    drift_rng_ = catalog_->drift_rng();
+    drift_period_ = catalog_->drift_period();
+    state_ = catalog_->initial_state();
   } else {
-    // Learned mode: materialized cycles drive an external predictor; an
-    // observe-only warmup plans against a zero row (the planner then
-    // fetches nothing). No context key — the predictor's state is
-    // outside the session's invalidation scope.
-    mat_ = materialize_workload(w, spec_.requests, build, walk_);
+    // Learned mode: the shared materialized cycles drive a private
+    // predictor; an observe-only warmup plans against a zero row (the
+    // planner then fetches nothing). No context key — the predictor's
+    // state is outside the session's invalidation scope.
+    mat_ = &catalog_->materialized();
     predictor_ = make_runtime_predictor(spec_.predictor, n);
     P_.assign(n, 0.0);
   }
@@ -117,7 +120,14 @@ bool NetsimStepper::force_degrade() {
 void NetsimStepper::step_oracle() {
   const std::size_t req = executed_;
   if (drift_period_ != 0 && req != 0 && req % drift_period_ == 0) {
-    source_->redraw_transitions(mcfg_, drift_rng_);
+    if (!owned_source_) {
+      // First changepoint: this session's chain diverges from the
+      // shared master, so it takes a private copy to mutate
+      // (copy-on-write — sessions that never drift never copy).
+      owned_source_.emplace(*source_);
+      source_ = &*owned_source_;
+    }
+    owned_source_->redraw_transitions(mcfg_, drift_rng_);
     // The context keys' promise (state -> row) just broke.
     session_->invalidate_plan_cache();
   }
@@ -135,7 +145,8 @@ void NetsimStepper::step_oracle() {
     overload_.degrade_row(degraded_);
     row = degraded_;
   }
-  const auto next = static_cast<ItemId>(source_->step(walk_));
+  const auto next =
+      static_cast<ItemId>(source_->sample_from(state_, walk_));
   std::optional<ItemId> oracle_next;
   if (planning && spec_.policy == PrefetchPolicy::Perfect) {
     oracle_next = next;
@@ -153,7 +164,7 @@ void NetsimStepper::step_oracle() {
 
 void NetsimStepper::step_learned() {
   const std::size_t i = executed_;
-  const TraceRecord& rec = mat_.cycles[i];
+  const TraceRecord& rec = mat_->cycles[i];
   std::span<const double> row = zeros_;
   if (i >= spec_.predictor_warmup) {
     predictor_->predict_into(P_);

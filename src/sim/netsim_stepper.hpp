@@ -27,6 +27,7 @@
 
 #include "core/overload.hpp"
 #include "predict/predictor.hpp"
+#include "sim/catalog.hpp"
 #include "sim/netsim.hpp"
 #include "sim/runtime.hpp"
 #include "util/rng.hpp"
@@ -55,9 +56,18 @@ struct NetsimStepSnapshot {
 class NetsimStepper {
  public:
   // Validates the spec exactly as the netsim_des driver always has
-  // (reject-don't-drop) and materializes all run state. Throws
-  // std::invalid_argument on a spec netsim_des cannot honor.
+  // (reject-don't-drop) and materializes all run state, acquiring the
+  // spec group's shared catalog from the process-wide intern registry.
+  // Throws std::invalid_argument on a spec netsim_des cannot honor.
   explicit NetsimStepper(const SimSpec& spec);
+
+  // Same, but runs against an explicitly provided shared catalog — the
+  // bulk-session path (skpd preload, capacity bench) where the caller
+  // amortizes one acquire over many sessions. `catalog` must belong to
+  // spec's group (checked); results are bit-identical to the acquiring
+  // constructor.
+  NetsimStepper(const SimSpec& spec,
+                std::shared_ptr<const SharedCatalog> catalog);
 
   const SimSpec& spec() const noexcept { return spec_; }
   std::size_t total() const noexcept { return spec_.requests; }
@@ -88,17 +98,24 @@ class NetsimStepper {
   void settle_request(double T);
 
   SimSpec spec_;
+  // Shared read-mostly group state (sizes, r, master chain, cycle
+  // script). Declared before every member that points into it.
+  std::shared_ptr<const SharedCatalog> catalog_;
   Rng walk_;
   std::optional<ClientSession> session_;
   OverloadController overload_;
-  // Oracle mode: generative source stepped in lockstep with the session.
-  std::optional<MarkovSource> source_;
+  // Oracle mode: the session walks the shared master chain through its
+  // private (state_, walk_) cursor. A drifting session copies the chain
+  // into owned_source_ at its first changepoint (copy-on-write) and
+  // mutates only the copy.
+  const MarkovSource* source_ = nullptr;
+  std::optional<MarkovSource> owned_source_;
   MarkovSourceConfig mcfg_;
   Rng drift_rng_;
   std::size_t drift_period_ = 0;
   std::size_t state_ = 0;
-  // Learned mode: materialized cycle script + external predictor.
-  MaterializedWorkload mat_;
+  // Learned mode: shared materialized cycle script + private predictor.
+  const MaterializedWorkload* mat_ = nullptr;
   std::unique_ptr<Predictor> predictor_;
   std::vector<double> P_;
   // Shared per-cycle scratch.

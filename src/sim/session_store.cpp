@@ -1,0 +1,15 @@
+#include "sim/session_store.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace skp {
+
+std::size_t recommended_shard_count(std::size_t expected_sessions) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  if (expected_sessions == 0) return 1;
+  return std::max<std::size_t>(1, std::min(cores, expected_sessions));
+}
+
+}  // namespace skp

@@ -1,0 +1,154 @@
+// Sharded session hosting for million-session capacity.
+//
+// The daemon-facing runtimes (skpd's token->session table, the
+// multi_client fleet, the capacity bench) all hold "many sessions, one
+// process" state. This header gives them one shape for it: sessions
+// live in N independent SessionShards keyed by id, with shard(id) =
+// id % N. The contract that makes thread-per-core hosting safe WITHOUT
+// any cross-shard locks on the request path:
+//
+//   - a session id maps to exactly one shard, forever;
+//   - a thread may touch a shard only while it owns it (ownership is
+//     the embedder's partition — e.g. worker w owns shards w, w+W,
+//     w+2W, ...); the store itself takes no locks;
+//   - cross-shard operations (size(), ordered drains) run only on the
+//     control path, with the embedder holding all shards quiescent.
+//
+// Sessions sit behind unique_ptr so shard rebalancing-by-growth (the
+// std::map rebalancing on insert/erase) never moves a session object:
+// pointers and references into a session stay valid until erase, which
+// is what lets the skpd poll loop park raw Session* in connection
+// state across cycles.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace skp {
+
+// One shard: an id-ordered table of owned sessions. Not internally
+// synchronized — see the ownership contract above.
+template <typename Session>
+class SessionShard {
+ public:
+  using Id = std::uint64_t;
+
+  Session* find(Id id) {
+    const auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+  }
+  const Session* find(Id id) const {
+    const auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+  }
+
+  // Takes ownership of `session` under `id`; the id must be fresh.
+  Session& insert(Id id, std::unique_ptr<Session> session) {
+    SKP_REQUIRE(session != nullptr, "null session for id " << id);
+    const auto [it, inserted] = sessions_.emplace(id, std::move(session));
+    SKP_REQUIRE(inserted, "session " << id << " already in shard");
+    return *it->second;
+  }
+
+  template <typename... Args>
+  Session& emplace(Id id, Args&&... args) {
+    return insert(
+        id, std::make_unique<Session>(std::forward<Args>(args)...));
+  }
+
+  bool erase(Id id) { return sessions_.erase(id) != 0; }
+  std::size_t size() const noexcept { return sessions_.size(); }
+  bool empty() const noexcept { return sessions_.empty(); }
+
+  // Visits (id, session) in ascending id order within this shard.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [id, s] : sessions_) fn(id, *s);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, s] : sessions_) fn(id, *s);
+  }
+
+ private:
+  std::map<Id, std::unique_ptr<Session>> sessions_;
+};
+
+// The N-shard store. Request-path operations (find/insert/erase by id)
+// touch exactly the owning shard; control-path operations (size,
+// for_each_ordered) cross shards and belong to quiescent moments.
+template <typename Session>
+class ShardedSessionStore {
+ public:
+  using Id = std::uint64_t;
+
+  explicit ShardedSessionStore(std::size_t n_shards = 1)
+      : shards_(n_shards) {
+    SKP_REQUIRE(n_shards >= 1, "session store needs at least one shard");
+  }
+
+  std::size_t n_shards() const noexcept { return shards_.size(); }
+  std::size_t shard_of(Id id) const noexcept {
+    return static_cast<std::size_t>(id % shards_.size());
+  }
+  SessionShard<Session>& shard(std::size_t i) { return shards_[i]; }
+  const SessionShard<Session>& shard(std::size_t i) const {
+    return shards_[i];
+  }
+
+  Session* find(Id id) { return shards_[shard_of(id)].find(id); }
+  const Session* find(Id id) const {
+    return shards_[shard_of(id)].find(id);
+  }
+  Session& insert(Id id, std::unique_ptr<Session> session) {
+    return shards_[shard_of(id)].insert(id, std::move(session));
+  }
+  template <typename... Args>
+  Session& emplace(Id id, Args&&... args) {
+    return shards_[shard_of(id)].emplace(id,
+                                         std::forward<Args>(args)...);
+  }
+  bool erase(Id id) { return shards_[shard_of(id)].erase(id); }
+
+  std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s.size();
+    return total;
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  // Visits every (id, session) in globally ascending id order —
+  // deterministic drain/stats emission regardless of shard count. The
+  // order a single-map store would produce, which is what keeps skpd's
+  // drain output byte-identical across shardings.
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) {
+    std::vector<std::pair<Id, Session*>> all;
+    all.reserve(size());
+    for (auto& s : shards_) {
+      s.for_each([&](Id id, Session& session) {
+        all.emplace_back(id, &session);
+      });
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [id, session] : all) fn(id, *session);
+  }
+
+ private:
+  std::vector<SessionShard<Session>> shards_;
+};
+
+// Shard count for hosting `expected_sessions` on this machine:
+// thread-per-core sharding, but never more shards than sessions (empty
+// shards only add control-path sweep cost). Defined in
+// session_store.cpp (the one non-template piece).
+std::size_t recommended_shard_count(std::size_t expected_sessions);
+
+}  // namespace skp

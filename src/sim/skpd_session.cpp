@@ -38,17 +38,17 @@ NetsimStepSnapshot SkpdSession::step(std::uint64_t seq,
 }
 
 SkpdSession& SkpdSessionStore::create(const std::string& spec_text) {
-  const SimSpec spec = decode_sim_spec(spec_text);
-  const std::uint64_t token = next_token_++;
-  auto session = std::make_unique<SkpdSession>(token, spec);
-  auto [it, inserted] = sessions_.emplace(token, std::move(session));
-  SKP_ASSERT(inserted);
-  return *it->second;
+  return create(decode_sim_spec(spec_text), nullptr);
 }
 
-SkpdSession* SkpdSessionStore::find(std::uint64_t token) {
-  const auto it = sessions_.find(token);
-  return it == sessions_.end() ? nullptr : it->second.get();
+SkpdSession& SkpdSessionStore::create(
+    const SimSpec& spec, std::shared_ptr<const SharedCatalog> catalog) {
+  const std::uint64_t token = next_token_++;
+  auto session = catalog
+                     ? std::make_unique<SkpdSession>(token, spec,
+                                                     std::move(catalog))
+                     : std::make_unique<SkpdSession>(token, spec);
+  return sessions_.insert(token, std::move(session));
 }
 
 }  // namespace skp

@@ -17,12 +17,14 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "sim/catalog.hpp"
 #include "sim/netsim_stepper.hpp"
+#include "sim/session_store.hpp"
 
 namespace skp {
 
@@ -30,6 +32,14 @@ class SkpdSession {
  public:
   SkpdSession(std::uint64_t token, const SimSpec& spec)
       : token_(token), stepper_(spec) {}
+
+  // Bulk-hosting constructor: the session runs against an explicitly
+  // provided shared catalog (see NetsimStepper's two-argument
+  // constructor) so preloading many sessions of one spec group pays for
+  // the group's grounding exactly once.
+  SkpdSession(std::uint64_t token, const SimSpec& spec,
+              std::shared_ptr<const SharedCatalog> catalog)
+      : token_(token), stepper_(spec, std::move(catalog)) {}
 
   std::uint64_t token() const noexcept { return token_; }
   NetsimStepper& stepper() noexcept { return stepper_; }
@@ -62,27 +72,43 @@ class SkpdSession {
 
 // Token-keyed session table. Tokens are dense counters starting at 1 —
 // they are resumption handles on a loopback socket, not authentication
-// (ROADMAP scopes the daemon to localhost single-user).
+// (ROADMAP scopes the daemon to localhost single-user). Sessions live in
+// a sharded store (sim/session_store.hpp): dense tokens round-robin over
+// shards, so bulk preloads spread evenly and a 100k-idle-session daemon
+// never rebalances one giant tree. All request-path calls stay on the
+// poll thread; sharding here buys O(log(n/shards)) lookups and gives the
+// embedder per-shard ownership if it ever steps sessions from workers.
 class SkpdSessionStore {
  public:
+  explicit SkpdSessionStore(std::size_t n_shards = 1)
+      : sessions_(n_shards) {}
+
   // Creates a session for `spec_text` (decoded via decode_sim_spec) and
   // returns it. Throws std::invalid_argument on a malformed or
   // unservable spec.
   SkpdSession& create(const std::string& spec_text);
 
+  // Bulk-preload creation path: an already-decoded spec plus its group's
+  // shared catalog (pass nullptr to let the stepper acquire one).
+  SkpdSession& create(const SimSpec& spec,
+                      std::shared_ptr<const SharedCatalog> catalog);
+
   // nullptr when the token is unknown (expired or never issued).
-  SkpdSession* find(std::uint64_t token);
+  SkpdSession* find(std::uint64_t token) { return sessions_.find(token); }
 
   void erase(std::uint64_t token) { sessions_.erase(token); }
   std::size_t size() const noexcept { return sessions_.size(); }
 
-  // Ordered iteration for drain-time stats emission.
-  auto begin() { return sessions_.begin(); }
-  auto end() { return sessions_.end(); }
+  // Token-ordered iteration for drain-time stats emission; fn receives
+  // (token, SkpdSession&). Order is shard-count independent.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    sessions_.for_each_ordered(std::forward<Fn>(fn));
+  }
 
  private:
   std::uint64_t next_token_ = 1;
-  std::map<std::uint64_t, std::unique_ptr<SkpdSession>> sessions_;
+  ShardedSessionStore<SkpdSession> sessions_;
 };
 
 }  // namespace skp

@@ -139,9 +139,10 @@ std::span<const ItemId> MarkovSource::successors(std::size_t state) const {
   return succ_[state];
 }
 
-std::size_t MarkovSource::step(Rng& rng) {
-  const auto& probs = succ_prob_[state_];
-  const auto& targets = succ_[state_];
+std::size_t MarkovSource::sample_from(std::size_t state, Rng& rng) const {
+  SKP_REQUIRE(state < succ_.size(), "state out of range");
+  const auto& probs = succ_prob_[state];
+  const auto& targets = succ_[state];
   SKP_ASSERT(!targets.empty());
   const double u = rng.next_double();
   double cum = 0.0;
@@ -153,8 +154,23 @@ std::size_t MarkovSource::step(Rng& rng) {
       break;
     }
   }
-  state_ = static_cast<std::size_t>(targets[pick]);
+  return static_cast<std::size_t>(targets[pick]);
+}
+
+std::size_t MarkovSource::step(Rng& rng) {
+  state_ = sample_from(state_, rng);
   return state_;
+}
+
+std::size_t MarkovSource::footprint_bytes() const noexcept {
+  std::size_t total = (v_.capacity() + r_.capacity()) * sizeof(double);
+  for (const auto& s : succ_) total += s.capacity() * sizeof(ItemId);
+  for (const auto& p : succ_prob_) total += p.capacity() * sizeof(double);
+  for (const auto& row : dense_row_) total += row.capacity() * sizeof(double);
+  total += (succ_.capacity() * sizeof(std::vector<ItemId>)) +
+           ((succ_prob_.capacity() + dense_row_.capacity()) *
+            sizeof(std::vector<double>));
+  return total;
 }
 
 void MarkovSource::teleport(std::size_t state) {

@@ -82,6 +82,17 @@ class MarkovSource {
   // (== requested item id).
   std::size_t step(Rng& rng);
 
+  // Const counterpart: samples a successor of `state` from `rng` without
+  // touching this source. Draw-for-draw identical to step() from the
+  // same state and stream — this is what lets many sessions walk private
+  // trajectories over ONE shared immutable source (each keeps its own
+  // state + walk stream; the chain structure is read-only).
+  std::size_t sample_from(std::size_t state, Rng& rng) const;
+
+  // Heap bytes behind the chain (dense rows dominate at n^2 doubles) —
+  // the shared-catalog savings the capacity bench measures.
+  std::size_t footprint_bytes() const noexcept;
+
   // Re-seats the chain at `state` without sampling (tests, replays).
   void teleport(std::size_t state);
 

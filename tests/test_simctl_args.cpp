@@ -192,6 +192,21 @@ TEST(SimctlSpecFile, LowersHostileWorldMembers) {
   EXPECT_EQ(flags, expected);
 }
 
+TEST(SimctlSpecFile, LowersMixedPredictorFleets) {
+  // A per-client predictor list ("inherit" keeps the base choice)
+  // lowers to --client-predictors, which simctl validates against
+  // --clients and installs as multi_client overrides.
+  const auto flags = spec_file_to_flags(R"({
+    "base": {"driver": "multi_client", "clients": 3,
+             "client_predictors": ["ppm", "lz78", "inherit"]}
+  })");
+  const std::vector<std::string> expected = {
+      "--driver",            "multi_client",
+      "--clients",           "3",
+      "--client-predictors", "ppm,lz78,inherit"};
+  EXPECT_EQ(flags, expected);
+}
+
 TEST(SimctlSpecFile, RejectsBadDocuments) {
   EXPECT_THROW(spec_file_to_flags("[1]"), std::invalid_argument);
   EXPECT_THROW(spec_file_to_flags(R"({"bogus": {}})"),

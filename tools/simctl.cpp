@@ -105,6 +105,16 @@ run flags (single-value spec fields):
   --churn-period X       multi_client driver: simulated time between client
                          departures (0 = no churn)
   --churn-downtime X     multi_client driver: offline span per departure
+  --client-predictors LIST
+                         multi_client driver: one predictor token per
+                         client (oracle | markov1 | ppm | lz78 |
+                         depgraph | inherit), lowering to per-client
+                         overrides for mixed-predictor fleets. Count
+                         must equal --clients. NOTE: any use switches
+                         every client to its private override-derived
+                         streams (the documented override seeding), so
+                         results are not comparable with a no-override
+                         run even when every token is "inherit".
   --link-phases LIST     time-varying link (netsim_des / multi_client):
                          comma list of DUR:BW:LAT phases, cycling
   --fail-rate X          fault injection (netsim_des / multi_client):
@@ -230,6 +240,10 @@ int run_command(const std::vector<std::string>& args) {
   std::vector<SubArbitration> subs;
   std::vector<PredictorKind> predictors;
   std::vector<ReplacementKind> replacements;
+  // --client-predictors: one predictor per client, "inherit" keeping the
+  // base spec's choice; lowered into multi_client overrides after the
+  // whole command line is parsed (so --clients may come later).
+  std::vector<std::optional<PredictorKind>> client_predictors;
   std::size_t shard_index = 0, shard_count = 1;
   std::optional<std::string> csv_path;
   std::optional<std::string> per_client_csv_path;
@@ -340,6 +354,23 @@ int run_command(const std::vector<std::string>& args) {
     } else if (flag == "--churn-downtime") {
       base.multi_client.churn_downtime =
           parse_double(need_value(i, flag.c_str()), "--churn-downtime");
+      multi_client_flag = true;
+    } else if (flag == "--client-predictors") {
+      client_predictors.clear();
+      for (const std::string& token :
+           split(need_value(i, "--client-predictors"), ',')) {
+        if (token == "inherit") {
+          client_predictors.push_back(std::nullopt);
+          continue;
+        }
+        const auto p = parse_predictor_kind(token);
+        if (!p) {
+          fail("unknown client predictor '" + token +
+               "' (expected a predictor token or 'inherit')");
+        }
+        client_predictors.push_back(*p);
+      }
+      if (client_predictors.empty()) fail("--client-predictors: empty list");
       multi_client_flag = true;
     } else if (flag == "--link-phases") {
       base.link_schedule = simctl::parse_link_schedule(
@@ -531,8 +562,27 @@ int run_command(const std::vector<std::string>& args) {
   if (multi_client_flag &&
       base.driver != SimDriverKind::MultiClientDes) {
     fail("--clients/--link-speedup/--phase-align/--churn-period/"
-         "--churn-downtime/--client-counts/--link-speedups apply to "
-         "--driver multi_client only");
+         "--churn-downtime/--client-predictors/--client-counts/"
+         "--link-speedups apply to --driver multi_client only");
+  }
+  if (!client_predictors.empty()) {
+    // The override vector must stay one-entry-per-client for EVERY spec
+    // in the sweep, so a client-count axis is incompatible with a fixed
+    // predictor list.
+    if (!client_counts.empty()) {
+      fail("--client-predictors cannot combine with --client-counts "
+           "(the list is sized to one fixed client count)");
+    }
+    if (client_predictors.size() != base.multi_client.clients) {
+      fail("--client-predictors lists " +
+           std::to_string(client_predictors.size()) +
+           " predictor(s) for " +
+           std::to_string(base.multi_client.clients) + " client(s)");
+    }
+    base.multi_client.overrides.resize(client_predictors.size());
+    for (std::size_t c = 0; c < client_predictors.size(); ++c) {
+      base.multi_client.overrides[c].predictor = client_predictors[c];
+    }
   }
   if (link_schedule_flag && base.driver != SimDriverKind::NetsimDes &&
       base.driver != SimDriverKind::MultiClientDes) {

@@ -46,14 +46,18 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/catalog.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/netsim_stepper.hpp"
+#include "sim/session_store.hpp"
 #include "sim/skpd_protocol.hpp"
 #include "sim/skpd_session.hpp"
 #include "util/csv.hpp"
@@ -73,6 +77,14 @@ struct Options {
   double drain_timeout = 5.0;             // flush budget after SIGTERM
   int sndbuf = 0;                         // SO_SNDBUF cap (0 = kernel)
   std::string stats_csv;                  // final stats path ("" = skip)
+  // Capacity hosting: create this many idle sessions at startup, all of
+  // one spec group sharing a single SharedCatalog. They hold no
+  // connection, so the linger reaper (which watches DETACHED sessions,
+  // i.e. ones a client abandoned) never touches them — they sit resident
+  // until drain, which is exactly the 100k-idle-session posture the
+  // capacity work gates on.
+  std::size_t preload_sessions = 0;
+  std::string preload_spec;               // encoded spec file ("" = builtin)
 };
 
 void usage(std::FILE* out) {
@@ -81,6 +93,7 @@ void usage(std::FILE* out) {
                "            [--session-linger=SEC] [--write-queue-soft=BYTES]\n"
                "            [--write-queue-hard=BYTES] [--drain-timeout=SEC]\n"
                "            [--sndbuf=BYTES] [--stats-csv=PATH]\n"
+               "            [--preload-sessions=N] [--preload-spec=FILE]\n"
                "\n"
                "Serves netsim_des sessions over loopback TCP (see\n"
                "src/sim/skpd_protocol.hpp for the wire contract). Prints\n"
@@ -124,6 +137,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
         opt.sndbuf = std::stoi(v);
       } else if (parse_flag(arg, "--stats-csv", &v)) {
         opt.stats_csv = v;
+      } else if (parse_flag(arg, "--preload-sessions", &v)) {
+        opt.preload_sessions = std::stoull(v);
+      } else if (parse_flag(arg, "--preload-spec", &v)) {
+        opt.preload_spec = v;
       } else {
         std::fprintf(stderr, "skpd: unknown argument '%s'\n", arg.c_str());
         return std::nullopt;
@@ -162,9 +179,13 @@ struct Conn {
 
 class Daemon {
  public:
-  explicit Daemon(Options opt) : opt_(std::move(opt)) {}
+  explicit Daemon(Options opt)
+      : opt_(std::move(opt)),
+        store_(skp::recommended_shard_count(
+            std::max<std::size_t>(opt_.preload_sessions, 1024))) {}
 
   int run() {
+    if (!preload_sessions()) return 1;
     if (!open_listener()) return 1;
     // The maintenance tick drives keepalive and linger deadlines; a
     // quarter of the keepalive interval bounds deadline overshoot.
@@ -204,6 +225,55 @@ class Daemon {
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
     va_end(ap);
+  }
+
+  // The built-in preload spec: a small oracle netsim_des group, sized so
+  // an idle session is a few KB (n=25 catalog, lazy plan caches) while
+  // still exercising the full decision path if a client ever drove it.
+  static skp::SimSpec default_preload_spec() {
+    skp::SimSpec spec;
+    spec.driver = skp::SimDriverKind::NetsimDes;
+    spec.workload.kind = skp::SimWorkloadKind::Markov;
+    spec.workload.n_items = 25;
+    spec.workload.out_degree_lo = 5;
+    spec.workload.out_degree_hi = 10;
+    spec.cache_size = 5;
+    spec.requests = 100;
+    spec.seed = 42;
+    return spec;
+  }
+
+  bool preload_sessions() {
+    if (opt_.preload_sessions == 0) return true;
+    skp::SimSpec spec;
+    try {
+      if (!opt_.preload_spec.empty()) {
+        std::ifstream in(opt_.preload_spec);
+        if (!in) {
+          log("cannot read preload spec '%s'", opt_.preload_spec.c_str());
+          return false;
+        }
+        std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+        spec = skp::decode_sim_spec(text);
+      } else {
+        spec = default_preload_spec();
+      }
+      // One catalog acquire for the whole batch: every preloaded session
+      // references the same grounding (sizes, r, master chain).
+      const std::shared_ptr<const skp::SharedCatalog> catalog =
+          skp::SharedCatalog::acquire(spec);
+      for (std::size_t i = 0; i < opt_.preload_sessions; ++i) {
+        store_.create(spec, catalog);
+      }
+    } catch (const std::exception& e) {
+      log("preload failed: %s", e.what());
+      return false;
+    }
+    log("preloaded %zu idle session(s) across %zu shard(s)",
+        store_.size(),
+        skp::recommended_shard_count(opt_.preload_sessions));
+    return true;
   }
 
   bool open_listener() {
@@ -651,14 +721,14 @@ class Daemon {
     csv.row({"token", "executed", "total", "done", "requests", "hits",
              "demand_fetches", "prefetch_fetches", "solver_nodes", "plans",
              "deadline_hits", "rung"});
-    for (auto& [token, session] : store_) {
-      const skp::NetsimStepSnapshot snap = session->stepper().snapshot();
-      csv.row_of(token, session->executed(), session->stepper().total(),
-                 session->done() ? 1 : 0, snap.requests, snap.hits,
+    store_.for_each([&](std::uint64_t token, skp::SkpdSession& session) {
+      const skp::NetsimStepSnapshot snap = session.stepper().snapshot();
+      csv.row_of(token, session.executed(), session.stepper().total(),
+                 session.done() ? 1 : 0, snap.requests, snap.hits,
                  snap.demand_fetches, snap.prefetch_fetches,
                  snap.solver_nodes, snap.plans, snap.deadline_hits,
-                 static_cast<int>(session->stepper().rung()));
-    }
+                 static_cast<int>(session.stepper().rung()));
+    });
     os.flush();
     return os.good();
   }

@@ -7,6 +7,13 @@
 # Also checks the simctl SIGTERM contract: an interrupted sweep leaves a
 # VALID partial document with a "# interrupted at spec N" trailer, exits
 # non-zero, and the merge refuses the partial.
+#
+# Capacity phase: the daemon is started holding SKPD_CHAOS_PRELOAD
+# (default 100000) preloaded idle sessions, so every kill/resume/drop in
+# this script lands on a server already at bulk-hosting scale. Idle
+# sessions must survive the keepalive/linger reaper (they never attach,
+# so the linger clock never starts) and must all appear in the drain
+# stats CSV.
 # Usage: tools/skpd_chaos_check.sh [BUILD_DIR] (default "build").
 set -euo pipefail
 
@@ -29,12 +36,17 @@ cleanup() {
 trap cleanup EXIT
 
 # One long-lived daemon shared by every run below, so kills and resumes
-# land on a server that keeps sessions alive across client generations.
+# land on a server that keeps sessions alive across client generations —
+# and one that is ALREADY holding a bulk preload of idle sessions, so the
+# chaos phases double as a capacity regression check.
+preload="${SKPD_CHAOS_PRELOAD:-100000}"
 "$skpd" --port=0 --keepalive=5 --session-linger=30 \
+    --preload-sessions="$preload" \
     --stats-csv="$tmp/skpd_stats.csv" > "$tmp/skpd_port.txt" \
     2> "$tmp/skpd_log.txt" &
 daemon_pid=$!
-for _ in $(seq 1 100); do
+# Preloading 100k sessions takes a few seconds before the port banner.
+for _ in $(seq 1 600); do
   grep -q '^SKPD_PORT=' "$tmp/skpd_port.txt" 2>/dev/null && break
   sleep 0.05
 done
@@ -101,8 +113,15 @@ grep -q "interrupted partial" "$tmp/merge_err.txt" \
     || { echo "error: partial-merge rejection not descriptive:" >&2
          cat "$tmp/merge_err.txt" >&2; exit 1; }
 
+# The preloaded idle sessions must still be resident after every chaos
+# phase above: they never attach, so the keepalive/linger reaper has no
+# business touching them.
+grep -q "preloaded $preload idle session" "$tmp/skpd_log.txt" \
+    || { echo "error: daemon log missing preload confirmation" >&2
+         cat "$tmp/skpd_log.txt" >&2; exit 1; }
+
 # Graceful drain: SIGTERM the daemon, require exit 0 and a complete
-# stats CSV (header present, no torn rows).
+# stats CSV (header present, no torn rows, one row per idle session).
 kill -TERM "$daemon_pid"
 rc=0
 wait "$daemon_pid" || rc=$?
@@ -111,7 +130,12 @@ daemon_pid=""
                        cat "$tmp/skpd_log.txt" >&2; exit 1; }
 head -1 "$tmp/skpd_stats.csv" | grep -q '^token,executed,total,done,' \
     || { echo "error: drain stats CSV missing or torn" >&2; exit 1; }
+stats_rows="$(($(wc -l < "$tmp/skpd_stats.csv") - 1))"
+[[ "$stats_rows" -ge "$preload" ]] \
+    || { echo "error: drain stats hold $stats_rows rows," \
+              "expected >= $preload preloaded idle sessions" >&2; exit 1; }
 
 echo "skpd chaos gate passed: killed+resumed sweep merged byte-identical" \
      "to the calm run, calm run matches netsim_des goldens, interrupted" \
-     "simctl left a valid trailered partial, daemon drained with exit 0"
+     "simctl left a valid trailered partial, daemon held $preload idle" \
+     "sessions throughout and drained all $stats_rows with exit 0"
